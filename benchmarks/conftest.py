@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Every paper exhibit gets one benchmark that (a) regenerates the exhibit's
+rows/series on the scaled platform, (b) saves the rendered output under
+``benchmarks/results/`` so the regeneration artifacts survive the run,
+and (c) asserts the paper's qualitative shape so a regression in the
+simulator turns the bench red, not just slow.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_render(results_dir):
+    """Persist an exhibit's rendered rows/series and echo a pointer."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}] written to {path}\n{text}")
+        return path
+
+    return _save
+
+
+def run_exhibit(benchmark, fn, **kwargs):
+    """Run an exhibit generator exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

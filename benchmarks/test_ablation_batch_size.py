@@ -1,0 +1,58 @@
+"""Ablation: fault batch size (paper Section III-D, flagged as future work).
+
+"The batch size affects the cost and the optimal size depends on
+application access patterns... larger batches have a better chance to
+have more page faults in the same VABlock, which better utilizes the
+bandwidth and amortizes migration cost, at the cost of potentially
+delaying SMs."  The sweep quantifies exactly that trade-off on the two
+synthetic patterns.
+"""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.export import render_series
+from repro.units import MiB
+from repro.workloads.synthetic import RandomAccess, RegularAccess
+
+BATCH_SIZES = (32, 128, 256, 1024)
+
+
+def _sweep():
+    setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+    rows = []
+    for workload_cls in (RegularAccess, RandomAccess):
+        for batch in BATCH_SIZES:
+            cfg = setup.with_driver(batch_size=batch, prefetch_enabled=False)
+            run = simulate(workload_cls(16 * MiB), cfg)
+            bins = run.counters["batches.vablock_bins"]
+            batches = run.counters["batches.count"]
+            rows.append(
+                (
+                    workload_cls.name,
+                    batch,
+                    run.total_time_ns / 1000.0,
+                    batches,
+                    bins / max(batches, 1),
+                    run.counters["replays.issued"],
+                )
+            )
+    return rows
+
+
+def test_ablation_batch_size(benchmark, save_render):
+    rows = run_exhibit(benchmark, _sweep)
+    text = render_series(
+        rows,
+        headers=("pattern", "batch", "time(us)", "batches", "bins/batch", "replays"),
+        title="Ablation - fault batch size (prefetch off)",
+        floatfmt="{:.2f}",
+    )
+    save_render("ablation_batch_size", text)
+
+    by_key = {(r[0], r[1]): r for r in rows}
+    # larger batches amortize per-batch costs: fewer batches, fewer replays
+    for pattern in ("regular", "random"):
+        assert by_key[(pattern, 1024)][3] < by_key[(pattern, 32)][3]
+        assert by_key[(pattern, 1024)][5] < by_key[(pattern, 32)][5]
+    # and tiny batches cost real time on both patterns
+    assert by_key[("random", 32)][2] > by_key[("random", 256)][2]

@@ -1,0 +1,21 @@
+"""Ablation: flexible allocation granularity (Section VI-B).
+
+"2MB blocks may be too coarse for allocations and evictions for
+irregular applications" - sweep the VABlock size for oversubscribed
+random access and quantify the transfer-amplification reduction.
+"""
+
+from benchmarks.conftest import run_exhibit
+from repro.ext.flexible_granularity import run_granularity_ablation
+
+
+def test_ablation_granularity(benchmark, save_render):
+    result = run_exhibit(benchmark, run_granularity_ablation)
+    save_render("ablation_granularity", result.render())
+
+    coarse = result.rows[-1]  # 2 MiB
+    fine = result.rows[0]  # 256 KiB
+    assert coarse.vablock_bytes > fine.vablock_bytes
+    # finer granules cut wasted allocation and transfer amplification
+    assert fine.amplification < 0.6 * coarse.amplification
+    assert fine.total_time_us < coarse.total_time_us

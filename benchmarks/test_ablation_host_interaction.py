@@ -1,0 +1,65 @@
+"""Ablation: CPU-side fault ping-pong at kernel boundaries.
+
+The reproduction's Table I coverage for iterative solvers runs higher
+than the paper's because real UVM ports do host-side work between
+kernels (convergence checks, reductions): each host touch of
+GPU-resident data takes a CPU fault, migrates the page back, and forces
+an uncoverable GPU re-fault next iteration.  This bench quantifies that
+mechanism with TeaLeaf's naive-port convergence check enabled.
+"""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.export import render_series
+from repro.units import MiB
+from repro.workloads.tealeaf import TealeafWorkload
+
+
+def _compare():
+    setup = ExperimentSetup().with_gpu(memory_bytes=256 * MiB)
+    no_pf = setup.with_driver(prefetch_enabled=False)
+    rows = []
+    for host_check in (False, True):
+        wl = lambda: TealeafWorkload(n=1728, host_check=host_check)  # noqa: E731
+        off = simulate(wl(), no_pf)
+        on = simulate(wl(), setup)
+        reduction = 100.0 * (off.faults_read - on.faults_read) / off.faults_read
+        rows.append(
+            (
+                "naive host check" if host_check else "GPU-resident",
+                off.faults_read,
+                on.faults_read,
+                reduction,
+                on.counters["host.faults"],
+                on.counters["host.pages_d2h"],
+                on.total_time_ns / 1000.0,
+            )
+        )
+    return rows
+
+
+def test_ablation_host_interaction(benchmark, save_render):
+    rows = run_exhibit(benchmark, _compare)
+    text = render_series(
+        rows,
+        headers=(
+            "variant",
+            "faults (no pf)",
+            "faults (pf)",
+            "reduction %",
+            "host faults",
+            "pages d2h",
+            "time(us)",
+        ),
+        title="Ablation - TeaLeaf with host-side convergence checks",
+        floatfmt="{:.2f}",
+    )
+    save_render("ablation_host_interaction", text)
+
+    baseline, pingpong = rows
+    # host interaction produces CPU faults and D2H migrations...
+    assert pingpong[4] > 0 and pingpong[5] > 0
+    assert baseline[4] == 0
+    # ...which add uncoverable faults: coverage drops, time rises
+    assert pingpong[3] < baseline[3]
+    assert pingpong[6] > baseline[6]

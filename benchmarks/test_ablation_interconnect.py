@@ -1,0 +1,48 @@
+"""Ablation: interconnect class (PCIe 3 vs NVLink-class bandwidth).
+
+Section II cites the x86/PCIe vs Power9/NVLink comparison literature;
+the cost model ships both presets.  The what-if shows which UVM costs a
+faster link actually removes: wire time shrinks, but the software costs
+(per-fault servicing, replays, PMA) do not - so un-prefetched UVM
+improves far less than prefetched UVM does.
+"""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.sim.costmodel import NVLINK_CLASS, TITAN_V_PCIE3
+from repro.trace.export import render_series
+from repro.units import MiB
+from repro.workloads.synthetic import RegularAccess
+
+
+def _sweep():
+    rows = []
+    for label, cost in (("pcie3", TITAN_V_PCIE3), ("nvlink", NVLINK_CLASS)):
+        base = ExperimentSetup(cost=cost).with_gpu(memory_bytes=64 * MiB)
+        for prefetch, cfg in (
+            ("off", base.with_driver(prefetch_enabled=False)),
+            ("on", base),
+        ):
+            run = simulate(RegularAccess(32 * MiB), cfg)
+            rows.append((label, prefetch, run.total_time_ns / 1000.0))
+    return rows
+
+
+def test_ablation_interconnect(benchmark, save_render):
+    rows = run_exhibit(benchmark, _sweep)
+    text = render_series(
+        rows,
+        headers=("link", "prefetch", "time(us)"),
+        title="Ablation - interconnect class (regular, 32 MiB)",
+    )
+    save_render("ablation_interconnect", text)
+
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    # the faster link helps everywhere...
+    assert by_key[("nvlink", "off")] < by_key[("pcie3", "off")]
+    assert by_key[("nvlink", "on")] < by_key[("pcie3", "on")]
+    # ...but bulk transfers (prefetch on) benefit proportionally more
+    # than fault-bound paging, whose cost is software-dominated
+    speedup_off = by_key[("pcie3", "off")] / by_key[("nvlink", "off")]
+    speedup_on = by_key[("pcie3", "on")] / by_key[("nvlink", "on")]
+    assert speedup_on > speedup_off

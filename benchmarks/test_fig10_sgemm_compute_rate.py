@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 10 - SGEMM compute rate vs oversubscription."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_sgemm_compute_rate(benchmark, save_render):
+    result = run_exhibit(benchmark, run_fig10)
+    save_render("fig10_sgemm_compute_rate", result.render())
+
+    peak = result.peak_row
+    # rate peaks near the capacity boundary...
+    assert 0.8 <= peak.oversubscription <= 1.35
+    # ...and "performance degrades significantly after 120%"
+    deepest = max(result.rows, key=lambda r: r.oversubscription)
+    assert deepest.oversubscription > 1.6
+    assert deepest.gflops < 0.7 * peak.gflops
+    # in-core sizes never evict
+    for row in result.rows:
+        if row.oversubscription < 0.9:
+            assert row.evictions == 0

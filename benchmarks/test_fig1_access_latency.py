@@ -1,0 +1,35 @@
+"""Bench: regenerate Fig. 1 - explicit vs UVM vs UVM+prefetch latency."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.runner import ExperimentSetup
+from repro.units import MiB
+
+
+def test_fig1_access_latency(benchmark, save_render):
+    setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+    result = run_exhibit(
+        benchmark,
+        run_fig1,
+        setup=setup,
+        fractions=(0.002, 0.01, 0.05, 0.25, 0.5, 0.9, 1.2, 1.5),
+    )
+    save_render("fig1_access_latency", result.render())
+
+    # paper observation (1): >= ~10x for un-prefetched UVM in-core
+    for row in result.rows:
+        if 0.25 <= row.fraction <= 0.9:
+            assert row.uvm_slowdown >= 8
+    # observation (2): prefetching cuts the cost but stays above baseline
+    for row in result.rows:
+        if 0.25 <= row.fraction <= 0.9:
+            assert row.uvm_prefetch_us < 0.6 * row.uvm_us
+            assert row.prefetch_slowdown > 1.5
+    # observation (3): random oversubscription adds a hard per-byte jump
+    rnd = result.pattern_rows("random")
+    under = next(r for r in rnd if r.fraction == 0.9)
+    over = next(r for r in rnd if r.fraction == 1.5)
+    per_byte_jump = (over.uvm_prefetch_us / over.data_bytes) / (
+        under.uvm_prefetch_us / under.data_bytes
+    )
+    assert per_byte_jump > 4

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 3 - fault cost scaling and category breakdown."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3_fault_cost_breakdown(benchmark, save_render):
+    result = run_exhibit(benchmark, run_fig3)
+    save_render("fig3_fault_cost_breakdown", result.render())
+
+    small = [r for r in result.rows if r.data_bytes < 100 * 1024]
+    assert small, "sweep must include sub-100KB sizes"
+    for row in small:
+        assert 380 <= row.total_us <= 620  # the 400-600 us floor
+
+    for row in result.rows:
+        assert row.share("preprocess") < 0.15  # negligible pre/post
+
+    reg = result.pattern_rows("regular")
+    rnd = result.pattern_rows("random")
+    assert rnd[-1].total_us >= reg[-1].total_us  # random tends slower
+    assert rnd[-1].replay_us >= reg[-1].replay_us  # shifted proportions

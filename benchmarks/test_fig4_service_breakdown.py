@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 4 - PMA alloc / migrate / map service split."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_service_breakdown(benchmark, save_render):
+    result = run_exhibit(benchmark, run_fig4)
+    save_render("fig4_service_breakdown", result.render())
+
+    smallest, largest = result.rows[0], result.rows[-1]
+    # PMA allocation dominates small sizes...
+    assert smallest.pma_share > 0.3
+    # ...and over-allocation caching keeps it flat and negligible later
+    assert largest.pma_alloc_us <= 4 * smallest.pma_alloc_us
+    assert largest.pma_share < 0.02
+    # migrate/map grow with the page count
+    assert largest.migrate_us > 50 * smallest.migrate_us
+    assert largest.map_us > smallest.map_us

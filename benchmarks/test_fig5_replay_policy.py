@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 5 - the batch (no-flush) policy vs the default."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.fig5 import run_policy_comparison
+
+
+def test_fig5_replay_policy(benchmark, save_render):
+    result = run_exhibit(benchmark, run_policy_comparison)
+    save_render("fig5_replay_policy", result.render())
+
+    flush_big = result.batch_flush.rows[-1]
+    batch_big = result.batch.rows[-1]
+    # replay-policy cost severely diminished without the flush charges
+    assert batch_big.replay_us < 0.5 * flush_big.replay_us
+    # pre-processing greatly increased by duplicate faults
+    assert batch_big.preprocess_us > 1.1 * flush_big.preprocess_us

@@ -1,0 +1,26 @@
+"""Bench: Fig. 6 - the density-tree cascade walkthrough + mechanism checks."""
+
+import numpy as np
+
+from benchmarks.conftest import run_exhibit
+from repro.core.prefetch import TreePrefetcher
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_density_tree(benchmark, save_render):
+    result = run_exhibit(benchmark, run_fig6)
+    save_render("fig6_density_tree", result.render())
+
+    sizes = [s.region_size for s in result.steps]
+    assert sizes[0] == 16  # stage one: the big-page upgrade
+    assert sizes[-1] == 512  # cascade completes the block
+    assert result.steps[-1].total_flagged == 512
+
+    # aggressive threshold: a single fault fetches the whole block
+    aggressive = run_fig6(threshold=1)
+    assert aggressive.faults_to_fill == 1
+
+    # mechanism spot-check at paper defaults: 51% is a strict bound
+    pf = TreePrefetcher(threshold=51)
+    lone = pf.compute(np.zeros(512, dtype=bool), np.array([0]))
+    assert lone.max_region == 16  # 16/32 = 50% < 51%: no growth

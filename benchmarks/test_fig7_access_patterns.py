@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 7 - all eight workloads' access patterns."""
+
+import numpy as np
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.runner import ExperimentSetup
+from repro.units import MiB
+
+
+def test_fig7_access_patterns(benchmark, save_render):
+    setup = ExperimentSetup().with_gpu(memory_bytes=128 * MiB)
+    result = run_exhibit(benchmark, run_fig7, setup=setup, data_fraction=0.125)
+    save_render("fig7_access_patterns", result.render())
+
+    assert len(result.panels) == 8
+
+    def corr(name):
+        p = result.panel(name).pattern
+        pages = p.page_index.astype(np.float64)
+        return np.corrcoef(np.arange(pages.size), pages)[0, 1]
+
+    assert corr("regular") > 0.75  # ascending wavefront with jitter
+    assert abs(corr("random")) < 0.2  # uniform scatter
+    # the triad braids three allocations from the start
+    stream = result.panel("stream").pattern
+    assert len(stream.range_boundaries) == 3
+    # sparse/multigrid panels show their multiple allocations
+    assert len(result.panel("cusparse").pattern.range_boundaries) == 6
+    assert len(result.panel("hpgmg").pattern.range_boundaries) >= 3

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 8 - SGEMM eviction pattern at ~120-130%."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_eviction_pattern(benchmark, save_render):
+    result = run_exhibit(benchmark, run_fig8)
+    save_render("fig8_eviction_pattern", result.render())
+
+    assert result.oversubscription > 1.1
+    assert result.n_evictions > 0
+    # the paper's worst case: data evicted immediately prior to being
+    # paged back in, because the LRU is ignorant of on-GPU reuse
+    assert result.refaulted_evictions > 0
+    assert result.refault_fraction > 0.2

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 9 - oversubscribed breakdown, regular vs random."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_oversubscribed_breakdown(benchmark, save_render):
+    result = run_exhibit(benchmark, run_fig9)
+    save_render("fig9_oversubscribed_breakdown", result.render())
+
+    # "different access patterns show an order of magnitude difference"
+    assert result.slowdown_at(1.5) > 10
+    # transfer amplification: regular streams ~once; random multiplies
+    reg = [r for r in result.pattern_rows("regular") if r.ratio == 1.5][0]
+    rnd = [r for r in result.pattern_rows("random") if r.ratio == 1.5][0]
+    assert reg.amplification < 2.0
+    assert rnd.amplification > 5.0
+    # eviction volume explodes only for the irregular pattern
+    assert rnd.evictions > 20 * reg.evictions

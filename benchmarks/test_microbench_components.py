@@ -1,0 +1,99 @@
+"""Microbenchmarks: wall-clock throughput of the simulator's hot paths.
+
+These use pytest-benchmark's statistics properly (many rounds) and guard
+the simulator's own performance: the density-tree computation, batch
+pre-processing, residency updates, and warp-stream advancement are the
+inner loops of every experiment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.batch import FaultBatch
+from repro.core.prefetch import TreePrefetcher
+from repro.core.preprocess import preprocess_batch
+from repro.gpu.fault_buffer import FaultEntry
+from repro.gpu.warp import WarpStream
+from repro.mem.address_space import AddressSpace
+from repro.mem.residency import ResidencyState
+from repro.units import MiB
+
+
+@pytest.fixture
+def residency():
+    space = AddressSpace()
+    space.malloc_managed(64 * MiB)
+    return ResidencyState(space)
+
+
+def test_prefetch_compute_throughput(benchmark):
+    pf = TreePrefetcher()
+    rng = np.random.default_rng(0)
+    resident = rng.random(512) < 0.4
+    faults = np.flatnonzero(rng.random(512) < 0.05)
+    faults = faults[~resident[faults]][:24]
+    if faults.size == 0:
+        faults = np.array([int(np.flatnonzero(~resident)[0])])
+    result = benchmark(pf.compute, resident, faults)
+    assert result.count >= 0
+
+
+def test_preprocess_batch_throughput(benchmark, residency):
+    rng = np.random.default_rng(1)
+    entries = [
+        FaultEntry(
+            page=int(p),
+            is_write=bool(p % 2),
+            timestamp_ns=0,
+            gpc_id=0,
+            utlb_id=0,
+            stream_id=int(p),
+            sm_id=int(p) % 80,
+        )
+        for p in rng.integers(0, 16384, size=256)
+    ]
+    batch = FaultBatch(entries=entries)
+    result = benchmark(preprocess_batch, batch, residency)
+    assert result.n_read == 256
+
+
+def test_make_resident_throughput(benchmark, residency):
+    for vb in range(32):
+        residency.back_vablock(vb)
+    pages = np.arange(0, 16384, 3, dtype=np.int64)
+
+    def op():
+        residency.resident[:] = False
+        residency.dirty[:] = False
+        residency.resident_count[:] = 0
+        return residency.make_resident(pages, writing=True)
+
+    assert benchmark(op) == pages.size
+
+
+def test_warp_stream_advance_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    pages = rng.integers(0, 16384, size=100_000).astype(np.int64)
+    resident = np.ones(16384, dtype=bool)
+    resident[pages[-1]] = False  # one miss at the very end
+
+    def op():
+        stream = WarpStream(0, pages)
+        return stream.advance(resident)
+
+    missing = benchmark(op)
+    assert missing == pages[-1]
+
+
+def test_eviction_scan_throughput(benchmark, residency):
+    for vb in range(32):
+        residency.back_vablock(vb)
+    residency.make_resident(np.arange(16384, dtype=np.int64), writing=True)
+
+    def op():
+        n_res, n_dirty = residency.evict_vablock(5)
+        residency.back_vablock(5)
+        residency.make_resident(np.arange(5 * 512, 6 * 512, dtype=np.int64), writing=True)
+        return n_res
+
+    assert benchmark(op) == 512

@@ -1,0 +1,21 @@
+"""Bench: regenerate Table I - fault reduction for all eight workloads."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.table1 import run_table1
+from repro.units import MiB
+
+
+def test_table1_fault_reduction(benchmark, save_render):
+    setup = ExperimentSetup().with_gpu(memory_bytes=256 * MiB)
+    result = run_exhibit(benchmark, run_table1, setup=setup, data_fraction=0.375)
+    save_render("table1_fault_reduction", result.render())
+
+    assert len(result.rows) == 8
+    # paper floor: every workload's coverage is substantial (>=64% there)
+    for row in result.rows:
+        assert row.reduction_pct >= 60, f"{row.workload}: {row.reduction_pct:.1f}%"
+    # scattering faults saturates density fastest: random beats regular
+    # and sits near the top (97.95% in the paper)
+    assert result.row("random").reduction_pct > result.row("regular").reduction_pct
+    assert result.row("random").reduction_pct > 90

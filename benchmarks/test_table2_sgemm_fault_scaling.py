@@ -1,0 +1,23 @@
+"""Bench: regenerate Table II - SGEMM fault/eviction scaling."""
+
+from benchmarks.conftest import run_exhibit
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_sgemm_fault_scaling(benchmark, save_render):
+    result = run_exhibit(benchmark, run_table2)
+    save_render("table2_sgemm_fault_scaling", result.render())
+
+    in_core = [r for r in result.rows if r.oversubscription < 0.9]
+    over = sorted(
+        (r for r in result.rows if r.oversubscription > 0.9), key=lambda r: r.n
+    )
+    # zero evictions while the problem fits (paper rows 29228-30764)
+    for row in in_core:
+        assert row.pages_evicted == 0
+    # pages evicted rise monotonically with problem size...
+    values = [r.pages_evicted for r in over]
+    assert values == sorted(values)
+    # ...and the paper's degradation correlate climbs hard past the cliff
+    assert over[-1].evictions_per_fault > 2 * max(over[0].evictions_per_fault, 0.1)
+    assert over[-1].evictions_per_fault > 1.0

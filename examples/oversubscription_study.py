@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Oversubscription study: the paper's Section V in one script.
+
+Sweeps SGEMM across the GPU-memory boundary and reports the quantities
+behind Fig. 10 and Table II (compute rate, evictions, pages evicted per
+fault), then demonstrates two of the paper's Section VI-B improvement
+paths on an oversubscribed irregular workload:
+
+* flexible allocation granularity (smaller VABlocks tame the random
+  access transfer blow-up),
+* access-counter-aware eviction (fixes the fault-only LRU's
+  evict-the-hottest pathology on SGEMM).
+
+Run:  python examples/oversubscription_study.py   (takes ~a minute)
+"""
+
+from repro import SgemmWorkload, simulate
+from repro.experiments.common import gemm_wave_setup
+from repro.experiments.fig10 import run_fig10
+from repro.ext.flexible_granularity import run_granularity_ablation
+
+
+def gemm_sweep() -> None:
+    print("=" * 72)
+    print("SGEMM across the memory boundary (Fig. 10 / Table II quantities)")
+    print("=" * 72)
+    result = run_fig10(ratios=(0.6, 0.95, 1.2, 1.5, 1.9))
+    print(result.render())
+    peak = result.peak_row
+    print(
+        f"\ncompute rate peaks at n={peak.n} "
+        f"({peak.oversubscription:.0%} of GPU memory) and degrades beyond -"
+        "\nthe paper's >120% cliff, driven by evict-before-use.\n"
+    )
+
+
+def granularity() -> None:
+    print("=" * 72)
+    print("Section VI-B: flexible allocation granularity")
+    print("=" * 72)
+    print(run_granularity_ablation().render())
+    print(
+        "\nSmaller granules cut the allocated-but-unused waste of 2 MB\n"
+        "blocks under irregular access - the paper's hypothesis, quantified.\n"
+    )
+
+
+def access_counter_eviction() -> None:
+    print("=" * 72)
+    print("Section VI-B: access-counter-aware eviction vs fault-driven LRU")
+    print("=" * 72)
+    base = gemm_wave_setup()
+    counter = base.with_gpu(track_access_counters=True).with_driver(
+        eviction_policy="access_counter"
+    )
+    workload = SgemmWorkload(n=2816)
+    for label, setup in (("fault-driven LRU", base), ("access counters", counter)):
+        run = simulate(SgemmWorkload(n=workload.n), setup)
+        print(
+            f"  {label:18s}: {run.total_time_us / 1000:8.1f} ms, "
+            f"{run.evictions:5d} evictions, "
+            f"{run.pages_evicted:7d} pages evicted"
+        )
+    print(
+        "\nThe counters see *all* accesses, not just faulting ones, so hot\n"
+        "fully-resident blocks stop sinking to the LRU tail (Section VI-A's\n"
+        "documented pathology)."
+    )
+
+
+def main() -> None:
+    gemm_sweep()
+    granularity()
+    access_counter_eviction()
+
+
+if __name__ == "__main__":
+    main()

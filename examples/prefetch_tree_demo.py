@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The density-tree prefetcher, step by step (the paper's Fig. 6).
+
+Walks the two-stage prefetcher on a single VABlock:
+
+* stage one upgrades each faulted 4 KB page to its 64 KB big page,
+* stage two grows the largest enclosing subtree whose access density
+  beats the threshold (default 51%), with chosen regions "set to max"
+  so later faults cascade.
+
+The demo shows (a) the paper's small 8-leaf illustration, (b) a
+cascade on a full 512-leaf VABlock, and (c) what the 1% "aggressive"
+threshold does - fetch the entire block off a single fault, the setting
+Section IV-C says rivals explicit transfer for undersubscribed runs.
+
+Run:  python examples/prefetch_tree_demo.py
+"""
+
+import numpy as np
+
+from repro.core.prefetch import TreePrefetcher
+from repro.experiments.fig6 import run_fig6
+
+
+def small_example() -> None:
+    """The Fig. 6-style 8-leaf tree (big pages disabled via size 1)."""
+    print("=" * 70)
+    print("8-leaf illustration, threshold 51% (cf. paper Fig. 6)")
+    print("=" * 70)
+    pf = TreePrefetcher(threshold=51, pages_per_vablock=8, pages_per_big_page=1)
+    # five leaves resident/faulted in the right places: the new fault's
+    # chain passes at every level and the whole block is fetched.
+    resident = np.array([1, 1, 1, 1, 0, 1, 1, 0], dtype=bool)
+    fault = np.array([4])
+    for line in pf.describe_tree(resident, fault):
+        print(" ", line)
+    decision = pf.compute(resident, fault)
+    print(f"  fault at leaf 4 -> region of {decision.max_region} leaves, "
+          f"prefetching leaves {decision.prefetch_offsets.tolist()}")
+    print()
+
+
+def full_block_cascade() -> None:
+    print("=" * 70)
+    print("512-leaf VABlock cascade, threshold 51%")
+    print("=" * 70)
+    result = run_fig6()
+    print(result.render())
+    print()
+
+
+def aggressive_threshold() -> None:
+    print("=" * 70)
+    print("threshold 1% - a single fault fetches the whole VABlock")
+    print("=" * 70)
+    pf = TreePrefetcher(threshold=1)
+    resident = np.zeros(512, dtype=bool)
+    decision = pf.compute(resident, np.array([137]))
+    print(f"  one fault at leaf 137: region={decision.max_region} leaves, "
+          f"prefetched={decision.count} pages "
+          f"(stage one: {decision.upgraded}, tree: {decision.tree_added})")
+    print("  -> the Section IV-C setting whose performance 'rivals the")
+    print("     performance of an explicit direct transfer'.")
+
+
+def main() -> None:
+    small_example()
+    full_block_cascade()
+    aggressive_threshold()
+
+
+if __name__ == "__main__":
+    main()

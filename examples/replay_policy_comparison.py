@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The four fault-replay policies head to head (paper Section III-E).
+
+Runs the same kernel under Block, Batch, Batch-flush (the driver
+default), and Once, and prints the trade-off the paper describes: how
+often replays are issued, how many duplicate faults the driver must
+filter, and where the time goes.
+
+Run:  python examples/replay_policy_comparison.py
+"""
+
+from repro import ExperimentSetup, RegularAccess, simulate
+from repro.core.replay import ReplayPolicyKind
+from repro.trace.export import render_series
+from repro.units import MiB
+
+
+def main() -> None:
+    setup = ExperimentSetup().with_gpu(memory_bytes=128 * MiB)
+    workload_bytes = 32 * MiB
+    rows = []
+    for policy in ReplayPolicyKind:
+        cfg = setup.with_driver(
+            replay_policy=policy,
+            prefetch_enabled=False,  # isolate the policy cost, as Fig. 3/5 do
+        )
+        run = simulate(RegularAccess(workload_bytes), cfg)
+        rows.append(
+            (
+                policy.value,
+                run.counters["replays.issued"],
+                run.counters["faults.read"],
+                run.counters["faults.duplicate"],
+                run.timer.total_ns("preprocess") / 1000.0,
+                run.timer.total_ns("replay_policy") / 1000.0,
+                run.total_time_us,
+            )
+        )
+    print(
+        render_series(
+            rows,
+            headers=(
+                "policy",
+                "replays",
+                "faults read",
+                "duplicates",
+                "preprocess(us)",
+                "replay(us)",
+                "total(us)",
+            ),
+            title=f"replay policies on regular {workload_bytes // MiB} MiB (prefetch off)",
+        )
+    )
+    print(
+        "\nThe paper's trade-off, reproduced: Block replays earliest and most\n"
+        "often; Batch drops the flush cost but reads duplicate faults instead\n"
+        "(larger pre-processing, Fig. 5); Batch-flush pays queue management to\n"
+        "keep the buffer clean (Fig. 3); Once stalls warps the longest."
+    )
+
+
+if __name__ == "__main__":
+    main()

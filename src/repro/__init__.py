@@ -1,0 +1,73 @@
+"""repro: a reproduction of "Demystifying GPU UVM Cost with Deep Runtime
+and Workload Analysis" (Allen & Ge, IPDPS 2021).
+
+The package simulates the NVIDIA UVM driver pipeline - fault buffer
+draining, batching, VABlock binning, fault servicing (PMA allocation,
+migration, mapping), the two-stage tree-based density prefetcher, LRU
+VABlock eviction, and the four replay policies - against a GPU execution
+model, with the paper's instrumentation (category timers, fault traces)
+built in.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+the paper-vs-measured record.
+
+Quickstart::
+
+    from repro import simulate, RegularAccess
+    result = simulate(RegularAccess(16 << 20))
+    print(result.breakdown().render())
+"""
+
+from repro.core.driver import DriverConfig, RunResult, UvmDriver
+from repro.core.replay import ReplayPolicyKind
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.gpu.device import GpuDeviceConfig
+from repro.sim.costmodel import CostModel, NVLINK_CLASS, TITAN_V_PCIE3
+from repro.mem.advise import MemAdvise
+from repro.trace.io import load_trace, save_trace
+from repro.workloads import (
+    CufftWorkload,
+    CusparseWorkload,
+    HpgmgWorkload,
+    RandomAccess,
+    RegularAccess,
+    SgemmWorkload,
+    StreamTriadWorkload,
+    TealeafWorkload,
+    Workload,
+    make_workload,
+    workload_names,
+)
+from repro.workloads.base import HostAccess, KernelPhase
+from repro.workloads.graph import BfsWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simulate",
+    "ExperimentSetup",
+    "UvmDriver",
+    "DriverConfig",
+    "RunResult",
+    "GpuDeviceConfig",
+    "ReplayPolicyKind",
+    "CostModel",
+    "TITAN_V_PCIE3",
+    "NVLINK_CLASS",
+    "Workload",
+    "RegularAccess",
+    "RandomAccess",
+    "SgemmWorkload",
+    "StreamTriadWorkload",
+    "CufftWorkload",
+    "TealeafWorkload",
+    "HpgmgWorkload",
+    "CusparseWorkload",
+    "make_workload",
+    "workload_names",
+    "MemAdvise",
+    "BfsWorkload",
+    "HostAccess",
+    "KernelPhase",
+    "save_trace",
+    "load_trace",
+    "__version__",
+]

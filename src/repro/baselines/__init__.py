@@ -1,0 +1,5 @@
+"""Baselines the paper compares UVM against."""
+
+from repro.baselines.explicit import ExplicitTransferBaseline, explicit_transfer_time_ns
+
+__all__ = ["ExplicitTransferBaseline", "explicit_transfer_time_ns"]

@@ -1,0 +1,48 @@
+"""Explicit direct-transfer baseline (Fig. 1's comparison line).
+
+The paper's Fig. 1 compares UVM page-touch kernels against "explicit
+direct management by programmers": ``cudaMemcpy`` of the whole working
+set up front, after which the kernel runs fault-free.  The baseline cost
+is therefore per-allocation copy launches plus wire time at the explicit
+path's bandwidth - no driver involvement, no faults, no page-granular
+overhead, which is exactly why it is one or more orders of magnitude
+faster at small-to-medium sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.costmodel import CostModel
+
+
+def explicit_transfer_time_ns(
+    cost: CostModel,
+    nbytes: int,
+    n_allocations: int = 1,
+) -> int:
+    """Simulated ns to explicitly copy ``nbytes`` split over allocations."""
+    if nbytes < 0:
+        raise ConfigurationError("nbytes must be non-negative")
+    if n_allocations < 1:
+        raise ConfigurationError("n_allocations must be >= 1")
+    return cost.explicit_copy_ns(nbytes, calls=n_allocations)
+
+
+@dataclass(frozen=True)
+class ExplicitTransferBaseline:
+    """Convenience wrapper pairing a cost model with the baseline math."""
+
+    cost: CostModel
+
+    def time_ns(self, nbytes: int, n_allocations: int = 1) -> int:
+        return explicit_transfer_time_ns(self.cost, nbytes, n_allocations)
+
+    def time_us(self, nbytes: int, n_allocations: int = 1) -> float:
+        return self.time_ns(nbytes, n_allocations) / 1000.0
+
+    def effective_bandwidth(self, nbytes: int) -> float:
+        """Bytes per second achieved, including launch overhead."""
+        t_ns = self.time_ns(nbytes)
+        return nbytes * 1e9 / t_ns if t_ns else float("inf")

@@ -1,0 +1,350 @@
+"""Command-line interface: ``uvmrepro``.
+
+Subcommands:
+
+* ``uvmrepro list`` - the eight paper workloads,
+* ``uvmrepro run <workload>`` - one instrumented simulation with the
+  driver-time breakdown and counters,
+* ``uvmrepro exhibit <name>`` - regenerate one paper exhibit
+  (fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2),
+* ``uvmrepro exhibit all`` - regenerate everything (the EXPERIMENTS.md
+  data source).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.core.replay import ReplayPolicyKind
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.units import MiB, human_size
+from repro.workloads.registry import make_workload, workload_names
+
+
+def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
+    from dataclasses import replace
+
+    setup = ExperimentSetup(seed=args.seed).with_gpu(
+        memory_bytes=args.gpu_mem_mib * MiB
+    )
+    setup = setup.with_driver(
+        prefetch_enabled=not args.no_prefetch,
+        density_threshold=args.threshold,
+        replay_policy=ReplayPolicyKind(args.policy),
+        batch_size=args.batch_size,
+    )
+    if args.vablock_kib:
+        setup = replace(setup, vablock_bytes=args.vablock_kib * 1024)
+    return setup
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("paper workloads (Table I order):")
+    for name in workload_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    setup = _build_setup(args)
+    workload = make_workload(args.workload, args.data_mib * MiB)
+    print(f"running {workload.describe()} on a {human_size(setup.gpu.memory_bytes)} GPU ...")
+    result = simulate(workload, setup)
+    print()
+    print(result.breakdown().render("driver time breakdown (paper Fig.3 categories)"))
+    print()
+    print(result.service_breakdown().render("service sub-breakdown (paper Fig.4)"))
+    print()
+    print("counters:")
+    for name, value in result.counters:
+        print(f"  {name:28s} {value}")
+    print(f"\ntotal simulated time: {result.total_time_us:,.1f} us")
+    print(f"bytes moved H2D/D2H: {human_size(result.dma.h2d_bytes)}/{human_size(result.dma.d2h_bytes)}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Capture an instrumented run's trace: npz + ASCII scatter + CSV."""
+    from pathlib import Path
+
+    from repro.experiments.fig7 import trace_workload
+    from repro.trace.export import render_scatter, write_csv
+    from repro.trace.io import save_trace
+    from repro.trace.recorder import TraceRecorder
+    from repro.core.driver import UvmDriver
+    from repro.sim.rng import SimRng
+    from repro.workloads.registry import make_workload
+
+    setup = _build_setup(args)
+    rng = SimRng(setup.seed)
+    space = setup.make_space()
+    workload = make_workload(args.workload, args.data_mib * MiB)
+    build = workload.build(space, rng.fork("workload"))
+    recorder = TraceRecorder()
+    driver = UvmDriver(
+        space=space,
+        streams=build.streams if build.phases is None else None,
+        phases=build.phases,
+        driver_config=setup.driver,
+        gpu_config=setup.gpu,
+        cost=setup.cost,
+        rng=rng,
+        recorder=recorder,
+    )
+    result = driver.run()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_path = save_trace(
+        result.trace,
+        out / f"{args.workload}.npz",
+        metadata={
+            "workload": args.workload,
+            "data_bytes": workload.required_bytes(),
+            "gpu_bytes": setup.gpu.memory_bytes,
+            "seed": setup.seed,
+            "prefetch": setup.driver.prefetch_enabled,
+            "total_time_ns": result.total_time_ns,
+        },
+    )
+    from repro.trace.analysis import extract_access_pattern
+
+    pattern = extract_access_pattern(result.trace, space)
+    scatter = render_scatter(
+        pattern.occurrence,
+        pattern.page_index,
+        title=f"{args.workload}: fault occurrence vs page index",
+        hlines=pattern.range_boundaries[1:],
+    )
+    (out / f"{args.workload}.txt").write_text(scatter + "\n")
+    write_csv(
+        out / f"{args.workload}.csv",
+        ("occurrence", "page_index"),
+        zip(pattern.occurrence.tolist(), pattern.page_index.tolist()),
+    )
+    print(scatter)
+    print(
+        f"\ntrace: {trace_path}\nscatter: {out / (args.workload + '.txt')}\n"
+        f"csv: {out / (args.workload + '.csv')}\n"
+        f"faults recorded: {result.trace.n_faults} "
+        f"(evictions: {result.trace.n_evictions})"
+    )
+    return 0
+
+
+#: named configuration variants for `uvmrepro compare` - each returns a
+#: transformed ExperimentSetup.
+_VARIANTS: dict[str, Callable[[ExperimentSetup], ExperimentSetup]] = {
+    "no-prefetch": lambda s: s.with_driver(prefetch_enabled=False),
+    "threshold-1": lambda s: s.with_driver(density_threshold=1),
+    "policy-block": lambda s: s.with_driver(replay_policy=ReplayPolicyKind.BLOCK),
+    "policy-batch": lambda s: s.with_driver(replay_policy=ReplayPolicyKind.BATCH),
+    "policy-once": lambda s: s.with_driver(replay_policy=ReplayPolicyKind.ONCE),
+    "adaptive": lambda s: s.with_driver(adaptive_prefetch=True),
+    "thrashing-mitigation": lambda s: s.with_driver(thrashing_mitigation=True),
+    "origin-prefetch": lambda s: s.with_driver(prefetcher_kind="origin"),
+    "access-counter-eviction": lambda s: s.with_gpu(
+        track_access_counters=True
+    ).with_driver(eviction_policy="access_counter"),
+}
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """A/B a workload between the stock setup and a named variant."""
+    from repro.trace.compare import compare_runs
+    from repro.workloads.registry import make_workload
+
+    setup = _build_setup(args)
+    try:
+        variant = _VARIANTS[args.vs](setup)
+    except KeyError:
+        print(f"unknown variant {args.vs!r}; choose from {sorted(_VARIANTS)}")
+        return 2
+    base_run = simulate(make_workload(args.workload, args.data_mib * MiB), setup)
+    variant_run = simulate(make_workload(args.workload, args.data_mib * MiB), variant)
+    comparison = compare_runs(base_run, variant_run, "stock", args.vs)
+    print(
+        comparison.render(
+            f"{args.workload} ({args.data_mib} MiB data, "
+            f"{args.gpu_mem_mib} MiB GPU): stock vs {args.vs}"
+        )
+    )
+    return 0
+
+
+def _exhibits() -> dict[str, Callable[[], object]]:
+    # imports deferred: each exhibit pulls in only what it needs.
+    from repro.experiments.fig1 import run_fig1
+    from repro.experiments.fig3 import run_fig3
+    from repro.experiments.fig4 import run_fig4
+    from repro.experiments.fig5 import run_policy_comparison
+    from repro.experiments.fig6 import run_fig6
+    from repro.experiments.fig7 import run_fig7
+    from repro.experiments.fig8 import run_fig8
+    from repro.experiments.fig9 import run_fig9
+    from repro.experiments.fig10 import run_fig10
+    from repro.experiments.table1 import run_table1
+    from repro.experiments.table2 import run_table2
+
+    return {
+        "fig1": run_fig1,
+        "fig3": run_fig3,
+        "fig4": run_fig4,
+        "fig5": run_policy_comparison,
+        "fig6": run_fig6,
+        "fig7": run_fig7,
+        "fig8": run_fig8,
+        "fig9": run_fig9,
+        "fig10": run_fig10,
+        "table1": run_table1,
+        "table2": run_table2,
+    }
+
+
+def _export_csv(name: str, result, out_dir: str) -> None:
+    """Dump an exhibit's structured data as CSV (best effort per shape)."""
+    import dataclasses
+    from pathlib import Path
+
+    from repro.trace.export import write_csv
+
+    out = Path(out_dir)
+    rows = getattr(result, "rows", None)
+    if rows:
+        dicts = [dataclasses.asdict(r) for r in rows]
+        headers = [k for k in dicts[0] if not isinstance(dicts[0][k], (list, dict))]
+        write_csv(
+            out / f"{name}.csv",
+            headers,
+            [tuple(d[h] for h in headers) for d in dicts],
+        )
+        print(f"  csv: {out / f'{name}.csv'}")
+        return
+    panels = getattr(result, "panels", None)
+    if panels:
+        for panel in panels:
+            p = panel.pattern
+            write_csv(
+                out / f"{name}_{panel.workload}.csv",
+                ("occurrence", "page_index"),
+                zip(p.occurrence.tolist(), p.page_index.tolist()),
+            )
+        print(f"  csv: {out}/{name}_<workload>.csv")
+        return
+    steps = getattr(result, "steps", None)
+    if steps:
+        dicts = [dataclasses.asdict(s) for s in steps]
+        write_csv(
+            out / f"{name}.csv",
+            list(dicts[0]),
+            [tuple(d.values()) for d in dicts],
+        )
+        print(f"  csv: {out / f'{name}.csv'}")
+
+
+def _cmd_exhibit(args: argparse.Namespace) -> int:
+    exhibits = _exhibits()
+    names = list(exhibits) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in exhibits]
+    if unknown:
+        print(f"unknown exhibit(s): {unknown}; choose from {list(exhibits)} or 'all'")
+        return 2
+    for name in names:
+        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        result = exhibits[name]()
+        print(result.render())
+        if args.csv:
+            _export_csv(name, result, args.csv)
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="uvmrepro",
+        description=(
+            "UVM demand-paging cost reproduction "
+            "(Allen & Ge, IPDPS 2021) - simulator CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the paper workloads").set_defaults(fn=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one workload under the simulator")
+    run_p.add_argument("workload", choices=workload_names())
+    run_p.add_argument("--data-mib", type=int, default=32, help="managed data size (MiB)")
+    run_p.add_argument("--gpu-mem-mib", type=int, default=256, help="GPU memory (MiB)")
+    run_p.add_argument("--no-prefetch", action="store_true", help="disable the prefetcher")
+    run_p.add_argument(
+        "--threshold", type=int, default=51, help="density threshold (1-100)"
+    )
+    run_p.add_argument(
+        "--policy",
+        default="batch_flush",
+        choices=[k.value for k in ReplayPolicyKind],
+        help="fault replay policy",
+    )
+    run_p.add_argument("--batch-size", type=int, default=256, help="fault batch size")
+    run_p.add_argument("--seed", type=int, default=0x5EED, help="simulation seed")
+    run_p.add_argument(
+        "--vablock-kib",
+        type=int,
+        default=0,
+        help="allocation granule in KiB (0 = the 2 MiB driver default; "
+        "other values exercise the Section VI-B flexible-granularity path)",
+    )
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser(
+        "compare", help="A/B a workload: stock driver vs a named variant"
+    )
+    cmp_p.add_argument("workload", choices=workload_names() + ["bfs"])
+    cmp_p.add_argument("--vs", required=True, help=f"one of {sorted(_VARIANTS)}")
+    cmp_p.add_argument("--data-mib", type=int, default=32)
+    cmp_p.add_argument("--gpu-mem-mib", type=int, default=64)
+    cmp_p.add_argument("--no-prefetch", action="store_true")
+    cmp_p.add_argument("--threshold", type=int, default=51)
+    cmp_p.add_argument(
+        "--policy", default="batch_flush", choices=[k.value for k in ReplayPolicyKind]
+    )
+    cmp_p.add_argument("--batch-size", type=int, default=256)
+    cmp_p.add_argument("--seed", type=int, default=0x5EED)
+    cmp_p.add_argument("--vablock-kib", type=int, default=0)
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    trace_p = sub.add_parser(
+        "trace", help="capture an instrumented run's fault trace to disk"
+    )
+    trace_p.add_argument("workload", choices=workload_names())
+    trace_p.add_argument("--out", default="traces", help="output directory")
+    trace_p.add_argument("--data-mib", type=int, default=16)
+    trace_p.add_argument("--gpu-mem-mib", type=int, default=128)
+    trace_p.add_argument("--no-prefetch", action="store_true")
+    trace_p.add_argument("--threshold", type=int, default=51)
+    trace_p.add_argument(
+        "--policy", default="batch_flush", choices=[k.value for k in ReplayPolicyKind]
+    )
+    trace_p.add_argument("--batch-size", type=int, default=256)
+    trace_p.add_argument("--seed", type=int, default=0x5EED)
+    trace_p.add_argument("--vablock-kib", type=int, default=0)
+    trace_p.set_defaults(fn=_cmd_trace)
+
+    ex_p = sub.add_parser("exhibit", help="regenerate a paper table/figure")
+    ex_p.add_argument("name", help="fig1..fig10, table1, table2, or 'all'")
+    ex_p.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also export the exhibit's rows as CSV files into DIR",
+    )
+    ex_p.set_defaults(fn=_cmd_exhibit)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

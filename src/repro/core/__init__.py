@@ -1,0 +1,38 @@
+"""The UVM driver reimplementation - the paper's primary subject.
+
+This package reproduces the NVIDIA UVM driver pipeline the paper
+instruments (Sections III-V):
+
+* :mod:`~repro.core.batch` / :mod:`~repro.core.preprocess` - draining the
+  fault buffer into 256-fault batches, duplicate filtering, and VABlock
+  binning ("pre/post-processing"),
+* :mod:`~repro.core.service` - fault servicing: PMA allocation, page
+  migration, page mapping,
+* :mod:`~repro.core.pma` - the physical memory allocator with
+  over-allocation caching,
+* :mod:`~repro.core.prefetch` - the two-stage prefetcher: 64 KB big-page
+  upgrade plus the 9-level density tree (Fig. 6),
+* :mod:`~repro.core.eviction` - fault-driven LRU eviction of VABlocks,
+* :mod:`~repro.core.replay` - the four replay policies (Block, Batch,
+  Batch-flush, Once),
+* :mod:`~repro.core.driver` - the top-level service loop tying it all to
+  the GPU model, with the paper's category instrumentation.
+"""
+
+from repro.core.pma import PhysicalMemoryAllocator
+from repro.core.eviction import LruEvictionPolicy
+from repro.core.prefetch import PrefetchDecision, TreePrefetcher
+from repro.core.replay import ReplayPolicy, make_replay_policy
+from repro.core.driver import DriverConfig, RunResult, UvmDriver
+
+__all__ = [
+    "PhysicalMemoryAllocator",
+    "LruEvictionPolicy",
+    "TreePrefetcher",
+    "PrefetchDecision",
+    "ReplayPolicy",
+    "make_replay_policy",
+    "UvmDriver",
+    "DriverConfig",
+    "RunResult",
+]

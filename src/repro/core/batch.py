@@ -1,0 +1,64 @@
+"""Fault batch assembly (the front half of pre-processing).
+
+Section III-C: *"Faults are fetched until the fault pointer queue is
+empty, the current batch of faults is full, or a fault that is not ready
+is encountered, depending on policy.  The default batch size is 256
+faults."*  The driver "will generally read at least a full batch from the
+queue during every pass and cache the faults on the host to avoid having
+to make multiple remote updates to the queue", polling per-entry ready
+flags when the producer is still writing.
+
+:func:`assemble_batch` reproduces that: it drains up to ``batch_size``
+entries, accumulating the poll count so the driver can charge the
+polling cost to the pre-processing category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu.fault_buffer import FaultBuffer, FaultEntry
+
+
+@dataclass
+class FaultBatch:
+    """One driver batch: the raw entries plus assembly-time costs."""
+
+    entries: list[FaultEntry] = field(default_factory=list)
+    polls: int = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def pages(self) -> list[int]:
+        return [e.page for e in self.entries]
+
+
+def assemble_batch(
+    buffer: FaultBuffer,
+    now_ns: int,
+    batch_size: int,
+    stop_at_not_ready: bool = False,
+) -> FaultBatch:
+    """Drain up to ``batch_size`` entries from the fault buffer.
+
+    The paper: assembly stops when "the fault pointer queue is empty,
+    the current batch of faults is full, or a fault that is not ready is
+    encountered, **depending on policy**".  The default policy polls
+    per-entry ready flags (the cost surfaces as ``FaultBatch.polls``);
+    with ``stop_at_not_ready`` the driver instead closes the batch at
+    the first unready entry, trading smaller batches for zero polling.
+    To guarantee forward progress, a batch that would otherwise be empty
+    still polls for its first entry.
+    """
+    batch = FaultBatch()
+    while len(batch.entries) < batch_size:
+        if stop_at_not_ready and batch.entries and not buffer.head_ready(now_ns):
+            break
+        entry, polls = buffer.pop_ready(now_ns)
+        if entry is None:
+            break
+        batch.polls += polls
+        batch.entries.append(entry)
+    return batch

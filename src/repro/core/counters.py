@@ -1,0 +1,102 @@
+"""Canonical counter names mirroring the paper's instrumentation.
+
+Keeping the names in one module prevents the classic stringly-typed
+drift between the driver (which increments) and the analysis code (which
+reads).  Each constant documents exactly what the count means in paper
+terms, since several superficially similar quantities appear in the
+tables (e.g. Table I counts *driver-observed* faults, which include
+duplicates the driver later filters).
+"""
+
+from __future__ import annotations
+
+# -- fault stream -------------------------------------------------------------
+#: Fault entries the GPU successfully enqueued into the hardware buffer.
+FAULTS_ENQUEUED = "faults.enqueued"
+#: Fault entries the driver read out of the buffer (Table I's "total
+#: faults": everything the driver must process, duplicates included).
+FAULTS_READ = "faults.read"
+#: Entries filtered during pre-processing because the page was already
+#: resident (stale duplicates) or repeated within the batch.
+FAULTS_DUPLICATE = "faults.duplicate"
+#: Unique non-resident pages actually serviced (demand migrations),
+#: plus permission upgrades and remote mappings - every fault that
+#: required real service work.
+FAULTS_SERVICED = "faults.serviced"
+#: Write faults on resident read-only (duplicated) pages: permission
+#: upgrades that collapse read-mostly duplication.
+FAULTS_WRITE_UPGRADE = "faults.write_upgrade"
+#: Same-GPC same-page misses absorbed by a uTLB pending entry.
+FAULTS_COALESCED = "faults.coalesced_utlb"
+#: Faults dropped because the hardware buffer was full (warp refaults).
+FAULTS_DROPPED = "faults.dropped"
+#: Ready-flag poll iterations during batch assembly.
+FAULT_POLLS = "faults.polls"
+
+# -- batching ------------------------------------------------------------------
+BATCHES = "batches.count"
+#: Distinct VABlock bins serviced across all batches.
+VABLOCK_BINS = "batches.vablock_bins"
+
+# -- migration ------------------------------------------------------------------
+#: 4 KB pages moved host->device on demand (fault-driven).
+PAGES_DEMAND_H2D = "pages.demand_h2d"
+#: 4 KB pages moved host->device by the prefetcher.
+PAGES_PREFETCH_H2D = "pages.prefetch_h2d"
+#: 4 KB pages written back device->host by eviction.
+PAGES_WRITEBACK_D2H = "pages.writeback_d2h"
+#: Newly allocated GPU pages zeroed before first use.
+PAGES_ZEROED = "pages.zeroed"
+
+# -- eviction --------------------------------------------------------------------
+EVICTIONS = "evictions.count"
+#: Resident pages dropped by evictions (Table II's "pages evicted":
+#: every such page requires explicit re-migration if touched again).
+EVICTION_PAGES_DROPPED = "evictions.pages_dropped"
+#: Subset of dropped pages that were dirty and required D2H migration.
+EVICTION_PAGES_DIRTY = "evictions.pages_dirty"
+
+# -- replay policy ----------------------------------------------------------------
+REPLAYS_ISSUED = "replays.issued"
+BUFFER_FLUSHES = "flushes.count"
+FLUSHED_ENTRIES = "flushes.entries"
+
+# -- memory-advise behaviours (Section III-A) ---------------------------------------
+#: Pages installed as remote (zero-copy) mappings.
+REMOTE_PAGES_MAPPED = "remote.pages_mapped"
+#: GPU accesses satisfied over the interconnect via remote mappings.
+REMOTE_ACCESSES = "remote.accesses"
+#: Read-mostly duplications collapsed by GPU write-permission faults.
+DUP_COLLAPSES = "dup.collapses"
+#: Duplicated GPU copies invalidated by host writes (no data movement).
+DUP_INVALIDATIONS = "dup.host_invalidations"
+
+# -- thrashing mitigation (uvm_perf_thrashing analogue) ---------------------------
+#: VABlocks flagged as thrashing and pinned to remote mappings.
+THRASH_BLOCKS_PINNED = "thrash.blocks_pinned"
+#: Pages serviced as remote mappings because their block was pinned.
+THRASH_PAGES_PINNED = "thrash.pages_pinned"
+
+# -- access-counter migrations (Volta notifications) --------------------------------
+#: Remote-mapped VABlocks promoted to local memory by access counters.
+COUNTER_MIGRATION_BLOCKS = "counter_migration.blocks"
+#: Pages migrated by counter-triggered promotions.
+COUNTER_MIGRATION_PAGES = "counter_migration.pages"
+
+# -- CPU-side faults -------------------------------------------------------------
+#: Host page faults on GPU-resident managed data (one per 64 KB region).
+HOST_FAULTS = "host.faults"
+#: 4 KB pages migrated device->host by CPU faults (kernel-boundary
+#: ping-pong; these pages re-fault on the next GPU touch).
+PAGES_HOST_D2H = "host.pages_d2h"
+
+# -- GPU side ------------------------------------------------------------------------
+GPU_ACCESSES = "gpu.accesses"
+GPU_PHASES = "gpu.phases"
+PMA_CALLS = "pma.calls"
+
+ALL_COUNTERS = tuple(
+    v
+    for k, v in sorted(globals().items())
+    if k.isupper() and isinstance(v, str) and not k.startswith("_") and k != "ALL_COUNTERS"
+)

@@ -1,0 +1,90 @@
+"""Fault-driven LRU eviction of VABlocks.
+
+Section V-A1: *"The UVM driver uses least-recently-used eviction.  The
+LRU list is updated when a fault is handled from a VABlock.  When
+eviction is required, the VABlock at the end of the list is evicted and
+removed from the list."*
+
+The crucial - and deliberately reproduced - pathology (Section VI-A) is
+that promotion happens **only on page faults**: data that is accessed on
+the GPU without faulting never moves up the list, and fully-resident hot
+VABlocks sink to the tail until they are evicted and re-faulted.  The
+access-counter extension (:mod:`repro.ext.access_counter_eviction`)
+exists precisely to contrast this behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.errors import OutOfDeviceMemoryError, SimulationError
+
+
+class LruEvictionPolicy:
+    """An LRU list over backed VABlocks, promoted on fault servicing."""
+
+    def __init__(self) -> None:
+        # Insertion order = recency: last item is most recently faulted,
+        # first item is the eviction candidate.
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self.promotions = 0
+        self.insertions = 0
+        self.removals = 0
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, vablock_id: int) -> bool:
+        return vablock_id in self._lru
+
+    def insert(self, vablock_id: int) -> None:
+        """A VABlock gained GPU backing: enters at the MRU end."""
+        if vablock_id in self._lru:
+            raise SimulationError(f"VABlock {vablock_id} already on LRU list")
+        self._lru[vablock_id] = None
+        self.insertions += 1
+
+    def touch(self, vablock_id: int) -> None:
+        """A fault was handled from this VABlock: promote to MRU.
+
+        Note the paper's caveat: GPU accesses that *hit* resident pages
+        never reach the driver and therefore never call this.
+        """
+        if vablock_id not in self._lru:
+            raise SimulationError(f"touch of VABlock {vablock_id} not on LRU list")
+        self._lru.move_to_end(vablock_id)
+        self.promotions += 1
+
+    def remove(self, vablock_id: int) -> None:
+        """Explicitly drop a block (eviction or range free)."""
+        if vablock_id not in self._lru:
+            raise SimulationError(f"remove of VABlock {vablock_id} not on LRU list")
+        del self._lru[vablock_id]
+        self.removals += 1
+
+    def select_victim(self, exclude: Iterable[int] = ()) -> Optional[int]:
+        """The LRU block not in ``exclude``, or None when nothing fits.
+
+        ``exclude`` carries the block currently being serviced (its lock
+        is held; the driver must not evict the block it is faulting on).
+        """
+        excluded = set(exclude)
+        for vablock_id in self._lru:  # front = least recently faulted
+            if vablock_id not in excluded:
+                return vablock_id
+        return None
+
+    def evict_victim(self, exclude: Iterable[int] = ()) -> int:
+        """Select and unlink a victim; raises when none is evictable."""
+        victim = self.select_victim(exclude)
+        if victim is None:
+            raise OutOfDeviceMemoryError(
+                "no evictable VABlock: device memory exhausted by pinned blocks"
+            )
+        self.remove(victim)
+        return victim
+
+    def order(self) -> list[int]:
+        """Current list, LRU end first (for tests and trace analysis)."""
+        return list(self._lru)

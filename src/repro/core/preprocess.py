@@ -1,0 +1,141 @@
+"""Fault pre-processing: duplicate filtering and VABlock binning.
+
+Section III-C: during pre-processing the driver "stores page fault
+information read from the GPU fault buffer and sorts them locally ...
+per batch, the driver groups page faults based on VABlocks and services
+the faults".  Binning is what enables the bulk-servicing optimizations
+of Section III-D (coalesced transfers, shared allocation/staging), and
+duplicate filtering is where the Batch (no-flush) policy pays for its
+stale entries (Fig. 5's enlarged pre-processing component).
+
+Two kinds of duplicates are filtered here:
+
+* *stale* entries whose page is already resident (serviced by an earlier
+  batch before the entry was read - only possible when the buffer was
+  not flushed),
+* *intra-batch* repeats of the same page from different uTLBs or
+  re-raised after a mid-batch replay (Block policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batch import FaultBatch
+from repro.mem.residency import ResidencyState
+
+
+@dataclass
+class VABlockBin:
+    """Unique non-resident faulted pages of one VABlock, sorted."""
+
+    vablock_id: int
+    pages: np.ndarray  # global page indices, ascending, unique
+    writes: np.ndarray  # aligned boolean: any faulting access was a write
+    #: ground-truth stream ids per page (analysis/extensions only).
+    stream_ids: np.ndarray
+    #: originating SM per page (the Section VI-B what-if origin info).
+    sm_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.pages.size)
+
+
+@dataclass
+class PreprocessedBatch:
+    """A batch after sorting/binning, ready for the service stage."""
+
+    bins: list[VABlockBin] = field(default_factory=list)
+    n_read: int = 0
+    n_duplicate: int = 0
+    #: per-entry duplicate flag aligned with the raw batch order (stale
+    #: or intra-batch repeat), used by the trace recorder.
+    entry_duplicate: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=bool)
+    )
+
+    @property
+    def n_unique(self) -> int:
+        return sum(len(b) for b in self.bins)
+
+
+def preprocess_batch(
+    batch: FaultBatch,
+    residency: ResidencyState,
+) -> PreprocessedBatch:
+    """Filter duplicates and bin a raw batch by VABlock.
+
+    Bins come out in ascending VABlock order (the driver sorts batches),
+    with pages ascending within each bin.
+    """
+    out = PreprocessedBatch(n_read=len(batch.entries))
+    if not batch.entries:
+        return out
+
+    pages = np.fromiter(
+        (e.page for e in batch.entries), dtype=np.int64, count=len(batch.entries)
+    )
+    writes = np.fromiter(
+        (e.is_write for e in batch.entries), dtype=bool, count=len(batch.entries)
+    )
+    streams = np.fromiter(
+        (e.stream_id for e in batch.entries), dtype=np.int64, count=len(batch.entries)
+    )
+    sms = np.fromiter(
+        (e.sm_id for e in batch.entries), dtype=np.int64, count=len(batch.entries)
+    )
+
+    # Stale duplicates: the access is already satisfiable when the batch
+    # is processed (reads need read_ok; writes need write_ok, so a write
+    # fault on a resident-but-read-only duplicated page is NOT stale -
+    # it is a permission-upgrade the service stage must handle).
+    stale = np.where(writes, residency.write_ok[pages], residency.read_ok[pages])
+    n_stale = int(stale.sum())
+    keep_idx = np.flatnonzero(~stale)
+    pages, writes = pages[keep_idx], writes[keep_idx]
+    streams, sms = streams[keep_idx], sms[keep_idx]
+
+    # Intra-batch duplicates: keep one service per page, OR the write
+    # intent (an upgrade to write permission must still happen).
+    uniq_pages, first_idx, inverse = np.unique(
+        pages, return_index=True, return_inverse=True
+    )
+    uniq_writes = np.zeros(uniq_pages.shape, dtype=bool)
+    np.logical_or.at(uniq_writes, inverse, writes)
+    uniq_streams = streams[first_idx]
+    uniq_sms = sms[first_idx]
+    n_intra = int(pages.size - uniq_pages.size)
+    out.n_duplicate = n_stale + n_intra
+
+    entry_dup = stale.copy()
+    intra_dup = np.ones(pages.shape, dtype=bool)
+    intra_dup[first_idx] = False
+    entry_dup[keep_idx] = intra_dup
+    out.entry_duplicate = entry_dup
+
+    if uniq_pages.size == 0:
+        return out
+
+    ppv = residency.pages_per_vablock
+    vbs = uniq_pages // ppv
+    # uniq_pages is sorted, hence vbs is sorted: split on boundaries.
+    boundaries = np.flatnonzero(np.diff(vbs)) + 1
+    for chunk_pages, chunk_writes, chunk_streams, chunk_sms, chunk_vbs in zip(
+        np.split(uniq_pages, boundaries),
+        np.split(uniq_writes, boundaries),
+        np.split(uniq_streams, boundaries),
+        np.split(uniq_sms, boundaries),
+        np.split(vbs, boundaries),
+    ):
+        out.bins.append(
+            VABlockBin(
+                vablock_id=int(chunk_vbs[0]),
+                pages=chunk_pages,
+                writes=chunk_writes,
+                stream_ids=chunk_streams,
+                sm_ids=chunk_sms,
+            )
+        )
+    return out

@@ -1,0 +1,110 @@
+"""The four fault-replay policies (Section III-E).
+
+After servicing, the driver notifies the GPU to *replay* far-faults so
+stalled warps retry their accesses.  When to notify is a latency/overhead
+trade-off, and the NVIDIA driver ships four policies:
+
+* **Block** - replay after every serviced VABlock within a batch.
+  Earliest resume, most replays.
+* **Batch** - replay after each serviced batch.  Fewer replays, larger
+  fault-resolution latency; stale duplicates stay in the buffer and
+  inflate pre-processing (Fig. 5).
+* **Batch-flush** (the driver default) - like Batch, but the hardware
+  fault buffer is flushed after the batch completes and before the
+  replay, preventing duplicates at the cost of remote queue management
+  (the flush cost is accounted to the replay-policy category, which is
+  why Fig. 3 shows a large replay component that vanishes in Fig. 5).
+* **Once** - replay only when every fault in the buffer has been
+  serviced.  Simplest, longest stalls.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class ReplayPolicyKind(enum.Enum):
+    """Names match the driver's replay-policy module parameter."""
+
+    BLOCK = "block"
+    BATCH = "batch"
+    BATCH_FLUSH = "batch_flush"
+    ONCE = "once"
+
+
+@dataclass(frozen=True)
+class ReplayAction:
+    """What the driver should do at a policy hook point."""
+
+    flush_buffer: bool = False
+    issue_replay: bool = False
+
+
+class ReplayPolicy:
+    """Base policy: subclasses override the three hook points."""
+
+    kind: ReplayPolicyKind
+
+    def after_vablock(self) -> ReplayAction:
+        """Called after each VABlock bin within a batch is serviced."""
+        return ReplayAction()
+
+    def after_batch(self) -> ReplayAction:
+        """Called after a whole batch has been serviced."""
+        return ReplayAction()
+
+    def after_buffer_drained(self) -> ReplayAction:
+        """Called when the fault buffer is empty and all batches serviced."""
+        return ReplayAction()
+
+
+class BlockReplayPolicy(ReplayPolicy):
+    kind = ReplayPolicyKind.BLOCK
+
+    def after_vablock(self) -> ReplayAction:
+        return ReplayAction(issue_replay=True)
+
+
+class BatchReplayPolicy(ReplayPolicy):
+    kind = ReplayPolicyKind.BATCH
+
+    def after_batch(self) -> ReplayAction:
+        return ReplayAction(issue_replay=True)
+
+
+class BatchFlushReplayPolicy(ReplayPolicy):
+    kind = ReplayPolicyKind.BATCH_FLUSH
+
+    def after_batch(self) -> ReplayAction:
+        return ReplayAction(flush_buffer=True, issue_replay=True)
+
+
+class OnceReplayPolicy(ReplayPolicy):
+    kind = ReplayPolicyKind.ONCE
+
+    def after_buffer_drained(self) -> ReplayAction:
+        return ReplayAction(issue_replay=True)
+
+
+_POLICIES: dict[ReplayPolicyKind, type[ReplayPolicy]] = {
+    ReplayPolicyKind.BLOCK: BlockReplayPolicy,
+    ReplayPolicyKind.BATCH: BatchReplayPolicy,
+    ReplayPolicyKind.BATCH_FLUSH: BatchFlushReplayPolicy,
+    ReplayPolicyKind.ONCE: OnceReplayPolicy,
+}
+
+
+def make_replay_policy(kind: ReplayPolicyKind | str) -> ReplayPolicy:
+    """Instantiate a policy by enum or name (``"batch_flush"`` etc.)."""
+    if isinstance(kind, str):
+        try:
+            kind = ReplayPolicyKind(kind.lower())
+        except ValueError as exc:
+            names = ", ".join(k.value for k in ReplayPolicyKind)
+            raise ConfigurationError(
+                f"unknown replay policy {kind!r}; expected one of: {names}"
+            ) from exc
+    return _POLICIES[kind]()

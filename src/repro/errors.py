@@ -1,0 +1,58 @@
+"""Exception hierarchy for the UVM reproduction library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class AddressError(ReproError):
+    """An address fell outside any managed range or was misaligned."""
+
+
+class AllocationError(ReproError):
+    """The managed-memory allocator could not satisfy a request."""
+
+
+class OutOfDeviceMemoryError(AllocationError):
+    """GPU physical memory is exhausted and nothing is evictable.
+
+    In the real driver this manifests as an allocation failure from the
+    PMA; in the simulator it indicates the configured device is too small
+    for the working set even with eviction (e.g. a single VABlock larger
+    than device memory).
+    """
+
+
+class FaultBufferOverflowError(ReproError):
+    """More faults were outstanding than the hardware buffer can track.
+
+    The real hardware silently drops and re-raises faults; the simulator
+    models that path, so this error only fires on internal logic bugs.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No runnable work remains but warp streams are still unfinished.
+
+    Raised when every remaining warp is stalled and the driver has no
+    pending faults to service - this indicates a lost wakeup in a policy
+    implementation and should never occur with the stock policies.
+    """
+
+
+class TraceError(ReproError):
+    """A trace query or export operation was invalid."""

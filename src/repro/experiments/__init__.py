@@ -1,0 +1,11 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Each ``figN``/``tableN`` module exposes a ``run_*`` function returning a
+structured result with a ``render()`` method that prints the same rows or
+series the paper reports, plus the qualitative-shape checks asserted by
+the test suite.  ``runner`` holds the shared orchestration.
+"""
+
+from repro.experiments.runner import ExperimentSetup, simulate
+
+__all__ = ["ExperimentSetup", "simulate"]

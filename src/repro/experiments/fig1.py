@@ -1,0 +1,120 @@
+"""Fig. 1 - UVM access latency vs explicit direct transfer.
+
+The paper's motivating figure: page-touch kernels over a size sweep that
+crosses the GPU memory boundary, comparing
+
+* explicit direct transfer (``cudaMemcpy`` baseline),
+* UVM demand paging with prefetching disabled,
+* UVM with the default prefetcher.
+
+The four published observations, all asserted by the test suite:
+
+1. un-prefetched UVM costs one or more orders of magnitude more than
+   explicit transfer,
+2. while data fits on the GPU, prefetching cuts the cost substantially
+   but stays several times above the baseline,
+3. past the memory capacity, latency jumps by roughly another order of
+   magnitude (pattern-dependent),
+4. prefetching *aggravates* oversubscribed random access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.baselines.explicit import explicit_transfer_time_ns
+from repro.experiments.common import default_small_gpu, us
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.export import render_series
+from repro.units import human_size
+from repro.workloads.synthetic import RandomAccess, RegularAccess
+
+#: size sweep as fractions of GPU memory (crosses capacity at 1.0).
+DEFAULT_FRACTIONS: tuple[float, ...] = (0.002, 0.01, 0.05, 0.25, 0.5, 0.9, 1.2)
+
+
+@dataclass
+class Fig1Row:
+    pattern: str
+    fraction: float
+    data_bytes: int
+    explicit_us: float
+    uvm_us: float
+    uvm_prefetch_us: float
+
+    @property
+    def oversubscribed(self) -> bool:
+        return self.fraction > 1.0
+
+    @property
+    def uvm_slowdown(self) -> float:
+        return self.uvm_us / self.explicit_us
+
+    @property
+    def prefetch_slowdown(self) -> float:
+        return self.uvm_prefetch_us / self.explicit_us
+
+
+@dataclass
+class Fig1Result:
+    rows: list[Fig1Row] = field(default_factory=list)
+
+    def pattern_rows(self, pattern: str) -> list[Fig1Row]:
+        return [r for r in self.rows if r.pattern == pattern]
+
+    def render(self) -> str:
+        table = [
+            (
+                r.pattern,
+                human_size(r.data_bytes),
+                f"{r.fraction:.0%}",
+                r.explicit_us,
+                r.uvm_us,
+                r.uvm_prefetch_us,
+                r.uvm_slowdown,
+                r.prefetch_slowdown,
+            )
+            for r in self.rows
+        ]
+        return render_series(
+            table,
+            headers=(
+                "pattern",
+                "size",
+                "of GPU",
+                "explicit(us)",
+                "uvm(us)",
+                "uvm+pf(us)",
+                "uvm/explicit",
+                "pf/explicit",
+            ),
+            title="Fig.1 - data access latency: explicit vs UVM vs UVM+prefetch",
+        )
+
+
+def run_fig1(
+    setup: Optional[ExperimentSetup] = None,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+) -> Fig1Result:
+    """Regenerate Fig. 1's series on the (scaled) simulated platform."""
+    setup = setup or default_small_gpu()
+    no_pf = setup.with_driver(prefetch_enabled=False)
+    result = Fig1Result()
+    for pattern_cls in (RegularAccess, RandomAccess):
+        for frac in fractions:
+            nbytes = max(int(setup.gpu.memory_bytes * frac), 4096)
+            explicit_ns = explicit_transfer_time_ns(setup.cost, nbytes)
+            uvm = simulate(pattern_cls(nbytes), no_pf)
+            uvm_pf = simulate(pattern_cls(nbytes), setup)
+            result.rows.append(
+                Fig1Row(
+                    pattern=pattern_cls.name,
+                    fraction=frac,
+                    data_bytes=nbytes,
+                    explicit_us=us(explicit_ns),
+                    uvm_us=us(uvm.total_time_ns),
+                    uvm_prefetch_us=us(uvm_pf.total_time_ns),
+                )
+            )
+    return result

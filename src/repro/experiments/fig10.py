@@ -1,0 +1,99 @@
+"""Fig. 10 - SGEMM compute rate vs oversubscription.
+
+"This figure shows the parallel increase in data requirement as compared
+to compute rate for the sgemm kernel... performance degrades
+significantly after 120%, because the access pattern shows this
+evict-before-use behavior."
+
+The compute rate is ``2 n^3 / total_time``.  The shape asserted by the
+tests: the rate climbs (or holds) while the problem fits, peaks near the
+capacity boundary, and degrades once eviction begins in earnest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.common import gemm_wave_setup
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.export import render_series
+from repro.workloads.sgemm import SgemmWorkload
+
+
+@dataclass
+class Fig10Row:
+    n: int
+    data_bytes: int
+    oversubscription: float
+    total_time_us: float
+    gflops: float
+    evictions: int
+    pages_evicted: int
+
+
+@dataclass
+class Fig10Result:
+    rows: list[Fig10Row] = field(default_factory=list)
+
+    @property
+    def peak_row(self) -> Fig10Row:
+        return max(self.rows, key=lambda r: r.gflops)
+
+    def render(self) -> str:
+        table = [
+            (
+                r.n,
+                f"{r.oversubscription:.0%}",
+                r.total_time_us,
+                r.gflops,
+                r.evictions,
+                r.pages_evicted,
+            )
+            for r in self.rows
+        ]
+        return render_series(
+            table,
+            headers=("n", "of GPU mem", "time(us)", "GFLOP/s", "evictions", "pages evicted"),
+            title="Fig.10 - sgemm compute rate vs oversubscription",
+        )
+
+
+def gemm_sizes_for(
+    setup: ExperimentSetup,
+    ratios: Sequence[float],
+    tile: int = 128,
+) -> list[int]:
+    """Matrix sizes n whose 3 n^2 floats hit the requested ratios."""
+    sizes = []
+    for ratio in ratios:
+        n = int((setup.gpu.memory_bytes * ratio / 12) ** 0.5)
+        sizes.append(max(tile, round(n / tile) * tile))
+    return sorted(set(sizes))
+
+
+DEFAULT_RATIOS: tuple[float, ...] = (0.4, 0.6, 0.8, 0.95, 1.05, 1.2, 1.4, 1.7, 2.0)
+
+
+def run_fig10(
+    setup: Optional[ExperimentSetup] = None,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    tile: int = 128,
+) -> Fig10Result:
+    setup = setup or gemm_wave_setup()
+    result = Fig10Result()
+    for n in gemm_sizes_for(setup, ratios, tile):
+        workload = SgemmWorkload(n=n, tile=tile)
+        run = simulate(workload, setup)
+        result.rows.append(
+            Fig10Row(
+                n=n,
+                data_bytes=workload.required_bytes(),
+                oversubscription=workload.required_bytes() / setup.gpu.memory_bytes,
+                total_time_us=run.total_time_ns / 1000.0,
+                gflops=workload.flops / max(run.total_time_ns, 1),
+                evictions=run.evictions,
+                pages_evicted=run.pages_evicted,
+            )
+        )
+    return result

@@ -1,0 +1,128 @@
+"""Fig. 3 - fault cost scaling and breakdown (prefetching disabled).
+
+Total kernel time plus the driver-time split into the paper's three
+categories (pre/post-processing, fault servicing, replay policy) over a
+data-size sweep, for the regular and random page-touch kernels under the
+default (batch-flush) replay policy.
+
+Published observations asserted by the tests:
+
+* a 400-600 us floor below ~100 KB (session base overhead),
+* roughly linear growth once page counts dominate,
+* pre/post-processing is negligible throughout,
+* random access is slower with a larger replay-policy share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.replay import ReplayPolicyKind
+from repro.experiments.common import us
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.export import render_series
+from repro.units import KiB, MiB, human_size
+from repro.workloads.synthetic import RandomAccess, RegularAccess
+
+#: absolute sizes: the paper sweeps magnitudes from KBs to GBs; scaled.
+DEFAULT_SIZES: tuple[int, ...] = (
+    16 * KiB,
+    64 * KiB,
+    256 * KiB,
+    1 * MiB,
+    4 * MiB,
+    16 * MiB,
+    64 * MiB,
+)
+
+
+@dataclass
+class BreakdownRow:
+    pattern: str
+    data_bytes: int
+    preprocess_us: float
+    service_us: float
+    replay_us: float
+    other_us: float
+    total_us: float
+
+    @property
+    def driver_us(self) -> float:
+        return self.preprocess_us + self.service_us + self.replay_us
+
+    def share(self, which: str) -> float:
+        value = getattr(self, f"{which}_us")
+        return value / self.total_us if self.total_us else 0.0
+
+
+@dataclass
+class Fig3Result:
+    rows: list[BreakdownRow] = field(default_factory=list)
+    policy: ReplayPolicyKind = ReplayPolicyKind.BATCH_FLUSH
+
+    def pattern_rows(self, pattern: str) -> list[BreakdownRow]:
+        return [r for r in self.rows if r.pattern == pattern]
+
+    def render(self, title: str = "Fig.3 - fault cost scaling and breakdown") -> str:
+        table = [
+            (
+                r.pattern,
+                human_size(r.data_bytes),
+                r.preprocess_us,
+                r.service_us,
+                r.replay_us,
+                r.other_us,
+                r.total_us,
+            )
+            for r in self.rows
+        ]
+        return render_series(
+            table,
+            headers=(
+                "pattern",
+                "size",
+                "preprocess(us)",
+                "service(us)",
+                "replay(us)",
+                "other(us)",
+                "total(us)",
+            ),
+            title=f"{title} [{self.policy.value} policy, prefetch off]",
+        )
+
+
+def run_breakdown_sweep(
+    setup: Optional[ExperimentSetup] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    policy: ReplayPolicyKind = ReplayPolicyKind.BATCH_FLUSH,
+    patterns: Sequence[type] = (RegularAccess, RandomAccess),
+) -> Fig3Result:
+    """Shared sweep used by Fig. 3 (batch-flush) and Fig. 5 (batch)."""
+    setup = setup or ExperimentSetup()
+    setup = setup.with_driver(prefetch_enabled=False, replay_policy=policy)
+    result = Fig3Result(policy=policy)
+    for pattern_cls in patterns:
+        for nbytes in sizes:
+            run = simulate(pattern_cls(nbytes), setup)
+            bd = run.breakdown()
+            result.rows.append(
+                BreakdownRow(
+                    pattern=pattern_cls.name,
+                    data_bytes=nbytes,
+                    preprocess_us=us(bd.rows["preprocess"]),
+                    service_us=us(bd.rows["service"]),
+                    replay_us=us(bd.rows["replay_policy"]),
+                    other_us=us(bd.other_ns),
+                    total_us=us(run.total_time_ns),
+                )
+            )
+    return result
+
+
+def run_fig3(
+    setup: Optional[ExperimentSetup] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> Fig3Result:
+    """Fig. 3: the default batch-flush policy."""
+    return run_breakdown_sweep(setup, sizes, ReplayPolicyKind.BATCH_FLUSH)

@@ -1,0 +1,102 @@
+"""Fig. 4 - fault service cost breakdown at small sizes.
+
+Splits the service category into the paper's sub-costs: **PMA Alloc
+Pages** (the call into the proprietary allocator), **Migrate Pages**
+(staging, zeroing, DMA), and **Map Pages** (PTE writes, invalidates,
+barriers).
+
+Published observations asserted by the tests:
+
+* PMA allocation is "a large but variable quantity" at small sizes - it
+  dominates the service cost there,
+* over-allocation caching keeps the PMA cost "relatively constant and
+  negligible at large sizes" while migrate/map grow with pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.common import us
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.export import render_series
+from repro.units import KiB, MiB, human_size
+from repro.workloads.synthetic import RegularAccess
+
+DEFAULT_SIZES: tuple[int, ...] = (
+    16 * KiB,
+    64 * KiB,
+    256 * KiB,
+    1 * MiB,
+    8 * MiB,
+    64 * MiB,
+)
+
+
+@dataclass
+class ServiceRow:
+    data_bytes: int
+    pma_alloc_us: float
+    migrate_us: float
+    map_us: float
+    pma_calls: int
+
+    @property
+    def service_us(self) -> float:
+        return self.pma_alloc_us + self.migrate_us + self.map_us
+
+    @property
+    def pma_share(self) -> float:
+        return self.pma_alloc_us / self.service_us if self.service_us else 0.0
+
+
+@dataclass
+class Fig4Result:
+    rows: list[ServiceRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = [
+            (
+                human_size(r.data_bytes),
+                r.pma_alloc_us,
+                r.migrate_us,
+                r.map_us,
+                f"{r.pma_share:.0%}",
+                r.pma_calls,
+            )
+            for r in self.rows
+        ]
+        return render_series(
+            table,
+            headers=(
+                "size",
+                "PMA alloc(us)",
+                "migrate(us)",
+                "map(us)",
+                "PMA share",
+                "PMA calls",
+            ),
+            title="Fig.4 - fault service cost breakdown (prefetch off, regular)",
+        )
+
+
+def run_fig4(
+    setup: Optional[ExperimentSetup] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> Fig4Result:
+    setup = setup or ExperimentSetup()
+    setup = setup.with_driver(prefetch_enabled=False)
+    result = Fig4Result()
+    for nbytes in sizes:
+        run = simulate(RegularAccess(nbytes), setup)
+        result.rows.append(
+            ServiceRow(
+                data_bytes=nbytes,
+                pma_alloc_us=us(run.timer.total_ns("service.pma_alloc")),
+                migrate_us=us(run.timer.total_ns("service.migrate")),
+                map_us=us(run.timer.total_ns("service.map")),
+                pma_calls=run.counters["pma.calls"],
+            )
+        )
+    return result

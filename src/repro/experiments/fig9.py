@@ -1,0 +1,121 @@
+"""Fig. 9 - driver-time breakdown under oversubscription (prefetch on).
+
+The paper's oversubscribed breakdown groups page migration with mapping
+("'Map' includes page migration and relevant costs") and shows "an order
+of magnitude difference in performance" between regular and random: the
+asymmetry between the eviction granule (a 2 MB VABlock) and the demand
+granule (a 4 KB fault) makes irregular access exhaust GPU memory with
+mostly-unused allocations, evict constantly, and amplify transfers
+(Section V-A3's 504 GB moved for a 32 GB random problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.common import default_small_gpu, us
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.export import render_series
+from repro.units import human_size
+from repro.workloads.synthetic import RandomAccess, RegularAccess
+
+DEFAULT_RATIOS: tuple[float, ...] = (1.1, 1.25, 1.5)
+
+
+@dataclass
+class Fig9Row:
+    pattern: str
+    ratio: float
+    data_bytes: int
+    map_us: float  # migration + mapping (the paper's merged "Map")
+    evict_us: float
+    other_driver_us: float
+    total_us: float
+    evictions: int
+    transferred_bytes: int
+
+    @property
+    def amplification(self) -> float:
+        """Bytes moved relative to the data size (504GB/32GB analogue)."""
+        return self.transferred_bytes / self.data_bytes if self.data_bytes else 0.0
+
+
+@dataclass
+class Fig9Result:
+    rows: list[Fig9Row] = field(default_factory=list)
+
+    def pattern_rows(self, pattern: str) -> list[Fig9Row]:
+        return [r for r in self.rows if r.pattern == pattern]
+
+    def slowdown_at(self, ratio: float) -> float:
+        """random/regular total-time ratio at one oversubscription point."""
+        reg = next(r for r in self.pattern_rows("regular") if r.ratio == ratio)
+        rnd = next(r for r in self.pattern_rows("random") if r.ratio == ratio)
+        return rnd.total_us / reg.total_us
+
+    def render(self) -> str:
+        table = [
+            (
+                r.pattern,
+                f"{r.ratio:.0%}",
+                human_size(r.data_bytes),
+                r.map_us,
+                r.evict_us,
+                r.other_driver_us,
+                r.total_us,
+                r.evictions,
+                f"{r.amplification:.1f}x",
+            )
+            for r in self.rows
+        ]
+        return render_series(
+            table,
+            headers=(
+                "pattern",
+                "oversub",
+                "size",
+                "map(us)",
+                "evict(us)",
+                "other(us)",
+                "total(us)",
+                "evictions",
+                "bytes moved",
+            ),
+            title="Fig.9 - oversubscribed breakdown (prefetch on)",
+        )
+
+
+def run_fig9(
+    setup: Optional[ExperimentSetup] = None,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+) -> Fig9Result:
+    setup = setup or default_small_gpu()
+    result = Fig9Result()
+    for pattern_cls in (RegularAccess, RandomAccess):
+        for ratio in ratios:
+            nbytes = int(setup.gpu.memory_bytes * ratio)
+            run = simulate(pattern_cls(nbytes), setup)
+            map_ns = run.timer.total_ns("service.migrate") + run.timer.total_ns(
+                "service.map"
+            )
+            evict_ns = run.timer.total_ns("service.evict")
+            driver_ns = (
+                run.timer.total_ns("preprocess")
+                + run.timer.total_ns("service")
+                + run.timer.total_ns("replay_policy")
+            )
+            result.rows.append(
+                Fig9Row(
+                    pattern=pattern_cls.name,
+                    ratio=ratio,
+                    data_bytes=nbytes,
+                    map_us=us(map_ns),
+                    evict_us=us(evict_ns),
+                    other_driver_us=us(driver_ns - map_ns - evict_ns),
+                    total_us=us(run.total_time_ns),
+                    evictions=run.evictions,
+                    transferred_bytes=run.dma.total_bytes,
+                )
+            )
+    return result

@@ -1,0 +1,81 @@
+"""Table II - SGEMM fault scaling with oversubscription.
+
+"Problem size is n for matrices A, B, C where size = n^2.  Pages evicted
+are the number of pages that required explicit data migration between
+host and device [due to eviction].  Performance degrades as the number
+of pages evicted per fault increases."
+
+Shape asserted by the tests: zero evictions while the problem fits, then
+pages-evicted and pages-evicted-per-fault rising monotonically (sharply
+past the ~120% cliff), mirroring the paper's 0 -> 14.1 progression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.experiments.common import gemm_wave_setup
+from repro.experiments.fig10 import gemm_sizes_for
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.export import render_series
+from repro.workloads.sgemm import SgemmWorkload
+
+DEFAULT_RATIOS: tuple[float, ...] = (0.8, 0.95, 1.05, 1.2, 1.4, 1.7, 2.0)
+
+
+@dataclass
+class Table2Row:
+    n: int
+    oversubscription: float
+    faults: int
+    pages_evicted: int
+
+    @property
+    def evictions_per_fault(self) -> float:
+        """The paper's 'Evictions per Fault': evicted pages per fault."""
+        return self.pages_evicted / self.faults if self.faults else 0.0
+
+
+@dataclass
+class Table2Result:
+    rows: list[Table2Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        table = [
+            (
+                r.n,
+                f"{r.oversubscription:.0%}",
+                r.faults,
+                r.pages_evicted,
+                r.evictions_per_fault,
+            )
+            for r in self.rows
+        ]
+        return render_series(
+            table,
+            headers=("Size", "of GPU", "# Faults", "# Pages Evicted", "# Evictions per Fault"),
+            title="Table II - SGEMM Fault Scaling",
+            floatfmt="{:.3f}",
+        )
+
+
+def run_table2(
+    setup: Optional[ExperimentSetup] = None,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    tile: int = 128,
+) -> Table2Result:
+    setup = setup or gemm_wave_setup()
+    result = Table2Result()
+    for n in gemm_sizes_for(setup, ratios, tile):
+        workload = SgemmWorkload(n=n, tile=tile)
+        run = simulate(workload, setup)
+        result.rows.append(
+            Table2Row(
+                n=n,
+                oversubscription=workload.required_bytes() / setup.gpu.memory_bytes,
+                faults=run.faults_read,
+                pages_evicted=run.pages_evicted,
+            )
+        )
+    return result

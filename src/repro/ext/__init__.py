@@ -1,0 +1,32 @@
+"""Implemented extensions: the paper's Section VI-B "potential paths".
+
+Each module realizes one of the improvement directions the paper
+sketches, as a drop-in policy against the same driver, so the ablation
+benchmarks can quantify the headroom the authors hypothesize:
+
+* :mod:`~repro.ext.access_counter_eviction` - GPU memory-access-aware
+  eviction using the Volta access counters the paper notes are unused,
+* :mod:`~repro.ext.adaptive_prefetch` - threshold auto-tuning from the
+  observed fault/eviction load,
+* :mod:`~repro.ext.origin_prefetch` - a per-origin stream prefetcher
+  enabled by the "increased fault origin information" the paper asks
+  hardware vendors for,
+* :mod:`~repro.ext.flexible_granularity` - sweeps of the allocation/
+  eviction granule exercising the configurable-VABlock support.
+"""
+
+from repro.ext.access_counter_eviction import AccessCounterEviction
+from repro.ext.adaptive_prefetch import AdaptiveThresholdController
+from repro.ext.counter_migration import CounterMigrationController
+from repro.ext.origin_prefetch import OriginStreamPrefetcher
+from repro.ext.flexible_granularity import run_granularity_ablation
+from repro.ext.thrashing import ThrashingDetector
+
+__all__ = [
+    "AccessCounterEviction",
+    "AdaptiveThresholdController",
+    "CounterMigrationController",
+    "OriginStreamPrefetcher",
+    "ThrashingDetector",
+    "run_granularity_ablation",
+]

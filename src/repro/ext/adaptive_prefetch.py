@@ -1,0 +1,91 @@
+"""Adaptive prefetch-threshold tuning (paper Section VI-B).
+
+"For allocation sizes under the GPU memory limitations, there is little
+reason not to use highly aggressive prefetching to emulate the direct
+transfer.  In contrast, oversubscribed sizes could disable prefetching
+entirely, or infer from the fault/eviction load how effective
+prefetching is and tune the prefetching threshold accordingly."
+
+The controller watches the driver's counters between service passes:
+
+* no evictions observed -> drive the threshold down toward
+  ``aggressive_threshold`` (default 1: fetch whole VABlocks eagerly),
+* eviction pressure -> drive it up toward ``conservative_threshold``
+  (default 100: effectively big-page-upgrade-only prefetching),
+
+with hysteresis so a single eviction burst does not whipsaw the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import counters as C
+from repro.errors import ConfigurationError
+from repro.sim.stats import CounterSet
+
+
+@dataclass
+class AdaptiveThresholdController:
+    """Eviction-pressure-driven density-threshold controller."""
+
+    initial_threshold: int = 51
+    aggressive_threshold: int = 1
+    conservative_threshold: int = 100
+    #: managed-allocation footprint as a fraction of device memory.  The
+    #: driver knows every ``cudaMallocManaged`` size up front, and the
+    #: paper's own heuristic keys on it: "for allocation sizes under the
+    #: GPU memory limitations, there is little reason not to use highly
+    #: aggressive prefetching...  In contrast, oversubscribed sizes could
+    #: disable prefetching entirely" (Section VI-B).
+    managed_fraction: float = 0.0
+    #: footprint fraction beyond which aggression is ruled out a priori.
+    footprint_guard: float = 0.95
+    #: evictions per observation window that count as "pressure".
+    pressure_evictions: int = 1
+    #: device-memory fill fraction beyond which aggression is reckless
+    #: even before the first eviction lands.
+    capacity_guard: float = 0.85
+    #: threshold step per quiet observation (descent toward aggression;
+    #: pressure jumps straight to conservative - asymmetric on purpose
+    #: so one bad window ends the aggression immediately while
+    #: re-earning it takes sustained quiet).
+    step_down: int = 25
+
+    def __post_init__(self) -> None:
+        for name in ("initial_threshold", "aggressive_threshold", "conservative_threshold"):
+            value = getattr(self, name)
+            if not 1 <= value <= 100:
+                raise ConfigurationError(f"{name} must be in 1..100, got {value}")
+        self.threshold = self.initial_threshold
+        self._last_evictions = 0
+        self.adjustments: list[int] = []
+
+    @property
+    def prefetch_conservative(self) -> bool:
+        """True when the controller has backed off to big-page-only."""
+        return self.threshold >= self.conservative_threshold
+
+    def observe(self, counters: CounterSet, used_fraction: float = 0.0) -> int:
+        """Update from cumulative counters; returns the new threshold.
+
+        ``used_fraction`` is the device-memory fill level: nearing
+        capacity is treated as pressure even before evictions start, so
+        the warm-up phase of an oversubscribed run never goes aggressive.
+        """
+        evictions = counters[C.EVICTIONS]
+        window_evictions = evictions - self._last_evictions
+        self._last_evictions = evictions
+        pressure = (
+            window_evictions >= self.pressure_evictions
+            or used_fraction >= self.capacity_guard
+            or self.managed_fraction >= self.footprint_guard
+        )
+        if pressure:
+            self.threshold = self.conservative_threshold
+        else:
+            self.threshold = max(
+                self.threshold - self.step_down, self.aggressive_threshold
+            )
+        self.adjustments.append(self.threshold)
+        return self.threshold

@@ -1,0 +1,68 @@
+"""Thrashing detection with the pin-remote remedy.
+
+The real UVM driver ships a thrashing module (``uvm_perf_thrashing.c``)
+the paper does not analyze: when a VABlock cycles between eviction and
+re-fault too quickly, the driver stops migrating it and instead *pins*
+its pages where they are, remote-mapping them to the faulting processor.
+That is precisely the remedy for Section V's worst case ("evict and
+re-fault is a worst-case performance scenario") - instead of hauling a
+2 MB allocation back for a 4 KB touch, the touch crosses the
+interconnect.
+
+The detector here is deliberately simple and fault-driven, like the
+driver's: a block becomes *thrashing* once it has been evicted
+``evict_threshold`` times and its latest re-fault arrives within
+``window_ns`` of its last eviction.  Once flagged, subsequent faults on
+the block are serviced as remote mappings (no allocation, no migration,
+no future eviction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ThrashingDetector:
+    """Per-VABlock evict/re-fault cycle detection."""
+
+    #: evictions of one block before it is eligible for pinning.
+    evict_threshold: int = 3
+    #: a re-fault within this window of the block's last eviction marks
+    #: the cycle as thrashing (simulated ns).
+    window_ns: int = 5_000_000
+
+    def __post_init__(self) -> None:
+        if self.evict_threshold < 1:
+            raise ConfigurationError("evict_threshold must be >= 1")
+        if self.window_ns <= 0:
+            raise ConfigurationError("window_ns must be positive")
+        self._evictions: dict[int, int] = {}
+        self._last_evict_ns: dict[int, int] = {}
+        self._pinned: set[int] = set()
+
+    @property
+    def pinned_blocks(self) -> int:
+        return len(self._pinned)
+
+    def record_eviction(self, vablock_id: int, now_ns: int) -> None:
+        """The driver evicted ``vablock_id`` at ``now_ns``."""
+        self._evictions[vablock_id] = self._evictions.get(vablock_id, 0) + 1
+        self._last_evict_ns[vablock_id] = now_ns
+
+    def on_fault(self, vablock_id: int, now_ns: int) -> None:
+        """A fault arrived for ``vablock_id``: flag thrashing cycles."""
+        if vablock_id in self._pinned:
+            return
+        count = self._evictions.get(vablock_id, 0)
+        if count < self.evict_threshold:
+            return
+        last = self._last_evict_ns.get(vablock_id)
+        if last is not None and now_ns - last <= self.window_ns:
+            self._pinned.add(vablock_id)
+
+    def should_pin(self, vablock_id: int) -> bool:
+        """Whether faults on this block should be remote-mapped."""
+        return vablock_id in self._pinned

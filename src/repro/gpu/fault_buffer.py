@@ -1,0 +1,132 @@
+"""The hardware fault buffer and fault-pointer queue.
+
+Section III-C, following NVIDIA's open-gpu documentation: *"the driver
+uses a circular device-side queue to store a fault pointer when a fault
+occurs.  The host can read these pointers, which subsequently point to
+locations in the global GPU fault buffer that contain the full fault
+information."*  Entries may not be immediately ready due to asynchrony,
+forcing the driver to poll the "ready" field.
+
+The simulator models:
+
+* bounded capacity - when the buffer fills, further faulting warps simply
+  remain stalled and re-fault after the next replay (hardware drops are
+  counted, never lost: the warp still holds its access),
+* per-entry ready times - an entry enqueued at time *t* becomes readable
+  at *t + ready_delay*, producing the polling cost the paper attributes
+  to pre-processing,
+* flushes - the batch-flush replay policy empties the buffer remotely,
+* duplicate entries - distinct uTLBs (or replays with outstanding
+  faults) may enqueue the same page repeatedly; the buffer faithfully
+  stores duplicates because deduplication is the *driver's* job.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One fault record as the hardware reports it.
+
+    Note what is *absent*: no SM id, no thread id, no PC - the driver
+    "lacks sufficient information for correlating faults with their
+    generating GPU core/thread" (Section IV-A).  The GPC and uTLB ids are
+    present (Section VI-B says tracing the originating GPC/uTLB is
+    possible); the stream id is simulator-internal ground truth used only
+    by the what-if origin-prefetcher extension and by trace analysis,
+    never by the stock driver policies.
+    """
+
+    page: int
+    is_write: bool
+    timestamp_ns: int
+    gpc_id: int
+    utlb_id: int
+    stream_id: int  # ground truth, hidden from stock driver policies
+    sm_id: int = -1  # what-if origin info (Section VI-B), ditto
+
+
+class FaultBuffer:
+    """Circular fault buffer + pointer queue with ready-flag semantics."""
+
+    def __init__(self, capacity: int, ready_delay_ns: int = 1_500) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"fault buffer capacity must be > 0, got {capacity}")
+        if ready_delay_ns < 0:
+            raise ConfigurationError("ready_delay_ns must be >= 0")
+        self.capacity = capacity
+        self.ready_delay_ns = ready_delay_ns
+        self._queue: deque[FaultEntry] = deque()
+        # lifetime statistics
+        self.total_enqueued = 0
+        self.total_dropped = 0
+        self.total_flushed = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self._queue)
+
+    def try_push(self, entry: FaultEntry) -> bool:
+        """Enqueue a fault; returns False (drop) when the buffer is full.
+
+        A dropped fault is not lost work: the stalled warp re-raises it
+        after the next replay, exactly as real hardware behaves under
+        fault-buffer pressure.
+        """
+        if len(self._queue) >= self.capacity:
+            self.total_dropped += 1
+            return False
+        self._queue.append(entry)
+        self.total_enqueued += 1
+        self.high_watermark = max(self.high_watermark, len(self._queue))
+        return True
+
+    def peek(self) -> Optional[FaultEntry]:
+        return self._queue[0] if self._queue else None
+
+    def head_ready(self, now_ns: int) -> bool:
+        """Whether the head entry's ready flag is already set."""
+        if not self._queue:
+            return False
+        return now_ns >= self._queue[0].timestamp_ns + self.ready_delay_ns
+
+    def pop_ready(self, now_ns: int) -> tuple[Optional[FaultEntry], int]:
+        """Pop the head entry, polling until its ready flag is set.
+
+        Returns ``(entry, polls)`` where ``polls`` is the number of poll
+        iterations the driver had to spin before the entry was readable
+        (0 when it was already ready).  Returns ``(None, 0)`` on empty.
+        """
+        if not self._queue:
+            return None, 0
+        entry = self._queue[0]
+        ready_at = entry.timestamp_ns + self.ready_delay_ns
+        polls = 0
+        if now_ns < ready_at:
+            # ceil((ready_at - now) / poll granularity) iterations; the
+            # caller charges fault_poll_ns per iteration.
+            delta = ready_at - now_ns
+            polls = max(1, -(-delta // max(self.ready_delay_ns, 1)))
+        self._queue.popleft()
+        return entry, polls
+
+    def flush(self) -> int:
+        """Empty the buffer remotely (batch-flush policy); returns count."""
+        n = len(self._queue)
+        self._queue.clear()
+        self.total_flushed += n
+        return n
+
+    def snapshot_pages(self) -> list[int]:
+        """Pages of all queued entries, in order (for tests/analysis)."""
+        return [e.page for e in self._queue]

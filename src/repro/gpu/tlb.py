@@ -1,0 +1,73 @@
+"""uTLB fault coalescing.
+
+Each graphics processing cluster (GPC) owns a uTLB that performs the page
+table walk; on a miss it raises a far-fault into the fault buffer
+(Section III-A).  A uTLB tracks the translations it is already waiting
+on, so multiple warps on the same GPC missing the same page in the same
+interval produce *one* fault entry; warps on different GPCs produce
+duplicates (fault-source erasure means the driver cannot tell).
+
+The pending set of a uTLB is cleared by a replay notification: after a
+replay, an unsatisfied access walks the table and faults again, which is
+exactly how duplicate faults reach the driver across replays.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class UTlbArray:
+    """Per-GPC pending-fault filters."""
+
+    def __init__(self, n_gpcs: int = 6, sms_per_gpc: int = 14) -> None:
+        if n_gpcs <= 0 or sms_per_gpc <= 0:
+            raise ConfigurationError("n_gpcs and sms_per_gpc must be positive")
+        self.n_gpcs = n_gpcs
+        self.sms_per_gpc = sms_per_gpc
+        self._pending: list[set[int]] = [set() for _ in range(n_gpcs)]
+        self.coalesced = 0  # same-GPC duplicate accesses absorbed
+        self.raised = 0  # fault entries actually emitted
+
+    def gpc_of_sm(self, sm_id: int) -> int:
+        """GPC owning a given SM (round-robin placement)."""
+        if sm_id < 0:
+            raise ConfigurationError(f"invalid SM id {sm_id}")
+        return (sm_id // self.sms_per_gpc) % self.n_gpcs
+
+    def should_raise(self, sm_id: int, page: int) -> bool:
+        """Whether a miss on ``page`` from ``sm_id`` emits a fault entry.
+
+        Returns False when this GPC's uTLB already has the page pending
+        (the access is coalesced onto the outstanding fault).
+        """
+        gpc = self.gpc_of_sm(sm_id)
+        pending = self._pending[gpc]
+        if page in pending:
+            self.coalesced += 1
+            return False
+        pending.add(page)
+        self.raised += 1
+        return True
+
+    def forget(self, sm_id: int, page: int) -> None:
+        """Drop a pending entry (the fault-buffer push was dropped).
+
+        Without this the uTLB would coalesce the warp's re-raise after
+        the next replay onto a fault record that never reached the
+        buffer, losing the access forever.
+        """
+        self._pending[self.gpc_of_sm(sm_id)].discard(page)
+        self.raised -= 1
+
+    def on_replay(self) -> None:
+        """A replay retries all outstanding accesses: clear pending sets.
+
+        Unsatisfied accesses will re-walk and re-raise, creating the
+        duplicate faults the batch-flush policy exists to suppress.
+        """
+        for pending in self._pending:
+            pending.clear()
+
+    def pending_total(self) -> int:
+        return sum(len(p) for p in self._pending)

@@ -1,0 +1,37 @@
+"""Per-range memory-advise policies: UVM's three access behaviours.
+
+Section III-A: *"UVM supports three page access behaviors"* - paged
+migration (the paper's focus and our default), **remote mapping**
+("maps the requested data into the requester's page tables without
+actually migrating it and accesses it using DMA"), and **read-only
+duplication** ("duplicates data at two or more physical devices ...
+under the constraint that the data cannot be mutated").
+
+In the CUDA API these correspond to ``cudaMemAdvise`` hints
+(``SetPreferredLocation`` host + ``SetAccessedBy`` device for remote
+mapping; ``SetReadMostly`` for duplication).  The simulator applies
+them per managed range via :meth:`AddressSpace.mem_advise`:
+
+* ``MIGRATE`` - demand paged migration; pages map exclusively with
+  write permission (the stock behaviour everywhere else in the paper).
+* ``READ_MOSTLY`` - GPU read faults *duplicate* the page (host mapping
+  stays valid, host touches are free); the GPU copy maps read-only, so
+  a later **write takes a permission-upgrade fault** that collapses the
+  duplication (host copy invalidated, page becomes exclusive+dirty).
+* ``PINNED_HOST`` - data stays in host memory; the first GPU touch
+  faults once to install a remote mapping, after which accesses run
+  over the interconnect at zero-copy bandwidth with no migration, no
+  GPU memory consumption, and no eviction pressure.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MemAdvise(enum.Enum):
+    """Access behaviour for a managed range."""
+
+    MIGRATE = "migrate"
+    READ_MOSTLY = "read_mostly"
+    PINNED_HOST = "pinned_host"

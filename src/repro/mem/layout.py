@@ -1,0 +1,115 @@
+"""Pure address arithmetic over the UVM geometry.
+
+All functions operate on *global page indices*: the simulator numbers
+every 4 KB page in the address space consecutively, and allocations are
+VABlock-aligned, so
+
+* ``vablock = page // 512``
+* ``big_page = page // 16``
+
+These helpers accept scalars or numpy arrays and are the single place
+where geometry math lives - driver code never re-derives shifts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AddressError
+from repro.units import (
+    BIG_PAGE_SIZE,
+    PAGE_SIZE,
+    PAGES_PER_BIG_PAGE,
+    PAGES_PER_VABLOCK,
+    VABLOCK_SIZE,
+)
+
+
+def vablock_of_page(page, pages_per_vablock: int = PAGES_PER_VABLOCK):
+    """Global VABlock index containing global page index ``page``."""
+    return page // pages_per_vablock
+
+
+def big_page_of_page(page, pages_per_big_page: int = PAGES_PER_BIG_PAGE):
+    """Global big-page (64 KB) index containing ``page``."""
+    return page // pages_per_big_page
+
+
+def page_span_of_vablock(
+    vablock: int, pages_per_vablock: int = PAGES_PER_VABLOCK
+) -> tuple[int, int]:
+    """Half-open global page range ``[start, stop)`` of a VABlock."""
+    if vablock < 0:
+        raise AddressError(f"negative VABlock index {vablock}")
+    start = vablock * pages_per_vablock
+    return start, start + pages_per_vablock
+
+
+def pages_of_big_page(
+    big_page: int, pages_per_big_page: int = PAGES_PER_BIG_PAGE
+) -> tuple[int, int]:
+    """Half-open global page range covered by a 64 KB big page."""
+    if big_page < 0:
+        raise AddressError(f"negative big-page index {big_page}")
+    start = big_page * pages_per_big_page
+    return start, start + pages_per_big_page
+
+
+def page_offset_in_vablock(page, pages_per_vablock: int = PAGES_PER_VABLOCK):
+    """Leaf index (0..pages_per_vablock-1) of ``page`` within its VABlock."""
+    return page % pages_per_vablock
+
+
+def page_of_byte(addr: int) -> int:
+    """Global page index of byte address ``addr``."""
+    if addr < 0:
+        raise AddressError(f"negative address {addr:#x}")
+    return addr // PAGE_SIZE
+
+
+def byte_of_page(page: int) -> int:
+    """First byte address of global page ``page``."""
+    if page < 0:
+        raise AddressError(f"negative page index {page}")
+    return page * PAGE_SIZE
+
+
+def align_up_pages(npages: int, granule_pages: int) -> int:
+    """Round a page count up to a multiple of ``granule_pages``."""
+    if granule_pages <= 0:
+        raise AddressError(f"granule must be positive, got {granule_pages}")
+    if npages < 0:
+        raise AddressError(f"negative page count {npages}")
+    return -(-npages // granule_pages) * granule_pages
+
+
+def unique_vablocks(pages: np.ndarray, pages_per_vablock: int = PAGES_PER_VABLOCK) -> np.ndarray:
+    """Sorted unique VABlock indices touched by an array of page indices."""
+    if len(pages) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.asarray(pages, dtype=np.int64) // pages_per_vablock)
+
+
+def check_geometry(page_size: int, big_page_size: int, vablock_size: int) -> None:
+    """Validate a (possibly non-default) geometry triple.
+
+    The flexible-granularity extension (paper Section VI-B) allows VABlock
+    sizes other than 2 MB; this enforces the invariants every component
+    assumes: power-of-two sizes and exact nesting page | big page | VABlock.
+    """
+    for name, val in (
+        ("page_size", page_size),
+        ("big_page_size", big_page_size),
+        ("vablock_size", vablock_size),
+    ):
+        if val <= 0 or (val & (val - 1)) != 0:
+            raise AddressError(f"{name} must be a positive power of two, got {val}")
+    if big_page_size % page_size:
+        raise AddressError("big_page_size must be a multiple of page_size")
+    if vablock_size % big_page_size:
+        raise AddressError("vablock_size must be a multiple of big_page_size")
+
+
+# Run the default geometry through the validator at import time: a broken
+# constant edit should fail loudly, not corrupt simulations.
+check_geometry(PAGE_SIZE, BIG_PAGE_SIZE, VABLOCK_SIZE)

@@ -1,0 +1,324 @@
+"""Page residency, permissions, duplication, and per-VABlock occupancy.
+
+This is the driver's view of where every page lives and how the GPU may
+access it.  It is the performance-critical data structure of the
+simulator, so state is kept in flat numpy arrays indexed by global page
+number:
+
+* ``resident[page]``   - a valid copy exists in GPU memory,
+* ``writable[page]``   - the GPU mapping has write permission,
+* ``duplicated[page]`` - read-only duplication: the host copy is valid
+  too (Section III-A's third access behaviour; a GPU write must take a
+  permission-upgrade fault that collapses the duplication),
+* ``remote_mapped[page]`` - the GPU maps host memory directly (remote
+  mapping / zero-copy; no migration, no GPU memory consumed),
+* ``dirty[page]``      - the GPU copy was written and must migrate on
+  evict,
+* ``backed[vablock]``  - the VABlock has GPU physical memory reserved,
+* ``resident_count[vablock]`` - cached popcount the density prefetcher
+  reads.
+
+Two derived masks are maintained incrementally because the GPU's warp
+advance scans them on every access:
+
+* ``read_ok  = resident | remote_mapped``
+* ``write_ok = (resident & writable) | remote_mapped``
+
+Conceptually the GPU acts as "a fully-associative cache for CPU memory
+where the cache-line size can be treated as a VABlock" (Section V);
+this class is the tag/state store of that cache, extended with the
+permission bits the three UVM access behaviours require.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AddressError, SimulationError
+from repro.mem.address_space import AddressSpace
+
+
+class ResidencyState:
+    """Vectorized residency/permission bookkeeping over an address space."""
+
+    def __init__(self, space: AddressSpace) -> None:
+        self.space = space
+        n_pages = space.total_pages
+        n_vablocks = space.total_vablocks
+        self.resident = np.zeros(n_pages, dtype=bool)
+        self.writable = np.zeros(n_pages, dtype=bool)
+        self.duplicated = np.zeros(n_pages, dtype=bool)
+        self.remote_mapped = np.zeros(n_pages, dtype=bool)
+        self.dirty = np.zeros(n_pages, dtype=bool)
+        self.backed = np.zeros(n_vablocks, dtype=bool)
+        self.resident_count = np.zeros(n_vablocks, dtype=np.int32)
+        #: lifetime count of times each VABlock has been evicted.
+        self.evict_count = np.zeros(n_vablocks, dtype=np.int64)
+        # derived access masks (see module docstring)
+        self.read_ok = np.zeros(n_pages, dtype=bool)
+        self.write_ok = np.zeros(n_pages, dtype=bool)
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def pages_per_vablock(self) -> int:
+        return self.space.pages_per_vablock
+
+    def is_resident(self, pages) -> np.ndarray:
+        """Boolean residency for an array of global page indices."""
+        return self.resident[np.asarray(pages, dtype=np.int64)]
+
+    def vablock_leaf_mask(self, vablock_id: int) -> np.ndarray:
+        """Residency mask of the leaves of ``vablock_id`` (a view)."""
+        start, stop = self.space.page_span_of_vablock(vablock_id)
+        return self.resident[start:stop]
+
+    def total_resident_pages(self) -> int:
+        return int(self.resident_count.sum())
+
+    def backed_vablocks(self) -> np.ndarray:
+        """Indices of VABlocks currently holding a GPU allocation."""
+        return np.flatnonzero(self.backed)
+
+    def _refresh_masks(self, pages: np.ndarray) -> None:
+        self.read_ok[pages] = self.resident[pages] | self.remote_mapped[pages]
+        self.write_ok[pages] = (
+            self.resident[pages] & self.writable[pages]
+        ) | self.remote_mapped[pages]
+
+    def _refresh_mask_span(self, start: int, stop: int) -> None:
+        self.read_ok[start:stop] = (
+            self.resident[start:stop] | self.remote_mapped[start:stop]
+        )
+        self.write_ok[start:stop] = (
+            self.resident[start:stop] & self.writable[start:stop]
+        ) | self.remote_mapped[start:stop]
+
+    # -- state transitions -------------------------------------------------------
+    def back_vablock(self, vablock_id: int) -> None:
+        """Reserve GPU physical memory for a VABlock (allocation granule)."""
+        if self.backed[vablock_id]:
+            raise SimulationError(f"VABlock {vablock_id} already backed")
+        self.backed[vablock_id] = True
+
+    def make_resident(
+        self,
+        pages: np.ndarray,
+        writing: np.ndarray | bool = False,
+        writable: np.ndarray | bool = True,
+        duplicated: np.ndarray | bool = False,
+    ) -> int:
+        """Mark pages resident on the GPU; returns how many were new.
+
+        Every page's VABlock must already be backed - the driver
+        allocates physical memory before migrating (Section III-D).
+        ``writing`` marks pages dirty; ``writable`` sets the mapping
+        permission (the stock migration path maps read-write);
+        ``duplicated`` flags read-mostly copies whose host mapping stays
+        valid (mutually exclusive with ``writable``/``writing``).
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return 0
+        vbs = pages // self.pages_per_vablock
+        if not self.backed[vbs].all():
+            missing = np.unique(vbs[~self.backed[vbs]])
+            raise SimulationError(
+                f"making pages resident in unbacked VABlocks {missing[:8].tolist()}"
+            )
+        if self.remote_mapped[pages].any():
+            raise SimulationError("migrating pages that are remote-mapped")
+
+        def as_mask(value) -> np.ndarray:
+            if np.ndim(value) == 0:
+                return np.full(pages.shape, bool(value))
+            mask = np.asarray(value, dtype=bool)
+            if mask.shape != pages.shape:
+                raise AddressError("mask shape mismatch")
+            return mask
+
+        writing_m = as_mask(writing)
+        writable_m = as_mask(writable)
+        duplicated_m = as_mask(duplicated)
+        if (writing_m & ~writable_m).any():
+            raise SimulationError("writing through a read-only mapping")
+        if (duplicated_m & writable_m).any():
+            raise SimulationError("a duplicated copy cannot be writable")
+
+        newly = ~self.resident[pages]
+        new_pages = pages[newly]
+        self.resident[pages] = True
+        self.writable[pages] |= writable_m
+        self.duplicated[pages] = duplicated_m & ~self.writable[pages]
+        self.dirty[pages[writing_m]] = True
+        if new_pages.size:
+            np.add.at(
+                self.resident_count,
+                new_pages // self.pages_per_vablock,
+                1,
+            )
+        self._refresh_masks(pages)
+        return int(new_pages.size)
+
+    def mark_dirty(self, pages: np.ndarray) -> None:
+        """Record GPU writes to already-resident writable pages."""
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return
+        if not (self.resident[pages] & self.writable[pages]).all():
+            raise SimulationError("marking non-writable pages dirty")
+        self.dirty[pages] = True
+
+    def collapse_duplicates(self, pages: np.ndarray) -> int:
+        """Write-permission upgrade: break read-only duplication.
+
+        The touched pages' host copies become stale: the GPU mapping is
+        upgraded to writable and the pages go dirty.  Returns how many
+        pages actually collapsed (non-duplicated pages are ignored).
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return 0
+        collapsing = pages[self.duplicated[pages]]
+        if collapsing.size == 0:
+            return 0
+        if not self.resident[collapsing].all():
+            raise SimulationError("collapsing duplicates that are not resident")
+        self.duplicated[collapsing] = False
+        self.writable[collapsing] = True
+        self.dirty[collapsing] = True
+        self._refresh_masks(collapsing)
+        return int(collapsing.size)
+
+    def invalidate_duplicates(self, pages: np.ndarray) -> int:
+        """Host write to duplicated pages: drop the (clean) GPU copies.
+
+        No data moves - the host copy is authoritative for duplicated
+        pages - but the GPU mappings are torn down and the pages will
+        re-fault on the next GPU touch.  Returns the number dropped.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return 0
+        dropping = pages[self.duplicated[pages]]
+        if dropping.size == 0:
+            return 0
+        self.resident[dropping] = False
+        self.duplicated[dropping] = False
+        self.writable[dropping] = False
+        np.add.at(self.resident_count, dropping // self.pages_per_vablock, -1)
+        self._refresh_masks(dropping)
+        return int(dropping.size)
+
+    def map_remote(self, pages: np.ndarray) -> int:
+        """Install remote (zero-copy) mappings; returns how many were new.
+
+        Remote-mapped pages consume no GPU memory and never migrate;
+        reads and writes go over the interconnect.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return 0
+        if self.resident[pages].any():
+            raise SimulationError("remote-mapping pages that are GPU-resident")
+        new = ~self.remote_mapped[pages]
+        self.remote_mapped[pages[new]] = True
+        self._refresh_masks(pages)
+        return int(new.sum())
+
+    def unmap_remote(self, pages: np.ndarray) -> int:
+        """Tear down remote mappings (counter-triggered promotion path).
+
+        Returns how many mappings were removed; the caller is expected
+        to migrate the pages to local memory immediately after.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return 0
+        if not self.remote_mapped[pages].all():
+            raise SimulationError("unmap_remote on pages that are not remote")
+        self.remote_mapped[pages] = False
+        self._refresh_masks(pages)
+        return int(pages.size)
+
+    def migrate_to_host(self, pages: np.ndarray) -> tuple[int, int]:
+        """CPU-fault path: page-granular migration back to the host.
+
+        Unlike eviction this is *page*-granular and leaves the VABlock's
+        physical backing in place (the driver keeps the allocation; only
+        the touched pages move).  Duplicated pages are skipped - the
+        host copy is already valid, so a host *read* takes no fault
+        (use :meth:`invalidate_duplicates` for host writes).  Returns
+        ``(migrated, dirty)`` where ``dirty`` pages carried GPU
+        modifications that must be copied.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return 0, 0
+        moving = pages[self.resident[pages] & ~self.duplicated[pages]]
+        if moving.size == 0:
+            return 0, 0
+        n_dirty = int(self.dirty[moving].sum())
+        self.resident[moving] = False
+        self.writable[moving] = False
+        self.dirty[moving] = False
+        np.add.at(self.resident_count, moving // self.pages_per_vablock, -1)
+        self._refresh_masks(moving)
+        return int(moving.size), n_dirty
+
+    def evict_vablock(self, vablock_id: int) -> tuple[int, int]:
+        """Evict a VABlock: returns ``(resident_pages, dirty_pages)``.
+
+        All resident pages are unmapped; dirty pages are the ones that
+        need a device-to-host migration (modified data copied back,
+        Section V-A1).  The physical backing is released.
+        """
+        if not self.backed[vablock_id]:
+            raise SimulationError(f"evicting unbacked VABlock {vablock_id}")
+        start, stop = self.space.page_span_of_vablock(vablock_id)
+        res_mask = self.resident[start:stop]
+        n_resident = int(res_mask.sum())
+        n_dirty = int((res_mask & self.dirty[start:stop]).sum())
+        self.resident[start:stop] = False
+        self.writable[start:stop] = False
+        self.duplicated[start:stop] = False
+        self.dirty[start:stop] = False
+        self.backed[vablock_id] = False
+        self.resident_count[vablock_id] = 0
+        self.evict_count[vablock_id] += 1
+        self._refresh_mask_span(start, stop)
+        return n_resident, n_dirty
+
+    # -- invariants ---------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Internal-consistency assertions used by tests and debug runs."""
+        ppv = self.pages_per_vablock
+        counts = self.resident.reshape(-1, ppv).sum(axis=1)
+        if not np.array_equal(counts, self.resident_count):
+            raise SimulationError("resident_count cache out of sync with bitmap")
+        if (self.dirty & ~self.resident).any():
+            raise SimulationError("dirty page that is not resident")
+        if (self.dirty & ~self.writable).any():
+            raise SimulationError("dirty page without write permission")
+        if (self.writable & ~self.resident).any():
+            raise SimulationError("writable mapping without residency")
+        if (self.duplicated & ~self.resident).any():
+            raise SimulationError("duplicated flag on non-resident page")
+        if (self.duplicated & self.writable).any():
+            raise SimulationError("duplicated page with write permission")
+        if (self.remote_mapped & self.resident).any():
+            raise SimulationError("page both remote-mapped and resident")
+        unbacked = ~self.backed
+        if self.resident_count[unbacked].any():
+            raise SimulationError("resident pages in unbacked VABlock")
+        if not np.array_equal(self.read_ok, self.resident | self.remote_mapped):
+            raise SimulationError("read_ok mask out of sync")
+        if not np.array_equal(
+            self.write_ok, (self.resident & self.writable) | self.remote_mapped
+        ):
+            raise SimulationError("write_ok mask out of sync")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ResidencyState(resident={self.total_resident_pages()},"
+            f" backed={int(self.backed.sum())}/{len(self.backed)})"
+        )

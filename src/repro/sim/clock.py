@@ -1,0 +1,71 @@
+"""Simulated clock.
+
+The clock is the single source of truth for simulated time.  All times are
+integer nanoseconds (see :mod:`repro.units`).  Two advancement modes exist:
+
+* :meth:`SimClock.advance` - move forward by a duration (driver work,
+  DMA transfers, stalls).
+* :meth:`SimClock.advance_to` - jump to an absolute time (event delivery).
+
+The clock never moves backwards; attempting to do so raises
+:class:`~repro.errors.SimulationError`, which catches lost-ordering bugs
+in policy code early.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.units import ns_to_us
+
+
+class SimClock:
+    """Monotonic simulated clock with nanosecond resolution."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise SimulationError(f"clock cannot start at negative time {start_ns}")
+        self._now = int(start_ns)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def now_us(self) -> float:
+        """Current simulated time in microseconds (reporting convenience)."""
+        return ns_to_us(self._now)
+
+    def advance(self, duration_ns: int) -> int:
+        """Advance the clock by ``duration_ns`` and return the new time.
+
+        Durations are rounded to whole nanoseconds; negative durations are
+        rejected.
+        """
+        duration_ns = round(duration_ns)
+        if duration_ns < 0:
+            raise SimulationError(f"cannot advance clock by negative {duration_ns}ns")
+        self._now += duration_ns
+        return self._now
+
+    def advance_to(self, time_ns: int) -> int:
+        """Jump the clock forward to absolute ``time_ns``.
+
+        Jumping to the current time is a no-op; jumping backwards raises.
+        """
+        time_ns = round(time_ns)
+        if time_ns < self._now:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}ns target={time_ns}ns"
+            )
+        self._now = time_ns
+        return self._now
+
+    def reset(self) -> None:
+        """Reset simulated time to zero (for reusing a harness)."""
+        self._now = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now}ns)"

@@ -1,0 +1,120 @@
+"""Minimal discrete-event engine.
+
+The UVM simulation is largely a synchronous driver loop (mirroring the real
+driver's interrupt-service structure), but a few mechanisms are naturally
+asynchronous and are modelled as scheduled events:
+
+* delivery of replay notifications to the GPU after the driver issues them
+  (the replay has in-fabric latency before stalled warps observe it),
+* DMA completion callbacks when transfers are pipelined,
+* periodic access-counter dumps for the Volta access-counter extension.
+
+The engine is a classic binary-heap scheduler.  Ties in time are broken by
+insertion order so the simulation is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time_ns, seq)``; the payload and callback do not
+    participate in ordering.  ``cancelled`` events stay in the heap but are
+    skipped on dispatch (lazy deletion).
+    """
+
+    time_ns: int
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so it will be skipped when its time arrives."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic event queue bound to a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self.dispatched = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule_at(self, time_ns: int, callback: Callable[..., None], payload: Any = None) -> Event:
+        """Schedule ``callback(payload)`` at absolute simulated ``time_ns``."""
+        time_ns = round(time_ns)
+        if time_ns < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: now={self.clock.now} t={time_ns}"
+            )
+        ev = Event(time_ns=time_ns, seq=next(self._seq), callback=callback, payload=payload)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(self, delay_ns: int, callback: Callable[..., None], payload: Any = None) -> Event:
+        """Schedule ``callback(payload)`` after a relative ``delay_ns``."""
+        if delay_ns < 0:
+            raise SimulationError(f"negative event delay {delay_ns}")
+        return self.schedule_at(self.clock.now + round(delay_ns), callback, payload)
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_ns if self._heap else None
+
+    def run_next(self) -> bool:
+        """Dispatch the next live event, advancing the clock to its time.
+
+        Returns ``False`` when no live events remain.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock.advance_to(ev.time_ns)
+            self.dispatched += 1
+            ev.callback(ev.payload)
+            return True
+        return False
+
+    def run_until(self, time_ns: int) -> int:
+        """Dispatch all events with time <= ``time_ns``; return the count.
+
+        The clock ends at ``time_ns`` even if the last event fired earlier,
+        matching "simulate this long" semantics.
+        """
+        fired = 0
+        while True:
+            nxt = self.peek_time()
+            if nxt is None or nxt > time_ns:
+                break
+            self.run_next()
+            fired += 1
+        self.clock.advance_to(max(self.clock.now, round(time_ns)))
+        return fired
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Dispatch events until the queue drains; guard against runaways."""
+        fired = 0
+        while self.run_next():
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(f"event runaway: dispatched over {max_events} events")
+        return fired

@@ -1,0 +1,34 @@
+"""Driver instrumentation: trace recording, analysis, and export.
+
+The paper's methodology is instrumenting the UVM driver and analyzing
+the resulting event streams (fault orderings for Fig. 7-8, category
+timings for Fig. 3-5 and 9, fault/eviction counts for Tables I-II).
+This subpackage is the equivalent instrumentation for the simulator.
+"""
+
+from repro.trace.recorder import NullRecorder, TraceRecorder
+from repro.trace.analysis import (
+    AccessPattern,
+    eviction_summary,
+    extract_access_pattern,
+    fault_reduction,
+)
+from repro.trace.export import render_scatter, render_series, write_csv
+from repro.trace.compare import RunComparison, compare_runs
+from repro.trace.io import load_trace, save_trace
+
+__all__ = [
+    "save_trace",
+    "load_trace",
+    "compare_runs",
+    "RunComparison",
+    "TraceRecorder",
+    "NullRecorder",
+    "AccessPattern",
+    "extract_access_pattern",
+    "fault_reduction",
+    "eviction_summary",
+    "render_scatter",
+    "render_series",
+    "write_csv",
+]

@@ -1,0 +1,198 @@
+"""Trace analysis: the computations behind the paper's exhibits.
+
+* :func:`extract_access_pattern` - Fig. 7/8's (fault occurrence, page
+  index) scatter, with the page axis "adjusted so that there are no gaps
+  in the virtual memory space" and range boundaries marked,
+* :func:`fault_reduction` - Table I's coverage metric,
+* :func:`eviction_summary` - Table II's eviction scaling quantities,
+* :func:`duplicate_rate`, :func:`faults_per_vablock` - driver-load
+  diagnostics used in the discussion sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.mem.address_space import AddressSpace
+from repro.trace.recorder import FinalizedTrace
+
+
+@dataclass
+class AccessPattern:
+    """Fig. 7-style access pattern data for one run."""
+
+    #: fault processing order (0..n-1)
+    occurrence: np.ndarray
+    #: gap-adjusted page index per fault
+    page_index: np.ndarray
+    #: gap-adjusted page index where each allocation begins (the black
+    #: separator lines in Fig. 7)
+    range_boundaries: list[int]
+    range_names: list[str]
+    #: occurrence indices at which evictions happened (Fig. 8 overlays)
+    eviction_occurrence: np.ndarray
+    #: gap-adjusted page of each evicted VABlock's first page
+    eviction_page_index: np.ndarray
+
+    @property
+    def n_faults(self) -> int:
+        return int(self.page_index.size)
+
+
+def _gap_adjusted_pages(pages: np.ndarray, space: AddressSpace) -> np.ndarray:
+    """Map global pages to a compact axis without inter-range padding."""
+    adjusted = np.asarray(pages, dtype=np.int64).copy()
+    offset = 0
+    out = np.empty_like(adjusted)
+    for rng in space.ranges:
+        in_range = (adjusted >= rng.start_page) & (adjusted < rng.end_page_aligned)
+        out[in_range] = adjusted[in_range] - rng.start_page + offset
+        offset += rng.npages
+    return out
+
+
+def _range_boundaries(space: AddressSpace) -> tuple[list[int], list[str]]:
+    bounds, names = [], []
+    offset = 0
+    for rng in space.ranges:
+        bounds.append(offset)
+        names.append(rng.name)
+        offset += rng.npages
+    return bounds, names
+
+
+def extract_access_pattern(
+    trace: FinalizedTrace,
+    space: AddressSpace,
+    include_duplicates: bool = False,
+) -> AccessPattern:
+    """Build the Fig. 7/8 scatter data from a recorded trace."""
+    if trace.fault_page.size == 0:
+        raise TraceError("trace contains no faults; was recording enabled?")
+    keep = (
+        np.ones(trace.fault_page.shape, dtype=bool)
+        if include_duplicates
+        else ~trace.fault_duplicate
+    )
+    pages = trace.fault_page[keep]
+    occurrence = np.flatnonzero(keep).astype(np.int64)
+    bounds, names = _range_boundaries(space)
+    ppv = space.pages_per_vablock
+    evict_first_page = trace.evict_vablock * ppv
+    return AccessPattern(
+        occurrence=occurrence,
+        page_index=_gap_adjusted_pages(pages, space),
+        range_boundaries=bounds,
+        range_names=names,
+        eviction_occurrence=trace.evict_fault_index.astype(np.int64),
+        eviction_page_index=_gap_adjusted_pages(evict_first_page, space)
+        if evict_first_page.size
+        else np.empty(0, dtype=np.int64),
+    )
+
+
+def fault_reduction(faults_without: int, faults_with: int) -> float:
+    """Table I's reduction percentage ("equivalent to fault coverage")."""
+    if faults_without < 0 or faults_with < 0:
+        raise TraceError("fault counts must be non-negative")
+    if faults_without == 0:
+        return 0.0
+    return 100.0 * (faults_without - faults_with) / faults_without
+
+
+@dataclass
+class EvictionSummary:
+    """Table II quantities for one run."""
+
+    n_faults: int
+    n_evictions: int
+    pages_evicted: int
+    evictions_per_fault: float
+    pages_evicted_per_fault: float
+
+
+def eviction_summary(n_faults: int, n_evictions: int, pages_evicted: int) -> EvictionSummary:
+    """Aggregate the eviction-scaling metrics of Table II."""
+    return EvictionSummary(
+        n_faults=n_faults,
+        n_evictions=n_evictions,
+        pages_evicted=pages_evicted,
+        evictions_per_fault=(n_evictions / n_faults) if n_faults else 0.0,
+        pages_evicted_per_fault=(pages_evicted / n_faults) if n_faults else 0.0,
+    )
+
+
+def bin_size_distribution(trace: FinalizedTrace) -> np.ndarray:
+    """Demand pages per serviced VABlock bin.
+
+    The quantity behind Section III-D's first insight: "a batch
+    containing fewer fully faulted VABlocks takes much less time than a
+    batch containing VABlocks each with one page fault".  Regular access
+    concentrates faults (large bins); random scatters them (single-page
+    bins).
+    """
+    return trace.service_demand.copy()
+
+
+def prefetch_ratio(trace: FinalizedTrace) -> float:
+    """Fraction of all migrated pages that were prefetched (0..1)."""
+    demand = int(trace.service_demand.sum())
+    prefetched = int(trace.service_prefetch.sum())
+    total = demand + prefetched
+    return prefetched / total if total else 0.0
+
+
+def vablock_residency_lifetimes(trace: FinalizedTrace) -> np.ndarray:
+    """Simulated ns between each eviction and its block's last service.
+
+    Short lifetimes are the Section V pathology: memory cycled before
+    the data earned its transfer cost.
+    """
+    if trace.evict_vablock.size == 0:
+        return np.empty(0, dtype=np.int64)
+    last_service: dict[int, int] = {}
+    svc_idx = 0
+    lifetimes = []
+    svc_vb, svc_t = trace.service_vablock, trace.service_time_ns
+    for ev_vb, ev_t in zip(trace.evict_vablock, trace.evict_time_ns):
+        while svc_idx < svc_vb.size and svc_t[svc_idx] <= ev_t:
+            last_service[int(svc_vb[svc_idx])] = int(svc_t[svc_idx])
+            svc_idx += 1
+        born = last_service.get(int(ev_vb))
+        if born is not None:
+            lifetimes.append(int(ev_t) - born)
+    return np.asarray(lifetimes, dtype=np.int64)
+
+
+def refault_distances(trace: FinalizedTrace, max_window: int = 10**9) -> np.ndarray:
+    """Faults until each evicted block faults again (-1 = never).
+
+    Generalizes Fig. 8's evict-then-refault counting: a small distance
+    means the LRU evicted data that was about to be used.
+    """
+    if trace.evict_vablock.size == 0:
+        return np.empty(0, dtype=np.int64)
+    distances = np.full(trace.evict_vablock.shape, -1, dtype=np.int64)
+    fault_vb = trace.fault_vablock
+    for i, (vb, idx) in enumerate(zip(trace.evict_vablock, trace.evict_fault_index)):
+        upcoming = fault_vb[idx : idx + max_window]
+        hits = np.flatnonzero(upcoming == vb)
+        if hits.size:
+            distances[i] = int(hits[0])
+    return distances
+
+
+def duplicate_rate(trace: FinalizedTrace) -> float:
+    """Fraction of driver-observed faults that were duplicates."""
+    if trace.fault_page.size == 0:
+        return 0.0
+    return float(trace.fault_duplicate.mean())
+
+
+def faults_per_vablock(trace: FinalizedTrace, total_vablocks: int) -> np.ndarray:
+    """Histogram of unique faults over VABlocks (driver-load skew)."""
+    keep = ~trace.fault_duplicate
+    return np.bincount(trace.fault_vablock[keep], minlength=total_vablocks)

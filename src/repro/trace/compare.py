@@ -1,0 +1,101 @@
+"""A/B comparison of instrumented runs.
+
+Every ablation in this repository is a two-run comparison (prefetch
+on/off, policy X/Y, granule A/B ...).  This module renders such pairs
+uniformly: counters side by side with ratios, category timers, and the
+headline quantities the paper uses (total time, faults, evictions,
+bytes moved), so any knob's effect can be inspected with one call - or
+from the shell via ``uvmrepro compare``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.trace.export import render_series
+from repro.units import ns_to_us
+
+if TYPE_CHECKING:  # import only for annotations: core imports trace
+    from repro.core.driver import RunResult
+
+
+@dataclass
+class ComparisonRow:
+    metric: str
+    a: float
+    b: float
+
+    @property
+    def ratio(self) -> float:
+        if self.a == 0:
+            return float("inf") if self.b else 1.0
+        return self.b / self.a
+
+
+@dataclass
+class RunComparison:
+    label_a: str
+    label_b: str
+    rows: list[ComparisonRow] = field(default_factory=list)
+
+    def row(self, metric: str) -> ComparisonRow:
+        for r in self.rows:
+            if r.metric == metric:
+                return r
+        raise KeyError(metric)
+
+    def render(self, title: str = "run comparison") -> str:
+        def fmt_ratio(r: ComparisonRow) -> str:
+            if r.ratio == float("inf"):
+                return "new"
+            return f"{r.ratio:.3g}x"
+
+        table = [(r.metric, r.a, r.b, fmt_ratio(r)) for r in self.rows]
+        return render_series(
+            table,
+            headers=("metric", self.label_a, self.label_b, "b/a"),
+            title=title,
+        )
+
+
+#: headline metrics, in reporting order.
+_HEADLINES = (
+    ("total time (us)", lambda r: ns_to_us(r.total_time_ns)),
+    ("faults read", lambda r: float(r.faults_read)),
+    ("faults serviced", lambda r: float(r.faults_serviced)),
+    ("evictions", lambda r: float(r.evictions)),
+    ("pages evicted", lambda r: float(r.pages_evicted)),
+    ("MiB moved", lambda r: r.dma.total_bytes / (1 << 20)),
+    ("replays", lambda r: float(r.counters["replays.issued"])),
+    ("prefetched pages", lambda r: float(r.counters["pages.prefetch_h2d"])),
+)
+
+#: driver-time categories compared in microseconds.
+_CATEGORIES = ("preprocess", "service", "replay_policy")
+
+
+def compare_runs(
+    a: "RunResult",
+    b: "RunResult",
+    label_a: str = "A",
+    label_b: str = "B",
+    extra_counters: Sequence[str] = (),
+) -> RunComparison:
+    """Build the standard A/B comparison of two run results."""
+    comparison = RunComparison(label_a=label_a, label_b=label_b)
+    for name, getter in _HEADLINES:
+        comparison.rows.append(ComparisonRow(name, getter(a), getter(b)))
+    for category in _CATEGORIES:
+        comparison.rows.append(
+            ComparisonRow(
+                f"{category} (us)",
+                ns_to_us(a.timer.total_ns(category)),
+                ns_to_us(b.timer.total_ns(category)),
+            )
+        )
+    for counter in extra_counters:
+        comparison.rows.append(
+            ComparisonRow(counter, float(a.counters[counter]), float(b.counters[counter]))
+        )
+    return comparison

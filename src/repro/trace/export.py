@@ -1,0 +1,132 @@
+"""Terminal/CSV rendering of experiment outputs.
+
+The paper's figures are scatter plots and stacked bars; these renderers
+produce faithful ASCII equivalents so every exhibit can be regenerated
+and eyeballed in a terminal (the benchmark harness prints them), plus a
+CSV writer for anyone who wants real plots.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+def render_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 78,
+    height: int = 22,
+    title: str = "",
+    hlines: Sequence[int] = (),
+    overlay: tuple[np.ndarray, np.ndarray] | None = None,
+) -> str:
+    """ASCII scatter plot: ``*`` for points, ``x`` for overlay points.
+
+    ``hlines`` draws horizontal separators (Fig. 7's allocation
+    boundaries).  Axes are linear; the plot is density-binned so any
+    number of points renders in O(width * height).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size == 0 or x.size != y.size:
+        raise TraceError("scatter needs equal-length non-empty x/y")
+    x_max = max(float(x.max()), 1.0)
+    y_max = max(float(y.max()), float(max(hlines, default=0)), 1.0)
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(xs, ys, mark):
+        cols = np.minimum((xs / x_max * (width - 1)).astype(int), width - 1)
+        rows = np.minimum((ys / y_max * (height - 1)).astype(int), height - 1)
+        for r, c in zip(rows, cols):
+            grid[height - 1 - int(r)][int(c)] = mark
+
+    for h in hlines:
+        r = min(int(h / y_max * (height - 1)), height - 1)
+        grid[height - 1 - r] = ["-"] * width
+    place(x, y, "*")
+    if overlay is not None:
+        ox = np.asarray(overlay[0], dtype=np.float64)
+        oy = np.asarray(overlay[1], dtype=np.float64)
+        if ox.size:
+            place(ox, oy, "x")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" x: 0..{x_max:.0f} (fault occurrence)   y: 0..{y_max:.0f} (page index)")
+    return "\n".join(lines)
+
+
+def render_series(
+    rows: Iterable[tuple],
+    headers: Sequence[str],
+    title: str = "",
+    floatfmt: str = "{:.4g}",
+) -> str:
+    """A fixed-width table (the paper's tables and line-series data)."""
+    rows = [tuple(r) for r in rows]
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for v in row:
+            if isinstance(v, float):
+                cells.append(floatfmt.format(v))
+            else:
+                cells.append(str(v))
+        rendered.append(cells)
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def render_log_bar(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 60,
+    title: str = "",
+    unit: str = "us",
+) -> str:
+    """Log-scale horizontal bars (the paper's latency plots span decades)."""
+    vals = [max(float(v), 1e-12) for v in values]
+    if not vals:
+        raise TraceError("no values to render")
+    lo = min(v for v in vals if v > 0)
+    hi = max(vals)
+    span = max(math.log10(hi / lo), 1e-9)
+    label_w = max(len(l) for l in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, vals):
+        frac = math.log10(v / lo) / span if hi > lo else 1.0
+        bar = "#" * max(1, int(frac * width))
+        lines.append(f"{label:<{label_w}}  {bar} {v:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Iterable[tuple]) -> Path:
+    """Write rows to CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+    return path

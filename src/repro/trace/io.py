@@ -1,0 +1,75 @@
+"""Trace persistence: save/load instrumented runs for offline analysis.
+
+The paper's methodology is fundamentally *trace analysis*: instrument
+the driver, capture event streams, analyze offline.  This module makes
+captured traces durable - a :class:`~repro.trace.recorder.FinalizedTrace`
+round-trips through a compressed ``.npz`` alongside a small metadata
+header, so sweeps can be captured once and re-analyzed (or plotted with
+real tooling) without re-simulating.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.recorder import FinalizedTrace
+
+#: format version written into every trace file; bumped on schema change.
+TRACE_FORMAT_VERSION = 1
+
+_ARRAY_FIELDS = [f.name for f in dataclasses.fields(FinalizedTrace)]
+
+
+def save_trace(
+    trace: FinalizedTrace,
+    path: str | Path,
+    metadata: Optional[dict[str, Any]] = None,
+) -> Path:
+    """Write a finalized trace (plus JSON metadata) to ``path`` (.npz)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format_version": TRACE_FORMAT_VERSION,
+        "metadata": metadata or {},
+    }
+    arrays = {name: getattr(trace, name) for name in _ARRAY_FIELDS}
+    np.savez_compressed(
+        path,
+        __header__=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        **arrays,
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> tuple[FinalizedTrace, dict[str, Any]]:
+    """Read a trace written by :func:`save_trace`.
+
+    Returns ``(trace, metadata)``.  Raises :class:`TraceError` on
+    missing fields or an unknown format version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace file at {path}")
+    with np.load(path) as data:
+        if "__header__" not in data:
+            raise TraceError(f"{path} is not a repro trace file (no header)")
+        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        version = header.get("format_version")
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceError(
+                f"trace format version {version} unsupported "
+                f"(expected {TRACE_FORMAT_VERSION})"
+            )
+        missing = [name for name in _ARRAY_FIELDS if name not in data]
+        if missing:
+            raise TraceError(f"trace file missing fields: {missing}")
+        trace = FinalizedTrace(**{name: data[name] for name in _ARRAY_FIELDS})
+    return trace, header.get("metadata", {})

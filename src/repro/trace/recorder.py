@@ -1,0 +1,196 @@
+"""Columnar event recording for driver runs.
+
+Events append into plain Python lists (cheap per event) and finalize
+into numpy arrays for vectorized analysis.  Recording is optional: the
+driver accepts a :class:`NullRecorder` when only counters/timers are
+needed, keeping large sweeps lean.
+
+Recorded streams:
+
+* **faults** - every fault entry processed by the driver, in processing
+  order ("fault occurrence is the relative order that pages were
+  processed by the driver", Fig. 7), with a duplicate flag,
+* **services** - per VABlock-bin service: demand and prefetch page counts,
+* **evictions** - per eviction: victim block, pages dropped/dirty
+  (Fig. 8 plots these at the time step they are issued),
+* **replays** and **batches** - policy-level events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class FinalizedTrace:
+    """Numpy views over a completed run's event streams."""
+
+    # faults
+    fault_time_ns: np.ndarray
+    fault_page: np.ndarray
+    fault_vablock: np.ndarray
+    fault_stream: np.ndarray
+    fault_duplicate: np.ndarray
+    # services
+    service_time_ns: np.ndarray
+    service_vablock: np.ndarray
+    service_demand: np.ndarray
+    service_prefetch: np.ndarray
+    # evictions
+    evict_time_ns: np.ndarray
+    evict_vablock: np.ndarray
+    evict_pages: np.ndarray
+    evict_dirty: np.ndarray
+    #: fault index (into the fault stream) at which each eviction occurred,
+    #: aligning evictions with fault occurrence for Fig. 8.
+    evict_fault_index: np.ndarray
+    # replays / batches
+    replay_time_ns: np.ndarray
+    batch_time_ns: np.ndarray
+    batch_read: np.ndarray
+    batch_duplicate: np.ndarray
+
+    @property
+    def n_faults(self) -> int:
+        return int(self.fault_page.size)
+
+    @property
+    def n_evictions(self) -> int:
+        return int(self.evict_vablock.size)
+
+
+class TraceRecorder:
+    """Appends driver events; finalize() yields a :class:`FinalizedTrace`."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._fault_t: list[int] = []
+        self._fault_page: list[int] = []
+        self._fault_vb: list[int] = []
+        self._fault_stream: list[int] = []
+        self._fault_dup: list[bool] = []
+        self._svc_t: list[int] = []
+        self._svc_vb: list[int] = []
+        self._svc_demand: list[int] = []
+        self._svc_prefetch: list[int] = []
+        self._ev_t: list[int] = []
+        self._ev_vb: list[int] = []
+        self._ev_pages: list[int] = []
+        self._ev_dirty: list[int] = []
+        self._ev_fault_idx: list[int] = []
+        self._replay_t: list[int] = []
+        self._batch_t: list[int] = []
+        self._batch_read: list[int] = []
+        self._batch_dup: list[int] = []
+
+    # -- event hooks (called by the driver) -----------------------------------
+    def record_fault(
+        self, t_ns: int, page: int, vablock: int, stream: int, duplicate: bool
+    ) -> None:
+        self._fault_t.append(t_ns)
+        self._fault_page.append(page)
+        self._fault_vb.append(vablock)
+        self._fault_stream.append(stream)
+        self._fault_dup.append(duplicate)
+
+    def record_service(
+        self, t_ns: int, vablock: int, n_demand: int, n_prefetch: int
+    ) -> None:
+        self._svc_t.append(t_ns)
+        self._svc_vb.append(vablock)
+        self._svc_demand.append(n_demand)
+        self._svc_prefetch.append(n_prefetch)
+
+    def record_eviction(
+        self, t_ns: int, vablock: int, n_pages: int, n_dirty: int
+    ) -> None:
+        self._ev_t.append(t_ns)
+        self._ev_vb.append(vablock)
+        self._ev_pages.append(n_pages)
+        self._ev_dirty.append(n_dirty)
+        self._ev_fault_idx.append(len(self._fault_t))
+
+    def record_replay(self, t_ns: int) -> None:
+        self._replay_t.append(t_ns)
+
+    def record_batch(self, t_ns: int, n_read: int, n_duplicate: int) -> None:
+        self._batch_t.append(t_ns)
+        self._batch_read.append(n_read)
+        self._batch_dup.append(n_duplicate)
+
+    # -- finalize ---------------------------------------------------------------
+    def finalize(self) -> FinalizedTrace:
+        def arr(data, dtype=np.int64):
+            return np.asarray(data, dtype=dtype)
+
+        return FinalizedTrace(
+            fault_time_ns=arr(self._fault_t),
+            fault_page=arr(self._fault_page),
+            fault_vablock=arr(self._fault_vb),
+            fault_stream=arr(self._fault_stream),
+            fault_duplicate=arr(self._fault_dup, dtype=bool),
+            service_time_ns=arr(self._svc_t),
+            service_vablock=arr(self._svc_vb),
+            service_demand=arr(self._svc_demand),
+            service_prefetch=arr(self._svc_prefetch),
+            evict_time_ns=arr(self._ev_t),
+            evict_vablock=arr(self._ev_vb),
+            evict_pages=arr(self._ev_pages),
+            evict_dirty=arr(self._ev_dirty),
+            evict_fault_index=arr(self._ev_fault_idx),
+            replay_time_ns=arr(self._replay_t),
+            batch_time_ns=arr(self._batch_t),
+            batch_read=arr(self._batch_read),
+            batch_duplicate=arr(self._batch_dup),
+        )
+
+
+class NullRecorder(TraceRecorder):
+    """Discards all events (for counter/timer-only sweeps)."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # noqa: D107 - no storage at all
+        pass
+
+    def record_fault(self, t_ns, page, vablock, stream, duplicate) -> None:
+        pass
+
+    def record_service(self, t_ns, vablock, n_demand, n_prefetch) -> None:
+        pass
+
+    def record_eviction(self, t_ns, vablock, n_pages, n_dirty) -> None:
+        pass
+
+    def record_replay(self, t_ns) -> None:
+        pass
+
+    def record_batch(self, t_ns, n_read, n_duplicate) -> None:
+        pass
+
+    def finalize(self) -> FinalizedTrace:
+        empty = np.empty(0, dtype=np.int64)
+        empty_bool = np.empty(0, dtype=bool)
+        return FinalizedTrace(
+            fault_time_ns=empty,
+            fault_page=empty,
+            fault_vablock=empty,
+            fault_stream=empty,
+            fault_duplicate=empty_bool,
+            service_time_ns=empty,
+            service_vablock=empty,
+            service_demand=empty,
+            service_prefetch=empty,
+            evict_time_ns=empty,
+            evict_vablock=empty,
+            evict_pages=empty,
+            evict_dirty=empty,
+            evict_fault_index=empty,
+            replay_time_ns=empty,
+            batch_time_ns=empty,
+            batch_read=empty,
+            batch_duplicate=empty,
+        )

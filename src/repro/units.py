@@ -1,0 +1,106 @@
+"""Fundamental units and geometry constants of the UVM system.
+
+All sizes are in bytes and all simulated times are in **nanoseconds**
+(integers where possible) to avoid floating-point drift when millions of
+events are accumulated.  Human-facing reporting converts to microseconds,
+the unit the paper uses throughout.
+
+The geometry constants mirror the NVIDIA UVM driver on x86 hosts as
+described in Section III of the paper:
+
+* the host OS page is 4 KB,
+* faulted pages are "upgraded" to 64 KB *big pages* by stage one of the
+  prefetcher (emulating Power9 page size on x86, Section IV-A),
+* memory is allocated and evicted at 2 MB *VABlock* granularity,
+* the default fault batch is 256 faults and the default density
+  threshold of the tree prefetcher is 51 (a 1-100 percentage).
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Size units
+# --------------------------------------------------------------------------
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Host OS page size on x86, the granularity of a single far-fault.
+PAGE_SIZE: int = 4 * KiB
+
+#: "Big page" size used by prefetch stage one (64 KB, Power9 emulation).
+BIG_PAGE_SIZE: int = 64 * KiB
+
+#: Virtual address block: the allocation/eviction granularity of UVM.
+VABLOCK_SIZE: int = 2 * MiB
+
+#: 4 KB pages per 64 KB big page.
+PAGES_PER_BIG_PAGE: int = BIG_PAGE_SIZE // PAGE_SIZE  # 16
+
+#: 4 KB pages per 2 MB VABlock (the leaves of the density tree).
+PAGES_PER_VABLOCK: int = VABLOCK_SIZE // PAGE_SIZE  # 512
+
+#: Big pages per VABlock (level-5 subtrees of the density tree).
+BIG_PAGES_PER_VABLOCK: int = VABLOCK_SIZE // BIG_PAGE_SIZE  # 32
+
+#: Depth of the density tree: log2(2MB / 4KB) = 9 levels of edges,
+#: i.e. the tree has levels 0 (leaves) .. 9 (root) inclusive.
+DENSITY_TREE_LEVELS: int = 9
+
+#: Default number of faults drained from the fault buffer per batch.
+DEFAULT_BATCH_SIZE: int = 256
+
+#: Default density threshold (percent) for the tree-based prefetcher.
+DEFAULT_DENSITY_THRESHOLD: int = 51
+
+# --------------------------------------------------------------------------
+# Time units (simulated).  Base unit: nanoseconds.
+# --------------------------------------------------------------------------
+NS: int = 1
+US: int = 1000
+MS: int = 1000 * US
+S: int = 1000 * MS
+
+
+def ns_to_us(t_ns: float) -> float:
+    """Convert simulated nanoseconds to microseconds (paper's unit)."""
+    return t_ns / US
+
+
+def ns_to_ms(t_ns: float) -> float:
+    """Convert simulated nanoseconds to milliseconds."""
+    return t_ns / MS
+
+
+def us(t: float) -> int:
+    """Express ``t`` microseconds in base (nanosecond) units."""
+    return round(t * US)
+
+
+def bytes_to_pages(nbytes: int) -> int:
+    """Number of whole 4 KB pages covering ``nbytes`` (ceiling division)."""
+    return -(-nbytes // PAGE_SIZE)
+
+
+def pages_to_bytes(npages: int) -> int:
+    """Total bytes spanned by ``npages`` 4 KB pages."""
+    return npages * PAGE_SIZE
+
+
+def human_size(nbytes: float) -> str:
+    """Render a byte count the way the paper's axes do (e.g. ``'1.5MB'``)."""
+    for unit, div in (("GB", GiB), ("MB", MiB), ("KB", KiB)):
+        if nbytes >= div:
+            value = nbytes / div
+            return f"{value:.4g}{unit}"
+    return f"{nbytes:.0f}B"
+
+
+def human_time_us(t_ns: float) -> str:
+    """Render a simulated duration in the paper's microsecond convention."""
+    t_us = ns_to_us(t_ns)
+    if t_us >= 1e6:
+        return f"{t_us / 1e6:.3g}s"
+    if t_us >= 1e3:
+        return f"{t_us / 1e3:.3g}ms"
+    return f"{t_us:.3g}us"

@@ -1,0 +1,40 @@
+"""Page-level workload generators for the paper's eight benchmarks.
+
+Section III-B evaluates: two synthetic kernels (regular and random
+page-touch), cuBLAS SGEMM, STREAM (triad only), TeaLeaf, HPGMG, forward
+and inverse cuFFT, and a cuSparse dense-to-sparse conversion plus SpMM.
+
+The UVM driver only ever observes the *page fault stream* - the paper
+itself analyzes workloads purely at page granularity (Fig. 7) - so each
+generator reproduces its application's page-granularity access structure:
+which ranges exist, in what order pages are touched, what is re-used,
+what is written, and what ordering dependencies constrain the faults.
+"""
+
+from repro.workloads.base import Workload, WorkloadBuild
+from repro.workloads.synthetic import RandomAccess, RegularAccess
+from repro.workloads.sgemm import SgemmWorkload
+from repro.workloads.stream_triad import StreamTriadWorkload
+from repro.workloads.fft import CufftWorkload
+from repro.workloads.tealeaf import TealeafWorkload
+from repro.workloads.hpgmg import HpgmgWorkload
+from repro.workloads.cusparse import CusparseWorkload
+from repro.workloads.graph import BfsWorkload
+from repro.workloads.registry import PAPER_WORKLOADS, make_workload, workload_names
+
+__all__ = [
+    "Workload",
+    "WorkloadBuild",
+    "RegularAccess",
+    "RandomAccess",
+    "SgemmWorkload",
+    "StreamTriadWorkload",
+    "CufftWorkload",
+    "TealeafWorkload",
+    "HpgmgWorkload",
+    "CusparseWorkload",
+    "BfsWorkload",
+    "PAPER_WORKLOADS",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,36 @@
+"""Shared fixtures: small, fast simulator configurations.
+
+Tests run against deliberately tiny devices (16-64 MiB) so the full
+suite stays quick; all paper claims under test are about ratios and
+mechanisms, which are scale-invariant in this simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentSetup
+from repro.sim.rng import SimRng
+from repro.units import MiB
+
+
+@pytest.fixture
+def rng() -> SimRng:
+    return SimRng(1234)
+
+
+@pytest.fixture
+def tiny_setup() -> ExperimentSetup:
+    """16 MiB GPU: enough for 8 VABlocks; near-instant runs."""
+    return ExperimentSetup().with_gpu(memory_bytes=16 * MiB)
+
+
+@pytest.fixture
+def small_setup() -> ExperimentSetup:
+    """64 MiB GPU: the oversubscription workhorse."""
+    return ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+
+
+@pytest.fixture
+def no_prefetch_setup(small_setup) -> ExperimentSetup:
+    return small_setup.with_driver(prefetch_enabled=False)

@@ -1,0 +1,76 @@
+"""Shape claims for Fig. 10 and Table II: SGEMM across the memory cliff."""
+
+import pytest
+
+from repro.experiments.common import gemm_wave_setup
+from repro.experiments.fig10 import run_fig10
+from repro.experiments.table2 import run_table2
+
+RATIOS = (0.6, 0.95, 1.15, 1.5, 1.9)
+
+
+@pytest.fixture(scope="module")
+def sweep_setup():
+    return gemm_wave_setup(32)
+
+
+@pytest.fixture(scope="module")
+def fig10(sweep_setup):
+    return run_fig10(sweep_setup, ratios=RATIOS)
+
+
+@pytest.fixture(scope="module")
+def table2(sweep_setup):
+    return run_table2(sweep_setup, ratios=RATIOS)
+
+
+class TestFig10:
+    def test_rate_peaks_near_capacity(self, fig10):
+        """Compute rate rises toward the boundary and falls past the
+        eviction cliff (paper: 'performance degrades significantly
+        after 120%')."""
+        peak = fig10.peak_row
+        assert 0.8 <= peak.oversubscription <= 1.35
+
+    def test_deep_oversubscription_degrades_hard(self, fig10):
+        peak = fig10.peak_row
+        deepest = max(fig10.rows, key=lambda r: r.oversubscription)
+        assert deepest.gflops < 0.8 * peak.gflops
+
+    def test_no_evictions_before_capacity(self, fig10):
+        for row in fig10.rows:
+            if row.oversubscription < 0.9:
+                assert row.evictions == 0
+
+    def test_render(self, fig10):
+        assert "GFLOP/s" in fig10.render()
+
+
+class TestTableTwo:
+    def test_zero_evictions_in_core(self, table2):
+        for row in table2.rows:
+            if row.oversubscription < 0.9:
+                assert row.pages_evicted == 0
+                assert row.evictions_per_fault == 0
+
+    def test_pages_evicted_monotone_in_oversubscription(self, table2):
+        over = [r for r in table2.rows if r.oversubscription > 1.0]
+        values = [r.pages_evicted for r in sorted(over, key=lambda r: r.n)]
+        assert values == sorted(values)
+        assert values[-1] > 0
+
+    def test_evictions_per_fault_rises_past_cliff(self, table2):
+        """The paper's key correlate of degradation: the
+        pages-evicted-per-fault column climbs (0 -> 14.1 at their
+        scale) as oversubscription deepens."""
+        over = sorted(
+            (r for r in table2.rows if r.oversubscription > 0.9), key=lambda r: r.n
+        )
+        assert over[-1].evictions_per_fault > 2 * over[0].evictions_per_fault
+        assert over[-1].evictions_per_fault > 1.0
+
+    def test_render_matches_paper_columns(self, table2):
+        out = table2.render()
+        assert "# Faults" in out
+        assert "# Pages Evicted" in out
+        assert "# Evictions per Fault" in out

@@ -1,0 +1,78 @@
+"""Fig. 1's four published observations, asserted against the simulator.
+
+Run at reduced sweep resolution so the suite stays fast; the benchmark
+harness regenerates the full figure.
+"""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.runner import ExperimentSetup
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    setup = ExperimentSetup().with_gpu(memory_bytes=32 * MiB)
+    return run_fig1(setup, fractions=(0.01, 0.25, 0.9, 1.25))
+
+
+class TestObservationOne:
+    def test_uvm_an_order_of_magnitude_over_explicit(self, fig1):
+        """(1) un-prefetched UVM is >= ~10x explicit transfer."""
+        for row in fig1.rows:
+            if not row.oversubscribed and row.fraction >= 0.25:
+                assert row.uvm_slowdown >= 8, (
+                    f"{row.pattern}@{row.fraction}: only {row.uvm_slowdown:.1f}x"
+                )
+
+
+class TestObservationTwo:
+    def test_prefetch_cuts_cost_but_stays_above_baseline(self, fig1):
+        """(2) prefetching helps a lot in-core yet stays several times
+        over the explicit baseline."""
+        for row in fig1.rows:
+            if not row.oversubscribed and row.fraction >= 0.25:
+                assert row.uvm_prefetch_us < 0.6 * row.uvm_us
+                assert row.prefetch_slowdown > 1.5
+
+
+class TestObservationThree:
+    def test_oversubscription_latency_jump(self, fig1):
+        """(3) crossing GPU capacity costs another large factor,
+        pattern-dependent (worst for random)."""
+        for pattern in ("regular", "random"):
+            rows = fig1.pattern_rows(pattern)
+            under = next(r for r in rows if r.fraction == 0.9)
+            over = next(r for r in rows if r.fraction == 1.25)
+            size_ratio = over.data_bytes / under.data_bytes
+            jump = (over.uvm_prefetch_us / under.uvm_prefetch_us) / size_ratio
+            # random jumps hard (thrash; >4x per byte at deeper ratios,
+            # see the bench sweep); regular merely stops improving
+            min_jump = 2.5 if pattern == "random" else 1.0
+            assert jump > min_jump, f"{pattern}: jump {jump:.2f}"
+
+
+class TestObservationFour:
+    def test_prefetch_aggravates_oversubscribed_transfers(self, fig1):
+        """(4) the aggravation mechanism: under oversubscription the
+        prefetcher moves far more data than demand paging needs, the
+        paper's 504GB-for-32GB phenomenon (Section V-A3).  We assert the
+        mechanism (transfer blow-up) rather than the time crossover,
+        which in this simulator appears only at deeper ratios - see
+        EXPERIMENTS.md."""
+        from repro.experiments.runner import simulate
+        from repro.workloads.synthetic import RandomAccess
+
+        setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+        data = int(64 * MiB * 1.5)
+        with_pf = simulate(RandomAccess(data), setup)
+        without = simulate(RandomAccess(data), setup.with_driver(prefetch_enabled=False))
+        assert with_pf.dma.h2d_bytes > 2 * without.dma.h2d_bytes
+
+
+class TestRendering:
+    def test_render_produces_table(self, fig1):
+        out = fig1.render()
+        assert "uvm/explicit" in out
+        assert "regular" in out and "random" in out

@@ -1,0 +1,92 @@
+"""Shape claims for Figs. 3-5: cost scaling, service split, policies."""
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_policy_comparison
+from repro.units import KiB, MiB
+
+SIZES = (16 * KiB, 64 * KiB, 1 * MiB, 16 * MiB)
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return run_fig3(sizes=SIZES)
+
+
+@pytest.fixture(scope="module")
+def fig45():
+    return run_policy_comparison(sizes=SIZES)
+
+
+class TestFig3:
+    def test_constant_floor_below_100kb(self, fig3):
+        """400-600 us total for sub-100 KB data (Section III-C)."""
+        for row in fig3.rows:
+            if row.data_bytes < 100 * 1024:
+                assert 380 <= row.total_us <= 620, row
+
+    def test_roughly_linear_growth_at_scale(self, fig3):
+        rows = fig3.pattern_rows("regular")
+        big = next(r for r in rows if r.data_bytes == 16 * MiB)
+        mid = next(r for r in rows if r.data_bytes == 1 * MiB)
+        growth = big.total_us / mid.total_us
+        assert 8 <= growth <= 32  # 16x data -> ~16x time
+
+    def test_preprocess_negligible(self, fig3):
+        """'Pre/post processing is shown to be negligible in cost.'"""
+        for row in fig3.rows:
+            assert row.share("preprocess") < 0.15
+
+    def test_service_dominates_at_scale(self, fig3):
+        big = [r for r in fig3.rows if r.data_bytes == 16 * MiB]
+        for row in big:
+            assert row.share("service") > 0.5
+
+    def test_random_slower_than_regular(self, fig3):
+        reg = next(r for r in fig3.pattern_rows("regular") if r.data_bytes == 16 * MiB)
+        rnd = next(r for r in fig3.pattern_rows("random") if r.data_bytes == 16 * MiB)
+        assert rnd.total_us >= reg.total_us
+
+    def test_replay_cost_material_at_scale(self, fig3):
+        big = next(r for r in fig3.pattern_rows("random") if r.data_bytes == 16 * MiB)
+        assert big.replay_us > 0.02 * big.total_us
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        return run_fig4(sizes=(16 * KiB, 256 * KiB, 16 * MiB))
+
+    def test_pma_dominates_small_sizes(self, fig4):
+        small = fig4.rows[0]
+        assert small.pma_share > 0.3
+
+    def test_pma_constant_and_negligible_at_scale(self, fig4):
+        """Over-allocation caching: absolute PMA cost stays flat while
+        migrate grows; its share collapses (Fig. 4 caption)."""
+        small, large = fig4.rows[0], fig4.rows[-1]
+        assert large.pma_alloc_us <= 4 * small.pma_alloc_us
+        assert large.pma_share < 0.02
+
+    def test_migrate_grows_with_pages(self, fig4):
+        assert fig4.rows[-1].migrate_us > 50 * fig4.rows[0].migrate_us
+
+
+class TestFig5:
+    def test_replay_cost_severely_diminished(self, fig45):
+        """Batch policy vs batch-flush at the largest size."""
+        flush = fig45.batch_flush.rows[-1]
+        batch = fig45.batch.rows[-1]
+        assert batch.replay_us < 0.5 * flush.replay_us
+
+    def test_preprocessing_increased(self, fig45):
+        flush = fig45.batch_flush.rows[-1]
+        batch = fig45.batch.rows[-1]
+        assert batch.preprocess_us > 1.1 * flush.preprocess_us
+
+    def test_render_includes_both_policies(self, fig45):
+        out = fig45.render()
+        assert "batch_flush policy" in out
+        assert "batch policy" in out

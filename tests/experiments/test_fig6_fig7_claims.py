@@ -1,0 +1,93 @@
+"""Shape claims for Fig. 6 (prefetch mechanism) and Fig. 7 (patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.runner import ExperimentSetup
+from repro.units import MiB
+
+
+class TestFig6:
+    def test_cascade_doubles_at_pair_completions(self):
+        result = run_fig6()
+        sizes = [s.region_size for s in result.steps]
+        # region choice doubles when sibling halves complete: the last
+        # fault adopts the whole block
+        assert sizes[-1] == 512
+        assert max(sizes) == 512
+        assert sizes[0] == 16
+
+    def test_whole_block_eventually_flagged(self):
+        result = run_fig6()
+        assert result.steps[-1].total_flagged == 512
+
+    def test_threshold_one_needs_single_fault(self):
+        result = run_fig6(threshold=1)
+        assert result.faults_to_fill == 1
+
+    def test_higher_threshold_needs_more_faults(self):
+        low = run_fig6(threshold=25)
+        high = run_fig6(threshold=51)
+        assert low.faults_to_fill <= high.faults_to_fill
+
+    def test_render(self):
+        out = run_fig6().render()
+        assert "density-tree cascade" in out
+        assert "level 0" in out
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+    return run_fig7(
+        setup,
+        workloads=("regular", "random", "stream", "sgemm"),
+        data_fraction=0.25,
+    )
+
+
+class TestFig7:
+    def test_regular_is_mostly_ascending(self, fig7):
+        """'The GPU scheduler will prefer lower-numbered blocks... but
+        there is no fixed ordering.'"""
+        pattern = fig7.panel("regular").pattern
+        pages = pattern.page_index.astype(np.float64)
+        order = np.arange(pages.size)
+        corr = np.corrcoef(order, pages)[0, 1]
+        assert corr > 0.75
+        assert not np.array_equal(pages, np.sort(pages))  # jitter exists
+
+    def test_random_is_uncorrelated(self, fig7):
+        pattern = fig7.panel("random").pattern
+        pages = pattern.page_index.astype(np.float64)
+        corr = np.corrcoef(np.arange(pages.size), pages)[0, 1]
+        assert abs(corr) < 0.2
+
+    def test_stream_braids_three_ranges(self, fig7):
+        """The triad's dependency interleaves all three vectors
+        throughout the run, not one after another."""
+        panel = fig7.panel("stream")
+        bounds = panel.pattern.range_boundaries
+        assert len(bounds) == 3
+        pages = panel.pattern.page_index
+        third = pages.size // 3
+        early = pages[:third]
+        # all three ranges already faulting in the first third
+        for lo, hi in zip(bounds, bounds[1:] + [pages.max() + 1]):
+            assert ((early >= lo) & (early < hi)).any()
+
+    def test_sgemm_covers_three_allocations(self, fig7):
+        panel = fig7.panel("sgemm")
+        assert panel.pattern.range_names == ["A", "B", "C"]
+
+    def test_unique_fault_per_page_without_prefetch(self, fig7):
+        """Prefetch off and undersubscribed: each faulted page unique."""
+        for panel in fig7.panels:
+            pages = panel.pattern.page_index
+            assert np.unique(pages).size == pages.size
+
+    def test_render_panels(self, fig7):
+        out = fig7.render()
+        assert out.count("Fig.7") == 4

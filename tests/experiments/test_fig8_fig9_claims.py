@@ -1,0 +1,76 @@
+"""Shape claims for Fig. 8 (evict-then-refault) and Fig. 9 (oversubscribed
+breakdown)."""
+
+import pytest
+
+from repro.experiments.common import gemm_wave_setup
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.runner import ExperimentSetup
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return run_fig8(gemm_wave_setup(32), oversubscription=1.35)
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    setup = ExperimentSetup().with_gpu(memory_bytes=32 * MiB)
+    return run_fig9(setup, ratios=(1.1, 1.5))
+
+
+class TestFig8:
+    def test_oversubscribed_gemm_evicts(self, fig8):
+        assert fig8.n_evictions > 0
+        assert fig8.oversubscription > 1.1
+
+    def test_evict_then_refault_observed(self, fig8):
+        """The worst-case pattern the paper highlights: blocks evicted
+        shortly before being paged back in (fault-only LRU blindness)."""
+        assert fig8.refaulted_evictions > 0
+        assert fig8.refault_fraction > 0.2
+
+    def test_eviction_overlay_aligned(self, fig8):
+        assert fig8.pattern.eviction_occurrence.size == fig8.n_evictions
+        # eviction indices are positions in the (duplicate-inclusive)
+        # fault stream: non-negative and non-decreasing
+        occ = fig8.pattern.eviction_occurrence
+        assert (occ >= 0).all()
+        assert (occ[1:] >= occ[:-1]).all()
+
+    def test_render_shows_evictions(self, fig8):
+        out = fig8.render()
+        assert "x" in out
+        assert "evict-then-refault" in out
+
+
+class TestFig9:
+    def test_random_order_of_magnitude_slower(self, fig9):
+        """'Different access patterns show an order of magnitude
+        difference in performance.'"""
+        # >= 5x at this reduced test scale; the bench sweep at the
+        # default 64 MiB device shows >= 10x (see EXPERIMENTS.md)
+        assert fig9.slowdown_at(1.5) > 5
+
+    def test_random_amplifies_transfers(self, fig9):
+        reg = [r for r in fig9.pattern_rows("regular") if r.ratio == 1.5][0]
+        rnd = [r for r in fig9.pattern_rows("random") if r.ratio == 1.5][0]
+        assert reg.amplification < 2.0  # streaming moves ~the data once
+        assert rnd.amplification > 3.0  # thrash multiplies traffic
+
+    def test_eviction_cost_grows_with_ratio_for_random(self, fig9):
+        rows = sorted(fig9.pattern_rows("random"), key=lambda r: r.ratio)
+        assert rows[1].evict_us > rows[0].evict_us
+        assert rows[1].evictions > rows[0].evictions
+
+    def test_map_dominates_driver_time(self, fig9):
+        """Fig. 9 groups migration+mapping as 'Map': the dominant cost."""
+        for row in fig9.rows:
+            driver_total = row.map_us + row.evict_us + row.other_driver_us
+            assert row.map_us > 0.4 * driver_total
+
+    def test_render(self, fig9):
+        out = fig9.render()
+        assert "bytes moved" in out

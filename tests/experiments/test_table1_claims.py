@@ -1,0 +1,47 @@
+"""Table I shape claims: prefetching's fault reduction across workloads.
+
+The paper's floor is 64% (hpgmg) with random at 97.95%; our simulator's
+magnitudes differ (documented in EXPERIMENTS.md) but the structural
+claims hold: substantial reduction everywhere, random (near-)maximal and
+above regular.
+"""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSetup
+from repro.experiments.table1 import run_table1
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def table1():
+    setup = ExperimentSetup().with_gpu(memory_bytes=128 * MiB)
+    return run_table1(setup, data_fraction=0.25)
+
+
+class TestTableOne:
+    def test_all_eight_workloads_present(self, table1):
+        assert len(table1.rows) == 8
+
+    def test_substantial_reduction_everywhere(self, table1):
+        """Paper: 'at least 64% of faults were eliminated by enabling
+        prefetching' - every workload clears a strong floor."""
+        for row in table1.rows:
+            assert row.reduction_pct >= 60, f"{row.workload}: {row.reduction_pct:.1f}%"
+
+    def test_random_beats_regular(self, table1):
+        """Scattered faults saturate VABlock density fastest."""
+        assert table1.row("random").reduction_pct > table1.row("regular").reduction_pct
+
+    def test_random_near_maximal(self, table1):
+        assert table1.row("random").reduction_pct > 90
+
+    def test_prefetch_strictly_reduces(self, table1):
+        for row in table1.rows:
+            assert row.faults_with_prefetch < row.total_faults
+
+    def test_render_matches_paper_columns(self, table1):
+        out = table1.render()
+        assert "total faults" in out
+        assert "faults w/ prefetching" in out
+        assert "fault reduction (%)" in out

@@ -1,0 +1,56 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+Examples are user-facing API documentation; a broken one is a broken
+doc. The slow sweep examples are exercised by the benchmark suite
+instead (they regenerate the same exhibits).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "prefetch_tree_demo.py",
+    "memadvise_hints.py",
+    "replay_policy_comparison.py",
+    "driver_anatomy.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_the_paper_quantities():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    out = proc.stdout
+    assert "driver time by category" in out
+    assert "fault reduction from prefetching" in out
+    assert "prefetching speedup" in out
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 7
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith(('"""', "#!")), script.name
+        assert "Run:" in text, f"{script.name} lacks a Run: line"

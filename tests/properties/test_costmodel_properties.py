@@ -1,0 +1,50 @@
+"""Property-based tests for cost-model arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.costmodel import CostModel
+
+sizes = st.integers(min_value=0, max_value=1 << 36)
+transfer_counts = st.integers(min_value=1, max_value=1 << 12)
+
+
+@given(sizes, sizes)
+@settings(max_examples=200, deadline=None)
+def test_transfer_time_is_monotone_and_superadditive_free(a, b):
+    cost = CostModel()
+    assert cost.transfer_ns(a + b) >= cost.transfer_ns(max(a, b))
+    # wire time is linear up to rounding
+    assert abs(cost.transfer_ns(a + b) - cost.transfer_ns(a) - cost.transfer_ns(b)) <= 2
+
+
+@given(sizes, transfer_counts)
+@settings(max_examples=200, deadline=None)
+def test_dma_setup_scales_with_transfer_count(nbytes, transfers):
+    cost = CostModel()
+    base = cost.dma_transfer_ns(nbytes, transfers=1)
+    split = cost.dma_transfer_ns(nbytes, transfers=transfers)
+    assert split == base + (transfers - 1) * cost.dma_setup_ns
+
+
+@given(sizes)
+@settings(max_examples=200, deadline=None)
+def test_explicit_transfer_never_negative_and_monotone(nbytes):
+    cost = CostModel()
+    t = cost.explicit_copy_ns(nbytes)
+    assert t >= cost.memcpy_setup_ns
+    assert cost.explicit_copy_ns(nbytes + 4096) >= t
+
+
+@given(st.integers(min_value=50, max_value=400))
+@settings(max_examples=50, deadline=None)
+def test_bandwidth_scaling_preserves_fault_anchor(scale_pct):
+    """Over realistic link speeds (PCIe3 half-rate .. NVLink-class) the
+    isolated-fault estimate stays in a sane band: software costs, not
+    wire time, dominate a 4 KB fault."""
+    cost = CostModel().with_overrides(
+        interconnect_bytes_per_s=int(12e9 * scale_pct / 100)
+    )
+    est = cost.isolated_fault_estimate_ns()
+    assert 25_000 <= est <= 50_000

@@ -1,0 +1,74 @@
+"""Property-based tests for LRU eviction ordering."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.eviction import LruEvictionPolicy
+
+VB_IDS = st.integers(0, 15)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), VB_IDS),
+        st.tuples(st.just("touch"), VB_IDS),
+        st.tuples(st.just("evict"), st.just(None)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class ModelLru:
+    """Reference model: an OrderedDict, MRU at the end."""
+
+    def __init__(self):
+        self.d = OrderedDict()
+
+    def insert(self, vb):
+        self.d[vb] = None
+
+    def touch(self, vb):
+        self.d.move_to_end(vb)
+
+    def evict(self):
+        return self.d.popitem(last=False)[0]
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_matches_reference_model(sequence):
+    real, model = LruEvictionPolicy(), ModelLru()
+    for op, vb in sequence:
+        if op == "insert" and vb not in model.d:
+            real.insert(vb)
+            model.insert(vb)
+        elif op == "touch" and vb in model.d:
+            real.touch(vb)
+            model.touch(vb)
+        elif op == "evict" and model.d:
+            assert real.evict_victim() == model.evict()
+    assert real.order() == list(model.d)
+
+
+@given(ops, st.sets(VB_IDS, max_size=4))
+@settings(max_examples=150, deadline=None)
+def test_victim_selection_respects_exclusions(sequence, exclude):
+    policy = LruEvictionPolicy()
+    members = set()
+    for op, vb in sequence:
+        if op == "insert" and vb not in members:
+            policy.insert(vb)
+            members.add(vb)
+        elif op == "touch" and vb in members:
+            policy.touch(vb)
+    victim = policy.select_victim(exclude=exclude)
+    if members - exclude:
+        assert victim in members - exclude
+        # victim must be the least recent among eligible blocks
+        order = policy.order()
+        eligible = [v for v in order if v not in exclude]
+        assert victim == eligible[0]
+    else:
+        assert victim is None

@@ -1,0 +1,65 @@
+"""Property-based tests for the fault buffer: FIFO, capacity, accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.fault_buffer import FaultBuffer, FaultEntry
+
+
+def entry(page):
+    return FaultEntry(
+        page=page, is_write=False, timestamp_ns=0, gpc_id=0, utlb_id=0, stream_id=0
+    )
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(0, 1000)),
+        st.tuples(st.just("pop"), st.none()),
+        st.tuples(st.just("flush"), st.none()),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+capacities = st.integers(min_value=1, max_value=32)
+
+
+@given(ops, capacities)
+@settings(max_examples=200, deadline=None)
+def test_accounting_identity(sequence, capacity):
+    """enqueued == popped + flushed + still-queued, drops separate."""
+    buf = FaultBuffer(capacity=capacity, ready_delay_ns=0)
+    popped = 0
+    for op, page in sequence:
+        if op == "push":
+            buf.try_push(entry(page))
+        elif op == "pop":
+            e, _ = buf.pop_ready(10**9)
+            popped += e is not None
+        else:
+            buf.flush()
+    assert buf.total_enqueued == popped + buf.total_flushed + len(buf)
+    assert len(buf) <= capacity
+    assert buf.high_watermark <= capacity
+
+
+@given(ops, capacities)
+@settings(max_examples=150, deadline=None)
+def test_fifo_order_preserved(sequence, capacity):
+    buf = FaultBuffer(capacity=capacity, ready_delay_ns=0)
+    model: list[int] = []
+    for op, page in sequence:
+        if op == "push":
+            if buf.try_push(entry(page)):
+                model.append(page)
+        elif op == "pop":
+            e, _ = buf.pop_ready(10**9)
+            if model:
+                assert e.page == model.pop(0)
+            else:
+                assert e is None
+        else:
+            buf.flush()
+            model.clear()
+    assert buf.snapshot_pages() == model

@@ -1,0 +1,75 @@
+"""Property-based tests for address arithmetic and the address space."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import layout
+from repro.mem.address_space import AddressSpace
+from repro.units import PAGE_SIZE, PAGES_PER_VABLOCK
+
+pages = st.integers(min_value=0, max_value=2**40)
+
+
+@given(pages)
+@settings(max_examples=200, deadline=None)
+def test_page_in_its_own_vablock_span(page):
+    vb = layout.vablock_of_page(page)
+    lo, hi = layout.page_span_of_vablock(int(vb))
+    assert lo <= page < hi
+
+
+@given(pages)
+@settings(max_examples=200, deadline=None)
+def test_page_in_its_own_big_page_span(page):
+    bp = layout.big_page_of_page(page)
+    lo, hi = layout.pages_of_big_page(int(bp))
+    assert lo <= page < hi
+
+
+@given(pages)
+@settings(max_examples=200, deadline=None)
+def test_byte_page_round_trip(page):
+    assert layout.page_of_byte(layout.byte_of_page(page)) == page
+
+
+@given(st.integers(0, 10**6), st.sampled_from([16, 64, 512, 1024]))
+@settings(max_examples=200, deadline=None)
+def test_align_up_properties(n, granule):
+    aligned = layout.align_up_pages(n, granule)
+    assert aligned >= n
+    assert aligned % granule == 0
+    assert aligned - n < granule
+
+
+allocation_lists = st.lists(
+    st.integers(min_value=1, max_value=8 * 1024 * 1024), min_size=1, max_size=8
+)
+
+
+@given(allocation_lists)
+@settings(max_examples=100, deadline=None)
+def test_ranges_never_overlap_and_tile_vablocks(sizes):
+    space = AddressSpace()
+    ranges = [space.malloc_managed(s) for s in sizes]
+    # non-overlap and alignment
+    cursor = 0
+    for rng in ranges:
+        assert rng.start_page == cursor
+        assert rng.start_page % PAGES_PER_VABLOCK == 0
+        cursor = rng.end_page_aligned
+    assert space.total_pages == cursor
+    # every page maps back to exactly its owning range
+    for rng in ranges:
+        for probe in {rng.start_page, rng.end_page - 1}:
+            assert space.range_of_page(probe) is rng
+
+
+@given(allocation_lists)
+@settings(max_examples=100, deadline=None)
+def test_requested_pages_cover_requested_bytes(sizes):
+    space = AddressSpace()
+    for size in sizes:
+        rng = space.malloc_managed(size)
+        assert rng.npages * PAGE_SIZE >= size
+        assert (rng.npages - 1) * PAGE_SIZE < size

@@ -1,0 +1,64 @@
+"""Property-based tests for the physical memory allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pma import PhysicalMemoryAllocator
+from repro.sim.costmodel import CostModel
+from repro.units import MiB, VABLOCK_SIZE
+
+CAPACITY = 64 * MiB
+MAX_BLOCKS = CAPACITY // VABLOCK_SIZE
+
+# sequences of reserve (+1) / release (-1) requests
+op_sequences = st.lists(st.sampled_from([1, -1]), min_size=1, max_size=200)
+
+
+def run_sequence(sequence):
+    pma = PhysicalMemoryAllocator(CostModel(), CAPACITY)
+    held = 0
+    for op in sequence:
+        if op == 1 and pma.can_reserve(VABLOCK_SIZE):
+            pma.reserve(VABLOCK_SIZE)
+            held += 1
+        elif op == -1 and held:
+            pma.release(VABLOCK_SIZE)
+            held -= 1
+    return pma, held
+
+
+@given(op_sequences)
+@settings(max_examples=200, deadline=None)
+def test_conservation_always_holds(sequence):
+    pma, held = run_sequence(sequence)
+    assert pma.unclaimed_bytes + pma.cache_bytes + pma.used_bytes == CAPACITY
+    assert pma.used_bytes == held * VABLOCK_SIZE
+
+
+@given(op_sequences)
+@settings(max_examples=200, deadline=None)
+def test_never_over_commits(sequence):
+    pma, held = run_sequence(sequence)
+    assert held <= MAX_BLOCKS
+    assert pma.used_bytes <= CAPACITY
+
+
+@given(op_sequences)
+@settings(max_examples=100, deadline=None)
+def test_call_count_bounded_by_chunk_arithmetic(sequence):
+    """Proprietary-driver calls can never exceed what chunked refills
+    require: ceil(capacity / chunk) over the allocator's lifetime."""
+    pma, _ = run_sequence(sequence)
+    max_calls = -(-CAPACITY // CostModel().pma_chunk_bytes)
+    assert pma.stats.calls <= max_calls
+
+
+@given(op_sequences)
+@settings(max_examples=100, deadline=None)
+def test_reservations_after_release_are_cache_hits(sequence):
+    """Anything released is reachable without another driver call."""
+    pma, held = run_sequence(sequence)
+    if held < MAX_BLOCKS and pma.cache_bytes >= VABLOCK_SIZE:
+        calls_before = pma.stats.calls
+        pma.reserve(VABLOCK_SIZE)
+        assert pma.stats.calls == calls_before

@@ -1,0 +1,124 @@
+"""Property-based tests for the density prefetcher.
+
+Invariants derived from the algorithm's specification (Section IV-A):
+for ANY residency mask and fault set,
+
+* the prefetch set is disjoint from resident and demand pages,
+* after fetching, every chosen region's density is total,
+* stage one always covers each fault's big page,
+* lowering the threshold never shrinks the prefetch set semantics
+  (monotonicity at the single-fault level),
+* the computation is deterministic and side-effect free.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prefetch import TreePrefetcher
+
+LEAVES = 512
+BIG = 16
+
+residency_masks = st.lists(
+    st.booleans(), min_size=LEAVES, max_size=LEAVES
+).map(lambda bits: np.array(bits, dtype=bool))
+
+fault_sets = st.lists(
+    st.integers(min_value=0, max_value=LEAVES - 1), min_size=1, max_size=24, unique=True
+).map(lambda xs: np.array(sorted(xs), dtype=np.int64))
+
+thresholds = st.integers(min_value=1, max_value=100)
+
+
+@st.composite
+def scenario(draw):
+    resident = draw(residency_masks)
+    faults = draw(fault_sets)
+    # a fault can only happen on a non-resident page
+    resident[faults] = False
+    return resident, faults
+
+
+@given(scenario(), thresholds)
+@settings(max_examples=150, deadline=None)
+def test_prefetch_disjoint_from_resident_and_demand(sc, threshold):
+    resident, faults = sc
+    decision = TreePrefetcher(threshold=threshold).compute(resident, faults)
+    offsets = decision.prefetch_offsets
+    assert not resident[offsets].any()
+    assert not np.isin(offsets, faults).any()
+    assert np.array_equal(offsets, np.unique(offsets))  # sorted unique
+
+
+@given(scenario())
+@settings(max_examples=150, deadline=None)
+def test_stage_one_covers_fault_big_pages(sc):
+    resident, faults = sc
+    decision = TreePrefetcher().compute(resident, faults)
+    covered = resident.copy()
+    covered[faults] = True
+    covered[decision.prefetch_offsets] = True
+    for leaf in faults:
+        group = slice((leaf // BIG) * BIG, (leaf // BIG + 1) * BIG)
+        assert covered[group].all()
+
+
+@given(scenario(), thresholds)
+@settings(max_examples=100, deadline=None)
+def test_input_mask_not_mutated(sc, threshold):
+    resident, faults = sc
+    before = resident.copy()
+    TreePrefetcher(threshold=threshold).compute(resident, faults)
+    assert np.array_equal(resident, before)
+
+
+@given(scenario(), thresholds)
+@settings(max_examples=100, deadline=None)
+def test_deterministic(sc, threshold):
+    resident, faults = sc
+    pf = TreePrefetcher(threshold=threshold)
+    a = pf.compute(resident, faults)
+    b = pf.compute(resident, faults)
+    assert np.array_equal(a.prefetch_offsets, b.prefetch_offsets)
+    assert a.max_region == b.max_region
+
+
+@given(scenario())
+@settings(max_examples=100, deadline=None)
+def test_threshold_one_dominates_any_threshold(sc):
+    """Threshold 1 (maximally aggressive) fetches a superset of what any
+    higher threshold fetches."""
+    resident, faults = sc
+    low = TreePrefetcher(threshold=1).compute(resident, faults)
+    high = TreePrefetcher(threshold=73).compute(resident, faults)
+    assert set(high.prefetch_offsets.tolist()) <= set(low.prefetch_offsets.tolist())
+
+
+@given(scenario(), thresholds)
+@settings(max_examples=100, deadline=None)
+def test_chosen_regions_exceed_threshold_density(sc, threshold):
+    """Every per-fault region of size > big page satisfied the strict
+    density inequality at selection time; verify the *final* occupancy
+    of each reported max region is total (set-to-max postcondition)."""
+    resident, faults = sc
+    decision = TreePrefetcher(threshold=threshold).compute(resident, faults)
+    final = resident.copy()
+    final[faults] = True
+    final[decision.prefetch_offsets] = True
+    # regions are recorded per fault; each fault's chosen region is full
+    for leaf, size in zip(np.sort(faults), decision.region_sizes):
+        if size <= BIG:
+            continue
+        base = (int(leaf) // size) * size
+        assert final[base : base + size].all()
+
+
+@given(scenario())
+@settings(max_examples=100, deadline=None)
+def test_region_sizes_are_powers_of_two_big_page_or_larger(sc):
+    resident, faults = sc
+    decision = TreePrefetcher().compute(resident, faults)
+    for size in decision.region_sizes:
+        assert size >= BIG
+        assert size & (size - 1) == 0

@@ -1,0 +1,104 @@
+"""Property-based tests for residency state under random op sequences."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.residency import ResidencyState
+from repro.units import MiB
+
+N_VABLOCKS = 4
+N_PAGES = N_VABLOCKS * 512
+
+
+def fresh_state() -> ResidencyState:
+    space = AddressSpace()
+    space.malloc_managed(N_VABLOCKS * 2 * MiB)
+    return ResidencyState(space)
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("resident"),
+            st.lists(
+                st.integers(0, N_PAGES - 1), min_size=1, max_size=64, unique=True
+            ),
+            st.booleans(),
+        ),
+        st.tuples(st.just("evict"), st.integers(0, N_VABLOCKS - 1)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(ops)
+@settings(max_examples=120, deadline=None)
+def test_invariants_hold_under_any_op_sequence(sequence):
+    state = fresh_state()
+    for op in sequence:
+        if op[0] == "resident":
+            _, pages, write = op
+            pages = np.array(pages, dtype=np.int64)
+            for vb in np.unique(pages // 512):
+                if not state.backed[vb]:
+                    state.back_vablock(int(vb))
+            state.make_resident(pages, writing=write)
+        else:
+            _, vb = op
+            if state.backed[vb]:
+                state.evict_vablock(vb)
+    state.check_invariants()
+
+
+@given(ops)
+@settings(max_examples=80, deadline=None)
+def test_resident_count_equals_bitmap_popcount(sequence):
+    state = fresh_state()
+    for op in sequence:
+        if op[0] == "resident":
+            _, pages, write = op
+            pages = np.array(pages, dtype=np.int64)
+            for vb in np.unique(pages // 512):
+                if not state.backed[vb]:
+                    state.back_vablock(int(vb))
+            state.make_resident(pages, writing=write)
+        elif state.backed[op[1]]:
+            state.evict_vablock(op[1])
+    assert state.total_resident_pages() == int(state.resident.sum())
+
+
+@given(
+    st.lists(st.integers(0, N_PAGES - 1), min_size=1, max_size=128, unique=True),
+    st.lists(st.integers(0, N_PAGES - 1), min_size=1, max_size=128, unique=True),
+)
+@settings(max_examples=80, deadline=None)
+def test_make_resident_is_idempotent_and_additive(first, second):
+    state = fresh_state()
+    for vb in range(N_VABLOCKS):
+        state.back_vablock(vb)
+    a = np.array(first, dtype=np.int64)
+    b = np.array(second, dtype=np.int64)
+    n1 = state.make_resident(a)
+    n2 = state.make_resident(b)
+    assert n1 == len(first)
+    assert n2 == np.setdiff1d(b, a).size
+    union = np.union1d(a, b)
+    assert state.total_resident_pages() == union.size
+
+
+@given(st.lists(st.integers(0, N_PAGES - 1), min_size=1, max_size=128, unique=True))
+@settings(max_examples=80, deadline=None)
+def test_evict_drops_exactly_block_pages(pages):
+    state = fresh_state()
+    for vb in range(N_VABLOCKS):
+        state.back_vablock(vb)
+    pages = np.array(pages, dtype=np.int64)
+    state.make_resident(pages, writing=True)
+    in_block0 = int((pages < 512).sum())
+    n_res, n_dirty = state.evict_vablock(0)
+    assert n_res == in_block0
+    assert n_dirty == in_block0  # all written
+    assert state.total_resident_pages() == pages.size - in_block0

@@ -1,0 +1,22 @@
+"""Unit tests for canonical counter names."""
+
+from repro.core import counters as C
+
+
+class TestCounterNames:
+    def test_all_counters_enumerated(self):
+        assert C.FAULTS_READ in C.ALL_COUNTERS
+        assert C.EVICTIONS in C.ALL_COUNTERS
+        assert len(C.ALL_COUNTERS) >= 20
+
+    def test_names_are_namespaced(self):
+        for name in C.ALL_COUNTERS:
+            assert "." in name, f"counter {name!r} lacks a namespace"
+
+    def test_no_duplicate_names(self):
+        assert len(set(C.ALL_COUNTERS)) == len(C.ALL_COUNTERS)
+
+    def test_table_one_counter_is_driver_observed(self):
+        """Table I counts driver-observed faults: reads, not services."""
+        assert C.FAULTS_READ == "faults.read"
+        assert C.FAULTS_SERVICED != C.FAULTS_READ

@@ -1,0 +1,75 @@
+"""Unit tests for the fault-driven LRU eviction policy."""
+
+import pytest
+
+from repro.core.eviction import LruEvictionPolicy
+from repro.errors import OutOfDeviceMemoryError, SimulationError
+
+
+@pytest.fixture
+def lru():
+    policy = LruEvictionPolicy()
+    for vb in (1, 2, 3):
+        policy.insert(vb)
+    return policy
+
+
+class TestOrdering:
+    def test_insertion_order_is_recency(self, lru):
+        assert lru.order() == [1, 2, 3]  # 1 is LRU
+
+    def test_touch_promotes_to_mru(self, lru):
+        lru.touch(1)
+        assert lru.order() == [2, 3, 1]
+
+    def test_victim_is_lru_end(self, lru):
+        assert lru.select_victim() == 1
+
+    def test_victim_respects_exclusion(self, lru):
+        assert lru.select_victim(exclude=(1,)) == 2
+
+    def test_evict_victim_unlinks(self, lru):
+        victim = lru.evict_victim()
+        assert victim == 1
+        assert 1 not in lru
+        assert len(lru) == 2
+
+    def test_all_excluded_raises(self, lru):
+        with pytest.raises(OutOfDeviceMemoryError):
+            lru.evict_victim(exclude=(1, 2, 3))
+
+    def test_select_victim_none_when_empty(self):
+        assert LruEvictionPolicy().select_victim() is None
+
+
+class TestPaperPathology:
+    def test_hot_resident_block_sinks_without_faults(self, lru):
+        """Section VI-A: fully-resident blocks are never promoted, so
+        the hottest data descends toward eviction."""
+        # blocks 2 and 3 keep faulting; block 1 is fully resident (hot
+        # on the GPU but invisible to the driver)
+        for _ in range(5):
+            lru.touch(2)
+            lru.touch(3)
+        assert lru.select_victim() == 1
+
+
+class TestErrors:
+    def test_double_insert(self, lru):
+        with pytest.raises(SimulationError):
+            lru.insert(1)
+
+    def test_touch_unknown(self, lru):
+        with pytest.raises(SimulationError):
+            lru.touch(99)
+
+    def test_remove_unknown(self, lru):
+        with pytest.raises(SimulationError):
+            lru.remove(99)
+
+    def test_counters(self, lru):
+        lru.touch(2)
+        lru.remove(3)
+        assert lru.insertions == 3
+        assert lru.promotions == 1
+        assert lru.removals == 1

@@ -1,0 +1,89 @@
+"""Unit tests for the physical memory allocator."""
+
+import pytest
+
+from repro.core.pma import PhysicalMemoryAllocator
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.costmodel import CostModel
+from repro.units import MiB, VABLOCK_SIZE
+
+
+@pytest.fixture
+def pma():
+    return PhysicalMemoryAllocator(CostModel(), capacity_bytes=64 * MiB)
+
+
+class TestReservation:
+    def test_first_reserve_pays_proprietary_call(self, pma):
+        cost = pma.reserve(VABLOCK_SIZE)
+        assert cost == CostModel().pma_call_ns
+        assert pma.stats.calls == 1
+        assert pma.used_bytes == VABLOCK_SIZE
+
+    def test_over_allocation_caches(self, pma):
+        """The chunk refill makes subsequent reservations free - the
+        'relatively constant and negligible at large sizes' behaviour."""
+        pma.reserve(VABLOCK_SIZE)
+        chunk = CostModel().pma_chunk_bytes
+        free_reserves = chunk // VABLOCK_SIZE - 1
+        for _ in range(free_reserves):
+            assert pma.reserve(VABLOCK_SIZE) == 0
+        assert pma.stats.calls == 1
+        assert pma.stats.cache_hits == free_reserves
+
+    def test_chunk_bounded_by_device_memory(self):
+        small = PhysicalMemoryAllocator(CostModel(), capacity_bytes=4 * MiB)
+        small.reserve(VABLOCK_SIZE)  # chunk request clamps to 4 MiB
+        assert small.unclaimed_bytes == 0
+        assert small.cache_bytes == 4 * MiB - VABLOCK_SIZE
+
+    def test_reserve_beyond_capacity_raises(self):
+        small = PhysicalMemoryAllocator(CostModel(), capacity_bytes=2 * MiB)
+        small.reserve(VABLOCK_SIZE)
+        assert not small.can_reserve(VABLOCK_SIZE)
+        with pytest.raises(SimulationError):
+            small.reserve(VABLOCK_SIZE)
+
+    def test_invalid_sizes(self, pma):
+        with pytest.raises(ConfigurationError):
+            pma.reserve(0)
+        with pytest.raises(ConfigurationError):
+            PhysicalMemoryAllocator(CostModel(), capacity_bytes=0)
+
+
+class TestRelease:
+    def test_release_returns_to_cache(self, pma):
+        pma.reserve(VABLOCK_SIZE)
+        cache_before = pma.cache_bytes
+        pma.release(VABLOCK_SIZE)
+        assert pma.cache_bytes == cache_before + VABLOCK_SIZE
+        assert pma.used_bytes == 0
+
+    def test_steady_state_eviction_cycle_is_call_free(self):
+        """Evict/allocate cycles after warm-up never call the driver."""
+        pma = PhysicalMemoryAllocator(CostModel(), capacity_bytes=8 * MiB)
+        for _ in range(4):
+            pma.reserve(VABLOCK_SIZE)
+        calls_after_warmup = pma.stats.calls
+        for _ in range(100):
+            pma.release(VABLOCK_SIZE)
+            pma.reserve(VABLOCK_SIZE)
+        assert pma.stats.calls == calls_after_warmup
+
+    def test_release_more_than_used_rejected(self, pma):
+        with pytest.raises(SimulationError):
+            pma.release(VABLOCK_SIZE)
+
+
+class TestConservation:
+    def test_pools_always_sum_to_capacity(self, pma):
+        pma.reserve(VABLOCK_SIZE)
+        pma.reserve(VABLOCK_SIZE)
+        pma.release(VABLOCK_SIZE)
+        total = pma.unclaimed_bytes + pma.cache_bytes + pma.used_bytes
+        assert total == 64 * MiB
+
+    def test_available_bytes(self, pma):
+        assert pma.available_bytes == 64 * MiB
+        pma.reserve(VABLOCK_SIZE)
+        assert pma.available_bytes == 64 * MiB - VABLOCK_SIZE

@@ -1,0 +1,134 @@
+"""Unit tests for the two-stage density prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.prefetch import TreePrefetcher
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def pf():
+    return TreePrefetcher()  # threshold 51, 512 leaves, 16-leaf big pages
+
+
+class TestStageOneBigPageUpgrade:
+    def test_single_fault_upgrades_its_big_page(self, pf):
+        decision = pf.compute(np.zeros(512, dtype=bool), np.array([5]))
+        # 16-page group minus the demand page itself
+        assert decision.count == 15
+        assert decision.upgraded == 15
+        assert decision.prefetch_offsets.tolist() == [0, 1, 2, 3, 4] + list(range(6, 16))
+
+    def test_upgrade_skips_resident_pages(self, pf):
+        resident = np.zeros(512, dtype=bool)
+        resident[0:8] = True
+        decision = pf.compute(resident, np.array([9]))
+        assert 0 not in decision.prefetch_offsets
+        assert decision.count == 7  # 8..15 minus the fault at 9
+
+    def test_two_faults_same_group_one_upgrade(self, pf):
+        decision = pf.compute(np.zeros(512, dtype=bool), np.array([3, 7]))
+        assert decision.count == 14
+
+
+class TestStageTwoTreeGrowth:
+    def test_no_growth_below_threshold(self, pf):
+        """A lone 16-page group is 50% of its 32-parent: no growth."""
+        decision = pf.compute(np.zeros(512, dtype=bool), np.array([0]))
+        assert decision.max_region == 16
+
+    def test_growth_when_sibling_dense(self, pf):
+        """With the sibling big page resident, the 32-parent is 100%
+        dense and growth continues while density holds."""
+        resident = np.zeros(512, dtype=bool)
+        resident[16:32] = True
+        decision = pf.compute(resident, np.array([0]))
+        assert decision.max_region >= 32
+
+    def test_cascade_within_batch(self, pf):
+        """Regions chosen for earlier faults count for later ones."""
+        faults = np.array([0, 16, 32, 48])  # fills [0, 64) pairwise
+        decision = pf.compute(np.zeros(512, dtype=bool), faults)
+        assert decision.max_region == 64
+        assert decision.count == 64 - 4
+
+    def test_threshold_one_fetches_whole_block(self):
+        pf = TreePrefetcher(threshold=1)
+        decision = pf.compute(np.zeros(512, dtype=bool), np.array([137]))
+        assert decision.max_region == 512
+        assert decision.count == 511
+
+    def test_threshold_hundred_never_grows(self):
+        pf = TreePrefetcher(threshold=100)
+        resident = np.zeros(512, dtype=bool)
+        resident[16:512] = True  # nearly full block
+        decision = pf.compute(resident, np.array([0]))
+        assert decision.max_region == 16
+
+    def test_strict_inequality_at_exact_threshold(self):
+        """count*100 > threshold*size: exactly 50% with threshold 50
+        does NOT grow (strict >), matching the driver's integer math."""
+        pf = TreePrefetcher(threshold=50)
+        resident = np.zeros(512, dtype=bool)
+        decision = pf.compute(resident, np.array([0]))  # 16/32 = 50%
+        assert decision.max_region == 16
+
+
+class TestDecisionHygiene:
+    def test_prefetch_never_includes_demand_pages(self, pf):
+        faults = np.array([0, 100, 500])
+        decision = pf.compute(np.zeros(512, dtype=bool), faults)
+        assert not set(faults.tolist()) & set(decision.prefetch_offsets.tolist())
+
+    def test_prefetch_never_includes_resident_pages(self, pf):
+        resident = np.zeros(512, dtype=bool)
+        resident[::3] = True
+        decision = pf.compute(resident, np.array([1]))
+        assert not resident[decision.prefetch_offsets].any()
+
+    def test_empty_faults(self, pf):
+        decision = pf.compute(np.zeros(512, dtype=bool), np.array([], dtype=np.int64))
+        assert decision.count == 0
+
+    def test_attribution_sums(self, pf):
+        decision = pf.compute(np.zeros(512, dtype=bool), np.array([0, 16]))
+        assert decision.upgraded + decision.tree_added == decision.count
+
+    def test_region_sizes_recorded_per_fault(self, pf):
+        decision = pf.compute(np.zeros(512, dtype=bool), np.array([0, 16]))
+        assert len(decision.region_sizes) == 2
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ConfigurationError):
+            TreePrefetcher(threshold=0)
+        with pytest.raises(ConfigurationError):
+            TreePrefetcher(threshold=101)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            TreePrefetcher(pages_per_vablock=500)
+        with pytest.raises(ConfigurationError):
+            TreePrefetcher(pages_per_vablock=512, pages_per_big_page=15)
+
+    def test_fault_offsets_bounds_checked(self, pf):
+        with pytest.raises(ConfigurationError):
+            pf.compute(np.zeros(512, dtype=bool), np.array([512]))
+
+    def test_mask_shape_checked(self, pf):
+        with pytest.raises(ConfigurationError):
+            pf.compute(np.zeros(100, dtype=bool), np.array([0]))
+
+
+class TestPaperFig6Example:
+    def test_one_more_fault_fetches_full_region(self):
+        """The Fig. 6 narrative on an 8-leaf tree: with the right five
+        leaves present, the next fault's chain passes every level and
+        the whole region is fetched."""
+        pf = TreePrefetcher(threshold=51, pages_per_vablock=8, pages_per_big_page=1)
+        resident = np.array([1, 1, 1, 1, 0, 1, 1, 0], dtype=bool)
+        decision = pf.compute(resident, np.array([4]))
+        assert decision.max_region == 8
+        assert decision.prefetch_offsets.tolist() == [7]

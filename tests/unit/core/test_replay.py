@@ -1,0 +1,67 @@
+"""Unit tests for the four replay policies."""
+
+import pytest
+
+from repro.core.replay import (
+    BatchFlushReplayPolicy,
+    BatchReplayPolicy,
+    BlockReplayPolicy,
+    OnceReplayPolicy,
+    ReplayPolicyKind,
+    make_replay_policy,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFactory:
+    def test_all_kinds_constructible(self):
+        for kind in ReplayPolicyKind:
+            policy = make_replay_policy(kind)
+            assert policy.kind is kind
+
+    def test_string_names(self):
+        assert isinstance(make_replay_policy("block"), BlockReplayPolicy)
+        assert isinstance(make_replay_policy("BATCH_FLUSH"), BatchFlushReplayPolicy)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_replay_policy("yolo")
+
+
+class TestBlockPolicy:
+    def test_replays_after_every_vablock(self):
+        policy = BlockReplayPolicy()
+        assert policy.after_vablock().issue_replay
+        assert not policy.after_batch().issue_replay
+        assert not policy.after_buffer_drained().issue_replay
+
+    def test_never_flushes(self):
+        policy = BlockReplayPolicy()
+        assert not policy.after_vablock().flush_buffer
+        assert not policy.after_batch().flush_buffer
+
+
+class TestBatchPolicy:
+    def test_replays_after_batch_without_flush(self):
+        policy = BatchReplayPolicy()
+        action = policy.after_batch()
+        assert action.issue_replay
+        assert not action.flush_buffer
+        assert not policy.after_vablock().issue_replay
+
+
+class TestBatchFlushPolicy:
+    def test_flushes_then_replays_after_batch(self):
+        """The driver default: flush before replay prevents duplicates
+        at the cost of remote queue management (Section III-E)."""
+        action = BatchFlushReplayPolicy().after_batch()
+        assert action.flush_buffer
+        assert action.issue_replay
+
+
+class TestOncePolicy:
+    def test_replays_only_when_buffer_drained(self):
+        policy = OnceReplayPolicy()
+        assert not policy.after_vablock().issue_replay
+        assert not policy.after_batch().issue_replay
+        assert policy.after_buffer_drained().issue_replay

@@ -1,0 +1,102 @@
+"""Unit tests for access-counter-aware eviction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OutOfDeviceMemoryError, SimulationError
+from repro.ext.access_counter_eviction import AccessCounterEviction
+
+
+@pytest.fixture
+def counters():
+    return np.zeros(8, dtype=np.int64)
+
+
+@pytest.fixture
+def policy(counters):
+    return AccessCounterEviction(counters, protect_window=2)
+
+
+class TestTemperature:
+    def test_baseline_snapshot_at_insert(self, policy, counters):
+        counters[0] = 100
+        policy.insert(0)
+        counters[0] = 150
+        assert policy.temperature(0) == 50
+
+    def test_victim_is_coldest(self, policy, counters):
+        for vb in (0, 1, 2, 3):
+            policy.insert(vb)
+        counters[0] += 100
+        counters[1] += 5
+        counters[2] += 50
+        counters[3] += 75
+        # all inserted before protect window cutoff? window=2 protects 2, 3
+        assert policy.select_victim() == 1
+
+    def test_hot_resident_block_survives(self, policy, counters):
+        """The fix for Section VI-A's pathology: a block that is hot on
+        the GPU (many counted accesses, zero faults) is never the victim."""
+        for vb in (0, 1, 2):
+            policy.insert(vb)
+        policy.insert(3)  # newest, protected
+        counters[0] += 10_000  # hot: GPU reuse without faults
+        assert policy.select_victim() != 0
+
+
+class TestInsertionProtection:
+    def test_fresh_blocks_not_victimized(self, policy, counters):
+        policy.insert(0)
+        counters[0] += 50
+        policy.insert(1)  # within protect window (2): temp 0 but fresh
+        policy.insert(2)
+        assert policy.select_victim() == 0
+
+    def test_fallback_when_all_protected(self, counters):
+        policy = AccessCounterEviction(counters, protect_window=100)
+        policy.insert(0)
+        policy.insert(1)
+        assert policy.select_victim() is not None
+
+
+class TestInterfaceParity:
+    def test_lru_like_interface(self, policy):
+        policy.insert(5)
+        assert 5 in policy
+        assert len(policy) == 1
+        policy.touch(5)  # no-op but counted
+        assert policy.promotions == 1
+        policy.remove(5)
+        assert 5 not in policy
+
+    def test_evict_victim_unlinks(self, policy, counters):
+        policy.insert(0)
+        policy.insert(1)
+        policy.insert(2)
+        victim = policy.evict_victim(exclude=(0,))
+        assert victim != 0
+        assert victim not in policy
+
+    def test_out_of_memory_when_all_excluded(self, policy):
+        policy.insert(0)
+        with pytest.raises(OutOfDeviceMemoryError):
+            policy.evict_victim(exclude=(0,))
+
+    def test_errors(self, policy):
+        policy.insert(0)
+        with pytest.raises(SimulationError):
+            policy.insert(0)
+        with pytest.raises(SimulationError):
+            policy.touch(9)
+        with pytest.raises(SimulationError):
+            policy.remove(9)
+
+    def test_order_coldest_first(self, policy, counters):
+        for vb in (0, 1):
+            policy.insert(vb)
+        counters[0] += 10
+        assert policy.order() == [1, 0]
+
+    def test_none_counters_rejected(self):
+        with pytest.raises(SimulationError):
+            AccessCounterEviction(None)

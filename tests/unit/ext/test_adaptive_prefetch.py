@@ -1,0 +1,75 @@
+"""Unit tests for the adaptive prefetch-threshold controller."""
+
+import pytest
+
+from repro.core import counters as C
+from repro.errors import ConfigurationError
+from repro.ext.adaptive_prefetch import AdaptiveThresholdController
+from repro.sim.stats import CounterSet
+
+
+def counters_with_evictions(n):
+    c = CounterSet()
+    if n:
+        c.add(C.EVICTIONS, n)
+    return c
+
+
+class TestQuietDescent:
+    def test_steps_toward_aggressive_when_quiet(self):
+        ctrl = AdaptiveThresholdController(initial_threshold=51, step_down=10)
+        c = counters_with_evictions(0)
+        thresholds = [ctrl.observe(c) for _ in range(10)]
+        assert thresholds[0] == 41
+        assert thresholds[-1] == 1  # floor at aggressive
+
+    def test_descent_is_gradual(self):
+        ctrl = AdaptiveThresholdController(initial_threshold=51, step_down=10)
+        assert ctrl.observe(counters_with_evictions(0)) == 41
+
+
+class TestPressureJump:
+    def test_eviction_jumps_straight_to_conservative(self):
+        ctrl = AdaptiveThresholdController(initial_threshold=51)
+        assert ctrl.observe(counters_with_evictions(3)) == 100
+
+    def test_window_deltas_not_cumulative(self):
+        """Only *new* evictions count as pressure."""
+        ctrl = AdaptiveThresholdController(initial_threshold=51)
+        c = counters_with_evictions(3)
+        ctrl.observe(c)  # pressure -> 100
+        t = ctrl.observe(c)  # same cumulative count: quiet window
+        assert t < 100
+
+    def test_capacity_guard(self):
+        ctrl = AdaptiveThresholdController(initial_threshold=51)
+        t = ctrl.observe(counters_with_evictions(0), used_fraction=0.9)
+        assert t == 100
+
+    def test_footprint_guard_is_a_priori(self):
+        """An oversubscribed allocation never earns aggression - the
+        paper's own Section VI-B heuristic."""
+        ctrl = AdaptiveThresholdController(initial_threshold=51, managed_fraction=1.3)
+        for _ in range(10):
+            t = ctrl.observe(counters_with_evictions(0))
+        assert t == 100
+
+    def test_prefetch_conservative_property(self):
+        ctrl = AdaptiveThresholdController(initial_threshold=51)
+        assert not ctrl.prefetch_conservative
+        ctrl.observe(counters_with_evictions(1))
+        assert ctrl.prefetch_conservative
+
+
+class TestValidation:
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveThresholdController(initial_threshold=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveThresholdController(aggressive_threshold=101)
+
+    def test_adjustment_history(self):
+        ctrl = AdaptiveThresholdController()
+        ctrl.observe(counters_with_evictions(0))
+        ctrl.observe(counters_with_evictions(0))
+        assert len(ctrl.adjustments) == 2

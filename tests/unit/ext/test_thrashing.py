@@ -1,0 +1,74 @@
+"""Unit tests for the thrashing detector and its pin-remote remedy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.ext.thrashing import ThrashingDetector
+from repro.units import MiB
+from repro.workloads.synthetic import RandomAccess
+
+
+class TestDetector:
+    def test_not_thrashing_below_threshold(self):
+        det = ThrashingDetector(evict_threshold=3)
+        det.record_eviction(5, 1000)
+        det.on_fault(5, 1500)
+        assert not det.should_pin(5)
+
+    def test_pins_after_threshold_and_quick_refault(self):
+        det = ThrashingDetector(evict_threshold=3, window_ns=10_000)
+        for t in (1000, 2000, 3000):
+            det.record_eviction(5, t)
+        det.on_fault(5, 4000)  # within window of last eviction
+        assert det.should_pin(5)
+        assert det.pinned_blocks == 1
+
+    def test_slow_refault_is_not_thrashing(self):
+        det = ThrashingDetector(evict_threshold=1, window_ns=100)
+        det.record_eviction(5, 1000)
+        det.on_fault(5, 10_000)  # long after the eviction
+        assert not det.should_pin(5)
+
+    def test_blocks_tracked_independently(self):
+        det = ThrashingDetector(evict_threshold=1, window_ns=10_000)
+        det.record_eviction(1, 1000)
+        det.on_fault(1, 1500)
+        assert det.should_pin(1)
+        assert not det.should_pin(2)
+
+    def test_pinned_is_sticky(self):
+        det = ThrashingDetector(evict_threshold=1, window_ns=10_000)
+        det.record_eviction(1, 1000)
+        det.on_fault(1, 1500)
+        det.on_fault(1, 10**9)  # much later: stays pinned
+        assert det.should_pin(1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThrashingDetector(evict_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ThrashingDetector(window_ns=0)
+
+
+class TestEndToEnd:
+    def test_mitigation_pins_and_reduces_traffic(self):
+        setup = ExperimentSetup().with_gpu(memory_bytes=32 * MiB)
+        data = int(32 * MiB * 1.5)
+        stock = simulate(RandomAccess(data), setup)
+        mitigated = simulate(
+            RandomAccess(data), setup.with_driver(thrashing_mitigation=True)
+        )
+        assert mitigated.counters["thrash.blocks_pinned"] > 0
+        assert mitigated.counters["thrash.pages_pinned"] > 0
+        assert mitigated.evictions < stock.evictions
+        assert mitigated.dma.total_bytes < stock.dma.total_bytes
+        assert mitigated.total_time_ns < stock.total_time_ns
+
+    def test_mitigation_inert_when_undersubscribed(self):
+        setup = ExperimentSetup().with_gpu(memory_bytes=32 * MiB)
+        run = simulate(
+            RandomAccess(8 * MiB), setup.with_driver(thrashing_mitigation=True)
+        )
+        assert run.counters["thrash.blocks_pinned"] == 0
+        assert run.counters["remote.pages_mapped"] == 0

@@ -1,0 +1,113 @@
+"""Unit tests for the GPU device (fault-producing phases)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.device import GpuDevice, GpuDeviceConfig
+from repro.gpu.warp import WarpStream
+from repro.sim.clock import SimClock
+from repro.sim.rng import SimRng
+from repro.units import MiB
+
+
+def make_device(streams, **cfg):
+    config = GpuDeviceConfig(memory_bytes=16 * MiB, **cfg)
+    return GpuDevice(config, streams, rng=SimRng(5), total_vablocks=8)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        GpuDeviceConfig()
+
+    def test_invalid_memory(self):
+        with pytest.raises(ConfigurationError):
+            GpuDeviceConfig(memory_bytes=0)
+
+    def test_invalid_phase_width(self):
+        with pytest.raises(ConfigurationError):
+            GpuDeviceConfig(phase_width=0)
+
+    def test_sms_vs_gpcs(self):
+        with pytest.raises(ConfigurationError):
+            GpuDeviceConfig(n_sms=2, n_gpcs=4)
+
+
+class TestPhases:
+    def test_phase_generates_faults(self):
+        streams = [WarpStream(i, np.array([i])) for i in range(10)]
+        device = make_device(streams)
+        clock = SimClock()
+        result = device.run_phase(np.zeros(100, dtype=bool), clock)
+        assert result.faults_enqueued == 10
+        assert len(device.fault_buffer) == 10
+
+    def test_phase_width_bounds_advancement(self):
+        streams = [WarpStream(i, np.array([i])) for i in range(100)]
+        device = make_device(streams, phase_width=10)
+        result = device.run_phase(np.zeros(200, dtype=bool), SimClock())
+        assert result.faults_enqueued == 10
+
+    def test_max_streams_override(self):
+        streams = [WarpStream(i, np.array([i])) for i in range(100)]
+        device = make_device(streams, phase_width=50)
+        result = device.run_phase(np.zeros(200, dtype=bool), SimClock(), max_streams=3)
+        assert result.faults_enqueued == 3
+
+    def test_resident_pages_complete_streams(self):
+        streams = [WarpStream(i, np.array([i])) for i in range(5)]
+        device = make_device(streams)
+        resident = np.ones(10, dtype=bool)
+        result = device.run_phase(resident, SimClock())
+        assert result.streams_completed == 5
+        assert device.kernel_finished()
+
+    def test_same_gpc_duplicates_coalesce(self):
+        # many streams touching the same page; some share GPCs
+        streams = [WarpStream(i, np.array([7])) for i in range(12)]
+        device = make_device(streams, n_sms=12, n_gpcs=6)
+        result = device.run_phase(np.zeros(10, dtype=bool), SimClock())
+        assert result.faults_enqueued == 6  # one per GPC
+        assert result.faults_coalesced == 6
+
+    def test_buffer_overflow_drops(self):
+        streams = [WarpStream(i, np.array([i])) for i in range(10)]
+        device = make_device(streams, fault_buffer_capacity=4, n_sms=80)
+        result = device.run_phase(np.zeros(100, dtype=bool), SimClock())
+        assert result.faults_enqueued == 4
+        assert result.faults_dropped == 6
+
+    def test_flops_accumulate(self):
+        streams = [WarpStream(0, np.array([0, 1]), flops_per_access=10.0)]
+        device = make_device(streams)
+        resident = np.ones(4, dtype=bool)
+        result = device.run_phase(resident, SimClock())
+        assert result.flops_retired == 20.0
+
+
+class TestReplayDelivery:
+    def test_replay_wakes_and_clears_tlb(self):
+        streams = [WarpStream(i, np.array([i])) for i in range(4)]
+        device = make_device(streams)
+        device.run_phase(np.zeros(10, dtype=bool), SimClock())
+        assert device.has_stalled_streams()
+        woken = device.deliver_replay()
+        assert woken == 4
+        assert not device.has_stalled_streams()
+        assert device.utlb.pending_total() == 0
+
+
+class TestAccessCounters:
+    def test_counters_track_vablock_accesses(self):
+        streams = [WarpStream(0, np.arange(600, dtype=np.int64))]
+        config = GpuDeviceConfig(memory_bytes=16 * MiB, track_access_counters=True)
+        device = GpuDevice(config, streams, rng=SimRng(5), total_vablocks=8)
+        device.set_vablock_geometry(512)
+        resident = np.ones(600, dtype=bool)
+        device.run_phase(resident, SimClock())
+        assert device.access_counters[0] == 512
+        assert device.access_counters[1] == 88
+
+    def test_counters_disabled_by_default(self):
+        device = make_device([WarpStream(0, np.array([0]))])
+        assert device.access_counters is None

@@ -1,0 +1,88 @@
+"""Unit tests for the block scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.scheduler import BlockScheduler
+from repro.gpu.warp import StreamState, WarpStream
+from repro.sim.rng import SimRng
+
+
+def make_streams(n, pages_each=1):
+    return [WarpStream(i, np.full(pages_each, i, dtype=np.int64)) for i in range(n)]
+
+
+@pytest.fixture
+def rng():
+    return SimRng(42)
+
+
+class TestDispatch:
+    def test_occupancy_limit(self, rng):
+        sched = BlockScheduler(make_streams(100), rng, max_active=10)
+        assert sched.refill() == 10
+        assert len(sched.active()) == 10
+
+    def test_backfill_after_completion(self, rng):
+        streams = make_streams(20)
+        sched = BlockScheduler(streams, rng, max_active=10)
+        sched.refill()
+        for s in sched.active()[:3]:
+            s.state = StreamState.DONE
+        dispatched = sched.refill()
+        assert dispatched == 3
+        assert len(sched.active()) == 10
+
+    def test_dispatch_prefers_low_indices(self, rng):
+        """Low-numbered blocks dispatch (mostly) first (Section IV-B)."""
+        streams = make_streams(1000)
+        sched = BlockScheduler(streams, rng, max_active=100, jitter=0.05)
+        sched.refill()
+        ids = [s.stream_id for s in sched.active()]
+        assert np.mean(ids) < 200  # far below the 500 a shuffle would give
+
+    def test_sm_assignment_round_robin(self, rng):
+        sched = BlockScheduler(make_streams(8), rng, max_active=8, n_sms=4)
+        sched.refill()
+        sms = sorted(s.sm_id for s in sched.active())
+        assert sms == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(SimulationError):
+            BlockScheduler([], rng, max_active=0)
+        with pytest.raises(SimulationError):
+            BlockScheduler([], rng, n_sms=0)
+
+
+class TestLifecycle:
+    def test_all_done_empty(self, rng):
+        assert BlockScheduler([], rng).all_done()
+
+    def test_all_done_progression(self, rng):
+        streams = make_streams(3)
+        sched = BlockScheduler(streams, rng, max_active=2)
+        sched.refill()
+        assert not sched.all_done()
+        for s in streams:
+            s.state = StreamState.DONE
+        sched.refill()
+        assert sched.all_done()
+
+    def test_wake_all_stalled(self, rng):
+        streams = make_streams(4)
+        sched = BlockScheduler(streams, rng, max_active=4)
+        sched.refill()
+        resident = np.zeros(10, dtype=bool)
+        for s in sched.runnable():
+            s.advance(resident)
+        assert len(sched.stalled()) == 4
+        assert sched.wake_all_stalled() == 4
+        assert len(sched.runnable()) == 4
+
+    def test_progress(self, rng):
+        streams = make_streams(5)
+        sched = BlockScheduler(streams, rng, max_active=5)
+        sched.refill()
+        streams[0].state = StreamState.DONE
+        assert sched.progress() == (1, 5)

@@ -1,0 +1,67 @@
+"""Unit tests for uTLB fault coalescing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.tlb import UTlbArray
+
+
+@pytest.fixture
+def tlbs():
+    return UTlbArray(n_gpcs=2, sms_per_gpc=4)
+
+
+class TestCoalescing:
+    def test_first_miss_raises(self, tlbs):
+        assert tlbs.should_raise(sm_id=0, page=10)
+        assert tlbs.raised == 1
+
+    def test_same_gpc_same_page_coalesced(self, tlbs):
+        tlbs.should_raise(0, 10)
+        assert not tlbs.should_raise(1, 10)  # SM 1 shares GPC 0
+        assert tlbs.coalesced == 1
+
+    def test_different_gpc_duplicates(self, tlbs):
+        """Cross-GPC misses produce duplicate fault entries - the driver
+        cannot tell (fault source erasure)."""
+        assert tlbs.should_raise(0, 10)
+        assert tlbs.should_raise(4, 10)  # SM 4 is on GPC 1
+        assert tlbs.raised == 2
+
+    def test_different_pages_not_coalesced(self, tlbs):
+        assert tlbs.should_raise(0, 10)
+        assert tlbs.should_raise(0, 11)
+
+    def test_gpc_of_sm(self, tlbs):
+        assert tlbs.gpc_of_sm(0) == 0
+        assert tlbs.gpc_of_sm(3) == 0
+        assert tlbs.gpc_of_sm(4) == 1
+
+    def test_negative_sm_rejected(self, tlbs):
+        with pytest.raises(ConfigurationError):
+            tlbs.gpc_of_sm(-1)
+
+
+class TestReplayInteraction:
+    def test_replay_clears_pending(self, tlbs):
+        tlbs.should_raise(0, 10)
+        tlbs.on_replay()
+        assert tlbs.pending_total() == 0
+        # unsatisfied access re-walks and re-raises: the duplicate path
+        assert tlbs.should_raise(0, 10)
+
+    def test_forget_allows_re_raise_without_replay(self, tlbs):
+        """Dropped buffer pushes must not leave a poisoned pending set."""
+        tlbs.should_raise(0, 10)
+        tlbs.forget(0, 10)
+        assert tlbs.should_raise(0, 10)
+
+    def test_forget_adjusts_raised_count(self, tlbs):
+        tlbs.should_raise(0, 10)
+        tlbs.forget(0, 10)
+        tlbs.should_raise(0, 10)
+        assert tlbs.raised == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            UTlbArray(n_gpcs=0)

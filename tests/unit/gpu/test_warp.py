@@ -1,0 +1,97 @@
+"""Unit tests for warp streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.warp import StreamState, WarpStream
+
+
+@pytest.fixture
+def resident():
+    return np.zeros(100, dtype=bool)
+
+
+class TestAdvance:
+    def test_stalls_on_first_miss(self, resident):
+        resident[:5] = True
+        stream = WarpStream(0, np.arange(10))
+        missing = stream.advance(resident)
+        assert missing == 5
+        assert stream.state is StreamState.STALLED
+        assert stream.stalled_on == 5
+        assert stream.accesses_retired == 5
+
+    def test_completes_when_all_resident(self, resident):
+        resident[:] = True
+        stream = WarpStream(0, np.arange(10))
+        assert stream.advance(resident) is None
+        assert stream.state is StreamState.DONE
+        assert stream.remaining == 0
+
+    def test_wake_then_refault_same_page(self, resident):
+        stream = WarpStream(0, np.array([3]))
+        assert stream.advance(resident) == 3
+        stream.wake()
+        assert stream.state is StreamState.RUNNABLE
+        assert stream.advance(resident) == 3  # duplicate fault
+        assert stream.faults_raised == 2
+
+    def test_wake_then_proceed_when_serviced(self, resident):
+        stream = WarpStream(0, np.array([3, 7]))
+        stream.advance(resident)
+        resident[3] = True
+        stream.wake()
+        assert stream.advance(resident) == 7
+
+    def test_advance_while_stalled_rejected(self, resident):
+        stream = WarpStream(0, np.array([3]))
+        stream.advance(resident)
+        with pytest.raises(SimulationError):
+            stream.advance(resident)
+
+    def test_chunked_scan_matches_full_scan(self, resident):
+        resident[:50] = True
+        resident[60:] = True
+        pages = np.arange(100)
+        small = WarpStream(0, pages)
+        assert small.advance(resident, scan_chunk=7) == 50
+
+    def test_reuse_pattern_retires_fast(self, resident):
+        """Reuse-heavy streams (GEMM-like) advance over resident pages."""
+        resident[:4] = True
+        pages = np.array([0, 1, 2, 3, 0, 1, 2, 3, 4])
+        stream = WarpStream(0, pages)
+        assert stream.advance(resident) == 4
+        assert stream.accesses_retired == 8
+
+
+class TestWrites:
+    def test_next_is_write(self, resident):
+        stream = WarpStream(0, np.array([0, 1]), writes=np.array([True, False]))
+        stream.advance(resident)
+        assert stream.next_is_write() is True
+
+    def test_no_writes_default(self, resident):
+        stream = WarpStream(0, np.array([0]))
+        stream.advance(resident)
+        assert stream.next_is_write() is False
+
+    def test_writes_shape_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            WarpStream(0, np.array([0, 1]), writes=np.array([True]))
+
+
+class TestShape:
+    def test_non_1d_rejected(self):
+        with pytest.raises(SimulationError):
+            WarpStream(0, np.zeros((2, 2), dtype=np.int64))
+
+    def test_flops_per_access(self):
+        stream = WarpStream(0, np.arange(4), flops_per_access=2.5)
+        assert stream.flops_per_access == 2.5
+
+    def test_len_and_next_page(self):
+        stream = WarpStream(0, np.array([9, 8]))
+        assert len(stream) == 2
+        assert stream.next_page() == 9

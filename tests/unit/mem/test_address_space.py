@@ -1,0 +1,105 @@
+"""Unit tests for the four-level address hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError, AllocationError
+from repro.mem.address_space import AddressSpace
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestMallocManaged:
+    def test_single_allocation(self, space):
+        rng = space.malloc_managed(4 * MiB, name="A")
+        assert rng.npages == 1024
+        assert rng.npages_aligned == 1024
+        assert rng.start_page == 0
+
+    def test_unaligned_allocation_pads_to_vablock(self, space):
+        rng = space.malloc_managed(5 * KiB)
+        assert rng.npages == 2
+        assert rng.npages_aligned == 512
+
+    def test_successive_ranges_are_vablock_aligned(self, space):
+        space.malloc_managed(3 * KiB, name="A")
+        b = space.malloc_managed(1 * MiB, name="B")
+        assert b.start_page == 512
+        assert b.start_page % space.pages_per_vablock == 0
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(AllocationError):
+            space.malloc_managed(0)
+
+    def test_default_names(self, space):
+        a = space.malloc_managed(4096)
+        b = space.malloc_managed(4096)
+        assert a.name == "range0"
+        assert b.name == "range1"
+
+    def test_total_accounting(self, space):
+        space.malloc_managed(2 * MiB)
+        space.malloc_managed(1 * MiB)
+        assert space.total_vablocks == 2
+        assert space.total_pages == 1024
+        assert space.total_bytes_requested == 3 * MiB
+
+
+class TestLookups:
+    def test_range_of_page(self, space):
+        a = space.malloc_managed(2 * MiB, name="A")
+        b = space.malloc_managed(2 * MiB, name="B")
+        assert space.range_of_page(0) is a
+        assert space.range_of_page(512) is b
+
+    def test_range_of_page_out_of_bounds(self, space):
+        space.malloc_managed(2 * MiB)
+        with pytest.raises(AddressError):
+            space.range_of_page(512)
+
+    def test_vablock_descriptor(self, space):
+        space.malloc_managed(4 * MiB, name="A")
+        vb = space.vablock(1)
+        assert vb.start_page == 512
+        assert vb.npages == 512
+        assert vb.range_index == 0
+
+    def test_vablock_out_of_bounds(self, space):
+        with pytest.raises(AddressError):
+            space.vablock(0)
+
+    def test_range_pages(self, space):
+        rng = space.malloc_managed(8 * KiB)
+        assert rng.pages().tolist() == [0, 1]
+
+    def test_contains_page(self, space):
+        rng = space.malloc_managed(8 * KiB)
+        assert rng.contains_page(1)
+        assert not rng.contains_page(2)  # padding, not requested
+
+    def test_iter_vablocks(self, space):
+        space.malloc_managed(4 * MiB)
+        assert [vb.vablock_id for vb in space.iter_vablocks()] == [0, 1]
+
+    def test_validate_pages(self, space):
+        space.malloc_managed(2 * MiB)
+        space.validate_pages(np.array([0, 511]))
+        with pytest.raises(AddressError):
+            space.validate_pages(np.array([512]))
+
+
+class TestFlexibleGranularity:
+    def test_custom_vablock_size(self):
+        space = AddressSpace(vablock_size=256 * KiB)
+        assert space.pages_per_vablock == 64
+        rng = space.malloc_managed(1 * MiB)
+        assert space.total_vablocks == 4
+        assert rng.npages_aligned == 256
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(AddressError):
+            AddressSpace(vablock_size=3 * MiB)

@@ -1,0 +1,45 @@
+"""Unit tests for memory-advise plumbing in the address space."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mem.address_space import AddressSpace
+from repro.mem.advise import MemAdvise
+from repro.units import MiB
+
+
+@pytest.fixture
+def space():
+    s = AddressSpace()
+    s.malloc_managed(4 * MiB, name="A")
+    s.malloc_managed(2 * MiB, name="B")
+    return s
+
+
+class TestMemAdvise:
+    def test_default_is_migrate(self, space):
+        assert space.advise_of_range(0) is MemAdvise.MIGRATE
+        assert space.advise_of_vablock(0) is MemAdvise.MIGRATE
+
+    def test_advise_by_name(self, space):
+        space.mem_advise("B", MemAdvise.READ_MOSTLY)
+        assert space.advise_of_range(1) is MemAdvise.READ_MOSTLY
+        assert space.advise_of_vablock(2) is MemAdvise.READ_MOSTLY
+        # A unaffected
+        assert space.advise_of_vablock(0) is MemAdvise.MIGRATE
+
+    def test_advise_by_range_object(self, space):
+        space.mem_advise(space.ranges[0], MemAdvise.PINNED_HOST)
+        assert space.advise_of_vablock(1) is MemAdvise.PINNED_HOST
+
+    def test_unknown_name_rejected(self, space):
+        with pytest.raises(AddressError):
+            space.mem_advise("nope", MemAdvise.READ_MOSTLY)
+
+    def test_non_enum_rejected(self, space):
+        with pytest.raises(AddressError):
+            space.mem_advise("A", "read_mostly")
+
+    def test_vablock_bounds(self, space):
+        with pytest.raises(AddressError):
+            space.advise_of_vablock(99)

@@ -1,0 +1,83 @@
+"""Unit tests for address arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.mem import layout
+
+
+class TestPageMath:
+    def test_vablock_of_page(self):
+        assert layout.vablock_of_page(0) == 0
+        assert layout.vablock_of_page(511) == 0
+        assert layout.vablock_of_page(512) == 1
+
+    def test_vablock_of_page_vectorized(self):
+        pages = np.array([0, 511, 512, 1024])
+        assert layout.vablock_of_page(pages).tolist() == [0, 0, 1, 2]
+
+    def test_big_page_of_page(self):
+        assert layout.big_page_of_page(15) == 0
+        assert layout.big_page_of_page(16) == 1
+
+    def test_page_span_of_vablock(self):
+        assert layout.page_span_of_vablock(0) == (0, 512)
+        assert layout.page_span_of_vablock(3) == (1536, 2048)
+
+    def test_negative_vablock_rejected(self):
+        with pytest.raises(AddressError):
+            layout.page_span_of_vablock(-1)
+
+    def test_pages_of_big_page(self):
+        assert layout.pages_of_big_page(2) == (32, 48)
+
+    def test_offset_in_vablock(self):
+        assert layout.page_offset_in_vablock(513) == 1
+
+    def test_byte_round_trip(self):
+        assert layout.page_of_byte(layout.byte_of_page(77)) == 77
+        assert layout.page_of_byte(4095) == 0
+        assert layout.page_of_byte(4096) == 1
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(AddressError):
+            layout.page_of_byte(-1)
+
+
+class TestAlignment:
+    def test_align_up(self):
+        assert layout.align_up_pages(1, 512) == 512
+        assert layout.align_up_pages(512, 512) == 512
+        assert layout.align_up_pages(513, 512) == 1024
+        assert layout.align_up_pages(0, 512) == 0
+
+    def test_align_up_bad_granule(self):
+        with pytest.raises(AddressError):
+            layout.align_up_pages(5, 0)
+
+
+class TestUniqueVablocks:
+    def test_empty(self):
+        assert layout.unique_vablocks(np.array([])).size == 0
+
+    def test_dedup_and_sort(self):
+        pages = np.array([1030, 5, 600, 4])
+        assert layout.unique_vablocks(pages).tolist() == [0, 1, 2]
+
+
+class TestGeometryValidation:
+    def test_default_geometry_valid(self):
+        layout.check_geometry(4096, 65536, 2 << 20)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(AddressError):
+            layout.check_geometry(4096, 65536, 3 << 20)
+
+    def test_non_nesting_rejected(self):
+        with pytest.raises(AddressError):
+            layout.check_geometry(4096, 4096 * 3, 2 << 20)
+
+    def test_small_flexible_granule_valid(self):
+        """Section VI-B flexible granularity: 256 KB VABlocks."""
+        layout.check_geometry(4096, 65536, 256 << 10)

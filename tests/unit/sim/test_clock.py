@@ -1,0 +1,62 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0
+
+    def test_custom_start(self):
+        assert SimClock(500).now == 500
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock(-1)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(100)
+        clock.advance(250)
+        assert clock.now == 350
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(42) == 42
+
+    def test_advance_rounds_fractional(self):
+        clock = SimClock()
+        clock.advance(10.6)
+        assert clock.now == 11
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-5)
+
+    def test_advance_to_forward(self):
+        clock = SimClock()
+        clock.advance_to(1000)
+        assert clock.now == 1000
+
+    def test_advance_to_same_time_is_noop(self):
+        clock = SimClock(77)
+        clock.advance_to(77)
+        assert clock.now == 77
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(100)
+        with pytest.raises(SimulationError):
+            clock.advance_to(99)
+
+    def test_now_us(self):
+        clock = SimClock()
+        clock.advance(2500)
+        assert clock.now_us == 2.5
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(123)
+        clock.reset()
+        assert clock.now == 0

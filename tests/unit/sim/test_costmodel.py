@@ -1,0 +1,87 @@
+"""Unit tests for the calibrated cost model.
+
+The calibration tests pin the defaults to the paper's published anchor
+numbers so a careless constant edit cannot silently break every
+experiment's regime.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.costmodel import NVLINK_CLASS, TITAN_V_PCIE3, CostModel
+from repro.units import GiB, KiB, MiB, PAGE_SIZE
+
+
+class TestTransfers:
+    def test_transfer_time_scales_with_bytes(self):
+        cost = CostModel()
+        assert cost.transfer_ns(2 * MiB) == pytest.approx(
+            2 * cost.transfer_ns(1 * MiB), abs=1
+        )
+
+    def test_transfer_matches_bandwidth(self):
+        cost = CostModel(interconnect_bytes_per_s=12_000_000_000)
+        # 12 GB/s -> 1 GB takes 1/12 s
+        assert cost.transfer_ns(12_000_000_000) == pytest.approx(1e9)
+
+    def test_dma_setup_charged_per_transfer(self):
+        cost = CostModel()
+        one = cost.dma_transfer_ns(1 * MiB, transfers=1)
+        four = cost.dma_transfer_ns(1 * MiB, transfers=4)
+        assert four - one == 3 * cost.dma_setup_ns
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().transfer_ns(-1)
+
+    def test_zero_transfers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel().dma_transfer_ns(4096, transfers=0)
+
+
+class TestExplicitBaseline:
+    def test_explicit_copy_includes_launch(self):
+        cost = CostModel()
+        assert cost.explicit_copy_ns(0) == cost.memcpy_setup_ns
+
+    def test_multi_allocation_copies(self):
+        cost = CostModel()
+        assert (
+            cost.explicit_copy_ns(1 * MiB, calls=3)
+            == cost.explicit_copy_ns(1 * MiB) + 2 * cost.memcpy_setup_ns
+        )
+
+
+class TestPaperCalibration:
+    """Defaults must land inside the paper's published anchors."""
+
+    def test_isolated_fault_in_30_to_45_us_band(self):
+        est = CostModel().isolated_fault_estimate_ns()
+        assert 30_000 <= est <= 45_000, f"isolated fault {est / 1000:.1f}us off-anchor"
+
+    def test_session_floor_in_400_600_us_band(self):
+        """Session base + one small service pass lands in the floor band."""
+        cost = CostModel()
+        floor = cost.session_base_ns + cost.isolated_fault_estimate_ns() + cost.pma_call_ns
+        assert 380_000 <= floor <= 620_000
+
+    def test_interconnect_is_pcie3_class(self):
+        assert 10e9 <= CostModel().interconnect_bytes_per_s <= 16e9
+
+    def test_presets_exist(self):
+        assert TITAN_V_PCIE3.interconnect_bytes_per_s < NVLINK_CLASS.interconnect_bytes_per_s
+
+
+class TestValidation:
+    def test_pma_chunk_must_be_page_aligned(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(pma_chunk_bytes=PAGE_SIZE + 1)
+
+    def test_positive_fields_enforced(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(interconnect_bytes_per_s=0)
+
+    def test_with_overrides(self):
+        tweaked = CostModel().with_overrides(replay_issue_ns=1)
+        assert tweaked.replay_issue_ns == 1
+        assert CostModel().replay_issue_ns != 1

@@ -1,0 +1,110 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import EventQueue
+
+
+@pytest.fixture
+def queue():
+    return EventQueue(SimClock())
+
+
+class TestScheduling:
+    def test_schedule_and_run(self, queue):
+        fired = []
+        queue.schedule_at(100, fired.append, "a")
+        assert queue.run_next()
+        assert fired == ["a"]
+        assert queue.clock.now == 100
+
+    def test_events_fire_in_time_order(self, queue):
+        fired = []
+        queue.schedule_at(300, fired.append, 3)
+        queue.schedule_at(100, fired.append, 1)
+        queue.schedule_at(200, fired.append, 2)
+        queue.run_all()
+        assert fired == [1, 2, 3]
+
+    def test_ties_break_by_insertion_order(self, queue):
+        fired = []
+        queue.schedule_at(50, fired.append, "first")
+        queue.schedule_at(50, fired.append, "second")
+        queue.run_all()
+        assert fired == ["first", "second"]
+
+    def test_schedule_in_is_relative(self, queue):
+        queue.clock.advance(1000)
+        ev = queue.schedule_in(500, lambda _: None)
+        assert ev.time_ns == 1500
+
+    def test_scheduling_in_past_rejected(self, queue):
+        queue.clock.advance(100)
+        with pytest.raises(SimulationError):
+            queue.schedule_at(50, lambda _: None)
+
+    def test_negative_delay_rejected(self, queue):
+        with pytest.raises(SimulationError):
+            queue.schedule_in(-1, lambda _: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self, queue):
+        fired = []
+        ev = queue.schedule_at(10, fired.append, "x")
+        queue.schedule_at(20, fired.append, "y")
+        ev.cancel()
+        queue.run_all()
+        assert fired == ["y"]
+
+    def test_len_ignores_cancelled(self, queue):
+        ev = queue.schedule_at(10, lambda _: None)
+        queue.schedule_at(20, lambda _: None)
+        assert len(queue) == 2
+        ev.cancel()
+        assert len(queue) == 1
+
+
+class TestRunUntil:
+    def test_run_until_dispatches_only_due_events(self, queue):
+        fired = []
+        queue.schedule_at(10, fired.append, 1)
+        queue.schedule_at(20, fired.append, 2)
+        queue.schedule_at(30, fired.append, 3)
+        count = queue.run_until(20)
+        assert count == 2
+        assert fired == [1, 2]
+        assert queue.clock.now == 20
+
+    def test_run_until_advances_clock_past_last_event(self, queue):
+        queue.schedule_at(5, lambda _: None)
+        queue.run_until(100)
+        assert queue.clock.now == 100
+
+    def test_events_scheduled_during_dispatch(self, queue):
+        fired = []
+
+        def chain(payload):
+            fired.append(payload)
+            if payload < 3:
+                queue.schedule_in(10, chain, payload + 1)
+
+        queue.schedule_at(0, chain, 1)
+        queue.run_all()
+        assert fired == [1, 2, 3]
+        assert queue.clock.now == 20
+
+    def test_runaway_guard(self, queue):
+        def rearm(_):
+            queue.schedule_in(1, rearm)
+
+        queue.schedule_at(0, rearm)
+        with pytest.raises(SimulationError):
+            queue.run_all(max_events=100)
+
+    def test_peek_time(self, queue):
+        assert queue.peek_time() is None
+        queue.schedule_at(42, lambda _: None)
+        assert queue.peek_time() == 42

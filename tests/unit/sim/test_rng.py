@@ -1,0 +1,68 @@
+"""Unit tests for seeded randomness."""
+
+import numpy as np
+
+from repro.sim.rng import SimRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = SimRng(7).integers(0, 1000, size=50)
+        b = SimRng(7).integers(0, 1000, size=50)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SimRng(7).integers(0, 1 << 30, size=50)
+        b = SimRng(8).integers(0, 1 << 30, size=50)
+        assert not np.array_equal(a, b)
+
+    def test_fork_is_stable_by_name(self):
+        a = SimRng(7).fork("scheduler").integers(0, 1 << 30, size=20)
+        b = SimRng(7).fork("scheduler").integers(0, 1 << 30, size=20)
+        assert np.array_equal(a, b)
+
+    def test_forks_are_independent_streams(self):
+        root = SimRng(7)
+        a = root.fork("a").integers(0, 1 << 30, size=20)
+        b = root.fork("b").integers(0, 1 << 30, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_fork_independent_of_draw_order(self):
+        """Drawing from the parent must not perturb a named child."""
+        r1 = SimRng(7)
+        r1.integers(0, 100, size=10)
+        child1 = r1.fork("x").integers(0, 1 << 30, size=10)
+        child2 = SimRng(7).fork("x").integers(0, 1 << 30, size=10)
+        assert np.array_equal(child1, child2)
+
+
+class TestJitterOrder:
+    def test_is_permutation(self):
+        order = SimRng(3).jitter_order(100, strength=0.2)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_zero_strength_is_identity(self):
+        order = SimRng(3).jitter_order(50, strength=0.0)
+        assert np.array_equal(order, np.arange(50))
+
+    def test_zero_window_is_identity(self):
+        order = SimRng(3).jitter_order(50, window=0.0)
+        assert np.array_equal(order, np.arange(50))
+
+    def test_empty(self):
+        assert SimRng(3).jitter_order(0).size == 0
+
+    def test_mostly_ascending_with_small_window(self):
+        """Small absolute windows keep elements near their slot."""
+        order = SimRng(3).jitter_order(10_000, window=20.0)
+        displacement = np.abs(order - np.arange(10_000))
+        assert displacement.mean() < 100
+
+    def test_large_window_scrambles(self):
+        order = SimRng(3).jitter_order(1000, window=1e6)
+        displacement = np.abs(order - np.arange(1000))
+        assert displacement.mean() > 100
+
+    def test_permutation_property_with_window(self):
+        order = SimRng(11).jitter_order(257, window=13.0)
+        assert sorted(order.tolist()) == list(range(257))

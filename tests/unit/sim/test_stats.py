@@ -1,0 +1,108 @@
+"""Unit tests for category timers and counters."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.stats import PAPER_CATEGORIES, CategoryTimer, CounterSet
+
+
+class TestCategoryTimer:
+    def test_charge_accumulates(self):
+        timer = CategoryTimer()
+        timer.charge("service.map", 100)
+        timer.charge("service.map", 50)
+        assert timer.leaf_ns("service.map") == 150
+
+    def test_prefix_totals_include_descendants(self):
+        timer = CategoryTimer()
+        timer.charge("service.map", 100)
+        timer.charge("service.migrate", 200)
+        timer.charge("service", 10)
+        assert timer.total_ns("service") == 310
+
+    def test_prefix_does_not_match_partial_names(self):
+        timer = CategoryTimer()
+        timer.charge("service_extra", 99)
+        assert timer.total_ns("service") == 0
+
+    def test_total_without_prefix(self):
+        timer = CategoryTimer()
+        timer.charge("a", 1)
+        timer.charge("b.c", 2)
+        assert timer.total_ns() == 3
+
+    def test_counts(self):
+        timer = CategoryTimer()
+        timer.charge("service.map", 100, count=16)
+        timer.charge("service.map", 100, count=4)
+        assert timer.count("service.map") == 20
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(TraceError):
+            CategoryTimer().charge("x", -1)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(TraceError):
+            CategoryTimer().charge("", 1)
+
+    def test_merge(self):
+        a, b = CategoryTimer(), CategoryTimer()
+        a.charge("x", 1)
+        b.charge("x", 2)
+        b.charge("y", 3)
+        a.merge(b)
+        assert a.leaf_ns("x") == 3
+        assert a.leaf_ns("y") == 3
+
+    def test_breakdown_other_captures_remainder(self):
+        timer = CategoryTimer()
+        timer.charge("preprocess.batch", 100)
+        timer.charge("service.map", 200)
+        timer.charge("init", 50)
+        bd = timer.breakdown(PAPER_CATEGORIES)
+        assert bd.rows["preprocess"] == 100
+        assert bd.rows["service"] == 200
+        assert bd.other_ns == 50
+        assert bd.total_ns == 350
+
+    def test_breakdown_fraction(self):
+        timer = CategoryTimer()
+        timer.charge("preprocess", 25)
+        timer.charge("service", 75)
+        bd = timer.breakdown(PAPER_CATEGORIES)
+        assert bd.fraction("service") == 0.75
+
+    def test_render_contains_rows(self):
+        timer = CategoryTimer()
+        timer.charge("service", 1_000_000)
+        text = timer.breakdown(PAPER_CATEGORIES).render()
+        assert "service" in text
+        assert "1000.0 us" in text
+
+
+class TestCounterSet:
+    def test_add_and_get(self):
+        c = CounterSet()
+        c.add("faults.read", 5)
+        c.add("faults.read")
+        assert c["faults.read"] == 6
+
+    def test_missing_counter_is_zero(self):
+        assert CounterSet()["nope"] == 0
+
+    def test_iteration_sorted(self):
+        c = CounterSet()
+        c.add("b", 2)
+        c.add("a", 1)
+        assert list(c) == [("a", 1), ("b", 2)]
+
+    def test_merge(self):
+        a, b = CounterSet(), CounterSet()
+        a.add("x", 1)
+        b.add("x", 2)
+        a.merge(b)
+        assert a["x"] == 3
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TraceError):
+            CounterSet().add("")

@@ -1,0 +1,41 @@
+"""Unit tests for the explicit-transfer baseline."""
+
+import pytest
+
+from repro.baselines.explicit import ExplicitTransferBaseline, explicit_transfer_time_ns
+from repro.errors import ConfigurationError
+from repro.sim.costmodel import CostModel
+from repro.units import MiB
+
+
+class TestExplicitTransfer:
+    def test_time_is_setup_plus_wire(self):
+        cost = CostModel()
+        t = explicit_transfer_time_ns(cost, 12 * MiB)
+        wire = 12 * MiB * 1e9 / cost.memcpy_bytes_per_s
+        assert t == pytest.approx(cost.memcpy_setup_ns + wire, rel=1e-6)
+
+    def test_per_allocation_launches(self):
+        cost = CostModel()
+        one = explicit_transfer_time_ns(cost, 1 * MiB, n_allocations=1)
+        three = explicit_transfer_time_ns(cost, 1 * MiB, n_allocations=3)
+        assert three - one == 2 * cost.memcpy_setup_ns
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            explicit_transfer_time_ns(CostModel(), -1)
+        with pytest.raises(ConfigurationError):
+            explicit_transfer_time_ns(CostModel(), 1, n_allocations=0)
+
+    def test_effective_bandwidth_approaches_link_rate(self):
+        baseline = ExplicitTransferBaseline(CostModel())
+        bw = baseline.effective_bandwidth(1 << 30)
+        assert bw == pytest.approx(CostModel().memcpy_bytes_per_s, rel=0.01)
+
+    def test_effective_bandwidth_penalized_at_small_sizes(self):
+        baseline = ExplicitTransferBaseline(CostModel())
+        assert baseline.effective_bandwidth(4096) < 0.1 * CostModel().memcpy_bytes_per_s
+
+    def test_time_us(self):
+        baseline = ExplicitTransferBaseline(CostModel())
+        assert baseline.time_us(0) == pytest.approx(9.0)

@@ -1,0 +1,49 @@
+"""Unit tests for the uvmrepro CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("regular", "random", "sgemm", "cusparse"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_prints_breakdown_and_counters(self, capsys):
+        rc = main(["run", "regular", "--data-mib", "4", "--gpu-mem-mib", "32"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "driver time breakdown" in out
+        assert "faults.read" in out
+        assert "total simulated time" in out
+
+    def test_run_with_no_prefetch(self, capsys):
+        rc = main(
+            ["run", "regular", "--data-mib", "4", "--gpu-mem-mib", "32", "--no-prefetch"]
+        )
+        assert rc == 0
+        assert "pages.prefetch_h2d           0" in capsys.readouterr().out
+
+    def test_run_with_policy(self, capsys):
+        rc = main(
+            ["run", "random", "--data-mib", "2", "--gpu-mem-mib", "32", "--policy", "once"]
+        )
+        assert rc == 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "linpack"])
+
+
+class TestExhibit:
+    def test_fig6_renders(self, capsys):
+        assert main(["exhibit", "fig6"]) == 0
+        assert "density-tree cascade" in capsys.readouterr().out
+
+    def test_unknown_exhibit(self, capsys):
+        assert main(["exhibit", "fig99"]) == 2

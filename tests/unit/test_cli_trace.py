@@ -1,0 +1,79 @@
+"""Unit tests for the trace and CSV-export CLI paths."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.trace.io import load_trace
+
+
+class TestTraceCommand:
+    def test_writes_npz_txt_csv(self, tmp_path, capsys):
+        rc = main(
+            [
+                "trace",
+                "regular",
+                "--out",
+                str(tmp_path),
+                "--data-mib",
+                "2",
+                "--gpu-mem-mib",
+                "16",
+                "--no-prefetch",
+            ]
+        )
+        assert rc == 0
+        assert (tmp_path / "regular.npz").exists()
+        assert (tmp_path / "regular.txt").exists()
+        assert (tmp_path / "regular.csv").exists()
+        out = capsys.readouterr().out
+        assert "faults recorded" in out
+
+    def test_trace_metadata_round_trip(self, tmp_path, capsys):
+        main(
+            [
+                "trace",
+                "random",
+                "--out",
+                str(tmp_path),
+                "--data-mib",
+                "2",
+                "--gpu-mem-mib",
+                "16",
+                "--seed",
+                "99",
+            ]
+        )
+        trace, meta = load_trace(tmp_path / "random.npz")
+        assert meta["workload"] == "random"
+        assert meta["seed"] == 99
+        assert meta["prefetch"] is True
+        assert trace.n_faults > 0
+
+    def test_phase_workload_traces(self, tmp_path, capsys):
+        """tealeaf runs through the multi-kernel phase path."""
+        rc = main(
+            [
+                "trace",
+                "tealeaf",
+                "--out",
+                str(tmp_path),
+                "--data-mib",
+                "4",
+                "--gpu-mem-mib",
+                "32",
+            ]
+        )
+        assert rc == 0
+        trace, _ = load_trace(tmp_path / "tealeaf.npz")
+        assert trace.n_faults > 0
+
+
+class TestExhibitCsv:
+    def test_exhibit_with_csv_export(self, tmp_path, capsys):
+        rc = main(["exhibit", "fig6", "--csv", str(tmp_path)])
+        assert rc == 0
+        assert (tmp_path / "fig6.csv").exists()
+        header = (tmp_path / "fig6.csv").read_text().splitlines()[0]
+        assert "fault_leaf" in header

@@ -1,0 +1,82 @@
+"""Unit tests for experiment-module helpers and row arithmetic."""
+
+import pytest
+
+from repro.experiments.common import default_small_gpu, gemm_wave_setup, sized
+from repro.experiments.fig1 import Fig1Row
+from repro.experiments.fig3 import BreakdownRow
+from repro.experiments.fig9 import Fig9Row
+from repro.experiments.fig10 import gemm_sizes_for
+from repro.experiments.runner import ExperimentSetup
+from repro.units import MiB
+
+
+class TestCommonHelpers:
+    def test_sized_is_fraction_of_gpu(self):
+        setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+        assert sized(setup, 0.5) == 32 * MiB
+
+    def test_default_small_gpu(self):
+        assert default_small_gpu().gpu.memory_bytes == 64 * MiB
+
+    def test_gemm_wave_setup_limits_occupancy(self):
+        setup = gemm_wave_setup()
+        assert setup.gpu.max_active_streams == 160
+        assert setup.gpu.phase_width == 128
+
+
+class TestGemmSizing:
+    def test_sizes_hit_requested_ratios(self):
+        setup = gemm_wave_setup(64)
+        sizes = gemm_sizes_for(setup, ratios=(0.5, 1.0, 2.0), tile=128)
+        for n in sizes:
+            assert n % 128 == 0
+        ratios = [3 * n * n * 4 / (64 * MiB) for n in sizes]
+        assert ratios[0] < 1.0 < ratios[-1]
+
+    def test_sizes_deduplicated_and_sorted(self):
+        setup = gemm_wave_setup(64)
+        sizes = gemm_sizes_for(setup, ratios=(1.0, 1.0, 1.01), tile=128)
+        assert sizes == sorted(set(sizes))
+
+
+class TestRowArithmetic:
+    def test_fig1_slowdowns(self):
+        row = Fig1Row(
+            pattern="regular",
+            fraction=0.5,
+            data_bytes=1000,
+            explicit_us=10.0,
+            uvm_us=130.0,
+            uvm_prefetch_us=26.0,
+        )
+        assert row.uvm_slowdown == 13.0
+        assert row.prefetch_slowdown == 2.6
+        assert not row.oversubscribed
+
+    def test_fig3_shares(self):
+        row = BreakdownRow(
+            pattern="random",
+            data_bytes=1000,
+            preprocess_us=10.0,
+            service_us=70.0,
+            replay_us=10.0,
+            other_us=10.0,
+            total_us=100.0,
+        )
+        assert row.driver_us == 90.0
+        assert row.share("service") == 0.7
+
+    def test_fig9_amplification(self):
+        row = Fig9Row(
+            pattern="random",
+            ratio=1.5,
+            data_bytes=100,
+            map_us=1.0,
+            evict_us=1.0,
+            other_driver_us=1.0,
+            total_us=3.0,
+            evictions=5,
+            transferred_bytes=800,
+        )
+        assert row.amplification == 8.0

@@ -1,0 +1,67 @@
+"""Unit tests for repro.units: geometry constants and conversions."""
+
+import pytest
+
+from repro import units
+from repro.units import (
+    BIG_PAGE_SIZE,
+    PAGE_SIZE,
+    PAGES_PER_BIG_PAGE,
+    PAGES_PER_VABLOCK,
+    VABLOCK_SIZE,
+    bytes_to_pages,
+    human_size,
+    human_time_us,
+    ns_to_us,
+    pages_to_bytes,
+    us,
+)
+
+
+class TestGeometryConstants:
+    def test_paper_geometry(self):
+        """Section III/IV geometry: 4KB pages, 64KB big pages, 2MB blocks."""
+        assert PAGE_SIZE == 4096
+        assert BIG_PAGE_SIZE == 64 * 1024
+        assert VABLOCK_SIZE == 2 * 1024 * 1024
+
+    def test_derived_ratios(self):
+        assert PAGES_PER_BIG_PAGE == 16
+        assert PAGES_PER_VABLOCK == 512
+        assert units.BIG_PAGES_PER_VABLOCK == 32
+
+    def test_tree_depth_is_log2_of_block_pages(self):
+        """The paper: 9 levels = log2(2MB / 4KB)."""
+        assert 2**units.DENSITY_TREE_LEVELS == PAGES_PER_VABLOCK
+
+    def test_default_batch_and_threshold(self):
+        assert units.DEFAULT_BATCH_SIZE == 256
+        assert units.DEFAULT_DENSITY_THRESHOLD == 51
+
+
+class TestConversions:
+    def test_bytes_to_pages_rounds_up(self):
+        assert bytes_to_pages(1) == 1
+        assert bytes_to_pages(4096) == 1
+        assert bytes_to_pages(4097) == 2
+
+    def test_pages_to_bytes_round_trip(self):
+        assert pages_to_bytes(bytes_to_pages(8192)) == 8192
+
+    def test_ns_to_us(self):
+        assert ns_to_us(1500) == 1.5
+
+    def test_us_helper_rounds(self):
+        assert us(1.5) == 1500
+        assert us(0.0004) == 0
+
+    def test_human_size(self):
+        assert human_size(4096) == "4KB"
+        assert human_size(2 * 1024 * 1024) == "2MB"
+        assert human_size(3 * 1024**3) == "3GB"
+        assert human_size(100) == "100B"
+
+    def test_human_time(self):
+        assert human_time_us(1500) == "1.5us"
+        assert human_time_us(2_500_000) == "2.5ms"
+        assert human_time_us(3_000_000_000) == "3s"

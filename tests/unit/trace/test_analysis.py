@@ -1,0 +1,102 @@
+"""Unit tests for trace analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.mem.address_space import AddressSpace
+from repro.trace.analysis import (
+    duplicate_rate,
+    eviction_summary,
+    extract_access_pattern,
+    fault_reduction,
+    faults_per_vablock,
+)
+from repro.trace.recorder import TraceRecorder
+from repro.units import MiB
+
+
+@pytest.fixture
+def space():
+    s = AddressSpace()
+    s.malloc_managed(2 * MiB, name="A")  # pages 0..511
+    s.malloc_managed(3 * 4096, name="B")  # pages 512..514 (+pad to 1024)
+    return s
+
+
+class TestFaultReduction:
+    def test_table_one_arithmetic(self):
+        """Regular row of Table I: 2493569 -> 442011 is 82.27%."""
+        assert fault_reduction(2493569, 442011) == pytest.approx(82.27, abs=0.01)
+
+    def test_zero_baseline(self):
+        assert fault_reduction(0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceError):
+            fault_reduction(-1, 0)
+
+
+class TestAccessPattern:
+    def _trace(self):
+        rec = TraceRecorder()
+        rec.record_fault(0, page=0, vablock=0, stream=0, duplicate=False)
+        rec.record_fault(1, page=513, vablock=1, stream=1, duplicate=False)
+        rec.record_fault(2, page=0, vablock=0, stream=2, duplicate=True)
+        rec.record_eviction(3, vablock=0, n_pages=2, n_dirty=0)
+        return rec.finalize()
+
+    def test_gap_adjustment_removes_padding(self, space):
+        pattern = extract_access_pattern(self._trace(), space)
+        # page 513 is the second page of range B -> adjusted index 512+1
+        assert pattern.page_index.tolist() == [0, 513]
+
+    def test_duplicates_excluded_by_default(self, space):
+        pattern = extract_access_pattern(self._trace(), space)
+        assert pattern.n_faults == 2
+        assert pattern.occurrence.tolist() == [0, 1]
+
+    def test_duplicates_included_on_request(self, space):
+        pattern = extract_access_pattern(self._trace(), space, include_duplicates=True)
+        assert pattern.n_faults == 3
+
+    def test_range_boundaries(self, space):
+        pattern = extract_access_pattern(self._trace(), space)
+        assert pattern.range_boundaries == [0, 512]
+        assert pattern.range_names == ["A", "B"]
+
+    def test_eviction_overlay(self, space):
+        pattern = extract_access_pattern(self._trace(), space)
+        assert pattern.eviction_occurrence.tolist() == [3]
+        assert pattern.eviction_page_index.tolist() == [0]
+
+    def test_empty_trace_rejected(self, space):
+        from repro.trace.recorder import NullRecorder
+
+        with pytest.raises(TraceError):
+            extract_access_pattern(NullRecorder().finalize(), space)
+
+
+class TestAggregates:
+    def test_eviction_summary(self):
+        s = eviction_summary(n_faults=1000, n_evictions=50, pages_evicted=2000)
+        assert s.evictions_per_fault == 0.05
+        assert s.pages_evicted_per_fault == 2.0
+
+    def test_eviction_summary_zero_faults(self):
+        assert eviction_summary(0, 0, 0).evictions_per_fault == 0.0
+
+    def test_duplicate_rate(self):
+        rec = TraceRecorder()
+        rec.record_fault(0, 1, 0, 0, False)
+        rec.record_fault(1, 1, 0, 0, True)
+        assert duplicate_rate(rec.finalize()) == 0.5
+
+    def test_faults_per_vablock(self):
+        rec = TraceRecorder()
+        rec.record_fault(0, 1, 0, 0, False)
+        rec.record_fault(1, 600, 1, 0, False)
+        rec.record_fault(2, 601, 1, 0, False)
+        rec.record_fault(3, 601, 1, 0, True)  # duplicate excluded
+        hist = faults_per_vablock(rec.finalize(), total_vablocks=4)
+        assert hist.tolist() == [1, 2, 0, 0]

@@ -1,0 +1,128 @@
+"""Unit tests for the deeper trace-analysis functions."""
+
+import numpy as np
+import pytest
+
+from repro.trace.analysis import (
+    bin_size_distribution,
+    prefetch_ratio,
+    refault_distances,
+    vablock_residency_lifetimes,
+)
+from repro.trace.recorder import TraceRecorder
+
+
+def make_trace(events):
+    rec = TraceRecorder()
+    for kind, args in events:
+        getattr(rec, f"record_{kind}")(*args)
+    return rec.finalize()
+
+
+class TestBinSizes:
+    def test_distribution(self):
+        trace = make_trace(
+            [
+                ("service", (10, 0, 5, 100)),
+                ("service", (20, 1, 1, 0)),
+                ("service", (30, 2, 8, 0)),
+            ]
+        )
+        assert bin_size_distribution(trace).tolist() == [5, 1, 8]
+
+
+class TestPrefetchRatio:
+    def test_ratio(self):
+        trace = make_trace([("service", (10, 0, 25, 75))])
+        assert prefetch_ratio(trace) == 0.75
+
+    def test_empty(self):
+        from repro.trace.recorder import NullRecorder
+
+        assert prefetch_ratio(NullRecorder().finalize()) == 0.0
+
+
+class TestLifetimes:
+    def test_eviction_measured_from_last_service(self):
+        trace = make_trace(
+            [
+                ("service", (100, 7, 1, 0)),
+                ("service", (500, 7, 1, 0)),  # block 7 serviced again
+                ("eviction", (900, 7, 10, 2)),
+            ]
+        )
+        assert vablock_residency_lifetimes(trace).tolist() == [400]
+
+    def test_eviction_of_never_serviced_block_skipped(self):
+        trace = make_trace([("eviction", (900, 3, 1, 0))])
+        assert vablock_residency_lifetimes(trace).size == 0
+
+    def test_multiple_blocks_interleaved(self):
+        trace = make_trace(
+            [
+                ("service", (100, 1, 1, 0)),
+                ("service", (200, 2, 1, 0)),
+                ("eviction", (250, 1, 1, 0)),
+                ("eviction", (700, 2, 1, 0)),
+            ]
+        )
+        assert vablock_residency_lifetimes(trace).tolist() == [150, 500]
+
+
+class TestRefaultDistances:
+    def test_distance_counts_faults_after_eviction(self):
+        trace = make_trace(
+            [
+                ("fault", (10, 1, 0, 0, False)),
+                ("eviction", (15, 0, 1, 0)),  # after fault index 1
+                ("fault", (20, 600, 1, 0, False)),
+                ("fault", (30, 2, 0, 0, False)),  # block 0 refaults
+            ]
+        )
+        assert refault_distances(trace).tolist() == [1]
+
+    def test_never_refaulted_is_minus_one(self):
+        trace = make_trace(
+            [
+                ("fault", (10, 600, 1, 0, False)),
+                ("eviction", (15, 0, 1, 0)),
+                ("fault", (20, 700, 1, 0, False)),
+            ]
+        )
+        assert refault_distances(trace).tolist() == [-1]
+
+    def test_empty(self):
+        from repro.trace.recorder import NullRecorder
+
+        assert refault_distances(NullRecorder().finalize()).size == 0
+
+
+class TestOnRealRuns:
+    def test_regular_bins_larger_than_random(self):
+        """Section III-D insight, measured: concentrated faults produce
+        larger VABlock bins than scattered ones."""
+        from repro.experiments.runner import ExperimentSetup, simulate
+        from repro.units import MiB
+        from repro.workloads.synthetic import RandomAccess, RegularAccess
+
+        setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+        setup = setup.with_driver(prefetch_enabled=False)
+        reg = simulate(RegularAccess(16 * MiB), setup, record_trace=True)
+        rnd = simulate(RandomAccess(16 * MiB), setup, record_trace=True)
+        assert bin_size_distribution(reg.trace).mean() > bin_size_distribution(
+            rnd.trace
+        ).mean()
+
+    def test_oversubscribed_random_has_short_lifetimes(self):
+        from repro.experiments.runner import ExperimentSetup, simulate
+        from repro.units import MiB
+        from repro.workloads.synthetic import RandomAccess
+
+        setup = ExperimentSetup().with_gpu(memory_bytes=32 * MiB)
+        run = simulate(RandomAccess(int(32 * MiB * 1.5)), setup, record_trace=True)
+        lifetimes = vablock_residency_lifetimes(run.trace)
+        assert lifetimes.size > 0
+        distances = refault_distances(run.trace)
+        # thrash: a large share of evictions refault soon
+        soon = (distances >= 0) & (distances < 5000)
+        assert soon.mean() > 0.3

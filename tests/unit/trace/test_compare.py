@@ -1,0 +1,84 @@
+"""Unit tests for A/B run comparison."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.compare import ComparisonRow, compare_runs
+from repro.units import MiB
+from repro.workloads.synthetic import RegularAccess
+
+
+@pytest.fixture(scope="module")
+def pair():
+    setup = ExperimentSetup().with_gpu(memory_bytes=32 * MiB)
+    a = simulate(RegularAccess(8 * MiB), setup)
+    b = simulate(RegularAccess(8 * MiB), setup.with_driver(prefetch_enabled=False))
+    return a, b
+
+
+class TestComparisonRow:
+    def test_ratio(self):
+        assert ComparisonRow("x", 10.0, 25.0).ratio == 2.5
+
+    def test_zero_baseline(self):
+        assert ComparisonRow("x", 0.0, 5.0).ratio == float("inf")
+        assert ComparisonRow("x", 0.0, 0.0).ratio == 1.0
+
+
+class TestCompareRuns:
+    def test_headline_metrics_present(self, pair):
+        comparison = compare_runs(*pair, "pf", "no-pf")
+        for metric in ("total time (us)", "faults read", "evictions", "MiB moved"):
+            comparison.row(metric)
+
+    def test_prefetch_effect_visible(self, pair):
+        comparison = compare_runs(*pair, "pf", "no-pf")
+        assert comparison.row("faults read").ratio > 2  # no-pf faults more
+        assert comparison.row("prefetched pages").b == 0
+        assert comparison.row("total time (us)").ratio > 1
+
+    def test_category_rows(self, pair):
+        comparison = compare_runs(*pair)
+        assert comparison.row("service (us)").a > 0
+
+    def test_extra_counters(self, pair):
+        comparison = compare_runs(*pair, extra_counters=("batches.count",))
+        assert comparison.row("batches.count").a >= 1
+
+    def test_render(self, pair):
+        out = compare_runs(*pair, "pf", "no-pf").render("demo")
+        assert out.startswith("demo")
+        assert "b/a" in out
+        assert "no-pf" in out
+
+    def test_unknown_metric_raises(self, pair):
+        with pytest.raises(KeyError):
+            compare_runs(*pair).row("nope")
+
+
+class TestCompareCli:
+    def test_cli_compare_variant(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "compare",
+                "regular",
+                "--vs",
+                "no-prefetch",
+                "--data-mib",
+                "4",
+                "--gpu-mem-mib",
+                "16",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stock vs no-prefetch" in out
+
+    def test_cli_unknown_variant(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(["compare", "regular", "--vs", "warp-speed", "--data-mib", "2"]) == 2
+        )

@@ -1,0 +1,74 @@
+"""Unit tests for terminal/CSV rendering."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.export import render_log_bar, render_scatter, render_series, write_csv
+
+
+class TestScatter:
+    def test_renders_points(self):
+        plot = render_scatter(np.array([0, 50, 99]), np.array([0, 50, 99]), width=20, height=10)
+        assert plot.count("*") >= 3
+        assert "+--------------------+" in plot
+
+    def test_hlines_drawn(self):
+        plot = render_scatter(np.array([0]), np.array([0]), width=10, height=5, hlines=[50])
+        assert "-" * 10 in plot
+
+    def test_overlay_marks(self):
+        plot = render_scatter(
+            np.array([0]), np.array([0]),
+            overlay=(np.array([10]), np.array([10])),
+            width=20, height=10,
+        )
+        assert "x" in plot
+
+    def test_title(self):
+        plot = render_scatter(np.array([1]), np.array([1]), title="hello")
+        assert plot.startswith("hello")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            render_scatter(np.array([]), np.array([]))
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(TraceError):
+            render_scatter(np.array([1]), np.array([1, 2]))
+
+
+class TestSeries:
+    def test_columns_aligned(self):
+        table = render_series(
+            [("a", 1, 2.5), ("bb", 10, 3.25)],
+            headers=("name", "count", "value"),
+        )
+        lines = table.splitlines()
+        assert len({len(l) for l in lines}) == 1  # uniform width
+
+    def test_float_formatting(self):
+        table = render_series([(1.23456,)], headers=("v",), floatfmt="{:.2f}")
+        assert "1.23" in table
+
+    def test_title_row(self):
+        assert render_series([], headers=("x",), title="T").startswith("T")
+
+
+class TestLogBar:
+    def test_bars_scale_logarithmically(self):
+        out = render_log_bar(["a", "b"], [1.0, 1000.0], width=30)
+        bar_a = out.splitlines()[0].count("#")
+        bar_b = out.splitlines()[1].count("#")
+        assert bar_b > bar_a
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            render_log_bar([], [])
+
+
+class TestCsv:
+    def test_write_and_content(self, tmp_path):
+        path = write_csv(tmp_path / "out" / "data.csv", ("a", "b"), [(1, 2), (3, 4)])
+        text = path.read_text()
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]

@@ -1,0 +1,67 @@
+"""Unit tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import TRACE_FORMAT_VERSION, load_trace, save_trace
+from repro.trace.recorder import TraceRecorder
+
+
+def sample_trace():
+    rec = TraceRecorder()
+    rec.record_fault(10, page=5, vablock=0, stream=1, duplicate=False)
+    rec.record_fault(20, page=600, vablock=1, stream=2, duplicate=True)
+    rec.record_service(25, vablock=1, n_demand=1, n_prefetch=15)
+    rec.record_eviction(30, vablock=0, n_pages=3, n_dirty=1)
+    rec.record_replay(35)
+    rec.record_batch(40, n_read=2, n_duplicate=1)
+    return rec.finalize()
+
+
+class TestRoundTrip:
+    def test_all_streams_survive(self, tmp_path):
+        trace = sample_trace()
+        path = save_trace(trace, tmp_path / "t.npz", metadata={"seed": 7})
+        loaded, meta = load_trace(path)
+        assert meta == {"seed": 7}
+        assert loaded.fault_page.tolist() == trace.fault_page.tolist()
+        assert loaded.fault_duplicate.tolist() == trace.fault_duplicate.tolist()
+        assert loaded.service_prefetch.tolist() == [15]
+        assert loaded.evict_fault_index.tolist() == [2]
+        assert loaded.replay_time_ns.tolist() == [35]
+        assert loaded.batch_duplicate.tolist() == [1]
+
+    def test_suffix_normalized(self, tmp_path):
+        path = save_trace(sample_trace(), tmp_path / "t.trace")
+        assert path.suffix == ".npz"
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        from repro.trace.recorder import NullRecorder
+
+        trace = NullRecorder().finalize()
+        loaded, _ = load_trace(save_trace(trace, tmp_path / "e.npz"))
+        assert loaded.n_faults == 0
+
+    def test_default_metadata_empty(self, tmp_path):
+        _, meta = load_trace(save_trace(sample_trace(), tmp_path / "t.npz"))
+        assert meta == {}
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_non_trace_npz_rejected(self, tmp_path):
+        np.savez(tmp_path / "x.npz", a=np.arange(3))
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "x.npz")
+
+    def test_version_is_written(self, tmp_path):
+        import json
+
+        path = save_trace(sample_trace(), tmp_path / "t.npz")
+        with np.load(path) as data:
+            header = json.loads(bytes(data["__header__"]).decode())
+        assert header["format_version"] == TRACE_FORMAT_VERSION

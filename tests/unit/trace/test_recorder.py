@@ -1,0 +1,58 @@
+"""Unit tests for the trace recorder."""
+
+import numpy as np
+
+from repro.trace.recorder import NullRecorder, TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_fault_stream_recorded_in_order(self):
+        rec = TraceRecorder()
+        rec.record_fault(10, page=5, vablock=0, stream=1, duplicate=False)
+        rec.record_fault(20, page=600, vablock=1, stream=2, duplicate=True)
+        trace = rec.finalize()
+        assert trace.fault_page.tolist() == [5, 600]
+        assert trace.fault_duplicate.tolist() == [False, True]
+        assert trace.fault_time_ns.tolist() == [10, 20]
+
+    def test_eviction_aligned_with_fault_index(self):
+        rec = TraceRecorder()
+        rec.record_fault(10, 5, 0, 1, False)
+        rec.record_eviction(15, vablock=3, n_pages=100, n_dirty=40)
+        rec.record_fault(20, 6, 0, 1, False)
+        trace = rec.finalize()
+        assert trace.evict_fault_index.tolist() == [1]  # after first fault
+
+    def test_service_and_replay_streams(self):
+        rec = TraceRecorder()
+        rec.record_service(5, vablock=2, n_demand=3, n_prefetch=13)
+        rec.record_replay(9)
+        rec.record_batch(10, n_read=256, n_duplicate=12)
+        trace = rec.finalize()
+        assert trace.service_prefetch.tolist() == [13]
+        assert trace.replay_time_ns.tolist() == [9]
+        assert trace.batch_duplicate.tolist() == [12]
+
+    def test_counts(self):
+        rec = TraceRecorder()
+        rec.record_fault(1, 2, 0, 0, False)
+        trace = rec.finalize()
+        assert trace.n_faults == 1
+        assert trace.n_evictions == 0
+
+
+class TestNullRecorder:
+    def test_discards_everything(self):
+        rec = NullRecorder()
+        rec.record_fault(1, 2, 0, 0, False)
+        rec.record_eviction(1, 0, 1, 1)
+        rec.record_service(1, 0, 1, 1)
+        rec.record_replay(1)
+        rec.record_batch(1, 1, 0)
+        trace = rec.finalize()
+        assert trace.n_faults == 0
+        assert trace.n_evictions == 0
+
+    def test_enabled_flags(self):
+        assert TraceRecorder().enabled
+        assert not NullRecorder().enabled

@@ -1,0 +1,44 @@
+"""Unit tests for the workload registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import MiB
+from repro.workloads.registry import PAPER_WORKLOADS, make_workload, workload_names
+
+
+class TestRegistry:
+    def test_all_eight_paper_rows_present(self):
+        assert workload_names() == [
+            "regular",
+            "random",
+            "sgemm",
+            "stream",
+            "cufft",
+            "tealeaf",
+            "hpgmg",
+            "cusparse",
+        ]
+
+    @pytest.mark.parametrize("name", list(PAPER_WORKLOADS))
+    def test_factories_hit_requested_size(self, name):
+        target = 48 * MiB
+        wl = make_workload(name, target)
+        actual = wl.required_bytes()
+        assert 0.4 * target <= actual <= 1.6 * target, (
+            f"{name}: {actual} vs target {target}"
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_workload("linpack", 1 * MiB)
+
+    def test_non_positive_size(self):
+        with pytest.raises(ConfigurationError):
+            make_workload("regular", 0)
+
+    @pytest.mark.parametrize("name", list(PAPER_WORKLOADS))
+    def test_describe(self, name):
+        wl = make_workload(name, 16 * MiB)
+        assert wl.name == name
+        assert name in wl.describe()

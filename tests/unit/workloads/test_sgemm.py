@@ -1,0 +1,84 @@
+"""Unit tests for the tiled SGEMM workload."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.address_space import AddressSpace
+from repro.sim.rng import SimRng
+from repro.workloads.sgemm import SgemmWorkload
+
+
+@pytest.fixture
+def build():
+    space = AddressSpace()
+    wl = SgemmWorkload(n=512, tile=128)
+    return wl, space, wl.build(space, SimRng(2))
+
+
+class TestStructure:
+    def test_three_ranges(self, build):
+        _, _, b = build
+        assert set(b.ranges) == {"A", "B", "C"}
+
+    def test_one_stream_per_grid_block(self, build):
+        wl, _, b = build
+        grid = wl.n // wl.tile
+        assert len(b.streams) == grid * grid
+
+    def test_streams_touch_all_three_matrices(self, build):
+        wl, space, b = build
+        a, bm, c = b.ranges["A"], b.ranges["B"], b.ranges["C"]
+        pages = b.streams[0].pages
+        assert ((pages >= a.start_page) & (pages < a.end_page)).any()
+        assert ((pages >= bm.start_page) & (pages < bm.end_page)).any()
+        assert ((pages >= c.start_page) & (pages < c.end_page)).any()
+
+    def test_only_c_pages_written(self, build):
+        _, _, b = build
+        for stream in b.streams:
+            c_range = b.ranges["C"]
+            written = stream.pages[stream.writes]
+            assert (written >= c_range.start_page).all()
+            assert (written < c_range.end_page_aligned).all()
+
+    def test_full_coverage_of_c(self, build):
+        """Every page of C is written by some block."""
+        _, _, b = build
+        c = b.ranges["C"]
+        written = np.concatenate([s.pages[s.writes] for s in b.streams])
+        covered = np.unique(written)
+        expected = np.arange(c.start_page, c.start_page + c.npages)
+        assert np.array_equal(np.intersect1d(covered, expected), expected)
+
+    def test_reuse_exists(self, build):
+        """A row-bands are shared across a grid row: the driver-invisible
+        reuse the paper highlights."""
+        wl, _, b = build
+        grid = wl.n // wl.tile
+        first_row_blocks = b.streams[:grid]
+        a_pages = [set(s.pages[: len(s.pages) // 2].tolist()) for s in first_row_blocks]
+        shared = set.intersection(*a_pages)
+        assert shared, "grid-row blocks must share A band pages"
+
+    def test_flops(self):
+        wl = SgemmWorkload(n=256, tile=128)
+        assert wl.flops == 2 * 256**3
+
+    def test_flops_attributed_to_streams(self, build):
+        wl, _, b = build
+        total = sum(s.flops_per_access * len(s) for s in b.streams)
+        assert total == pytest.approx(wl.flops, rel=0.01)
+
+    def test_required_bytes(self):
+        assert SgemmWorkload(n=512).required_bytes() == 3 * 512 * 512 * 4
+
+
+class TestValidation:
+    def test_tile_must_divide_n(self):
+        with pytest.raises(ConfigurationError):
+            SgemmWorkload(n=100, tile=64)
+
+    def test_positive_params(self):
+        with pytest.raises(ConfigurationError):
+            SgemmWorkload(n=0)
