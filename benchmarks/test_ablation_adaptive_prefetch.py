@@ -7,7 +7,7 @@ capacity boundary.
 """
 
 from benchmarks.conftest import run_exhibit
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.export import render_series
 from repro.units import MiB
 from repro.workloads.synthetic import RandomAccess
@@ -20,21 +20,24 @@ def _compare():
         "static-1": setup.with_driver(density_threshold=1),
         "adaptive": setup.with_driver(adaptive_prefetch=True),
     }
-    rows = []
-    for frac in (0.5, 1.25):
-        data = int(64 * MiB * frac)
-        for label, cfg in variants.items():
-            run = simulate(RandomAccess(data), cfg)
-            rows.append(
-                (
-                    f"{frac:.0%}",
-                    label,
-                    run.total_time_ns / 1000.0,
-                    run.faults_read,
-                    run.evictions,
-                )
-            )
-    return rows
+    grid = [
+        (frac, label, cfg)
+        for frac in (0.5, 1.25)
+        for label, cfg in variants.items()
+    ]
+    runs = run_sweep(
+        [(RandomAccess(int(64 * MiB * frac)), cfg) for frac, _, cfg in grid]
+    )
+    return [
+        (
+            f"{frac:.0%}",
+            label,
+            run.total_time_ns / 1000.0,
+            run.faults_read,
+            run.evictions,
+        )
+        for (frac, label, _), run in zip(grid, runs)
+    ]
 
 
 def test_ablation_adaptive_prefetch(benchmark, save_render):

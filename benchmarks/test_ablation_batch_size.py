@@ -9,7 +9,7 @@ synthetic patterns.
 """
 
 from benchmarks.conftest import run_exhibit
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.export import render_series
 from repro.units import MiB
 from repro.workloads.synthetic import RandomAccess, RegularAccess
@@ -19,23 +19,34 @@ BATCH_SIZES = (32, 128, 256, 1024)
 
 def _sweep():
     setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
-    rows = []
-    for workload_cls in (RegularAccess, RandomAccess):
-        for batch in BATCH_SIZES:
-            cfg = setup.with_driver(batch_size=batch, prefetch_enabled=False)
-            run = simulate(workload_cls(16 * MiB), cfg)
-            bins = run.counters["batches.vablock_bins"]
-            batches = run.counters["batches.count"]
-            rows.append(
-                (
-                    workload_cls.name,
-                    batch,
-                    run.total_time_ns / 1000.0,
-                    batches,
-                    bins / max(batches, 1),
-                    run.counters["replays.issued"],
-                )
+    grid = [
+        (workload_cls, batch)
+        for workload_cls in (RegularAccess, RandomAccess)
+        for batch in BATCH_SIZES
+    ]
+    runs = run_sweep(
+        [
+            (
+                workload_cls(16 * MiB),
+                setup.with_driver(batch_size=batch, prefetch_enabled=False),
             )
+            for workload_cls, batch in grid
+        ]
+    )
+    rows = []
+    for (workload_cls, batch), run in zip(grid, runs):
+        bins = run.counters["batches.vablock_bins"]
+        batches = run.counters["batches.count"]
+        rows.append(
+            (
+                workload_cls.name,
+                batch,
+                run.total_time_ns / 1000.0,
+                batches,
+                bins / max(batches, 1),
+                run.counters["replays.issued"],
+            )
+        )
     return rows
 
 

@@ -8,7 +8,7 @@ improves far less than prefetched UVM does.
 """
 
 from benchmarks.conftest import run_exhibit
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.sim.costmodel import NVLINK_CLASS, TITAN_V_PCIE3
 from repro.trace.export import render_series
 from repro.units import MiB
@@ -16,16 +16,16 @@ from repro.workloads.synthetic import RegularAccess
 
 
 def _sweep():
-    rows = []
+    grid = []
     for label, cost in (("pcie3", TITAN_V_PCIE3), ("nvlink", NVLINK_CLASS)):
         base = ExperimentSetup(cost=cost).with_gpu(memory_bytes=64 * MiB)
-        for prefetch, cfg in (
-            ("off", base.with_driver(prefetch_enabled=False)),
-            ("on", base),
-        ):
-            run = simulate(RegularAccess(32 * MiB), cfg)
-            rows.append((label, prefetch, run.total_time_ns / 1000.0))
-    return rows
+        grid.append((label, "off", base.with_driver(prefetch_enabled=False)))
+        grid.append((label, "on", base))
+    runs = run_sweep([(RegularAccess(32 * MiB), cfg) for _, _, cfg in grid])
+    return [
+        (label, prefetch, run.total_time_ns / 1000.0)
+        for (label, prefetch, _), run in zip(grid, runs)
+    ]
 
 
 def test_ablation_interconnect(benchmark, save_render):

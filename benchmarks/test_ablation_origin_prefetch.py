@@ -7,7 +7,7 @@ exactly the trade-off the paper sketches.
 """
 
 from benchmarks.conftest import run_exhibit
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.export import render_series
 from repro.units import MiB
 from repro.workloads.synthetic import RandomAccess, RegularAccess
@@ -20,20 +20,22 @@ def _compare():
         "tree-51": setup,
         "origin": setup.with_driver(prefetcher_kind="origin"),
     }
-    rows = []
-    for workload_cls in (RegularAccess, RandomAccess):
-        for label, cfg in variants.items():
-            run = simulate(workload_cls(24 * MiB), cfg)
-            rows.append(
-                (
-                    workload_cls.name,
-                    label,
-                    run.total_time_ns / 1000.0,
-                    run.faults_read,
-                    run.counters["pages.prefetch_h2d"],
-                )
-            )
-    return rows
+    grid = [
+        (workload_cls, label, cfg)
+        for workload_cls in (RegularAccess, RandomAccess)
+        for label, cfg in variants.items()
+    ]
+    runs = run_sweep([(workload_cls(24 * MiB), cfg) for workload_cls, _, cfg in grid])
+    return [
+        (
+            workload_cls.name,
+            label,
+            run.total_time_ns / 1000.0,
+            run.faults_read,
+            run.counters["pages.prefetch_h2d"],
+        )
+        for (workload_cls, label, _), run in zip(grid, runs)
+    ]
 
 
 def test_ablation_origin_prefetch(benchmark, save_render):

@@ -8,7 +8,7 @@ random access, where the stock pipeline cycles 2 MB allocations for
 """
 
 from benchmarks.conftest import run_exhibit
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.export import render_series
 from repro.units import MiB
 from repro.workloads.synthetic import RandomAccess, RegularAccess
@@ -17,22 +17,28 @@ from repro.workloads.synthetic import RandomAccess, RegularAccess
 def _compare():
     setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
     mitigated = setup.with_driver(thrashing_mitigation=True)
-    rows = []
-    for workload_cls, ratio in ((RandomAccess, 1.5), (RegularAccess, 1.5)):
-        data = int(64 * MiB * ratio)
-        for label, cfg in (("stock", setup), ("pin-on-thrash", mitigated)):
-            run = simulate(workload_cls(data), cfg)
-            rows.append(
-                (
-                    workload_cls.name,
-                    label,
-                    run.total_time_ns / 1000.0,
-                    run.evictions,
-                    run.counters["thrash.blocks_pinned"],
-                    run.dma.total_bytes >> 20,
-                )
-            )
-    return rows
+    grid = [
+        (workload_cls, ratio, label, cfg)
+        for workload_cls, ratio in ((RandomAccess, 1.5), (RegularAccess, 1.5))
+        for label, cfg in (("stock", setup), ("pin-on-thrash", mitigated))
+    ]
+    runs = run_sweep(
+        [
+            (workload_cls(int(64 * MiB * ratio)), cfg)
+            for workload_cls, ratio, _, cfg in grid
+        ]
+    )
+    return [
+        (
+            workload_cls.name,
+            label,
+            run.total_time_ns / 1000.0,
+            run.evictions,
+            run.counters["thrash.blocks_pinned"],
+            run.dma.total_bytes >> 20,
+        )
+        for (workload_cls, _, label, _), run in zip(grid, runs)
+    ]
 
 
 def test_ablation_thrashing(benchmark, save_render):

@@ -10,29 +10,89 @@ flags when the producer is still writing.
 
 :func:`assemble_batch` reproduces that: it drains up to ``batch_size``
 entries, accumulating the poll count so the driver can charge the
-polling cost to the pre-processing category.
+polling cost to the pre-processing category.  The drained batch is held
+as parallel field arrays (the driver's host-side fault cache), so
+pre-processing consumes numpy arrays directly instead of iterating
+per-entry objects; :attr:`FaultBatch.entries` reconstructs the object
+view on demand for tests and analysis.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import numpy as np
 
 from repro.gpu.fault_buffer import FaultBuffer, FaultEntry
 
 
-@dataclass
 class FaultBatch:
-    """One driver batch: the raw entries plus assembly-time costs."""
+    """One driver batch: parallel field arrays plus assembly-time costs."""
 
-    entries: list[FaultEntry] = field(default_factory=list)
-    polls: int = 0
+    __slots__ = (
+        "page",
+        "is_write",
+        "timestamp_ns",
+        "gpc_id",
+        "utlb_id",
+        "stream_id",
+        "sm_id",
+        "polls",
+    )
+
+    def __init__(
+        self,
+        entries: list[FaultEntry] | None = None,
+        polls: int = 0,
+        *,
+        arrays: tuple | None = None,
+    ) -> None:
+        self.polls = polls
+        if arrays is not None:
+            (
+                self.page,
+                self.is_write,
+                self.timestamp_ns,
+                self.gpc_id,
+                self.utlb_id,
+                self.stream_id,
+                self.sm_id,
+            ) = arrays
+            return
+        entries = entries or []
+        n = len(entries)
+        self.page = np.fromiter((e.page for e in entries), dtype=np.int64, count=n)
+        self.is_write = np.fromiter((e.is_write for e in entries), dtype=bool, count=n)
+        self.timestamp_ns = np.fromiter(
+            (e.timestamp_ns for e in entries), dtype=np.int64, count=n
+        )
+        self.gpc_id = np.fromiter((e.gpc_id for e in entries), dtype=np.int64, count=n)
+        self.utlb_id = np.fromiter((e.utlb_id for e in entries), dtype=np.int64, count=n)
+        self.stream_id = np.fromiter(
+            (e.stream_id for e in entries), dtype=np.int64, count=n
+        )
+        self.sm_id = np.fromiter((e.sm_id for e in entries), dtype=np.int64, count=n)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return int(self.page.size)
 
     @property
     def pages(self) -> list[int]:
-        return [e.page for e in self.entries]
+        return self.page.tolist()
+
+    @property
+    def entries(self) -> list[FaultEntry]:
+        """Per-entry object view (reconstructed; for tests/analysis)."""
+        return [
+            FaultEntry(
+                page=int(self.page[i]),
+                is_write=bool(self.is_write[i]),
+                timestamp_ns=int(self.timestamp_ns[i]),
+                gpc_id=int(self.gpc_id[i]),
+                utlb_id=int(self.utlb_id[i]),
+                stream_id=int(self.stream_id[i]),
+                sm_id=int(self.sm_id[i]),
+            )
+            for i in range(len(self))
+        ]
 
 
 def assemble_batch(
@@ -52,13 +112,7 @@ def assemble_batch(
     To guarantee forward progress, a batch that would otherwise be empty
     still polls for its first entry.
     """
-    batch = FaultBatch()
-    while len(batch.entries) < batch_size:
-        if stop_at_not_ready and batch.entries and not buffer.head_ready(now_ns):
-            break
-        entry, polls = buffer.pop_ready(now_ns)
-        if entry is None:
-            break
-        batch.polls += polls
-        batch.entries.append(entry)
-    return batch
+    drained = buffer.drain_arrays(now_ns, batch_size, stop_at_not_ready)
+    if drained is None:
+        return FaultBatch()
+    return FaultBatch(arrays=drained[:7], polls=drained[7])

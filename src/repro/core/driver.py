@@ -386,7 +386,7 @@ class UvmDriver:
                 cfg.batch_size,
                 stop_at_not_ready=cfg.batch_stop_at_not_ready,
             )
-            if not batch.entries:
+            if not len(batch):
                 break
             batches += 1
             pre = preprocess_batch(batch, self.residency)
@@ -407,13 +407,13 @@ class UvmDriver:
             self.counters.add(C.VABLOCK_BINS, len(pre.bins))
             if self.recorder.enabled:
                 ppv = self.space.pages_per_vablock
-                for entry, dup in zip(batch.entries, pre.entry_duplicate):
+                for page, stream_id, dup in zip(
+                    batch.page.tolist(),
+                    batch.stream_id.tolist(),
+                    pre.entry_duplicate.tolist(),
+                ):
                     self.recorder.record_fault(
-                        self.clock.now,
-                        entry.page,
-                        entry.page // ppv,
-                        entry.stream_id,
-                        bool(dup),
+                        self.clock.now, page, page // ppv, stream_id, dup
                     )
                 self.recorder.record_batch(self.clock.now, pre.n_read, pre.n_duplicate)
 

@@ -70,22 +70,16 @@ def preprocess_batch(
     Bins come out in ascending VABlock order (the driver sorts batches),
     with pages ascending within each bin.
     """
-    out = PreprocessedBatch(n_read=len(batch.entries))
-    if not batch.entries:
+    out = PreprocessedBatch(n_read=len(batch))
+    if not len(batch):
         return out
 
-    pages = np.fromiter(
-        (e.page for e in batch.entries), dtype=np.int64, count=len(batch.entries)
-    )
-    writes = np.fromiter(
-        (e.is_write for e in batch.entries), dtype=bool, count=len(batch.entries)
-    )
-    streams = np.fromiter(
-        (e.stream_id for e in batch.entries), dtype=np.int64, count=len(batch.entries)
-    )
-    sms = np.fromiter(
-        (e.sm_id for e in batch.entries), dtype=np.int64, count=len(batch.entries)
-    )
+    # the batch already holds parallel field arrays (the driver's
+    # host-side fault cache) - no per-entry extraction passes
+    pages = batch.page
+    writes = batch.is_write
+    streams = batch.stream_id
+    sms = batch.sm_id
 
     # Stale duplicates: the access is already satisfiable when the batch
     # is processed (reads need read_ok; writes need write_ok, so a write

@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 
 from repro.baselines.explicit import explicit_transfer_time_ns
 from repro.experiments.common import default_small_gpu, us
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.export import render_series
 from repro.units import human_size
 from repro.workloads.synthetic import RandomAccess, RegularAccess
@@ -100,21 +100,28 @@ def run_fig1(
     """Regenerate Fig. 1's series on the (scaled) simulated platform."""
     setup = setup or default_small_gpu()
     no_pf = setup.with_driver(prefetch_enabled=False)
+    grid = [
+        (pattern_cls, frac, max(int(setup.gpu.memory_bytes * frac), 4096))
+        for pattern_cls in (RegularAccess, RandomAccess)
+        for frac in fractions
+    ]
+    # two sweep points per grid cell: prefetch off, then on
+    points = []
+    for pattern_cls, _, nbytes in grid:
+        points.append((pattern_cls(nbytes), no_pf))
+        points.append((pattern_cls(nbytes), setup))
+    runs = run_sweep(points)
     result = Fig1Result()
-    for pattern_cls in (RegularAccess, RandomAccess):
-        for frac in fractions:
-            nbytes = max(int(setup.gpu.memory_bytes * frac), 4096)
-            explicit_ns = explicit_transfer_time_ns(setup.cost, nbytes)
-            uvm = simulate(pattern_cls(nbytes), no_pf)
-            uvm_pf = simulate(pattern_cls(nbytes), setup)
-            result.rows.append(
-                Fig1Row(
-                    pattern=pattern_cls.name,
-                    fraction=frac,
-                    data_bytes=nbytes,
-                    explicit_us=us(explicit_ns),
-                    uvm_us=us(uvm.total_time_ns),
-                    uvm_prefetch_us=us(uvm_pf.total_time_ns),
-                )
+    for i, (pattern_cls, frac, nbytes) in enumerate(grid):
+        uvm, uvm_pf = runs[2 * i], runs[2 * i + 1]
+        result.rows.append(
+            Fig1Row(
+                pattern=pattern_cls.name,
+                fraction=frac,
+                data_bytes=nbytes,
+                explicit_us=us(explicit_transfer_time_ns(setup.cost, nbytes)),
+                uvm_us=us(uvm.total_time_ns),
+                uvm_prefetch_us=us(uvm_pf.total_time_ns),
             )
+        )
     return result

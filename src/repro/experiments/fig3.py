@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 
 from repro.core.replay import ReplayPolicyKind
 from repro.experiments.common import us
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.export import render_series
 from repro.units import KiB, MiB, human_size
 from repro.workloads.synthetic import RandomAccess, RegularAccess
@@ -102,21 +102,21 @@ def run_breakdown_sweep(
     setup = setup or ExperimentSetup()
     setup = setup.with_driver(prefetch_enabled=False, replay_policy=policy)
     result = Fig3Result(policy=policy)
-    for pattern_cls in patterns:
-        for nbytes in sizes:
-            run = simulate(pattern_cls(nbytes), setup)
-            bd = run.breakdown()
-            result.rows.append(
-                BreakdownRow(
-                    pattern=pattern_cls.name,
-                    data_bytes=nbytes,
-                    preprocess_us=us(bd.rows["preprocess"]),
-                    service_us=us(bd.rows["service"]),
-                    replay_us=us(bd.rows["replay_policy"]),
-                    other_us=us(bd.other_ns),
-                    total_us=us(run.total_time_ns),
-                )
+    grid = [(pattern_cls, nbytes) for pattern_cls in patterns for nbytes in sizes]
+    runs = run_sweep([pattern_cls(nbytes) for pattern_cls, nbytes in grid], setup=setup)
+    for (pattern_cls, nbytes), run in zip(grid, runs):
+        bd = run.breakdown()
+        result.rows.append(
+            BreakdownRow(
+                pattern=pattern_cls.name,
+                data_bytes=nbytes,
+                preprocess_us=us(bd.rows["preprocess"]),
+                service_us=us(bd.rows["service"]),
+                replay_us=us(bd.rows["replay_policy"]),
+                other_us=us(bd.other_ns),
+                total_us=us(run.total_time_ns),
             )
+        )
     return result
 
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.experiments.common import default_small_gpu, us
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.export import render_series
 from repro.units import human_size
 from repro.workloads.synthetic import RandomAccess, RegularAccess
@@ -92,30 +92,33 @@ def run_fig9(
 ) -> Fig9Result:
     setup = setup or default_small_gpu()
     result = Fig9Result()
-    for pattern_cls in (RegularAccess, RandomAccess):
-        for ratio in ratios:
-            nbytes = int(setup.gpu.memory_bytes * ratio)
-            run = simulate(pattern_cls(nbytes), setup)
-            map_ns = run.timer.total_ns("service.migrate") + run.timer.total_ns(
-                "service.map"
+    grid = [
+        (pattern_cls, ratio, int(setup.gpu.memory_bytes * ratio))
+        for pattern_cls in (RegularAccess, RandomAccess)
+        for ratio in ratios
+    ]
+    runs = run_sweep([cls(nbytes) for cls, _, nbytes in grid], setup=setup)
+    for (pattern_cls, ratio, nbytes), run in zip(grid, runs):
+        map_ns = run.timer.total_ns("service.migrate") + run.timer.total_ns(
+            "service.map"
+        )
+        evict_ns = run.timer.total_ns("service.evict")
+        driver_ns = (
+            run.timer.total_ns("preprocess")
+            + run.timer.total_ns("service")
+            + run.timer.total_ns("replay_policy")
+        )
+        result.rows.append(
+            Fig9Row(
+                pattern=pattern_cls.name,
+                ratio=ratio,
+                data_bytes=nbytes,
+                map_us=us(map_ns),
+                evict_us=us(evict_ns),
+                other_driver_us=us(driver_ns - map_ns - evict_ns),
+                total_us=us(run.total_time_ns),
+                evictions=run.evictions,
+                transferred_bytes=run.dma.total_bytes,
             )
-            evict_ns = run.timer.total_ns("service.evict")
-            driver_ns = (
-                run.timer.total_ns("preprocess")
-                + run.timer.total_ns("service")
-                + run.timer.total_ns("replay_policy")
-            )
-            result.rows.append(
-                Fig9Row(
-                    pattern=pattern_cls.name,
-                    ratio=ratio,
-                    data_bytes=nbytes,
-                    map_us=us(map_ns),
-                    evict_us=us(evict_ns),
-                    other_driver_us=us(driver_ns - map_ns - evict_ns),
-                    total_us=us(run.total_time_ns),
-                    evictions=run.evictions,
-                    transferred_bytes=run.dma.total_bytes,
-                )
-            )
+        )
     return result

@@ -5,12 +5,27 @@ a fresh address space, run the UVM driver simulation, and return the
 instrumented :class:`~repro.core.driver.RunResult`.  All experiment
 modules and examples funnel through it so a configuration knob changed
 here changes every exhibit consistently.
+
+:func:`run_sweep` is the fleet version: every figure/table is a grid of
+independent ``simulate`` points, so the sweep fans them out over a
+process pool (the work is pure Python/numpy - threads would serialize on
+the GIL) and memoizes each point on disk keyed by (workload spec,
+setup, code version).  Re-rendering a figure after an unrelated edit
+costs one cache read per point.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import tempfile
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.core.driver import DriverConfig, RunResult, UvmDriver
 from repro.gpu.device import GpuDeviceConfig
@@ -79,3 +94,219 @@ def simulate(
         recorder=recorder,
     )
     return driver.run()
+
+
+# -- parallel sweep executor --------------------------------------------------
+
+#: a sweep point: a bare workload (simulated under the sweep's default
+#: setup) or an explicit (workload, setup) pair.
+SweepPoint = Union[Workload, tuple[Workload, Optional[ExperimentSetup]]]
+
+_code_version_cache: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the simulator sources (``src/repro/**/*.py``).
+
+    Part of every sweep cache key: any source edit invalidates all
+    cached results, so the cache can never serve results from a
+    different simulator than the one installed.
+    """
+    global _code_version_cache
+    if _code_version_cache is None:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = []
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            paths.extend(
+                os.path.join(dirpath, fn) for fn in filenames if fn.endswith(".py")
+            )
+        digest = hashlib.sha256()
+        for path in sorted(paths):
+            digest.update(os.path.relpath(path, root).encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+        _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def _stable_repr(obj) -> str:
+    """Deterministic, content-complete repr for cache keys.
+
+    Handles the types that appear in workload/setup objects: numpy
+    arrays hash by content, dicts sort their keys, dataclasses and plain
+    objects recurse into their fields.
+    """
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__qualname__}.{obj.name}"
+    if isinstance(obj, np.ndarray):
+        digest = hashlib.sha256(np.ascontiguousarray(obj).tobytes()).hexdigest()[:16]
+        return f"ndarray({obj.dtype},{obj.shape},{digest})"
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return repr(obj.item())
+    if isinstance(obj, dict):
+        items = sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        return "{" + ",".join(f"{k!r}:{_stable_repr(v)}" for k, v in items) + "}"
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        vals = sorted(map(_stable_repr, obj)) if isinstance(obj, (set, frozenset)) else [
+            _stable_repr(v) for v in obj
+        ]
+        return f"{type(obj).__name__}({','.join(vals)})"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = ",".join(
+            f"{f.name}={_stable_repr(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__qualname__}({fields})"
+    if isinstance(obj, (int, float, str, bytes, bool, type(None))):
+        return repr(obj)
+    if hasattr(obj, "__dict__"):
+        name = f"{type(obj).__module__}.{type(obj).__qualname__}"
+        return f"{name}({_stable_repr(vars(obj))})"
+    return repr(obj)
+
+
+def sweep_cache_key(
+    workload: Workload, setup: ExperimentSetup, record_trace: bool = False
+) -> str:
+    """Cache key of one sweep point: hash of (code version, workload
+    spec, experiment setup, trace flag)."""
+    payload = "\n".join(
+        (
+            code_version(),
+            _stable_repr(workload),
+            _stable_repr(setup),
+            repr(bool(record_trace)),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _resolve_cache_dir(cache: bool, cache_dir: Optional[str]) -> Optional[str]:
+    if not cache:
+        return None
+    if cache_dir is not None:
+        return cache_dir
+    env = os.environ.get("REPRO_SWEEP_CACHE")
+    if env is not None:
+        if env.strip().lower() in ("", "0", "off", "none", "disabled"):
+            return None
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-uvm")
+
+
+def _cache_load(directory: str, key: str) -> Optional[RunResult]:
+    path = os.path.join(directory, f"{key}.pkl")
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return None
+
+
+def _cache_store(directory: str, key: str, result: RunResult) -> None:
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, os.path.join(directory, f"{key}.pkl"))
+    except OSError:
+        pass  # a cold cache is never an error
+
+
+def _run_point(args: tuple[Workload, ExperimentSetup, bool]) -> RunResult:
+    """Module-level worker so pool submissions pickle cleanly."""
+    workload, setup, record_trace = args
+    return simulate(workload, setup, record_trace=record_trace)
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None:
+        env = os.environ.get("REPRO_SWEEP_WORKERS")
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def run_sweep(
+    points: Iterable[SweepPoint],
+    setup: Optional[ExperimentSetup] = None,
+    workers: Optional[int] = None,
+    cache: bool = True,
+    cache_dir: Optional[str] = None,
+    record_trace: bool = False,
+) -> list[RunResult]:
+    """Simulate independent sweep points, in parallel and memoized.
+
+    ``points`` is a sequence of workloads or ``(workload, setup)``
+    pairs; bare workloads run under ``setup`` (default:
+    ``ExperimentSetup()``).  Results come back in input order.
+
+    Uncached points fan out over a ``multiprocessing`` pool of
+    ``workers`` processes (default: ``REPRO_SWEEP_WORKERS`` or the CPU
+    count; pass 1 to force serial).  Completed points are pickled into
+    ``cache_dir`` (default ``~/.cache/repro-uvm``, overridable via the
+    ``REPRO_SWEEP_CACHE`` env var; set it to ``0``/``off`` to disable)
+    keyed by :func:`sweep_cache_key`, so re-running a sweep only
+    simulates points whose workload, setup, or simulator code changed.
+    """
+    default_setup = setup or ExperimentSetup()
+    jobs: list[tuple[Workload, ExperimentSetup, bool]] = []
+    for point in points:
+        if isinstance(point, tuple):
+            workload, point_setup = point
+            jobs.append((workload, point_setup or default_setup, record_trace))
+        else:
+            jobs.append((point, default_setup, record_trace))
+
+    directory = _resolve_cache_dir(cache, cache_dir)
+    results: list[Optional[RunResult]] = [None] * len(jobs)
+    keys: list[Optional[str]] = [None] * len(jobs)
+    misses: list[int] = []
+    for i, job in enumerate(jobs):
+        if directory is not None:
+            keys[i] = sweep_cache_key(job[0], job[1], job[2])
+            results[i] = _cache_load(directory, keys[i])
+        if results[i] is None:
+            misses.append(i)
+
+    n_workers = _resolve_workers(workers)
+    if len(misses) > 1 and n_workers > 1:
+        computed = _run_pool(
+            [jobs[i] for i in misses], min(n_workers, len(misses))
+        )
+    else:
+        computed = None
+    if computed is None:
+        computed = [_run_point(jobs[i]) for i in misses]
+
+    for i, result in zip(misses, computed):
+        results[i] = result
+        if directory is not None and keys[i] is not None:
+            _cache_store(directory, keys[i], result)
+    return results  # type: ignore[return-value]
+
+
+def _run_pool(
+    jobs: Sequence[tuple[Workload, ExperimentSetup, bool]], n_workers: int
+) -> Optional[list[RunResult]]:
+    """Fan jobs over a process pool; ``None`` means fall back to serial
+    (sandboxes without fork/semaphore support, pickling failures)."""
+    import multiprocessing as mp
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        try:
+            ctx = mp.get_context("fork")  # cheap start, inherits imports
+        except ValueError:  # pragma: no cover - non-POSIX
+            ctx = mp.get_context()
+        with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+            return list(pool.map(_run_point, jobs))
+    except Exception:  # pragma: no cover - environment-dependent
+        return None

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.experiments.common import sized
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.analysis import fault_reduction
 from repro.trace.export import render_series
 from repro.workloads.registry import make_workload, workload_names
@@ -71,15 +71,18 @@ def run_table1(
     names = list(workloads) if workloads is not None else workload_names()
     data_bytes = sized(setup, data_fraction)
     no_pf = setup.with_driver(prefetch_enabled=False)
-    result = Table1Result()
+    points = []
     for name in names:
-        without = simulate(make_workload(name, data_bytes), no_pf)
-        with_pf = simulate(make_workload(name, data_bytes), setup)
+        points.append((make_workload(name, data_bytes), no_pf))
+        points.append((make_workload(name, data_bytes), setup))
+    runs = run_sweep(points)
+    result = Table1Result()
+    for i, name in enumerate(names):
         result.rows.append(
             Table1Row(
                 workload=name,
-                total_faults=without.faults_read,
-                faults_with_prefetch=with_pf.faults_read,
+                total_faults=runs[2 * i].faults_read,
+                faults_with_prefetch=runs[2 * i + 1].faults_read,
             )
         )
     return result

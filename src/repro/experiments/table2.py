@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 from repro.experiments.common import gemm_wave_setup
 from repro.experiments.fig10 import gemm_sizes_for
-from repro.experiments.runner import ExperimentSetup, simulate
+from repro.experiments.runner import ExperimentSetup, run_sweep
 from repro.trace.export import render_series
 from repro.workloads.sgemm import SgemmWorkload
 
@@ -67,12 +67,14 @@ def run_table2(
 ) -> Table2Result:
     setup = setup or gemm_wave_setup()
     result = Table2Result()
-    for n in gemm_sizes_for(setup, ratios, tile):
-        workload = SgemmWorkload(n=n, tile=tile)
-        run = simulate(workload, setup)
+    workloads = [
+        SgemmWorkload(n=n, tile=tile) for n in gemm_sizes_for(setup, ratios, tile)
+    ]
+    runs = run_sweep(workloads, setup=setup)
+    for workload, run in zip(workloads, runs):
         result.rows.append(
             Table2Row(
-                n=n,
+                n=workload.n,
                 oversubscription=workload.required_bytes() / setup.gpu.memory_bytes,
                 faults=run.faults_read,
                 pages_evicted=run.pages_evicted,

@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.gpu.fault_buffer import FaultBuffer, FaultEntry
 from repro.gpu.scheduler import BlockScheduler
+from repro.gpu.soa import SoaBlockScheduler, advance_batch, span_indices
 from repro.gpu.tlb import UTlbArray
 from repro.gpu.warp import StreamState, WarpStream
 from repro.sim.clock import SimClock
@@ -69,6 +70,11 @@ class GpuDeviceConfig:
     #: the runnable set): warps interleave nondeterministically but the
     #: dispatch wavefront is roughly preserved.
     phase_jitter: float = 0.1
+    #: execution engine: "soa" is the vectorized struct-of-arrays phase
+    #: engine (:mod:`repro.gpu.soa`); "scalar" is the per-stream
+    #: reference implementation.  Results are bit-identical; "scalar"
+    #: exists for the equivalence suite and debugging.
+    engine: str = "soa"
 
     def __post_init__(self) -> None:
         if self.memory_bytes <= 0:
@@ -77,6 +83,10 @@ class GpuDeviceConfig:
             raise ConfigurationError("need at least one SM per GPC")
         if self.phase_width <= 0:
             raise ConfigurationError("phase_width must be positive")
+        if self.engine not in ("soa", "scalar"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected 'soa' or 'scalar'"
+            )
 
 
 @dataclass
@@ -106,7 +116,10 @@ class GpuDevice:
     ) -> None:
         self.config = config
         self.rng = rng.fork("gpu")
-        self.scheduler = BlockScheduler(
+        self._scheduler_cls = (
+            SoaBlockScheduler if config.engine == "soa" else BlockScheduler
+        )
+        self.scheduler = self._scheduler_cls(
             streams,
             rng=self.rng.fork("scheduler"),
             max_active=config.max_active_streams,
@@ -156,6 +169,19 @@ class GpuDevice:
         ``remote`` marks zero-copy pages so their traffic can be charged
         to the interconnect.
         """
+        if self.config.engine == "soa":
+            return self._run_phase_soa(read_ok, clock, max_streams, write_ok, remote)
+        return self._run_phase_scalar(read_ok, clock, max_streams, write_ok, remote)
+
+    def _run_phase_scalar(
+        self,
+        read_ok: np.ndarray,
+        clock: SimClock,
+        max_streams: int | None,
+        write_ok: np.ndarray | None,
+        remote: np.ndarray | None,
+    ) -> GpuPhaseResult:
+        """Reference implementation: one stream at a time."""
         result = GpuPhaseResult()
         self.scheduler.refill()
         runnable = self.scheduler.runnable()
@@ -212,6 +238,102 @@ class GpuDevice:
         self.scheduler.refill()
         return result
 
+    def _run_phase_soa(
+        self,
+        read_ok: np.ndarray,
+        clock: SimClock,
+        max_streams: int | None,
+        write_ok: np.ndarray | None,
+        remote: np.ndarray | None,
+    ) -> GpuPhaseResult:
+        """Vectorized phase: batch-advance the wavefront, then emit
+        faults sequentially in the same jittered order as the scalar
+        loop (uTLB coalescing and buffer-capacity drops are stateful and
+        order-dependent; the advances themselves are independent)."""
+        result = GpuPhaseResult()
+        sched = self.scheduler
+        sched.refill()
+        run_ids = sched.runnable_ids()
+        if run_ids.size == 0:
+            return result
+        budget = self.config.phase_width if max_streams is None else max_streams
+        if budget <= 0:
+            return result
+        order = self.rng.jitter_order(
+            int(run_ids.size),
+            window=max(4.0, self.config.phase_jitter * self.config.max_active_streams),
+        )
+        if order.size > budget:
+            order = order[:budget]
+        sel = run_ids[order]
+        soa = sched.soa
+        pos0, pos1, miss = advance_batch(soa, sel, read_ok, write_ok)
+        retired = pos1 - pos0
+        result.accesses_retired = int(retired.sum())
+        nz = np.flatnonzero(soa.flops[sel])
+        if nz.size:
+            # accumulate in visit order, skipping zero-FLOP streams, so
+            # the float sum is bitwise-identical to the scalar loop
+            contrib = retired[nz] * soa.flops[sel[nz]]
+            acc = 0.0
+            for v in contrib:
+                acc += float(v)
+            result.flops_retired = acc
+        if result.accesses_retired and (
+            self.access_counters is not None or remote is not None
+        ):
+            touched = soa.pages_flat[span_indices(pos0, pos1)]
+            if self.access_counters is not None:
+                if self._pages_per_vablock is None:
+                    raise ConfigurationError(
+                        "access counters enabled but VABlock geometry not set"
+                    )
+                np.add.at(self.access_counters, touched // self._pages_per_vablock, 1)
+            if remote is not None:
+                result.remote_accesses = int(remote[touched].sum())
+        done_mask = miss < 0
+        n_done = int(done_mask.sum())
+        if n_done:
+            result.streams_completed = n_done
+            sched.mark_done(sel[done_mask])
+        if n_done < sel.size:
+            f_rows = np.flatnonzero(~done_mask)
+            f_ids = sel[f_rows]
+            f_pages = miss[f_rows]
+            sched.mark_stalled(f_ids, f_pages)
+            utlb = self.utlb
+            f_gpcs = (soa.sm_id[f_ids] // utlb.sms_per_gpc) % utlb.n_gpcs
+            f_writes = soa.writes_flat[pos1[f_rows]]
+            f_streams = soa.stream_ids[f_ids]
+            f_sms = soa.sm_id[f_ids]
+            now = clock.now
+            buf = self.fault_buffer
+            for j in range(f_ids.size):
+                page = int(f_pages[j])
+                gpc = int(f_gpcs[j])
+                if not utlb.should_raise_gpc(gpc, page):
+                    result.faults_coalesced += 1
+                    continue
+                pushed = buf.push_fields(
+                    page=page,
+                    is_write=bool(f_writes[j]),
+                    timestamp_ns=now,
+                    gpc_id=gpc,
+                    utlb_id=gpc,
+                    stream_id=int(f_streams[j]),
+                    sm_id=int(f_sms[j]),
+                )
+                if pushed:
+                    result.faults_enqueued += 1
+                else:
+                    # Buffer full: hardware drops the record; the warp
+                    # stays stalled and re-walks after the next replay,
+                    # so forget the uTLB pending state for the re-raise.
+                    utlb.forget_gpc(gpc, page)
+                    result.faults_dropped += 1
+        sched.refill()
+        return result
+
     def _record_accesses(self, stream: WarpStream, start: int, stop: int) -> None:
         if self.access_counters is None or stop <= start:
             return
@@ -231,7 +353,7 @@ class GpuDevice:
         """
         if not self.scheduler.all_done():
             raise ConfigurationError("loading a kernel while one is still running")
-        self.scheduler = BlockScheduler(
+        self.scheduler = self._scheduler_cls(
             streams,
             rng=self.rng.fork(f"scheduler-k{self._kernel_counter}"),
             max_active=self.config.max_active_streams,
@@ -249,4 +371,4 @@ class GpuDevice:
         return self.scheduler.all_done()
 
     def has_stalled_streams(self) -> bool:
-        return bool(self.scheduler.stalled())
+        return self.scheduler.has_stalled()

@@ -19,13 +19,21 @@ The simulator models:
 * duplicate entries - distinct uTLBs (or replays with outstanding
   faults) may enqueue the same page repeatedly; the buffer faithfully
   stores duplicates because deduplication is the *driver's* job.
+
+The storage is literally the circular buffer the docs describe: parallel
+field arrays indexed by a head/size ring.  Producers push scalar fields
+(:meth:`FaultBuffer.push_fields`); the driver drains whole batches as
+field arrays (:meth:`FaultBuffer.drain_arrays`) so pre-processing never
+materializes per-entry objects.  :class:`FaultEntry` remains the
+per-entry view for tests and analysis code.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -62,7 +70,15 @@ class FaultBuffer:
             raise ConfigurationError("ready_delay_ns must be >= 0")
         self.capacity = capacity
         self.ready_delay_ns = ready_delay_ns
-        self._queue: deque[FaultEntry] = deque()
+        self._page = np.zeros(capacity, dtype=np.int64)
+        self._write = np.zeros(capacity, dtype=bool)
+        self._ts = np.zeros(capacity, dtype=np.int64)
+        self._gpc = np.zeros(capacity, dtype=np.int64)
+        self._utlb = np.zeros(capacity, dtype=np.int64)
+        self._stream = np.zeros(capacity, dtype=np.int64)
+        self._sm = np.zeros(capacity, dtype=np.int64)
+        self._head = 0
+        self._size = 0
         # lifetime statistics
         self.total_enqueued = 0
         self.total_dropped = 0
@@ -70,35 +86,86 @@ class FaultBuffer:
         self.high_watermark = 0
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return self._size
 
     @property
     def free_slots(self) -> int:
-        return self.capacity - len(self._queue)
+        return self.capacity - self._size
 
-    def try_push(self, entry: FaultEntry) -> bool:
-        """Enqueue a fault; returns False (drop) when the buffer is full.
+    # -- producer side -------------------------------------------------------
+    def push_fields(
+        self,
+        page: int,
+        is_write: bool,
+        timestamp_ns: int,
+        gpc_id: int,
+        utlb_id: int,
+        stream_id: int,
+        sm_id: int = -1,
+    ) -> bool:
+        """Enqueue one fault record; returns False (drop) when full.
 
         A dropped fault is not lost work: the stalled warp re-raises it
         after the next replay, exactly as real hardware behaves under
         fault-buffer pressure.
         """
-        if len(self._queue) >= self.capacity:
+        if self._size >= self.capacity:
             self.total_dropped += 1
             return False
-        self._queue.append(entry)
+        i = self._head + self._size
+        if i >= self.capacity:
+            i -= self.capacity
+        self._page[i] = page
+        self._write[i] = is_write
+        self._ts[i] = timestamp_ns
+        self._gpc[i] = gpc_id
+        self._utlb[i] = utlb_id
+        self._stream[i] = stream_id
+        self._sm[i] = sm_id
+        self._size += 1
         self.total_enqueued += 1
-        self.high_watermark = max(self.high_watermark, len(self._queue))
+        if self._size > self.high_watermark:
+            self.high_watermark = self._size
         return True
 
+    def try_push(self, entry: FaultEntry) -> bool:
+        """Enqueue a :class:`FaultEntry`; returns False (drop) when full."""
+        return self.push_fields(
+            entry.page,
+            entry.is_write,
+            entry.timestamp_ns,
+            entry.gpc_id,
+            entry.utlb_id,
+            entry.stream_id,
+            entry.sm_id,
+        )
+
+    # -- consumer side -------------------------------------------------------
+    def _entry_at(self, i: int) -> FaultEntry:
+        return FaultEntry(
+            page=int(self._page[i]),
+            is_write=bool(self._write[i]),
+            timestamp_ns=int(self._ts[i]),
+            gpc_id=int(self._gpc[i]),
+            utlb_id=int(self._utlb[i]),
+            stream_id=int(self._stream[i]),
+            sm_id=int(self._sm[i]),
+        )
+
+    def _ring_indices(self, n: int) -> np.ndarray:
+        idx = self._head + np.arange(n, dtype=np.int64)
+        if self._head + n > self.capacity:
+            idx[idx >= self.capacity] -= self.capacity
+        return idx
+
     def peek(self) -> Optional[FaultEntry]:
-        return self._queue[0] if self._queue else None
+        return self._entry_at(self._head) if self._size else None
 
     def head_ready(self, now_ns: int) -> bool:
         """Whether the head entry's ready flag is already set."""
-        if not self._queue:
+        if not self._size:
             return False
-        return now_ns >= self._queue[0].timestamp_ns + self.ready_delay_ns
+        return now_ns >= int(self._ts[self._head]) + self.ready_delay_ns
 
     def pop_ready(self, now_ns: int) -> tuple[Optional[FaultEntry], int]:
         """Pop the head entry, polling until its ready flag is set.
@@ -107,9 +174,9 @@ class FaultBuffer:
         iterations the driver had to spin before the entry was readable
         (0 when it was already ready).  Returns ``(None, 0)`` on empty.
         """
-        if not self._queue:
+        if not self._size:
             return None, 0
-        entry = self._queue[0]
+        entry = self._entry_at(self._head)
         ready_at = entry.timestamp_ns + self.ready_delay_ns
         polls = 0
         if now_ns < ready_at:
@@ -117,16 +184,72 @@ class FaultBuffer:
             # caller charges fault_poll_ns per iteration.
             delta = ready_at - now_ns
             polls = max(1, -(-delta // max(self.ready_delay_ns, 1)))
-        self._queue.popleft()
+        self._head += 1
+        if self._head >= self.capacity:
+            self._head = 0
+        self._size -= 1
         return entry, polls
+
+    def drain_arrays(
+        self,
+        now_ns: int,
+        max_entries: int,
+        stop_at_not_ready: bool = False,
+    ) -> Optional[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]]:
+        """Pop up to ``max_entries`` as parallel field arrays.
+
+        Returns ``(pages, writes, timestamps, gpcs, utlbs, streams, sms,
+        polls)`` or ``None`` when the buffer is empty.  Semantics match a
+        :meth:`pop_ready` loop at a fixed ``now_ns``: every popped
+        unready entry contributes its poll count; with
+        ``stop_at_not_ready`` the batch still takes the first entry
+        (polling for it if needed - forward progress) but closes before
+        any subsequent unready entry.
+        """
+        n = min(self._size, max_entries)
+        if n <= 0:
+            return None
+        idx = self._ring_indices(n)
+        ts = self._ts[idx]
+        ready_at = ts + self.ready_delay_ns
+        if stop_at_not_ready and n > 1:
+            unready_rest = ready_at[1:] > now_ns
+            if unready_rest.any():
+                n = int(unready_rest.argmax()) + 1
+                idx = idx[:n]
+                ts = ts[:n]
+                ready_at = ready_at[:n]
+        delta = ready_at - now_ns
+        unready = delta > 0
+        if unready.any():
+            per_entry = np.maximum(1, -(-delta // max(self.ready_delay_ns, 1)))
+            polls = int(per_entry[unready].sum())
+        else:
+            polls = 0
+        out = (
+            self._page[idx],
+            self._write[idx],
+            ts,
+            self._gpc[idx],
+            self._utlb[idx],
+            self._stream[idx],
+            self._sm[idx],
+            polls,
+        )
+        self._head = (self._head + n) % self.capacity
+        self._size -= n
+        return out
 
     def flush(self) -> int:
         """Empty the buffer remotely (batch-flush policy); returns count."""
-        n = len(self._queue)
-        self._queue.clear()
+        n = self._size
+        self._head = (self._head + n) % self.capacity
+        self._size = 0
         self.total_flushed += n
         return n
 
     def snapshot_pages(self) -> list[int]:
         """Pages of all queued entries, in order (for tests/analysis)."""
-        return [e.page for e in self._queue]
+        if not self._size:
+            return []
+        return self._page[self._ring_indices(self._size)].tolist()

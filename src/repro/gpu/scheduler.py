@@ -86,6 +86,9 @@ class BlockScheduler:
     def stalled(self) -> list[WarpStream]:
         return [s for s in self._active if s.state is StreamState.STALLED]
 
+    def has_stalled(self) -> bool:
+        return any(s.state is StreamState.STALLED for s in self._active)
+
     def all_done(self) -> bool:
         return self._next_dispatch >= len(self._dispatch_order) and all(
             s.state is StreamState.DONE for s in self._active

@@ -1,0 +1,293 @@
+"""Struct-of-arrays (SoA) phase engine: the vectorized GPU hot path.
+
+The scalar execution model (:class:`~repro.gpu.warp.WarpStream` +
+:class:`~repro.gpu.scheduler.BlockScheduler`) pays a Python call and
+several small-array numpy dispatches per stream per phase - ~2M calls on
+an oversubscribed SGEMM run.  This module holds the *same* state in flat
+numpy arrays - one concatenated page/write array for all streams, with
+per-stream cursors into it - and advances an entire phase's wavefront
+with batched operations.
+
+Equivalence with the scalar engine is exact, not statistical:
+
+* within one phase the selected streams are independent (advancing one
+  stream reads only the shared residency masks, which the phase does not
+  mutate), so batch-advancing them and then emitting faults sequentially
+  in the original jittered order produces the identical fault sequence,
+* the scheduler consumes the identical RNG draws (one ``jitter_order``
+  at construction, nothing else), dispatches in the same order, and
+  assigns the same round-robin SM ids,
+* uTLB coalescing and fault-buffer capacity drops are applied in the
+  emission loop exactly as the scalar loop interleaves them.
+
+``tests/integration/test_engine_equivalence.py`` pins this down against
+the scalar reference for every workload family x replay policy x
+prefetch setting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.warp import WarpStream
+from repro.sim.rng import SimRng
+
+# int8 state codes (mirrors repro.gpu.warp.StreamState)
+PENDING = 0
+RUNNABLE = 1
+STALLED = 2
+DONE = 3
+
+#: first scan window per unresolved stream; grows geometrically so short
+#: hops stay cheap while long resident runs advance at full numpy speed.
+START_WINDOW = 64
+MAX_WINDOW = 8192
+
+
+class SoaStreams:
+    """All warp-stream state as flat arrays.
+
+    Per-stream page sequences are concatenated into ``pages_flat`` /
+    ``writes_flat``; ``start``/``end`` delimit each stream's span and
+    ``pos`` is the absolute cursor of its next access.  Streams without a
+    writes mask get an all-False span, which makes the permission check
+    ``where(writes, write_ok, read_ok)`` degenerate to ``read_ok`` -
+    byte-identical to the scalar ``check_writes`` guard.
+    """
+
+    def __init__(self, streams: Sequence[WarpStream]) -> None:
+        n = len(streams)
+        self.n = n
+        lengths = np.fromiter((len(s.pages) for s in streams), dtype=np.int64, count=n)
+        start = np.zeros(n, dtype=np.int64)
+        if n > 1:
+            np.cumsum(lengths[:-1], out=start[1:])
+        total = int(lengths.sum()) if n else 0
+        self.start = start
+        self.end = start + lengths
+        if n:
+            self.pages_flat = np.concatenate(
+                [s.pages for s in streams] or [np.empty(0, dtype=np.int64)]
+            )
+        else:
+            self.pages_flat = np.empty(0, dtype=np.int64)
+        self.writes_flat = np.zeros(total, dtype=bool)
+        for i, s in enumerate(streams):
+            if s.writes is not None:
+                self.writes_flat[start[i] : self.end[i]] = s.writes
+        self.pos = start.copy()
+        self.state = np.full(n, PENDING, dtype=np.int8)
+        self.stalled_on = np.full(n, -1, dtype=np.int64)
+        self.sm_id = np.full(n, -1, dtype=np.int64)
+        self.stream_ids = np.fromiter(
+            (s.stream_id for s in streams), dtype=np.int64, count=n
+        )
+        self.flops = np.fromiter(
+            (s.flops_per_access for s in streams), dtype=np.float64, count=n
+        )
+        self.faults_raised = np.zeros(n, dtype=np.int64)
+
+
+def advance_batch(
+    soa: SoaStreams,
+    sel: np.ndarray,
+    read_ok: np.ndarray,
+    write_ok: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Advance the selected streams to their next miss or completion.
+
+    Returns ``(pos0, pos1, miss)`` aligned with ``sel``: the absolute
+    cursor before and after, and the missing page per stream (``-1`` for
+    streams that ran to completion).  ``soa.pos`` is updated in place;
+    state transitions are the caller's job (they depend on emission).
+
+    The scan gallops: each round gathers a ``k x W`` window of upcoming
+    accesses for the still-unresolved streams, tests the access masks in
+    one shot, and finds each stream's first miss with a single
+    ``argmin`` + gather (no separate ``.all()`` pass).  ``W`` grows
+    geometrically so streams that stall quickly never pay for a wide
+    window while long resident runs sweep at full numpy speed.
+    """
+    k = int(sel.size)
+    pos0 = soa.pos[sel].copy()
+    cur = pos0.copy()
+    end = soa.end[sel]
+    miss = np.full(k, -1, dtype=np.int64)
+    pages = soa.pages_flat
+    writes = soa.writes_flat
+    check_writes = write_ok is not None and writes.size > 0
+    live = np.flatnonzero(cur < end)
+    width = START_WINDOW
+    while live.size:
+        c = cur[live]
+        e = end[live]
+        idx = c[:, None] + np.arange(width, dtype=np.int64)
+        valid = idx < e[:, None]
+        np.minimum(idx, pages.size - 1, out=idx)
+        pg = pages[idx]
+        if check_writes:
+            ok = np.where(writes[idx], write_ok[pg], read_ok[pg])
+        else:
+            ok = read_ok[pg]  # fancy indexing: already a private copy
+        ok |= ~valid
+        first = ok.argmin(axis=1)
+        missed = ~ok[np.arange(live.size), first]
+        if missed.any():
+            rows = live[missed]
+            mpos = c[missed] + first[missed]
+            cur[rows] = mpos
+            miss[rows] = pages[mpos]
+        swept = ~missed
+        if swept.any():
+            rows = live[swept]
+            new_c = np.minimum(c[swept] + width, e[swept])
+            cur[rows] = new_c
+            live = rows[new_c < e[swept]]
+        else:
+            live = live[:0]
+        if width < MAX_WINDOW:
+            width = min(width * 4, MAX_WINDOW)
+    soa.pos[sel] = cur
+    return pos0, cur, miss
+
+
+def span_indices(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, stop)`` for each (start, stop) pair.
+
+    Used to gather every retired access's flat index in one shot (for
+    access counters and remote-traffic accounting) without a Python loop
+    over streams.
+    """
+    lens = stops - starts
+    nz = lens > 0
+    if not nz.any():
+        return np.empty(0, dtype=np.int64)
+    s = starts[nz]
+    ls = lens[nz]
+    cs = np.cumsum(ls)
+    offsets = np.concatenate((np.zeros(1, dtype=np.int64), cs[:-1]))
+    return np.arange(cs[-1], dtype=np.int64) + np.repeat(s - offsets, ls)
+
+
+class SoaBlockScheduler:
+    """Array-backed block scheduler, RNG- and order-identical to the
+    scalar :class:`~repro.gpu.scheduler.BlockScheduler`.
+
+    Instead of rebuilding the active/runnable lists with O(active) list
+    comprehensions every phase, it maintains the runnable set
+    incrementally: the device reports completions and stalls
+    (:meth:`mark_done` / :meth:`mark_stalled`), and the scheduler only
+    compacts its active array when something actually finished.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[WarpStream],
+        rng: SimRng,
+        max_active: int = 2048,
+        n_sms: int = 80,
+        jitter: float = 0.08,
+    ) -> None:
+        if max_active <= 0:
+            raise SimulationError(f"max_active must be positive, got {max_active}")
+        if n_sms <= 0:
+            raise SimulationError(f"n_sms must be positive, got {n_sms}")
+        self.streams = list(streams)
+        self.soa = SoaStreams(self.streams)
+        self.max_active = max_active
+        self.n_sms = n_sms
+        # identical draw to the scalar scheduler: same window, same rng
+        self._dispatch_order = rng.jitter_order(
+            len(self.streams), window=max(8.0, jitter * 4 * max_active)
+        )
+        self._next_dispatch = 0
+        self._active = np.empty(0, dtype=np.int64)
+        self._dispatch_counter = 0
+        self._n_done_active = 0  # DONE entries awaiting compaction
+        self._n_stalled = 0
+        self._n_done_total = 0
+
+    # -- dispatch -----------------------------------------------------------
+    def refill(self) -> int:
+        """Dispatch pending streams up to the occupancy limit."""
+        soa = self.soa
+        if self._n_done_active:
+            self._active = self._active[soa.state[self._active] != DONE]
+            self._n_done_active = 0
+        dispatched = 0
+        need = self.max_active - self._active.size
+        order = self._dispatch_order
+        while need > 0 and self._next_dispatch < order.size:
+            cand = order[self._next_dispatch : self._next_dispatch + need]
+            self._next_dispatch += cand.size
+            pending = cand[soa.state[cand] == PENDING]
+            if pending.size:
+                soa.state[pending] = RUNNABLE
+                soa.sm_id[pending] = (
+                    self._dispatch_counter + np.arange(pending.size)
+                ) % self.n_sms
+                self._dispatch_counter += int(pending.size)
+                self._active = np.concatenate((self._active, pending))
+                dispatched += int(pending.size)
+                need -= int(pending.size)
+        return dispatched
+
+    # -- device feedback ----------------------------------------------------
+    def mark_done(self, ids: np.ndarray) -> None:
+        soa = self.soa
+        soa.state[ids] = DONE
+        soa.stalled_on[ids] = -1
+        self._n_done_active += int(ids.size)
+        self._n_done_total += int(ids.size)
+
+    def mark_stalled(self, ids: np.ndarray, pages: np.ndarray) -> None:
+        soa = self.soa
+        soa.state[ids] = STALLED
+        soa.stalled_on[ids] = pages
+        soa.faults_raised[ids] += 1
+        self._n_stalled += int(ids.size)
+
+    # -- queries ------------------------------------------------------------
+    def runnable_ids(self) -> np.ndarray:
+        """Active streams able to advance, in dispatch order.
+
+        Fast path: when nothing is stalled or finished the active array
+        *is* the runnable set - no scan at all.
+        """
+        if self._n_stalled == 0 and self._n_done_active == 0:
+            return self._active
+        act = self._active
+        return act[self.soa.state[act] == RUNNABLE]
+
+    def has_stalled(self) -> bool:
+        return self._n_stalled > 0
+
+    def all_done(self) -> bool:
+        return (
+            self._next_dispatch >= self._dispatch_order.size
+            and self._n_done_total == len(self.streams)
+        )
+
+    def wake_all_stalled(self) -> int:
+        """Broadcast replay: every stalled warp retries (Section III-E)."""
+        if self._n_stalled == 0:
+            return 0
+        soa = self.soa
+        act = self._active
+        ids = act[soa.state[act] == STALLED]
+        soa.state[ids] = RUNNABLE
+        soa.stalled_on[ids] = -1
+        self._n_stalled = 0
+        return int(ids.size)
+
+    def progress(self) -> tuple[int, int]:
+        """(streams done, total streams) - for progress reporting."""
+        return self._n_done_total, len(self.streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        done, total = self.progress()
+        active = self._active.size - self._n_done_active
+        return f"SoaBlockScheduler(done={done}/{total}, active={active})"

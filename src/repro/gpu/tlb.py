@@ -41,7 +41,11 @@ class UTlbArray:
         Returns False when this GPC's uTLB already has the page pending
         (the access is coalesced onto the outstanding fault).
         """
-        gpc = self.gpc_of_sm(sm_id)
+        return self.should_raise_gpc(self.gpc_of_sm(sm_id), page)
+
+    def should_raise_gpc(self, gpc: int, page: int) -> bool:
+        """Like :meth:`should_raise` with the GPC already resolved (the
+        SoA engine precomputes GPC ids for a whole phase in one shot)."""
         pending = self._pending[gpc]
         if page in pending:
             self.coalesced += 1
@@ -57,7 +61,10 @@ class UTlbArray:
         the next replay onto a fault record that never reached the
         buffer, losing the access forever.
         """
-        self._pending[self.gpc_of_sm(sm_id)].discard(page)
+        self.forget_gpc(self.gpc_of_sm(sm_id), page)
+
+    def forget_gpc(self, gpc: int, page: int) -> None:
+        self._pending[gpc].discard(page)
         self.raised -= 1
 
     def on_replay(self) -> None:

@@ -129,12 +129,14 @@ class WarpStream:
                 hit = np.where(w, write_ok[window], read_ok[window])
             else:
                 hit = read_ok[window]
-            if hit.all():
+            # single scan: argmin finds the first False; if that element
+            # is True the whole window hit (no separate .all() pass)
+            first_miss = int(hit.argmin())
+            if hit[first_miss]:
                 retired = stop - self.pos
                 self.accesses_retired += retired
                 self.pos = stop
                 continue
-            first_miss = int(np.argmin(hit))  # first False
             self.accesses_retired += first_miss
             self.pos += first_miss
             page = int(self.pages[self.pos])

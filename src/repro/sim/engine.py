@@ -30,7 +30,8 @@ class Event:
 
     Events order by ``(time_ns, seq)``; the payload and callback do not
     participate in ordering.  ``cancelled`` events stay in the heap but are
-    skipped on dispatch (lazy deletion).
+    skipped on dispatch (lazy deletion); the owning queue keeps a live
+    counter so ``len(queue)`` never scans the heap.
     """
 
     time_ns: int
@@ -38,10 +39,14 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     payload: Any = field(default=None, compare=False)
     cancelled: bool = field(default=False, compare=False)
+    queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark this event so it will be skipped when its time arrives."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.queue is not None:
+                self.queue._live -= 1
 
 
 class EventQueue:
@@ -51,10 +56,11 @@ class EventQueue:
         self.clock = clock
         self._heap: list[Event] = []
         self._seq = itertools.count()
+        self._live = 0
         self.dispatched = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def schedule_at(self, time_ns: int, callback: Callable[..., None], payload: Any = None) -> Event:
         """Schedule ``callback(payload)`` at absolute simulated ``time_ns``."""
@@ -63,8 +69,15 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule event in the past: now={self.clock.now} t={time_ns}"
             )
-        ev = Event(time_ns=time_ns, seq=next(self._seq), callback=callback, payload=payload)
+        ev = Event(
+            time_ns=time_ns,
+            seq=next(self._seq),
+            callback=callback,
+            payload=payload,
+            queue=self,
+        )
         heapq.heappush(self._heap, ev)
+        self._live += 1
         return ev
 
     def schedule_in(self, delay_ns: int, callback: Callable[..., None], payload: Any = None) -> Event:
@@ -88,6 +101,8 @@ class EventQueue:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
                 continue
+            self._live -= 1
+            ev.queue = None  # detach: a late cancel() must not recount
             self.clock.advance_to(ev.time_ns)
             self.dispatched += 1
             ev.callback(ev.payload)

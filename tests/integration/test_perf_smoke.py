@@ -1,0 +1,40 @@
+"""Tier-1 perf smoke test for the SoA phase engine.
+
+Guards the vectorized engine's speedup with a generous (2x) wall-clock
+budget recorded in ``BENCH_phase_engine.json`` alongside the profiled
+baseline numbers.  The budget sits below the scalar reference engine's
+measured time for the same workload, so a silent fallback to per-stream
+scalar stepping fails this test rather than just slowing CI down.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.units import MiB
+from repro.workloads.registry import make_workload
+
+BENCH = json.loads(
+    (Path(__file__).resolve().parents[2] / "BENCH_phase_engine.json").read_text()
+)
+
+
+def test_soa_engine_smoke_budget():
+    spec = BENCH["smoke_workload"]
+    setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+    workload = make_workload(spec["workload"], spec["data_bytes"])
+
+    t0 = time.perf_counter()
+    run = simulate(workload, setup)
+    wall_s = time.perf_counter() - t0
+
+    # correctness first: the engine must still produce the recorded
+    # bit-exact results, otherwise the timing is meaningless
+    assert run.total_time_ns == spec["expected"]["total_time_ns"]
+    assert run.faults_read == spec["expected"]["faults_read"]
+
+    assert wall_s < spec["budget_seconds"], (
+        f"SoA engine took {wall_s:.2f}s, budget {spec['budget_seconds']}s "
+        f"(scalar baseline {spec['baseline_scalar_seconds']}s)"
+    )

@@ -1,0 +1,123 @@
+"""Integration: the parallel sweep executor and its on-disk cache."""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentSetup,
+    code_version,
+    run_sweep,
+    simulate,
+    sweep_cache_key,
+)
+from repro.units import MiB
+from repro.workloads.registry import make_workload
+
+
+def small_setup(**gpu):
+    return ExperimentSetup().with_gpu(memory_bytes=32 * MiB, **gpu)
+
+
+def points():
+    return [
+        make_workload("random", 4 * MiB),
+        make_workload("sgemm", 4 * MiB),
+        make_workload("stream", 4 * MiB),
+    ]
+
+
+class TestSweepCorrectness:
+    def test_matches_simulate_in_order(self, tmp_path):
+        setup = small_setup()
+        results = run_sweep(points(), setup=setup, workers=1, cache_dir=str(tmp_path))
+        direct = [simulate(w, setup) for w in points()]
+        assert [r.total_time_ns for r in results] == [
+            r.total_time_ns for r in direct
+        ]
+        assert [r.counters.as_dict() for r in results] == [
+            r.counters.as_dict() for r in direct
+        ]
+
+    def test_mixed_point_forms(self, tmp_path):
+        default = small_setup()
+        other = small_setup().with_driver(prefetch_enabled=False)
+        results = run_sweep(
+            [points()[0], (points()[0], other), (points()[0], None)],
+            setup=default,
+            workers=1,
+            cache_dir=str(tmp_path),
+        )
+        # bare and (workload, None) points both use the default setup
+        assert results[0].total_time_ns == results[2].total_time_ns
+        # an explicit setup produces a genuinely different run
+        assert results[1].total_time_ns != results[0].total_time_ns
+
+    def test_pool_matches_serial(self, tmp_path):
+        serial = run_sweep(points(), setup=small_setup(), workers=1, cache=False)
+        pooled = run_sweep(points(), setup=small_setup(), workers=4, cache=False)
+        assert [r.total_time_ns for r in serial] == [r.total_time_ns for r in pooled]
+        assert [r.counters.as_dict() for r in serial] == [
+            r.counters.as_dict() for r in pooled
+        ]
+
+
+class TestSweepCache:
+    def test_second_invocation_hits_cache(self, tmp_path):
+        setup = small_setup()
+        first = run_sweep(points(), setup=setup, workers=1, cache_dir=str(tmp_path))
+        assert len(os.listdir(tmp_path)) == len(points())
+        t0 = time.perf_counter()
+        second = run_sweep(points(), setup=setup, workers=1, cache_dir=str(tmp_path))
+        cached_s = time.perf_counter() - t0
+        assert [r.total_time_ns for r in first] == [r.total_time_ns for r in second]
+        assert [r.counters.as_dict() for r in first] == [
+            r.counters.as_dict() for r in second
+        ]
+        # a cache hit is a pickle read, not a simulation
+        assert cached_s < 1.0
+
+    def test_key_depends_on_workload_setup_and_code(self):
+        setup = small_setup()
+        base = sweep_cache_key(points()[0], setup)
+        assert sweep_cache_key(points()[1], setup) != base
+        assert sweep_cache_key(points()[0], setup.with_driver(batch_size=64)) != base
+        assert sweep_cache_key(points()[0], setup, record_trace=True) != base
+        assert len(code_version()) == 16  # content hash of src/repro
+        assert sweep_cache_key(points()[0], setup) == base  # and it is stable
+
+    def test_cache_disabled_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", "off")
+        run_sweep(points()[:1], setup=small_setup(), workers=1)
+        assert os.listdir(tmp_path) == []
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path))
+        run_sweep(points()[:1], setup=small_setup(), workers=1)
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path):
+        setup = small_setup()
+        key = sweep_cache_key(points()[0], setup)
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        (result,) = run_sweep(
+            points()[:1], setup=setup, workers=1, cache_dir=str(tmp_path)
+        )
+        assert result.total_time_ns == simulate(points()[0], setup).total_time_ns
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="parallel speedup needs >=4 cores"
+)
+def test_parallel_speedup():
+    """The acceptance bar: >=8 points, 4 workers, >=2.5x over serial."""
+    pts = [make_workload(name, 48 * MiB) for name in
+           ("random", "sgemm", "stream", "hpgmg") * 2]
+    setup = ExperimentSetup().with_gpu(memory_bytes=64 * MiB)
+    t0 = time.perf_counter()
+    serial = run_sweep(pts, setup=setup, workers=1, cache=False)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    pooled = run_sweep(pts, setup=setup, workers=4, cache=False)
+    pooled_s = time.perf_counter() - t0
+    assert [r.total_time_ns for r in serial] == [r.total_time_ns for r in pooled]
+    assert serial_s / pooled_s >= 2.5
