@@ -8,12 +8,17 @@ Subcommands:
 * ``uvmrepro exhibit <name>`` - regenerate one paper exhibit
   (fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 table1 table2),
 * ``uvmrepro exhibit all`` - regenerate everything (the EXPERIMENTS.md
-  data source).
+  data source),
+* ``uvmrepro serve`` - run the asynchronous simulation job service
+  (:mod:`repro.serve`): HTTP API, worker pool, result store,
+* ``uvmrepro submit / status / fetch / cancel`` - client verbs against a
+  running service.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -21,6 +26,75 @@ from repro.core.replay import ReplayPolicyKind
 from repro.experiments.runner import ExperimentSetup, simulate
 from repro.units import MiB, human_size
 from repro.workloads.registry import make_workload, workload_names
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer, with a clean error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _threshold_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not 1 <= value <= 100:
+        raise argparse.ArgumentTypeError(f"must be in 1..100, got {value}")
+    return value
+
+
+def _add_sim_args(
+    parser: argparse.ArgumentParser, data_mib: int, gpu_mem_mib: int
+) -> None:
+    """The simulation knobs shared by run/compare/trace/submit."""
+    parser.add_argument(
+        "--data-mib", type=_positive_int, default=data_mib,
+        help="managed data size (MiB)",
+    )
+    parser.add_argument(
+        "--gpu-mem-mib", type=_positive_int, default=gpu_mem_mib,
+        help="GPU memory (MiB)",
+    )
+    parser.add_argument(
+        "--no-prefetch", action="store_true", help="disable the prefetcher"
+    )
+    parser.add_argument(
+        "--threshold", type=_threshold_int, default=51,
+        help="density threshold (1-100)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="batch_flush",
+        choices=[k.value for k in ReplayPolicyKind],
+        help="fault replay policy",
+    )
+    parser.add_argument(
+        "--batch-size", type=_positive_int, default=256, help="fault batch size"
+    )
+    parser.add_argument("--seed", type=int, default=0x5EED, help="simulation seed")
+    parser.add_argument(
+        "--vablock-kib",
+        type=_non_negative_int,
+        default=0,
+        help="allocation granule in KiB (0 = the 2 MiB driver default; "
+        "other values exercise the Section VI-B flexible-granularity path)",
+    )
 
 
 def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
@@ -50,6 +124,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     setup = _build_setup(args)
     workload = make_workload(args.workload, args.data_mib * MiB)
+    if args.json:
+        from repro.serve.results import result_to_doc
+
+        result = simulate(workload, setup)
+        doc = result_to_doc(
+            result,
+            extra={
+                "workload": args.workload,
+                "data_bytes": args.data_mib * MiB,
+                "seed": args.seed,
+            },
+        )
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
     print(f"running {workload.describe()} on a {human_size(setup.gpu.memory_bytes)} GPU ...")
     result = simulate(workload, setup)
     print()
@@ -261,6 +349,123 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- service verbs ------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asynchronous simulation job service until interrupted."""
+    import time
+
+    from repro.serve.http_api import serve_http
+    from repro.serve.service import ServiceConfig, SimulationService
+
+    config = ServiceConfig(
+        n_workers=args.workers,
+        job_timeout_s=args.job_timeout,
+        max_retries=args.max_retries,
+        sweep_cache_dir=args.sweep_cache,
+    )
+    service = SimulationService(args.store_dir, config).start()
+    server = serve_http(service, args.host, args.port)
+    print(
+        f"uvmrepro service on {server.url} "
+        f"(workers={config.n_workers}, store={args.store_dir})"
+    )
+    print("endpoints: POST /jobs  GET /jobs/<id>[/result]  DELETE /jobs/<id>")
+    print("           GET /metrics  GET /events?since=N  GET /healthz")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down ...")
+    finally:
+        server.shutdown()
+        service.stop()
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.serve.client import ServiceClient
+
+    return ServiceClient(args.url)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClientError
+
+    spec: dict = {
+        "workload": args.workload,
+        "data_bytes": args.data_mib * MiB,
+        "seed": args.seed,
+        "record_trace": args.record_trace,
+        "priority": args.priority,
+        "gpu": {"memory_bytes": args.gpu_mem_mib * MiB},
+        "driver": {
+            "prefetch_enabled": not args.no_prefetch,
+            "density_threshold": args.threshold,
+            "replay_policy": args.policy,
+            "batch_size": args.batch_size,
+        },
+    }
+    if args.vablock_kib:
+        spec["vablock_bytes"] = args.vablock_kib * 1024
+    client = _client(args)
+    try:
+        record = client.submit(spec)
+        if args.wait and record["state"] not in ("done", "failed", "cancelled"):
+            record = client.wait(record["job_id"], timeout_s=args.timeout)
+    except ServiceClientError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2))
+    return 0 if record["state"] in ("queued", "running", "done") else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClientError
+
+    client = _client(args)
+    try:
+        payload = client.metrics() if args.job_id is None else client.status(args.job_id)
+    except ServiceClientError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClientError
+
+    client = _client(args)
+    try:
+        doc = client.result(args.job_id)
+    except ServiceClientError as exc:
+        print(f"fetch failed: {exc}", file=sys.stderr)
+        return 1
+    text = json.dumps(doc, indent=2, sort_keys=True)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n")
+        print(f"result written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServiceClientError
+
+    try:
+        record = _client(args).cancel(args.job_id)
+    except ServiceClientError as exc:
+        print(f"cancel failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="uvmrepro",
@@ -275,26 +480,12 @@ def main(argv: list[str] | None = None) -> int:
 
     run_p = sub.add_parser("run", help="run one workload under the simulator")
     run_p.add_argument("workload", choices=workload_names())
-    run_p.add_argument("--data-mib", type=int, default=32, help="managed data size (MiB)")
-    run_p.add_argument("--gpu-mem-mib", type=int, default=256, help="GPU memory (MiB)")
-    run_p.add_argument("--no-prefetch", action="store_true", help="disable the prefetcher")
+    _add_sim_args(run_p, data_mib=32, gpu_mem_mib=256)
     run_p.add_argument(
-        "--threshold", type=int, default=51, help="density threshold (1-100)"
-    )
-    run_p.add_argument(
-        "--policy",
-        default="batch_flush",
-        choices=[k.value for k in ReplayPolicyKind],
-        help="fault replay policy",
-    )
-    run_p.add_argument("--batch-size", type=int, default=256, help="fault batch size")
-    run_p.add_argument("--seed", type=int, default=0x5EED, help="simulation seed")
-    run_p.add_argument(
-        "--vablock-kib",
-        type=int,
-        default=0,
-        help="allocation granule in KiB (0 = the 2 MiB driver default; "
-        "other values exercise the Section VI-B flexible-granularity path)",
+        "--json",
+        action="store_true",
+        help="emit the machine-readable result document (same schema as "
+        "the service's result store) instead of the text report",
     )
     run_p.set_defaults(fn=_cmd_run)
 
@@ -303,16 +494,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     cmp_p.add_argument("workload", choices=workload_names() + ["bfs"])
     cmp_p.add_argument("--vs", required=True, help=f"one of {sorted(_VARIANTS)}")
-    cmp_p.add_argument("--data-mib", type=int, default=32)
-    cmp_p.add_argument("--gpu-mem-mib", type=int, default=64)
-    cmp_p.add_argument("--no-prefetch", action="store_true")
-    cmp_p.add_argument("--threshold", type=int, default=51)
-    cmp_p.add_argument(
-        "--policy", default="batch_flush", choices=[k.value for k in ReplayPolicyKind]
-    )
-    cmp_p.add_argument("--batch-size", type=int, default=256)
-    cmp_p.add_argument("--seed", type=int, default=0x5EED)
-    cmp_p.add_argument("--vablock-kib", type=int, default=0)
+    _add_sim_args(cmp_p, data_mib=32, gpu_mem_mib=64)
     cmp_p.set_defaults(fn=_cmd_compare)
 
     trace_p = sub.add_parser(
@@ -320,17 +502,67 @@ def main(argv: list[str] | None = None) -> int:
     )
     trace_p.add_argument("workload", choices=workload_names())
     trace_p.add_argument("--out", default="traces", help="output directory")
-    trace_p.add_argument("--data-mib", type=int, default=16)
-    trace_p.add_argument("--gpu-mem-mib", type=int, default=128)
-    trace_p.add_argument("--no-prefetch", action="store_true")
-    trace_p.add_argument("--threshold", type=int, default=51)
-    trace_p.add_argument(
-        "--policy", default="batch_flush", choices=[k.value for k in ReplayPolicyKind]
-    )
-    trace_p.add_argument("--batch-size", type=int, default=256)
-    trace_p.add_argument("--seed", type=int, default=0x5EED)
-    trace_p.add_argument("--vablock-kib", type=int, default=0)
+    _add_sim_args(trace_p, data_mib=16, gpu_mem_mib=128)
     trace_p.set_defaults(fn=_cmd_trace)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the asynchronous simulation job service"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=_non_negative_int, default=8344)
+    serve_p.add_argument(
+        "--workers", type=_positive_int, default=2, help="simulator worker processes"
+    )
+    serve_p.add_argument(
+        "--store-dir", default="serve-results", help="result store directory"
+    )
+    serve_p.add_argument(
+        "--job-timeout", type=float, default=300.0, help="per-attempt timeout (s)"
+    )
+    serve_p.add_argument(
+        "--max-retries", type=_non_negative_int, default=2,
+        help="retries after worker death/timeout",
+    )
+    serve_p.add_argument(
+        "--sweep-cache",
+        default=None,
+        help="run_sweep-compatible memo cache dir ('' disables; default: "
+        "the sweep executor's resolution incl. REPRO_SWEEP_CACHE)",
+    )
+    serve_p.set_defaults(fn=_cmd_serve)
+
+    url_kw = {"default": "http://127.0.0.1:8344", "help": "service base URL"}
+    submit_p = sub.add_parser("submit", help="submit a job to a running service")
+    submit_p.add_argument("workload", choices=workload_names())
+    _add_sim_args(submit_p, data_mib=32, gpu_mem_mib=256)
+    submit_p.add_argument("--url", **url_kw)
+    submit_p.add_argument("--priority", type=int, default=0, help="smaller runs first")
+    submit_p.add_argument(
+        "--record-trace", action="store_true", help="persist the fault trace payload"
+    )
+    submit_p.add_argument("--wait", action="store_true", help="block until terminal")
+    submit_p.add_argument(
+        "--timeout", type=float, default=600.0, help="--wait budget (s)"
+    )
+    submit_p.set_defaults(fn=_cmd_submit)
+
+    status_p = sub.add_parser(
+        "status", help="job status (or service metrics without a job id)"
+    )
+    status_p.add_argument("job_id", nargs="?", default=None)
+    status_p.add_argument("--url", **url_kw)
+    status_p.set_defaults(fn=_cmd_status)
+
+    fetch_p = sub.add_parser("fetch", help="fetch a finished job's result document")
+    fetch_p.add_argument("job_id")
+    fetch_p.add_argument("--url", **url_kw)
+    fetch_p.add_argument("--out", default=None, help="write JSON here instead of stdout")
+    fetch_p.set_defaults(fn=_cmd_fetch)
+
+    cancel_p = sub.add_parser("cancel", help="cancel a queued/running job")
+    cancel_p.add_argument("job_id")
+    cancel_p.add_argument("--url", **url_kw)
+    cancel_p.set_defaults(fn=_cmd_cancel)
 
     ex_p = sub.add_parser("exhibit", help="regenerate a paper table/figure")
     ex_p.add_argument("name", help="fig1..fig10, table1, table2, or 'all'")

@@ -215,10 +215,37 @@ def _cache_store(directory: str, key: str, result: RunResult) -> None:
         pass  # a cold cache is never an error
 
 
+def execute_job(
+    workload: Workload,
+    setup: Optional[ExperimentSetup] = None,
+    record_trace: bool = False,
+    cache_dir: Optional[str] = None,
+) -> tuple[RunResult, bool]:
+    """Run one simulation point through the canonical cache-aware path.
+
+    This is the single job-execution code path shared by
+    :func:`run_sweep` and the :mod:`repro.serve` worker pool: probe the
+    code-version-keyed on-disk cache (when ``cache_dir`` is given), fall
+    back to :func:`simulate`, and persist the fresh result for the next
+    caller.  Returns ``(result, cache_hit)``.
+    """
+    setup = setup or ExperimentSetup()
+    key: Optional[str] = None
+    if cache_dir is not None:
+        key = sweep_cache_key(workload, setup, record_trace)
+        cached = _cache_load(cache_dir, key)
+        if cached is not None:
+            return cached, True
+    result = simulate(workload, setup, record_trace=record_trace)
+    if cache_dir is not None and key is not None:
+        _cache_store(cache_dir, key, result)
+    return result, False
+
+
 def _run_point(args: tuple[Workload, ExperimentSetup, bool]) -> RunResult:
     """Module-level worker so pool submissions pickle cleanly."""
     workload, setup, record_trace = args
-    return simulate(workload, setup, record_trace=record_trace)
+    return execute_job(workload, setup, record_trace)[0]
 
 
 def _resolve_workers(workers: Optional[int]) -> int:

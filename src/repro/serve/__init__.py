@@ -1,0 +1,39 @@
+"""`repro.serve`: an asynchronous simulation job service.
+
+The experiment layer (:mod:`repro.experiments.runner`) runs simulations
+synchronously and in-process; this package turns the simulator into a
+long-running service so many clients can share one warm fleet:
+
+* :mod:`repro.serve.jobs` - the :class:`JobSpec`/:class:`JobResult`
+  model: a canonical, JSON-serializable description of one simulation
+  whose content-addressed key is shared with ``run_sweep``'s
+  code-version-keyed cache,
+* :mod:`repro.serve.store` - a content-addressed on-disk result store
+  (JSON documents + ``.npz`` trace payloads, atomic writes),
+* :mod:`repro.serve.pool` - the supervised ``multiprocessing`` worker
+  pool,
+* :mod:`repro.serve.service` - the priority-queue scheduler/supervisor
+  (:class:`SimulationService`): timeouts, bounded retries with backoff,
+  worker-death recovery, instant cache serving,
+* :mod:`repro.serve.telemetry` - streaming per-job telemetry built on
+  :class:`~repro.sim.stats.CounterSet`/:class:`~repro.sim.stats.CategoryTimer`,
+* :mod:`repro.serve.http_api` / :mod:`repro.serve.client` - the
+  JSON-over-HTTP surface (stdlib ``http.server``) and Python client.
+"""
+
+from repro.serve.jobs import JobSpec, JobState, JobRecord
+from repro.serve.results import result_to_doc
+from repro.serve.store import ResultStore
+from repro.serve.service import ServiceConfig, SimulationService
+from repro.serve.telemetry import Telemetry
+
+__all__ = [
+    "JobSpec",
+    "JobState",
+    "JobRecord",
+    "ResultStore",
+    "ServiceConfig",
+    "SimulationService",
+    "Telemetry",
+    "result_to_doc",
+]

@@ -1,0 +1,96 @@
+"""Python client for the simulation service (stdlib ``urllib`` only).
+
+Mirrors the HTTP surface one-to-one and raises
+:class:`ServiceClientError` with the server's error message on non-2xx
+responses, so CLI verbs and tests get clean failures instead of raw
+``HTTPError`` tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Optional
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """The service rejected a request (includes the HTTP status)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Thin JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[dict[str, Any]] = None
+    ) -> Any:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise ServiceClientError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceClientError(0, f"cannot reach {self.base_url}: {exc.reason}")
+
+    # -- API ------------------------------------------------------------------
+    def healthz(self) -> bool:
+        return bool(self._request("GET", "/healthz").get("ok"))
+
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        return self._request("POST", "/jobs", spec)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def events(self, since: int = 0, limit: int = 1000) -> dict[str, Any]:
+        return self._request("GET", f"/events?since={since}&limit={limit}")
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
+    ) -> dict[str, Any]:
+        """Poll until the job is terminal; returns the final record."""
+        deadline = time.time() + timeout_s
+        while True:
+            record = self.status(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.time() > deadline:
+                raise TimeoutError(
+                    f"{job_id} still {record['state']} after {timeout_s}s"
+                )
+            time.sleep(poll_s)

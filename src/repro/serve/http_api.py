@@ -1,0 +1,163 @@
+"""JSON-over-HTTP surface for the simulation service (stdlib only).
+
+Endpoints:
+
+* ``POST /jobs``                - submit a job spec, returns the record
+* ``GET  /jobs``                - list job summaries
+* ``GET  /jobs/<id>``           - one job's record (state, attempts, ...)
+* ``GET  /jobs/<id>/result``    - the stored result document (404 until done)
+* ``DELETE /jobs/<id>``         - cancel a queued/running job
+* ``GET  /metrics``             - telemetry snapshot (counters, gauges,
+  p50/p95 job latency, cache hit rate)
+* ``GET  /events?since=N``      - incremental job-transition stream
+* ``GET  /healthz``             - liveness probe
+
+Handlers run on :class:`http.server.ThreadingHTTPServer` threads; all
+shared state lives in the thread-safe :class:`SimulationService`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ConfigurationError, ReproError
+from repro.serve.service import SimulationService
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`SimulationService`."""
+
+    daemon_threads = True
+    #: the default backlog (5) drops/resets connections under a
+    #: concurrent submission burst; size for hundreds of clients.
+    request_queue_size = 256
+
+    def __init__(self, address: tuple[str, int], service: SimulationService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------------
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+        pass  # quiet by default; telemetry is the observable surface
+
+    def _send(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ConfigurationError("request body required")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"invalid JSON body: {exc}") from exc
+
+    # -- routes ---------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self._send(200, {"ok": True})
+            elif parts == ["metrics"]:
+                self._send(200, self.server.service.metrics())
+            elif parts == ["events"]:
+                query = parse_qs(url.query)
+                since = int(query.get("since", ["0"])[0])
+                limit = int(query.get("limit", ["1000"])[0])
+                events = self.server.service.telemetry.events_since(since, limit)
+                next_since = events[-1]["seq"] if events else since
+                self._send(200, {"events": events, "next_since": next_since})
+            elif parts == ["jobs"]:
+                records = self.server.service.jobs()
+                self._send(
+                    200,
+                    {
+                        "jobs": [
+                            {
+                                "job_id": r.job_id,
+                                "state": r.state.value,
+                                "workload": r.spec.workload,
+                                "attempts": r.attempts,
+                                "cache_hit": r.cache_hit,
+                            }
+                            for r in records
+                        ]
+                    },
+                )
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send(200, self.server.service.get(parts[1]).to_dict())
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                doc = self.server.service.result_doc(parts[1])
+                if doc is None:
+                    record = self.server.service.get(parts[1])
+                    self._error(404, f"{parts[1]} has no result ({record.state.value})")
+                else:
+                    self._send(200, doc)
+            else:
+                self._error(404, f"no route for GET {url.path}")
+        except KeyError as exc:
+            self._error(404, f"unknown job {exc.args[0]!r}")
+        except (ValueError, ReproError) as exc:
+            self._error(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["jobs"]:
+                record = self.server.service.submit_dict(self._read_json())
+                self._send(202 if not record.cache_hit else 200, record.to_dict())
+            else:
+                self._error(404, f"no route for POST {url.path}")
+        except ReproError as exc:
+            self._error(400, str(exc))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        try:
+            if len(parts) == 2 and parts[0] == "jobs":
+                cancelled = self.server.service.cancel(parts[1])
+                if cancelled:
+                    self._send(200, self.server.service.get(parts[1]).to_dict())
+                else:
+                    self._error(409, f"{parts[1]} already finished")
+            else:
+                self._error(404, f"no route for DELETE {self.path}")
+        except KeyError as exc:
+            self._error(404, f"unknown job {exc.args[0]!r}")
+
+
+def serve_http(
+    service: SimulationService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceHTTPServer:
+    """Bind a server (``port=0`` = ephemeral) and serve on a daemon thread."""
+    server = ServiceHTTPServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,236 @@
+"""Supervised ``multiprocessing`` worker pool.
+
+Each worker is a separate OS process with its *own* depth-1 task queue,
+so the supervisor always knows exactly which job a worker holds - the
+property that makes death/timeout recovery exact: when a worker dies or
+is killed, its assigned job (and only that job) is requeued.  A shared
+result queue carries small completion messages back; the actual result
+documents go through the on-disk :class:`~repro.serve.store.ResultStore`
+written by the worker itself, so large payloads never transit a pipe.
+
+Workers execute jobs through
+:func:`repro.experiments.runner.execute_job` - the same cache-aware code
+path ``run_sweep`` uses - so the service and the sweep executor share
+one simulation path and one on-disk memo cache.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: message kinds on the result queue
+MSG_STARTED = "started"
+MSG_DONE = "done"
+MSG_ERROR = "error"
+
+
+def _mp_context():
+    try:
+        return mp.get_context("fork")  # cheap start, inherits imports
+    except ValueError:  # pragma: no cover - non-POSIX
+        return mp.get_context()
+
+
+def worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    store_dir: str,
+    cache_dir: Optional[str],
+) -> None:
+    """Worker process body: pull one task at a time, execute, report.
+
+    Imports happen lazily so a ``spawn``-context worker also boots.
+    """
+    from repro.serve.jobs import JobSpec
+    from repro.serve.results import result_to_doc
+    from repro.serve.store import ResultStore
+    from repro.experiments.runner import execute_job
+
+    store = ResultStore(store_dir)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        job_id, attempt, spec_dict, key = task
+        result_queue.put((MSG_STARTED, worker_id, job_id, attempt, {}))
+        t0 = time.perf_counter_ns()
+        try:
+            spec = JobSpec.from_dict(spec_dict)
+            workload, setup = spec.build()
+            result, sweep_hit = execute_job(
+                workload, setup, spec.record_trace, cache_dir=cache_dir
+            )
+            elapsed_ns = time.perf_counter_ns() - t0
+            doc = result_to_doc(
+                result,
+                extra={
+                    "job_id": job_id,
+                    "key": key,
+                    "workload": spec.workload,
+                    "data_bytes": spec.data_bytes,
+                    "seed": spec.seed,
+                    "worker_pid": os.getpid(),
+                    "run_wall_ns": elapsed_ns,
+                },
+            )
+            store.store(
+                key,
+                doc,
+                trace=result.trace if spec.record_trace else None,
+                trace_metadata={"job_id": job_id, "workload": spec.workload},
+            )
+            result_queue.put(
+                (
+                    MSG_DONE,
+                    worker_id,
+                    job_id,
+                    attempt,
+                    {"sweep_cache_hit": sweep_hit, "run_wall_ns": elapsed_ns},
+                )
+            )
+        except BaseException as exc:  # report and keep serving
+            result_queue.put(
+                (
+                    MSG_ERROR,
+                    worker_id,
+                    job_id,
+                    attempt,
+                    {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(limit=8),
+                    },
+                )
+            )
+
+
+@dataclass
+class WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    worker_id: int
+    process: mp.Process
+    task_queue: Any
+    #: job currently assigned (None = idle), plus its attempt number.
+    job_id: Optional[str] = None
+    attempt: int = 0
+    #: wall-clock deadline for the running job (0 = no deadline).
+    deadline: float = 0.0
+    jobs_done: int = field(default=0)
+
+    @property
+    def idle(self) -> bool:
+        return self.job_id is None
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """Spawns, tracks, kills, and respawns worker processes."""
+
+    def __init__(self, n_workers: int, store_dir: str, cache_dir: Optional[str]):
+        self.n_workers = max(1, int(n_workers))
+        self.store_dir = store_dir
+        self.cache_dir = cache_dir
+        self._ctx = _mp_context()
+        self.result_queue = self._ctx.Queue()
+        self.workers: dict[int, WorkerHandle] = {}
+        self._next_worker_id = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def _spawn(self) -> WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue(maxsize=1)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                worker_id,
+                task_queue,
+                self.result_queue,
+                self.store_dir,
+                self.cache_dir,
+            ),
+            daemon=True,
+            name=f"repro-serve-worker-{worker_id}",
+        )
+        process.start()
+        handle = WorkerHandle(worker_id=worker_id, process=process, task_queue=task_queue)
+        self.workers[worker_id] = handle
+        return handle
+
+    def start(self) -> None:
+        while len(self.workers) < self.n_workers:
+            self._spawn()
+
+    def respawn(self, worker_id: int) -> WorkerHandle:
+        """Replace a dead/killed worker with a fresh process + queue.
+
+        A fresh task queue guarantees a stale task can never be double-
+        executed by the replacement.
+        """
+        old = self.workers.pop(worker_id, None)
+        if old is not None and old.process.is_alive():  # pragma: no cover - guard
+            old.process.terminate()
+        return self._spawn()
+
+    def kill(self, worker_id: int) -> None:
+        handle = self.workers.get(worker_id)
+        if handle is None:
+            return
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - stubborn child
+                handle.process.kill()
+                handle.process.join(timeout=2.0)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown: poison-pill idle workers, then terminate."""
+        for handle in self.workers.values():
+            if handle.idle and handle.process.is_alive():
+                try:
+                    handle.task_queue.put_nowait(None)
+                except Exception:
+                    pass
+        deadline = time.time() + timeout
+        for handle in self.workers.values():
+            handle.process.join(timeout=max(0.05, deadline - time.time()))
+        for handle in self.workers.values():
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        self.workers.clear()
+
+    # -- assignment -----------------------------------------------------------
+    def idle_workers(self) -> list[WorkerHandle]:
+        return [h for h in self.workers.values() if h.idle and h.alive()]
+
+    def assign(
+        self,
+        handle: WorkerHandle,
+        job_id: str,
+        attempt: int,
+        spec_dict: dict,
+        key: str,
+        timeout_s: float,
+    ) -> None:
+        handle.job_id = job_id
+        handle.attempt = attempt
+        handle.deadline = time.time() + timeout_s if timeout_s > 0 else 0.0
+        handle.task_queue.put((job_id, attempt, spec_dict, key))
+
+    def release(self, handle: WorkerHandle) -> None:
+        handle.job_id = None
+        handle.attempt = 0
+        handle.deadline = 0.0
+        handle.jobs_done += 1
+
+    def alive_count(self) -> int:
+        return sum(1 for h in self.workers.values() if h.alive())

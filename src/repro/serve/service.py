@@ -1,0 +1,379 @@
+"""The simulation job service: scheduler, supervisor, and public API.
+
+:class:`SimulationService` owns four pieces of state:
+
+* a job table (``job_id -> JobRecord``) and a priority heap of queued
+  jobs (``(priority, submit_seq)`` order: smaller priority first, FIFO
+  within a priority),
+* a :class:`~repro.serve.pool.WorkerPool` of simulator processes,
+* a :class:`~repro.serve.store.ResultStore` probed at submit time -
+  a spec whose content key is already stored completes instantly
+  without touching the queue (the "re-submit is free" property),
+* a :class:`~repro.serve.telemetry.Telemetry` instance every
+  transition is mirrored into.
+
+A single supervisor thread drives the event loop: drain worker
+completion messages, detect dead workers and expired deadlines, requeue
+or fail the affected jobs (bounded retries with exponential backoff),
+respawn replacement workers, and dispatch queued jobs onto idle
+workers.  Failure semantics: infrastructure failures (worker death,
+timeout) are retried up to ``max_retries`` because they say nothing
+about the job; an error *reported* by a healthy worker is deterministic
+(the simulator is seeded) and fails the job immediately.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import _resolve_cache_dir
+from repro.serve import telemetry as tm
+from repro.serve.jobs import JobRecord, JobSpec, JobState
+from repro.serve.pool import MSG_DONE, MSG_ERROR, MSG_STARTED, WorkerPool
+from repro.serve.store import ResultStore
+from repro.serve.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    n_workers: int = 2
+    #: wall-clock budget per attempt; 0 disables deadlines.
+    job_timeout_s: float = 300.0
+    #: attempts beyond the first for infrastructure failures.
+    max_retries: int = 2
+    #: base of the exponential retry backoff (doubles per attempt).
+    retry_backoff_s: float = 0.25
+    #: supervisor tick; also bounds shutdown latency.
+    poll_interval_s: float = 0.02
+    #: ``run_sweep``-compatible memo cache directory for workers
+    #: (None = the sweep executor's default resolution; "" disables).
+    sweep_cache_dir: Optional[str] = None
+
+
+class SimulationService:
+    """Asynchronous, supervised simulation job service."""
+
+    def __init__(
+        self,
+        store_dir: str,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.store = ResultStore(store_dir)
+        self.telemetry = Telemetry()
+        if self.config.sweep_cache_dir == "":
+            cache_dir: Optional[str] = None
+        elif self.config.sweep_cache_dir is not None:
+            cache_dir = self.config.sweep_cache_dir
+        else:
+            cache_dir = _resolve_cache_dir(True, None)
+        self.pool = WorkerPool(self.config.n_workers, store_dir, cache_dir)
+        self._jobs: dict[str, JobRecord] = {}
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = itertools.count(1)
+        self._lock = threading.RLock()
+        self._done = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "SimulationService":
+        self.pool.start()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=timeout)
+        self.pool.stop()
+
+    def __enter__(self) -> "SimulationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- client API -----------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Enqueue a job (or serve it instantly from the result store)."""
+        key = spec.cache_key()
+        now = time.time()
+        seq = next(self._seq)
+        job_id = f"job-{seq:08d}"
+        record = JobRecord(job_id=job_id, spec=spec, key=key, submitted_at=now)
+        self.telemetry.count(tm.JOBS_SUBMITTED)
+        if self.store.contains(key):
+            record.state = JobState.DONE
+            record.cache_hit = True
+            record.finished_at = now
+            self.telemetry.count(tm.CACHE_HITS_STORE)
+            self.telemetry.count(tm.JOBS_COMPLETED)
+            self.telemetry.observe_latency(0.0)
+            with self._lock:
+                self._jobs[job_id] = record
+                self._done.notify_all()
+            self.telemetry.event(job_id, "done", cache_hit=True, key=key)
+            return record
+        with self._lock:
+            self._jobs[job_id] = record
+            heapq.heappush(self._heap, (spec.priority, seq, job_id))
+        self.telemetry.event(
+            job_id, "queued", key=key, workload=spec.workload, priority=spec.priority
+        )
+        return record
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._jobs.get(job_id)
+        if record is None:
+            raise KeyError(job_id)
+        return record
+
+    def result_doc(self, job_id: str) -> Optional[dict[str, Any]]:
+        """The stored result document of a DONE job (None until then)."""
+        record = self.get(job_id)
+        if record.state is not JobState.DONE:
+            return None
+        return self.store.load(record.key)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued or running job; False if already terminal."""
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise KeyError(job_id)
+            if record.state.terminal:
+                return False
+            if record.state is JobState.RUNNING and record.worker_id is not None:
+                self._kill_and_respawn(record.worker_id)
+            self._finish(record, JobState.CANCELLED)
+        self.telemetry.count(tm.JOBS_CANCELLED)
+        return True
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
+        """Block until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.time() + timeout
+        with self._done:
+            while True:
+                record = self._jobs.get(job_id)
+                if record is None:
+                    raise KeyError(job_id)
+                if record.state.terminal:
+                    return record
+                remaining = None if deadline is None else deadline - time.time()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"{job_id} still {record.state.value} after {timeout}s"
+                    )
+                self._done.wait(timeout=0.1 if remaining is None else min(0.1, remaining))
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def metrics(self) -> dict[str, Any]:
+        with self._lock:
+            states = [r.state for r in self._jobs.values()]
+            gauges = {
+                "queue_depth": sum(1 for s in states if s is JobState.QUEUED),
+                "jobs_in_flight": sum(1 for s in states if s is JobState.RUNNING),
+                "jobs_total": len(states),
+                "workers_alive": self.pool.alive_count(),
+                "workers_configured": self.pool.n_workers,
+            }
+        return self.telemetry.snapshot(gauges)
+
+    # -- supervisor loop ------------------------------------------------------
+    def _supervise(self) -> None:
+        while not self._stop.is_set():
+            try:
+                progressed = self._drain_results()
+                with self._lock:
+                    self._check_workers()
+                    self._dispatch()
+            except Exception:  # keep supervising: one bad tick must not
+                self.telemetry.count("supervisor.errors")  # kill the service
+                progressed = False
+            if not progressed:
+                self._stop.wait(self.config.poll_interval_s)
+
+    def _drain_results(self) -> bool:
+        progressed = False
+        while True:
+            try:
+                kind, worker_id, job_id, attempt, detail = (
+                    self.pool.result_queue.get_nowait()
+                )
+            except queue.Empty:
+                return progressed
+            progressed = True
+            with self._lock:
+                handle = self.pool.workers.get(worker_id)
+                record = self._jobs.get(job_id)
+                # stale messages (from a killed/replaced worker, or for a
+                # superseded attempt) are dropped: the current assignment
+                # is the only source of truth.
+                current = (
+                    handle is not None
+                    and record is not None
+                    and handle.job_id == job_id
+                    and handle.attempt == attempt
+                    and record.state is JobState.RUNNING
+                )
+                if not current:
+                    continue
+                if kind == MSG_STARTED:
+                    record.started_at = time.time()
+                    continue
+                self.pool.release(handle)
+                if kind == MSG_DONE:
+                    if detail.get("sweep_cache_hit"):
+                        self.telemetry.count(tm.CACHE_HITS_SWEEP)
+                    else:
+                        self.telemetry.count(tm.SIMULATIONS_RUN)
+                    self._finish(record, JobState.DONE)
+                elif kind == MSG_ERROR:
+                    # a *reported* error is deterministic - fail fast.
+                    record.error = detail.get("error", "unknown worker error")
+                    self._finish(record, JobState.FAILED)
+
+    def _check_workers(self) -> None:
+        now = time.time()
+        for worker_id, handle in list(self.pool.workers.items()):
+            if not handle.alive():
+                job_id = handle.job_id
+                self.pool.respawn(worker_id)
+                self.telemetry.count(tm.WORKER_RESPAWNS)
+                if job_id is not None:
+                    self.telemetry.count(tm.WORKER_DEATHS)
+                    record = self._jobs.get(job_id)
+                    if record is not None and record.state is JobState.RUNNING:
+                        self._retry_or_fail(record, "worker process died")
+            elif (
+                handle.job_id is not None
+                and handle.deadline
+                and now > handle.deadline
+            ):
+                record = self._jobs.get(handle.job_id)
+                self.telemetry.count(tm.JOBS_TIMED_OUT)
+                self._kill_and_respawn(worker_id)
+                if record is not None and record.state is JobState.RUNNING:
+                    self._retry_or_fail(
+                        record,
+                        f"attempt exceeded {self.config.job_timeout_s}s timeout",
+                    )
+
+    def _dispatch(self) -> None:
+        idle = self.pool.idle_workers()
+        if not idle:
+            return
+        now = time.time()
+        deferred: list[tuple[int, int, str]] = []
+        while idle and self._heap:
+            entry = heapq.heappop(self._heap)
+            record = self._jobs.get(entry[2])
+            if record is None or record.state is not JobState.QUEUED:
+                continue  # cancelled (or otherwise superseded) while queued
+            if record.not_before > now:
+                deferred.append(entry)
+                continue
+            handle = idle.pop()
+            record.attempts += 1
+            record.state = JobState.RUNNING
+            record.started_at = now
+            record.worker_id = handle.worker_id
+            self.pool.assign(
+                handle,
+                record.job_id,
+                record.attempts,
+                record.spec.to_dict(),
+                record.key,
+                self.config.job_timeout_s,
+            )
+            self.telemetry.event(
+                record.job_id,
+                "running",
+                attempt=record.attempts,
+                worker_id=handle.worker_id,
+            )
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+
+    # -- internal transitions (lock held) ------------------------------------
+    def _kill_and_respawn(self, worker_id: int) -> None:
+        self.pool.kill(worker_id)
+        self.pool.respawn(worker_id)
+        self.telemetry.count(tm.WORKER_RESPAWNS)
+
+    def _retry_or_fail(self, record: JobRecord, reason: str) -> None:
+        if record.attempts > self.config.max_retries:
+            record.error = f"{reason} (attempt {record.attempts}, retries exhausted)"
+            self._finish(record, JobState.FAILED)
+            return
+        backoff = self.config.retry_backoff_s * (2 ** (record.attempts - 1))
+        record.state = JobState.QUEUED
+        record.worker_id = None
+        record.not_before = time.time() + backoff
+        heapq.heappush(
+            self._heap, (record.spec.priority, next(self._seq), record.job_id)
+        )
+        self.telemetry.count(tm.JOBS_RETRIED)
+        self.telemetry.event(
+            record.job_id,
+            "retrying",
+            attempt=record.attempts,
+            reason=reason,
+            backoff_s=backoff,
+        )
+
+    def _finish(self, record: JobRecord, state: JobState) -> None:
+        record.state = state
+        record.finished_at = time.time()
+        record.worker_id = None
+        if state is JobState.DONE:
+            self.telemetry.count(tm.JOBS_COMPLETED)
+            self.telemetry.observe_latency(
+                (record.finished_at - record.submitted_at) * 1e9
+            )
+            if record.started_at is not None:
+                self.telemetry.charge(
+                    "job.run", (record.finished_at - record.started_at) * 1e9
+                )
+                self.telemetry.charge(
+                    "job.wait", (record.started_at - record.submitted_at) * 1e9
+                )
+        elif state is JobState.FAILED:
+            self.telemetry.count(tm.JOBS_FAILED)
+        self.telemetry.event(
+            record.job_id,
+            state.value,
+            attempts=record.attempts,
+            cache_hit=record.cache_hit,
+            error=record.error,
+        )
+        self._done.notify_all()
+
+    # -- convenience ----------------------------------------------------------
+    def submit_dict(self, payload: dict[str, Any]) -> JobRecord:
+        """Validate an untrusted payload and submit it (the HTTP path)."""
+        spec = JobSpec.from_dict(payload)
+        try:
+            spec.build()  # surface config errors at submit, not in a worker
+        except ConfigurationError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(str(exc)) from exc
+        return self.submit(spec)

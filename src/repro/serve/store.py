@@ -1,0 +1,100 @@
+"""Content-addressed on-disk result store.
+
+Documents are JSON files named by the job's content key (see
+:meth:`repro.serve.jobs.JobSpec.cache_key`), fanned out over two-hex
+prefix directories so large stores don't produce million-entry
+directories.  Writes are atomic (tempfile + ``os.replace``) so a
+concurrent reader never observes a torn document, and a worker killed
+mid-write never corrupts the store.  Trace payloads ride alongside as
+``<key>.npz`` via :mod:`repro.trace.io`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from repro.trace.io import load_trace, save_trace
+from repro.trace.recorder import FinalizedTrace
+
+
+class ResultStore:
+    """Keyed JSON documents + optional npz payloads under one root."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ----------------------------------------------------------------
+    def doc_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def trace_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    # -- queries --------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return self.doc_path(key).is_file()
+
+    def load(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored document, or None (missing or torn are both misses)."""
+        try:
+            with self.doc_path(key).open("r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def load_result_trace(self, key: str) -> Optional[FinalizedTrace]:
+        path = self.trace_path(key)
+        if not path.is_file():
+            return None
+        trace, _meta = load_trace(path)
+        return trace
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- writes ---------------------------------------------------------------
+    def store(
+        self,
+        key: str,
+        doc: dict[str, Any],
+        trace: Optional[FinalizedTrace] = None,
+        trace_metadata: Optional[dict[str, Any]] = None,
+    ) -> Path:
+        """Atomically persist ``doc`` (and optionally its trace) under ``key``."""
+        path = self.doc_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if trace is not None:
+            # payload first (atomically): a reader that sees the doc may
+            # rely on the npz being present and whole.
+            final = self.trace_path(key)
+            tmp_npz = final.with_name(f".{key}.{os.getpid()}.tmp.npz")
+            save_trace(trace, tmp_npz, metadata=trace_metadata)
+            os.replace(tmp_npz, final)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def discard(self, key: str) -> None:
+        for path in (self.doc_path(key), self.trace_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass

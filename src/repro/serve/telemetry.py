@@ -1,0 +1,107 @@
+"""Streaming per-job telemetry for the simulation service.
+
+Built on the same accumulators the simulator itself uses
+(:class:`~repro.sim.stats.CounterSet` for monotonic counters,
+:class:`~repro.sim.stats.CategoryTimer` for wall-time attribution), plus
+a bounded latency reservoir summarized with
+:class:`~repro.sim.stats.LatencyStats` and an append-only event log with
+monotonically increasing sequence numbers so clients can stream job
+transitions incrementally (``GET /events?since=N``).
+
+All methods are thread-safe: the HTTP handler threads and the
+supervisor thread share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.stats import CategoryTimer, CounterSet, LatencyStats
+
+# counter names (one place, so tests and docs can't drift)
+JOBS_SUBMITTED = "jobs.submitted"
+JOBS_COMPLETED = "jobs.completed"
+JOBS_FAILED = "jobs.failed"
+JOBS_CANCELLED = "jobs.cancelled"
+JOBS_RETRIED = "jobs.retried"
+JOBS_TIMED_OUT = "jobs.timed_out"
+CACHE_HITS_STORE = "cache.hits.store"
+CACHE_HITS_SWEEP = "cache.hits.sweep"
+SIMULATIONS_RUN = "simulations.run"
+WORKER_DEATHS = "workers.deaths"
+WORKER_RESPAWNS = "workers.respawns"
+
+
+class Telemetry:
+    """Thread-safe counters, timers, latency samples, and an event log."""
+
+    def __init__(self, max_events: int = 10_000, max_samples: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self.counters = CounterSet()
+        self.timer = CategoryTimer()
+        self._latency_ns: deque[float] = deque(maxlen=max_samples)
+        self._events: deque[dict[str, Any]] = deque(maxlen=max_events)
+        self._seq = 0
+        self._started_at = time.time()
+
+    # -- recording ------------------------------------------------------------
+    def count(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self.counters.add(name, value)
+
+    def charge(self, path: str, duration_ns: float) -> None:
+        with self._lock:
+            self.timer.charge(path, max(0, round(duration_ns)))
+
+    def observe_latency(self, latency_ns: float) -> None:
+        with self._lock:
+            self._latency_ns.append(float(latency_ns))
+
+    def event(self, job_id: str, state: str, **detail: Any) -> int:
+        """Append a job transition to the stream; returns its sequence number."""
+        with self._lock:
+            self._seq += 1
+            self._events.append(
+                {
+                    "seq": self._seq,
+                    "t": time.time(),
+                    "job_id": job_id,
+                    "state": state,
+                    **detail,
+                }
+            )
+            return self._seq
+
+    # -- reading --------------------------------------------------------------
+    def events_since(self, since: int, limit: int = 1000) -> list[dict[str, Any]]:
+        """Events with ``seq > since``, oldest first (bounded by ``limit``)."""
+        with self._lock:
+            return [e for e in self._events if e["seq"] > since][:limit]
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def snapshot(self, gauges: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+        """One JSON-safe metrics document (the ``/metrics`` payload)."""
+        with self._lock:
+            counters = self.counters.as_dict()
+            timers = self.timer.as_dict()
+            latency = LatencyStats.from_samples(self._latency_ns)
+            seq = self._seq
+            uptime = time.time() - self._started_at
+        hits = counters.get(CACHE_HITS_STORE, 0) + counters.get(CACHE_HITS_SWEEP, 0)
+        sims = counters.get(SIMULATIONS_RUN, 0)
+        return {
+            "uptime_s": uptime,
+            "counters": counters,
+            "timers_ns": timers,
+            "gauges": dict(gauges or {}),
+            "job_latency": latency.as_dict(),
+            "cache_hit_rate": hits / (hits + sims) if (hits + sims) else 0.0,
+            "last_event_seq": seq,
+        }

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
 from repro.errors import TraceError
 from repro.units import ns_to_us
@@ -126,6 +126,64 @@ class TimeBreakdown:
             )
         lines.append(f"  {'total':<{width}}  {ns_to_us(self.total_ns):>12.1f} us")
         return "\n".join(lines)
+
+
+def percentile(sorted_values: "list[float]", q: float) -> float:
+    """Linear-interpolated percentile of an ascending-sorted sample.
+
+    ``q`` is in percent (``50`` = median).  Empty input returns 0.0 so
+    metric endpoints never have to special-case a cold service.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise TraceError(f"percentile q={q} outside 0..100")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = (q / 100.0) * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return float(sorted_values[lo]) * (1.0 - frac) + float(sorted_values[hi]) * frac
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics over a latency sample (nanoseconds).
+
+    The service's ``/metrics`` endpoint reports job latency through this
+    summary; it lives here next to the other accumulators so offline
+    analysis and the service share one definition of p50/p95.
+    """
+
+    n: int
+    mean_ns: float
+    p50_ns: float
+    p95_ns: float
+    max_ns: float
+
+    @classmethod
+    def from_samples(cls, samples: "Iterable[float]") -> "LatencyStats":
+        values = sorted(float(v) for v in samples)
+        if not values:
+            return cls(n=0, mean_ns=0.0, p50_ns=0.0, p95_ns=0.0, max_ns=0.0)
+        return cls(
+            n=len(values),
+            mean_ns=sum(values) / len(values),
+            p50_ns=percentile(values, 50),
+            p95_ns=percentile(values, 95),
+            max_ns=values[-1],
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-safe view in microseconds (the repo's display unit)."""
+        return {
+            "n": self.n,
+            "mean_us": ns_to_us(self.mean_ns),
+            "p50_us": ns_to_us(self.p50_ns),
+            "p95_us": ns_to_us(self.p95_ns),
+            "max_us": ns_to_us(self.max_ns),
+        }
 
 
 class CounterSet:

@@ -49,6 +49,24 @@ def save_trace(
     return path
 
 
+def trace_summary(trace: FinalizedTrace) -> dict[str, int]:
+    """Small JSON-safe digest of a finalized trace.
+
+    Result payloads (``repro.serve`` store documents, ``uvmrepro run
+    --json``) embed this summary so consumers can see what a trace
+    contains without downloading/parsing the ``.npz`` itself.
+    """
+    return {
+        "n_faults": int(trace.fault_page.size),
+        "n_duplicate_faults": int(np.count_nonzero(trace.fault_duplicate)),
+        "n_services": int(trace.service_vablock.size),
+        "n_evictions": int(trace.evict_vablock.size),
+        "pages_evicted": int(trace.evict_pages.sum()),
+        "n_replays": int(trace.replay_time_ns.size),
+        "n_batches": int(trace.batch_time_ns.size),
+    }
+
+
 def load_trace(path: str | Path) -> tuple[FinalizedTrace, dict[str, Any]]:
     """Read a trace written by :func:`save_trace`.
 

@@ -1,0 +1,171 @@
+"""Integration: the job service under concurrent load, over real HTTP.
+
+Acceptance criteria covered here:
+
+* a local service accepts >= 100 concurrent submissions across >= 3
+  workloads and completes all of them,
+* re-submitting the same specs is served from the result store with
+  zero new simulations (the store cache-hit counter equals the
+  resubmitted job count),
+* priorities, cancellation, result documents, and the event stream
+  behave as documented.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.serve.client import ServiceClient, ServiceClientError
+from repro.serve.http_api import serve_http
+from repro.serve.service import ServiceConfig, SimulationService
+from repro.units import MiB
+
+WORKLOADS = ["random", "stream", "sgemm", "regular"]
+
+
+def make_specs(n):
+    """n distinct tiny specs across >= 3 workloads."""
+    specs = []
+    for i in range(n):
+        specs.append(
+            {
+                "workload": WORKLOADS[i % len(WORKLOADS)],
+                "data_bytes": (2 + (i // len(WORKLOADS)) % 3) * MiB,
+                "seed": 1000 + i // (len(WORKLOADS) * 3),
+                "gpu": {"memory_bytes": 16 * MiB},
+            }
+        )
+    return specs
+
+
+@pytest.fixture
+def service(tmp_path):
+    config = ServiceConfig(
+        n_workers=2,
+        job_timeout_s=120.0,
+        sweep_cache_dir=str(tmp_path / "sweep-cache"),
+    )
+    with SimulationService(str(tmp_path / "store"), config) as svc:
+        server = serve_http(svc)
+        try:
+            yield svc, ServiceClient(server.url, timeout_s=60.0)
+        finally:
+            server.shutdown()
+
+
+class TestConcurrentLoad:
+    N_JOBS = 104
+
+    def test_hundred_concurrent_jobs_then_free_resubmission(self, service):
+        svc, client = service
+        specs = make_specs(self.N_JOBS)
+        assert len({s["workload"] for s in specs}) >= 3
+
+        # -- wave 1: concurrent submission over HTTP ------------------------
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            records = list(pool.map(client.submit, specs))
+        assert len(records) == self.N_JOBS
+        finals = [client.wait(r["job_id"], timeout_s=600.0) for r in records]
+        assert all(r["state"] == "done" for r in finals)
+
+        metrics = client.metrics()
+        counters = metrics["counters"]
+        assert counters["jobs.submitted"] == self.N_JOBS
+        assert counters["jobs.completed"] == self.N_JOBS
+        simulations_after_wave1 = counters["simulations.run"] + counters.get(
+            "cache.hits.sweep", 0
+        )
+        assert simulations_after_wave1 == self.N_JOBS
+        assert counters.get("cache.hits.store", 0) == 0
+        assert metrics["gauges"]["queue_depth"] == 0
+        assert metrics["gauges"]["jobs_in_flight"] == 0
+
+        # every job has a result document with real content
+        doc = client.result(finals[0]["job_id"])
+        assert doc["total_time_ns"] > 0
+        assert doc["counters"]["faults.read"] > 0
+
+        # -- wave 2: identical resubmission is served from the store --------
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            resubmitted = list(pool.map(client.submit, specs))
+        assert all(r["state"] == "done" for r in resubmitted)
+        assert all(r["cache_hit"] for r in resubmitted)
+
+        counters = client.metrics()["counters"]
+        # the acceptance criterion: cache-hit counter == resubmitted count,
+        # and zero new simulations ran in wave 2.
+        assert counters["cache.hits.store"] == self.N_JOBS
+        assert (
+            counters["simulations.run"] + counters.get("cache.hits.sweep", 0)
+            == simulations_after_wave1
+        )
+        assert counters["jobs.completed"] == 2 * self.N_JOBS
+
+    def test_latency_metrics_populated(self, service):
+        svc, client = service
+        for spec in make_specs(4):
+            client.wait(client.submit(spec)["job_id"], timeout_s=120.0)
+        latency = client.metrics()["job_latency"]
+        assert latency["n"] >= 4
+        assert latency["p95_us"] >= latency["p50_us"] >= 0.0
+
+
+class TestServiceSemantics:
+    def test_result_404_until_done(self, service):
+        svc, client = service
+        record = client.submit(make_specs(1)[0])
+        client.wait(record["job_id"], timeout_s=120.0)
+        assert client.result(record["job_id"])["total_time_ns"] > 0
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.result("job-99999999")
+        assert excinfo.value.status == 404
+
+    def test_invalid_spec_rejected_with_400(self, service):
+        svc, client = service
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit({"workload": "linpack", "data_bytes": MiB})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit({"workload": "random", "data_bytes": -1})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit({"workload": "random", "data_bytes": MiB, "bogus": 1})
+        assert excinfo.value.status == 400
+
+    def test_event_stream_is_incremental(self, service):
+        svc, client = service
+        spec = make_specs(1)[0]
+        record = client.submit(spec)
+        client.wait(record["job_id"], timeout_s=120.0)
+        stream = client.events(since=0)
+        states = [
+            e["state"] for e in stream["events"] if e["job_id"] == record["job_id"]
+        ]
+        assert states[0] == "queued"
+        assert states[-1] == "done"
+        # the cursor advances and excludes already-seen events
+        follow_up = client.events(since=stream["next_since"])
+        assert follow_up["events"] == []
+
+    def test_sweep_cache_shared_with_run_sweep(self, service, tmp_path):
+        """A point computed by run_sweep is a sweep-cache hit for the service."""
+        from repro.experiments.runner import run_sweep
+        from repro.serve.jobs import JobSpec
+
+        svc, client = service
+        spec = JobSpec(
+            workload="random",
+            data_bytes=5 * MiB,
+            seed=77,
+            gpu={"memory_bytes": 16 * MiB},
+        )
+        workload, setup = spec.build()
+        run_sweep(
+            [(workload, setup)],
+            workers=1,
+            cache_dir=svc.pool.cache_dir,
+        )
+        record = client.submit(spec.to_dict())
+        final = client.wait(record["job_id"], timeout_s=120.0)
+        assert final["state"] == "done"
+        assert client.metrics()["counters"].get("cache.hits.sweep", 0) >= 1

@@ -1,0 +1,82 @@
+"""Unit tests for the content-addressed result store."""
+
+from repro.serve.store import ResultStore
+from repro.trace.recorder import TraceRecorder
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+
+
+def sample_trace():
+    rec = TraceRecorder()
+    rec.record_fault(10, page=5, vablock=0, stream=1, duplicate=False)
+    rec.record_eviction(30, vablock=0, n_pages=3, n_dirty=1)
+    return rec.finalize()
+
+
+class TestDocuments:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        doc = {"total_time_ns": 123, "counters": {"faults.read": 7}}
+        store.store(KEY_A, doc)
+        assert store.contains(KEY_A)
+        assert store.load(KEY_A) == doc
+
+    def test_missing_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.contains(KEY_A)
+        assert store.load(KEY_A) is None
+
+    def test_prefix_fanout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {})
+        assert (tmp_path / "aa" / f"{KEY_A}.json").is_file()
+
+    def test_keys_enumerates(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {})
+        store.store(KEY_B, {})
+        assert sorted(store.keys()) == sorted([KEY_A, KEY_B])
+        assert len(store) == 2
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"v": 1})
+        store.store(KEY_A, {"v": 2})
+        assert store.load(KEY_A) == {"v": 2}
+
+    def test_no_tmp_litter(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"v": 1}, trace=sample_trace())
+        leftovers = [p for p in tmp_path.rglob("*") if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_torn_document_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.doc_path(KEY_A)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"total_time_ns": 12')  # truncated write
+        assert store.load(KEY_A) is None
+
+
+class TestTracePayloads:
+    def test_trace_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path)
+        trace = sample_trace()
+        store.store(KEY_A, {"v": 1}, trace=trace, trace_metadata={"job_id": "j"})
+        loaded = store.load_result_trace(KEY_A)
+        assert loaded is not None
+        assert loaded.fault_page.tolist() == trace.fault_page.tolist()
+        assert loaded.evict_pages.tolist() == trace.evict_pages.tolist()
+
+    def test_absent_trace_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"v": 1})
+        assert store.load_result_trace(KEY_A) is None
+
+    def test_discard_removes_both(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"v": 1}, trace=sample_trace())
+        store.discard(KEY_A)
+        assert not store.contains(KEY_A)
+        assert store.load_result_trace(KEY_A) is None

@@ -1,0 +1,76 @@
+"""Unit tests for the service telemetry accumulator."""
+
+from repro.serve import telemetry as tm
+from repro.serve.telemetry import Telemetry
+
+
+class TestCounters:
+    def test_counts_accumulate(self):
+        t = Telemetry()
+        t.count(tm.JOBS_SUBMITTED)
+        t.count(tm.JOBS_SUBMITTED, 2)
+        assert t.snapshot()["counters"][tm.JOBS_SUBMITTED] == 3
+
+    def test_charge_rounds_and_clamps(self):
+        t = Telemetry()
+        t.charge("job.run", 1500.7)
+        assert t.snapshot()["timers_ns"]["job.run"] == 1501
+
+
+class TestCacheHitRate:
+    def test_zero_when_cold(self):
+        assert Telemetry().snapshot()["cache_hit_rate"] == 0.0
+
+    def test_rate_combines_store_and_sweep_hits(self):
+        t = Telemetry()
+        t.count(tm.SIMULATIONS_RUN, 2)
+        t.count(tm.CACHE_HITS_STORE, 1)
+        t.count(tm.CACHE_HITS_SWEEP, 1)
+        assert t.snapshot()["cache_hit_rate"] == 0.5
+
+
+class TestLatency:
+    def test_percentiles_in_snapshot(self):
+        t = Telemetry()
+        for v in range(1, 101):
+            t.observe_latency(v * 1000.0)  # 1..100 us
+        latency = t.snapshot()["job_latency"]
+        assert latency["n"] == 100
+        assert abs(latency["p50_us"] - 50.5) < 0.01
+        assert abs(latency["p95_us"] - 95.05) < 0.1
+        assert latency["max_us"] == 100.0
+
+    def test_reservoir_bounded(self):
+        t = Telemetry(max_samples=10)
+        for v in range(100):
+            t.observe_latency(float(v))
+        assert t.snapshot()["job_latency"]["n"] == 10
+
+
+class TestEvents:
+    def test_sequence_is_monotonic(self):
+        t = Telemetry()
+        seqs = [t.event("job-1", "queued"), t.event("job-1", "running")]
+        assert seqs == sorted(seqs)
+        assert t.last_seq == seqs[-1]
+
+    def test_events_since_cursor(self):
+        t = Telemetry()
+        t.event("job-1", "queued")
+        cursor = t.event("job-1", "running")
+        t.event("job-1", "done", attempts=1)
+        fresh = t.events_since(cursor)
+        assert [e["state"] for e in fresh] == ["done"]
+        assert fresh[0]["attempts"] == 1
+
+    def test_ring_buffer_drops_oldest(self):
+        t = Telemetry(max_events=5)
+        for i in range(10):
+            t.event(f"job-{i}", "queued")
+        events = t.events_since(0)
+        assert len(events) == 5
+        assert events[0]["job_id"] == "job-5"
+
+    def test_gauges_pass_through(self):
+        snap = Telemetry().snapshot({"queue_depth": 7})
+        assert snap["gauges"]["queue_depth"] == 7

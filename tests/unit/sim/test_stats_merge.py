@@ -1,0 +1,128 @@
+"""Merge semantics of CategoryTimer/CounterSet, and latency summaries.
+
+The sweep executor and the service both aggregate per-run accumulators
+by merging; these tests pin the semantics: disjoint paths union,
+overlapping paths sum (ns *and* operation counts), and merging an empty
+accumulator is the identity.
+"""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.stats import CategoryTimer, CounterSet, LatencyStats, percentile
+
+
+def timer(charges):
+    t = CategoryTimer()
+    for path, ns, count in charges:
+        t.charge(path, ns, count=count)
+    return t
+
+
+class TestCategoryTimerMerge:
+    def test_disjoint_paths_union(self):
+        a = timer([("preprocess", 10, 1)])
+        b = timer([("service.map", 20, 2)])
+        a.merge(b)
+        assert a.as_dict() == {"preprocess": 10, "service.map": 20}
+        assert a.count("service.map") == 2
+
+    def test_overlapping_paths_sum_ns_and_counts(self):
+        a = timer([("service.map", 10, 3), ("service.migrate", 5, 1)])
+        b = timer([("service.map", 7, 2)])
+        a.merge(b)
+        assert a.leaf_ns("service.map") == 17
+        assert a.count("service.map") == 5
+        assert a.leaf_ns("service.migrate") == 5
+
+    def test_merge_empty_is_identity(self):
+        a = timer([("service.map", 10, 1), ("replay_policy", 4, 1)])
+        before = (a.as_dict(), a.total_ns(), a.count())
+        a.merge(CategoryTimer())
+        assert (a.as_dict(), a.total_ns(), a.count()) == before
+
+    def test_merge_into_empty_copies(self):
+        a = CategoryTimer()
+        b = timer([("service.map", 10, 2)])
+        a.merge(b)
+        assert a.as_dict() == b.as_dict()
+
+    def test_hierarchical_totals_after_merge(self):
+        a = timer([("service.map", 10, 1)])
+        a.merge(timer([("service.migrate", 30, 1), ("preprocess", 2, 1)]))
+        assert a.total_ns("service") == 40
+        assert a.total_ns() == 42
+
+    def test_merge_does_not_mutate_source(self):
+        a = timer([("service.map", 10, 1)])
+        b = timer([("service.map", 7, 1)])
+        a.merge(b)
+        assert b.leaf_ns("service.map") == 7
+
+    def test_breakdown_consistent_after_merge(self):
+        a = timer([("preprocess", 10, 1), ("service.map", 20, 1)])
+        a.merge(timer([("service.map", 20, 1), ("mystery", 5, 1)]))
+        breakdown = a.breakdown(("preprocess", "service"))
+        assert breakdown.rows == {"preprocess": 10, "service": 40}
+        assert breakdown.other_ns == 5
+
+
+class TestCounterSetMerge:
+    def test_disjoint_and_overlapping(self):
+        a = CounterSet()
+        a.add("faults.read", 3)
+        b = CounterSet()
+        b.add("faults.read", 2)
+        b.add("evictions", 1)
+        a.merge(b)
+        assert a.as_dict() == {"faults.read": 5, "evictions": 1}
+
+    def test_merge_empty_is_identity(self):
+        a = CounterSet()
+        a.add("faults.read", 3)
+        a.merge(CounterSet())
+        assert a.as_dict() == {"faults.read": 3}
+
+    def test_repeated_merge_doubles_totals(self):
+        a = CounterSet()
+        b = CounterSet()
+        b.add("faults.read", 4)
+        a.merge(b)
+        a.merge(b)
+        assert a.get("faults.read") == 8
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([42.0], 95) == 42.0
+
+    def test_interpolation(self):
+        values = [0.0, 10.0, 20.0, 30.0]
+        assert percentile(values, 50) == 15.0
+        assert percentile(values, 0) == 0.0
+        assert percentile(values, 100) == 30.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TraceError):
+            percentile([1.0], 101)
+
+
+class TestLatencyStats:
+    def test_empty(self):
+        stats = LatencyStats.from_samples([])
+        assert stats.n == 0
+        assert stats.as_dict()["p95_us"] == 0.0
+
+    def test_summary(self):
+        stats = LatencyStats.from_samples([1000.0 * v for v in range(1, 101)])
+        assert stats.n == 100
+        assert stats.mean_ns == pytest.approx(50500.0)
+        assert stats.p50_ns == pytest.approx(50500.0)
+        assert stats.p95_ns == pytest.approx(95050.0)
+        assert stats.max_ns == 100000.0
+
+    def test_unsorted_input_ok(self):
+        assert LatencyStats.from_samples([30.0, 10.0, 20.0]).p50_ns == 20.0

@@ -1,0 +1,73 @@
+"""Trace I/O round-trip against a real instrumented run, and the
+trace_summary digest used in result payloads."""
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentSetup, simulate
+from repro.trace.io import load_trace, save_trace, trace_summary
+from repro.trace.recorder import NullRecorder
+from repro.units import MiB
+from repro.workloads.registry import make_workload
+
+_ARRAY_FIELDS = None
+
+
+def real_trace():
+    setup = ExperimentSetup().with_gpu(memory_bytes=16 * MiB)
+    result = simulate(make_workload("random", 8 * MiB), setup, record_trace=True)
+    return result.trace
+
+
+class TestRealRunRoundTrip:
+    def test_every_stream_bit_identical(self, tmp_path):
+        import dataclasses
+
+        trace = real_trace()
+        loaded, _ = load_trace(save_trace(trace, tmp_path / "run.npz"))
+        for f in dataclasses.fields(type(trace)):
+            original = getattr(trace, f.name)
+            restored = getattr(loaded, f.name)
+            assert original.dtype == restored.dtype, f.name
+            assert np.array_equal(original, restored), f.name
+
+    def test_metadata_survives_nested_types(self, tmp_path):
+        metadata = {"seed": 7, "ratio": 0.5, "tags": ["a", "b"], "cfg": {"x": 1}}
+        _, loaded = load_trace(
+            save_trace(real_trace(), tmp_path / "m.npz", metadata=metadata)
+        )
+        assert loaded == metadata
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        trace = real_trace()
+        path = save_trace(trace, tmp_path / "t.npz")
+        path2 = save_trace(trace, tmp_path / "t.npz")
+        assert path == path2
+        loaded, _ = load_trace(path)
+        assert loaded.n_faults == trace.n_faults
+
+
+class TestTraceSummary:
+    def test_counts_match_streams(self):
+        trace = real_trace()
+        summary = trace_summary(trace)
+        assert summary["n_faults"] == trace.n_faults == trace.fault_page.size
+        assert summary["n_evictions"] == trace.n_evictions
+        assert summary["n_duplicate_faults"] == int(trace.fault_duplicate.sum())
+        assert summary["pages_evicted"] == int(trace.evict_pages.sum())
+        assert summary["n_batches"] > 0
+        assert summary["n_replays"] >= 0
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        assert json.loads(json.dumps(trace_summary(real_trace())))
+
+    def test_empty_trace(self):
+        summary = trace_summary(NullRecorder().finalize())
+        assert summary["n_faults"] == 0
+        assert summary["pages_evicted"] == 0
+
+    def test_summary_survives_round_trip(self, tmp_path):
+        trace = real_trace()
+        loaded, _ = load_trace(save_trace(trace, tmp_path / "s.npz"))
+        assert trace_summary(loaded) == trace_summary(trace)
