@@ -1,0 +1,33 @@
+"""Correctness tooling: static lint pass and runtime invariant sanitizer.
+
+The reproduction's credibility rests on two properties the experiment
+layer assumes implicitly:
+
+* **determinism** - bit-identical replays under a fixed seed: all
+  randomness flows through :mod:`repro.sim.rng`, all simulated time is
+  integer nanoseconds (:mod:`repro.units`), and no wall-clock reads leak
+  into the simulation core;
+* **driver invariants** - the state-machine rules of Section III/IV
+  (VABlock-granularity residency, bounded fault batches, LRU eviction
+  order, prefetch confined to backed blocks) hold at every step.
+
+Two complementary tools enforce them:
+
+* :mod:`repro.checks.linter` + :mod:`repro.checks.rules` - an AST-based
+  lint pass (stdlib ``ast``, no dependencies) run by ``uvmrepro check``
+  and in CI, with a committed baseline for grandfathered violations
+  (:mod:`repro.checks.baseline`);
+* :mod:`repro.checks.sanitizer` - "UVMSAN", runtime assertion hooks in
+  the driver pipeline, zero-cost unless ``UVMREPRO_SANITIZE=1``.
+"""
+
+from repro.checks.linter import LintReport, Violation, lint_paths
+from repro.checks.sanitizer import SanitizerError, enabled as sanitize_enabled
+
+__all__ = [
+    "LintReport",
+    "Violation",
+    "lint_paths",
+    "SanitizerError",
+    "sanitize_enabled",
+]

@@ -1,0 +1,92 @@
+"""Baseline handling: grandfathered violations and the check verdict.
+
+The baseline file (``checks_baseline.json``, committed at the repo
+root) records violations that predate a rule and are accepted for now.
+``uvmrepro check`` fails only on violations *not* in the baseline, so
+a new rule can land with existing debt recorded instead of blocking
+every PR - while any **new** violation still fails immediately.  Each
+entry counts occurrences per (rule, path, message) key, so adding a
+second instance of a baselined problem is also caught.
+
+``--strict`` additionally fails when baseline entries no longer occur,
+forcing the file to be trimmed as debt is paid down (and keeping a
+stale baseline from masking regressions that happen to reuse a key).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.checks.linter import Violation
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineDiff:
+    """How a lint run compares against the committed baseline."""
+
+    #: violations not covered by the baseline (fail the check).
+    new: list[Violation] = field(default_factory=list)
+    #: violations absorbed by baseline entries.
+    baselined: list[Violation] = field(default_factory=list)
+    #: baseline keys (with leftover counts) that no longer occur.
+    stale: dict[str, int] = field(default_factory=dict)
+
+    def ok(self, strict: bool = False) -> bool:
+        if self.new:
+            return False
+        return not (strict and self.stale)
+
+
+def load_baseline(path: Path) -> dict[str, int]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return {}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    violations = payload.get("violations", {})
+    if not isinstance(violations, dict):
+        raise ValueError(f"baseline 'violations' must be an object in {path}")
+    return {str(k): int(v) for k, v in violations.items()}
+
+
+def save_baseline(path: Path, violations: Sequence[Violation]) -> dict[str, int]:
+    """Write the current violations as the new baseline; returns it."""
+    counts = dict(sorted(Counter(v.key() for v in violations).items()))
+    payload = {
+        "_comment": (
+            "Grandfathered `uvmrepro check` violations. Keys are "
+            "rule::path::message with occurrence counts. Fix the code and "
+            "re-run `uvmrepro check --update-baseline` to trim entries; "
+            "never add entries by hand to silence a new violation."
+        ),
+        "version": BASELINE_VERSION,
+        "violations": counts,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return counts
+
+
+def diff_against_baseline(
+    violations: Sequence[Violation], baseline: dict[str, int]
+) -> BaselineDiff:
+    """Split violations into new vs baselined, and find stale entries."""
+    remaining = Counter(baseline)
+    diff = BaselineDiff()
+    for violation in violations:
+        key = violation.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            diff.baselined.append(violation)
+        else:
+            diff.new.append(violation)
+    diff.stale = {k: n for k, n in sorted(remaining.items()) if n > 0}
+    return diff

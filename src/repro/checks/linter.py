@@ -1,0 +1,181 @@
+"""AST lint framework: parsed modules, rules, waivers, and reports.
+
+The framework is deliberately tiny and dependency-free: a
+:class:`ParsedModule` bundles one file's AST with its source lines and
+inline waivers, a :class:`Rule` walks it and yields
+:class:`Violation` records, and :func:`lint_paths` drives a rule set
+over a file tree.  Codebase-specific rules live in
+:mod:`repro.checks.rules`; this module knows nothing about them.
+
+Waivers
+-------
+A violation can be silenced at its source line with an inline marker::
+
+    fault_buffer_capacity: int = 4096  # lint: allow(units-magic-literal) entry count
+
+The marker names the rule explicitly, so a waiver never hides a
+*different* problem appearing on the same line later.  Waivers are for
+lines that are genuinely correct (e.g. a literal that looks like a byte
+size but is an entry count); systematic debt belongs in the baseline
+file instead (:mod:`repro.checks.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+_WAIVER_RE = re.compile(r"#\s*lint:\s*allow\(([a-z0-9_,\- ]+)\)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix-style, relative to the lint root
+    line: int
+    message: str
+
+    def key(self) -> str:
+        """Baseline identity: stable across unrelated line drift."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.abspath = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.waivers = self._collect_waivers(self.lines)
+
+    @staticmethod
+    def _collect_waivers(lines: Sequence[str]) -> dict[int, set[str]]:
+        waivers: dict[int, set[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = _WAIVER_RE.search(text)
+            if match:
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                waivers[lineno] = rules
+        return waivers
+
+    def waived(self, rule: str, line: int) -> bool:
+        return rule in self.waivers.get(line, ())
+
+
+class Rule:
+    """Base class: one named check over a parsed module.
+
+    Subclasses set ``name``/``description`` and implement
+    :meth:`check`.  ``scope`` optionally restricts the rule to relative
+    path prefixes; an empty scope means the whole tree.
+    """
+
+    name: str = ""
+    description: str = ""
+    #: relative-path prefixes the rule applies to ("" = everywhere).
+    scope: tuple[str, ...] = ()
+    #: relative-path prefixes exempt from the rule.
+    allowlist: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.scope and not any(relpath.startswith(p) for p in self.scope):
+            return False
+        return not any(relpath.startswith(p) for p in self.allowlist)
+
+    def check(self, module: ParsedModule) -> Iterator[Violation]:  # pragma: no cover
+        raise NotImplementedError
+
+    def violation(self, module: ParsedModule, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.name,
+            path=module.relpath,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    def by_rule(self) -> dict[str, list[Violation]]:
+        grouped: dict[str, list[Violation]] = {}
+        for v in self.violations:
+            grouped.setdefault(v.rule, []).append(v)
+        return grouped
+
+    def render(self) -> str:
+        lines = [v.render() for v in self.violations]
+        lines.append(
+            f"{len(self.violations)} violation(s) in {self.files_checked} file(s)"
+        )
+        if self.parse_errors:
+            lines.append(f"{len(self.parse_errors)} file(s) failed to parse:")
+            lines.extend(f"  {e}" for e in self.parse_errors)
+        return "\n".join(lines)
+
+
+def iter_python_files(root: Path, paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories under ``root`` into sorted .py files."""
+    seen: set[Path] = set()
+    for path in paths:
+        path = path if path.is_absolute() else root / path
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    root: Path,
+    paths: Sequence[Path] | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Run ``rules`` over every python file in ``paths`` (under ``root``).
+
+    ``root`` anchors the relative paths that scopes, allowlists, and the
+    baseline key on; ``paths`` defaults to ``src/repro`` under it.
+    """
+    from repro.checks.rules import default_rules
+
+    root = root.resolve()
+    if rules is None:
+        rules = default_rules()
+    if paths is None:
+        paths = [root / "src" / "repro"]
+    report = LintReport()
+    for path in iter_python_files(root, paths):
+        try:
+            module = ParsedModule(root, path.resolve())
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            report.parse_errors.append(f"{path}: {exc}")
+            continue
+        report.files_checked += 1
+        for rule in rules:
+            if not rule.applies_to(module.relpath):
+                continue
+            for violation in rule.check(module):
+                if not module.waived(violation.rule, violation.line):
+                    report.violations.append(violation)
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report

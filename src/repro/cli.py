@@ -24,7 +24,7 @@ from typing import Callable
 
 from repro.core.replay import ReplayPolicyKind
 from repro.experiments.runner import ExperimentSetup, simulate
-from repro.units import MiB, human_size
+from repro.units import KiB, MiB, human_size
 from repro.workloads.registry import make_workload, workload_names
 
 
@@ -110,7 +110,7 @@ def _build_setup(args: argparse.Namespace) -> ExperimentSetup:
         batch_size=args.batch_size,
     )
     if args.vablock_kib:
-        setup = replace(setup, vablock_bytes=args.vablock_kib * 1024)
+        setup = replace(setup, vablock_bytes=args.vablock_kib * KiB)
     return setup
 
 
@@ -408,7 +408,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         },
     }
     if args.vablock_kib:
-        spec["vablock_bytes"] = args.vablock_kib * 1024
+        spec["vablock_bytes"] = args.vablock_kib * KiB
     client = _client(args)
     try:
         record = client.submit(spec)
@@ -464,6 +464,65 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
         return 1
     print(json.dumps(record, indent=2))
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the repository lint pass against the committed baseline."""
+    from pathlib import Path
+
+    from repro.checks.baseline import (
+        diff_against_baseline,
+        load_baseline,
+        save_baseline,
+    )
+    from repro.checks.linter import lint_paths
+    from repro.checks.rules import default_rules
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.name:24s} {rule.description}")
+        return 0
+
+    root = (
+        Path(args.root).resolve()
+        if args.root
+        else Path(__file__).resolve().parents[2]
+    )
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / "checks_baseline.json"
+    )
+    paths = [Path(p) for p in args.paths] or None
+    report = lint_paths(root, paths=paths)
+
+    if args.update_baseline:
+        counts = save_baseline(baseline_path, report.violations)
+        print(
+            f"baseline updated: {sum(counts.values())} violation(s) recorded "
+            f"in {baseline_path}"
+        )
+        return 0
+
+    diff = diff_against_baseline(report.violations, load_baseline(baseline_path))
+    for violation in diff.new:
+        print(violation.render())
+    for line in report.parse_errors:
+        print(f"parse error: {line}")
+    status = 0
+    if diff.new or report.parse_errors:
+        status = 1
+    print(
+        f"{len(diff.new)} new violation(s), {len(diff.baselined)} baselined, "
+        f"{len(diff.stale)} stale baseline entr(ies) "
+        f"across {report.files_checked} file(s)"
+    )
+    if diff.stale:
+        for key, count in diff.stale.items():
+            print(f"stale baseline entry ({count}x): {key}")
+        if args.strict:
+            print("strict mode: stale baseline entries fail the check; "
+                  "re-run with --update-baseline to trim them")
+            status = max(status, 1)
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -563,6 +622,36 @@ def main(argv: list[str] | None = None) -> int:
     cancel_p.add_argument("job_id")
     cancel_p.add_argument("--url", **url_kw)
     cancel_p.set_defaults(fn=_cmd_cancel)
+
+    check_p = sub.add_parser(
+        "check",
+        help="run the determinism/units lint pass (repro.checks)",
+    )
+    check_p.add_argument(
+        "paths", nargs="*", default=[],
+        help="files/directories to lint (default: src/repro under the repo root)",
+    )
+    check_p.add_argument(
+        "--root", default=None,
+        help="repository root anchoring relative paths and rule scopes "
+        "(default: autodetected from the installed package location)",
+    )
+    check_p.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: <root>/checks_baseline.json)",
+    )
+    check_p.add_argument(
+        "--strict", action="store_true",
+        help="also fail on stale baseline entries",
+    )
+    check_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="record the current violations as the new baseline and exit 0",
+    )
+    check_p.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    check_p.set_defaults(fn=_cmd_check)
 
     ex_p = sub.add_parser("exhibit", help="regenerate a paper table/figure")
     ex_p.add_argument("name", help="fig1..fig10, table1, table2, or 'all'")

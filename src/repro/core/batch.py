@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.checks import sanitizer as uvmsan
 from repro.gpu.fault_buffer import FaultBuffer, FaultEntry
 
 
@@ -115,4 +116,9 @@ def assemble_batch(
     drained = buffer.drain_arrays(now_ns, batch_size, stop_at_not_ready)
     if drained is None:
         return FaultBatch()
-    return FaultBatch(arrays=drained[:7], polls=drained[7])
+    batch = FaultBatch(arrays=drained[:7], polls=drained[7])
+    if uvmsan.enabled() and len(batch) > batch_size:
+        raise uvmsan.SanitizerError(
+            f"UVMSAN[batch]: drained {len(batch)} faults > batch_size {batch_size}"
+        )
+    return batch

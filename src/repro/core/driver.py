@@ -26,6 +26,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.checks.sanitizer import make_sanitizer
 from repro.core import counters as C
 from repro.core.batch import assemble_batch
 from repro.core.eviction import LruEvictionPolicy
@@ -193,6 +194,8 @@ class UvmDriver:
         self.clock = SimClock()
         self.timer = CategoryTimer()
         self.counters = CounterSet()
+        #: UVMSAN invariant hooks; None unless UVMREPRO_SANITIZE=1.
+        self.sanitizer = make_sanitizer()
         self.residency = ResidencyState(space)
         self.gpu_table = PageTable(space, side="gpu")
         self.host_table = PageTable(space, side="host")
@@ -255,6 +258,7 @@ class UvmDriver:
             recorder=self.recorder,
             prefetcher=prefetcher,
             thrashing=self._thrashing,
+            sanitizer=self.sanitizer,
         )
         self._n_streams = sum(len(p.streams) for p in self._phases)
         self._compute_parallelism = max(1, self.gpu_config.n_sms * 8)
@@ -389,6 +393,8 @@ class UvmDriver:
             if not len(batch):
                 break
             batches += 1
+            if self.sanitizer is not None:
+                self.sanitizer.check_batch(batch, cfg.batch_size)
             pre = preprocess_batch(batch, self.residency)
             pre_ns = (
                 self.cost.batch_fetch_fixed_ns
@@ -423,6 +429,10 @@ class UvmDriver:
                 self._apply_action(self.policy.after_vablock())
             self._gpu_arrivals(self.clock.now - service_start)
             self._apply_action(self.policy.after_batch())
+            if self.sanitizer is not None:
+                self.sanitizer.check_state(
+                    self.residency, self.gpu_table, self.host_table, self.lru
+                )
         if batches:
             self._apply_action(self.policy.after_buffer_drained())
             if self._counter_migration is not None:
@@ -506,6 +516,11 @@ class UvmDriver:
             if i > 0:
                 self.device.load_kernel(phase.streams)
             total_phases += self._run_kernel()
+
+        if self.sanitizer is not None:
+            self.sanitizer.check_state(
+                self.residency, self.gpu_table, self.host_table, self.lru
+            )
 
         return RunResult(
             total_time_ns=self.clock.now,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from repro.checks import sanitizer as uvmsan
 from repro.errors import OutOfDeviceMemoryError, SimulationError
 
 
@@ -31,6 +32,11 @@ class LruEvictionPolicy:
         self.promotions = 0
         self.insertions = 0
         self.removals = 0
+        # UVMSAN monotonicity tracking: per-block last-fault sequence
+        # numbers, kept only when sanitizing so the stock path stays at
+        # one None comparison per operation.
+        self._san_seq: Optional[dict[int, int]] = {} if uvmsan.enabled() else None
+        self._san_tick = 0
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -44,6 +50,9 @@ class LruEvictionPolicy:
             raise SimulationError(f"VABlock {vablock_id} already on LRU list")
         self._lru[vablock_id] = None
         self.insertions += 1
+        if self._san_seq is not None:
+            self._san_seq[vablock_id] = self._san_tick
+            self._san_tick += 1
 
     def touch(self, vablock_id: int) -> None:
         """A fault was handled from this VABlock: promote to MRU.
@@ -55,6 +64,9 @@ class LruEvictionPolicy:
             raise SimulationError(f"touch of VABlock {vablock_id} not on LRU list")
         self._lru.move_to_end(vablock_id)
         self.promotions += 1
+        if self._san_seq is not None:
+            self._san_seq[vablock_id] = self._san_tick
+            self._san_tick += 1
 
     def remove(self, vablock_id: int) -> None:
         """Explicitly drop a block (eviction or range free)."""
@@ -62,6 +74,8 @@ class LruEvictionPolicy:
             raise SimulationError(f"remove of VABlock {vablock_id} not on LRU list")
         del self._lru[vablock_id]
         self.removals += 1
+        if self._san_seq is not None:
+            self._san_seq.pop(vablock_id, None)
 
     def select_victim(self, exclude: Iterable[int] = ()) -> Optional[int]:
         """The LRU block not in ``exclude``, or None when nothing fits.
@@ -77,11 +91,22 @@ class LruEvictionPolicy:
 
     def evict_victim(self, exclude: Iterable[int] = ()) -> int:
         """Select and unlink a victim; raises when none is evictable."""
-        victim = self.select_victim(exclude)
+        excluded = set(exclude)
+        victim = self.select_victim(excluded)
         if victim is None:
             raise OutOfDeviceMemoryError(
                 "no evictable VABlock: device memory exhausted by pinned blocks"
             )
+        if self._san_seq is not None:
+            oldest = min(
+                (vb for vb in self._san_seq if vb not in excluded),
+                key=self._san_seq.__getitem__,
+            )
+            if oldest != victim:
+                raise uvmsan.SanitizerError(
+                    f"UVMSAN[lru]: evicting VABlock {victim} but VABlock "
+                    f"{oldest} was faulted less recently (LRU order broken)"
+                )
         self.remove(victim)
         return victim
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.checks import sanitizer as uvmsan
 from repro.errors import ConfigurationError
 from repro.units import (
     DEFAULT_DENSITY_THRESHOLD,
@@ -166,7 +167,17 @@ class TreePrefetcher:
             residency.vablock_leaf_mask(vbin.vablock_id),
             vbin.pages - start,
         )
-        return decision.prefetch_offsets + start
+        pages = decision.prefetch_offsets + start
+        if uvmsan.enabled() and pages.size:
+            if residency.resident[pages].any():
+                raise uvmsan.SanitizerError(
+                    "UVMSAN[prefetch]: tree computed prefetch of resident pages"
+                )
+            if np.isin(pages, vbin.pages).any():
+                raise uvmsan.SanitizerError(
+                    "UVMSAN[prefetch]: tree prefetch overlaps demand faults"
+                )
+        return pages
 
     def describe_tree(
         self, resident_leaves: np.ndarray, faulted_offsets: np.ndarray

@@ -64,6 +64,7 @@ class FaultServicer:
         recorder: TraceRecorder,
         prefetcher: Optional[TreePrefetcher] = None,
         thrashing=None,
+        sanitizer=None,
     ) -> None:
         self.residency = residency
         self.space = residency.space
@@ -81,6 +82,8 @@ class FaultServicer:
         #: optional uvm_perf_thrashing-style detector; when a block is
         #: flagged, its faults are serviced as remote mappings.
         self.thrashing = thrashing
+        #: UVMSAN hooks (None unless UVMREPRO_SANITIZE=1).
+        self.sanitizer = sanitizer
 
     # -- helpers -----------------------------------------------------------------
     def _charge(self, category: str, duration_ns: int, count: int = 1) -> None:
@@ -145,6 +148,8 @@ class FaultServicer:
         self.counters.add(C.EVICTION_PAGES_DIRTY, n_dirty)
         self.counters.add(C.PAGES_WRITEBACK_D2H, n_dirty)
         self.recorder.record_eviction(self.clock.now, victim, n_res, n_dirty)
+        if self.sanitizer is not None:
+            self.sanitizer.check_eviction(self.residency, victim, self.lru)
 
     def _ensure_backed(self, vablock_id: int) -> int:
         """Reserve GPU physical memory for the bin's VABlock.
@@ -326,6 +331,8 @@ class FaultServicer:
                     # Prefetch is per-VABlock: physical backing exists
                     # only for the block being serviced.
                     raise SimulationError("prefetcher escaped the serviced VABlock")
+            if self.sanitizer is not None:
+                self.sanitizer.check_prefetch(self.residency, vb, prefetch_pages)
 
         all_pages = np.union1d(demand_pages, prefetch_pages)
         n_all = int(all_pages.size)

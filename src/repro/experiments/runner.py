@@ -33,7 +33,7 @@ from repro.mem.address_space import AddressSpace
 from repro.sim.costmodel import CostModel
 from repro.sim.rng import SimRng
 from repro.trace.recorder import NullRecorder, TraceRecorder
-from repro.units import MiB
+from repro.units import VABLOCK_SIZE
 from repro.workloads.base import Workload
 
 
@@ -53,7 +53,7 @@ class ExperimentSetup:
     seed: int = 0x5EED
     #: allocation/eviction granule; non-default values exercise the
     #: paper's flexible-granularity discussion (Section VI-B).
-    vablock_bytes: int = 2 * MiB
+    vablock_bytes: int = VABLOCK_SIZE
 
     def make_space(self) -> AddressSpace:
         return AddressSpace(vablock_size=self.vablock_bytes)

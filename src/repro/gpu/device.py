@@ -44,7 +44,7 @@ class GpuDeviceConfig:
     n_sms: int = 80
     n_gpcs: int = 6
     max_active_streams: int = 2048
-    fault_buffer_capacity: int = 4096
+    fault_buffer_capacity: int = 4096  # lint: allow(units-magic-literal) entry count, not bytes
     fault_ready_delay_ns: int = 1_500
     scheduler_jitter: float = 0.08
     track_access_counters: bool = False

@@ -44,7 +44,7 @@ DONE = 3
 #: first scan window per unresolved stream; grows geometrically so short
 #: hops stay cheap while long resident runs advance at full numpy speed.
 START_WINDOW = 64
-MAX_WINDOW = 8192
+MAX_WINDOW = 8192  # lint: allow(units-magic-literal) scan-window entries, not bytes
 
 
 class SoaStreams:

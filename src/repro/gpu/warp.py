@@ -98,7 +98,7 @@ class WarpStream:
         self,
         read_ok: np.ndarray,
         write_ok: Optional[np.ndarray] = None,
-        scan_chunk: int = 8192,
+        scan_chunk: int = 8192,  # lint: allow(units-magic-literal) accesses per chunk
     ) -> Optional[int]:
         """Retire accesses until the first miss; return the missing page.
 

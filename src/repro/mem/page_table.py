@@ -97,6 +97,21 @@ class PageTable:
     def mapped_count(self) -> int:
         return int(self.mapped.sum())
 
+    def check_mapped(self, expected: np.ndarray, description: str = "") -> None:
+        """Mapping invariant: the table maps exactly ``expected`` pages.
+
+        The expected mask comes from the residency state (resident and
+        remote-mapped pages on the GPU side; non-resident and duplicated
+        pages on the host side) - UVMSAN calls this at batch boundaries.
+        """
+        if not np.array_equal(self.mapped, expected):
+            diff = np.flatnonzero(self.mapped != expected)
+            what = f" (expected {description})" if description else ""
+            raise SimulationError(
+                f"{self.side} page table out of sync on {diff.size} pages"
+                f"{what}; first mismatches: {diff[:8].tolist()}"
+            )
+
     def check_against_residency(self, resident: np.ndarray) -> None:
         """GPU-side invariant: mapped iff resident (used in tests)."""
         if self.side != "gpu":

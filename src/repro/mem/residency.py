@@ -289,6 +289,19 @@ class ResidencyState:
         return n_resident, n_dirty
 
     # -- invariants ---------------------------------------------------------------
+    def expected_gpu_mapped(self) -> np.ndarray:
+        """The pages the GPU table must map: resident or remote-mapped."""
+        return self.resident | self.remote_mapped
+
+    def expected_host_mapped(self) -> np.ndarray:
+        """The pages the host table must map.
+
+        A page's host mapping is torn down exactly when its only valid
+        copy migrates to the GPU; duplicated pages keep a valid host
+        mapping alongside the read-only GPU copy.
+        """
+        return ~self.resident | self.duplicated
+
     def check_invariants(self) -> None:
         """Internal-consistency assertions used by tests and debug runs."""
         ppv = self.pages_per_vablock

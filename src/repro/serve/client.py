@@ -84,12 +84,12 @@ class ServiceClient:
         self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
     ) -> dict[str, Any]:
         """Poll until the job is terminal; returns the final record."""
-        deadline = time.time() + timeout_s
+        deadline = time.monotonic() + timeout_s
         while True:
             record = self.status(job_id)
             if record["state"] in ("done", "failed", "cancelled"):
                 return record
-            if time.time() > deadline:
+            if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"{job_id} still {record['state']} after {timeout_s}s"
                 )

@@ -182,7 +182,9 @@ class JobRecord:
     finished_at: Optional[float] = None
     #: execution attempts so far (0 while never dispatched).
     attempts: int = 0
-    #: earliest wall time the job may be (re)dispatched (retry backoff).
+    #: earliest monotonic time the job may be (re)dispatched (retry
+    #: backoff); submitted_at/started_at/finished_at stay wall-clock
+    #: because clients read them as human-facing timestamps.
     not_before: float = 0.0
     cache_hit: bool = False
     error: Optional[str] = None

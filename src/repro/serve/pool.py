@@ -119,7 +119,7 @@ class WorkerHandle:
     #: job currently assigned (None = idle), plus its attempt number.
     job_id: Optional[str] = None
     attempt: int = 0
-    #: wall-clock deadline for the running job (0 = no deadline).
+    #: monotonic-clock deadline for the running job (0 = no deadline).
     deadline: float = 0.0
     jobs_done: int = field(default=0)
 
@@ -199,9 +199,9 @@ class WorkerPool:
                     handle.task_queue.put_nowait(None)
                 except Exception:
                     pass
-        deadline = time.time() + timeout
+        deadline = time.monotonic() + timeout
         for handle in self.workers.values():
-            handle.process.join(timeout=max(0.05, deadline - time.time()))
+            handle.process.join(timeout=max(0.05, deadline - time.monotonic()))
         for handle in self.workers.values():
             if handle.process.is_alive():
                 handle.process.terminate()
@@ -223,7 +223,8 @@ class WorkerPool:
     ) -> None:
         handle.job_id = job_id
         handle.attempt = attempt
-        handle.deadline = time.time() + timeout_s if timeout_s > 0 else 0.0
+        # monotonic: a wall-clock step (NTP, DST) must not expire jobs
+        handle.deadline = time.monotonic() + timeout_s if timeout_s > 0 else 0.0
         handle.task_queue.put((job_id, attempt, spec_dict, key))
 
     def release(self, handle: WorkerHandle) -> None:

@@ -46,7 +46,7 @@ class ServiceConfig:
     """Tunables of one service instance."""
 
     n_workers: int = 2
-    #: wall-clock budget per attempt; 0 disables deadlines.
+    #: real-time budget per attempt (monotonic); 0 disables deadlines.
     job_timeout_s: float = 300.0
     #: attempts beyond the first for infrastructure failures.
     max_retries: int = 2
@@ -165,7 +165,7 @@ class SimulationService:
 
     def wait(self, job_id: str, timeout: Optional[float] = None) -> JobRecord:
         """Block until the job reaches a terminal state."""
-        deadline = None if timeout is None else time.time() + timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._done:
             while True:
                 record = self._jobs.get(job_id)
@@ -173,7 +173,7 @@ class SimulationService:
                     raise KeyError(job_id)
                 if record.state.terminal:
                     return record
-                remaining = None if deadline is None else deadline - time.time()
+                remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     raise TimeoutError(
                         f"{job_id} still {record.state.value} after {timeout}s"
@@ -251,7 +251,7 @@ class SimulationService:
                     self._finish(record, JobState.FAILED)
 
     def _check_workers(self) -> None:
-        now = time.time()
+        now = time.monotonic()  # handle.deadline is monotonic
         for worker_id, handle in list(self.pool.workers.items()):
             if not handle.alive():
                 job_id = handle.job_id
@@ -280,7 +280,7 @@ class SimulationService:
         idle = self.pool.idle_workers()
         if not idle:
             return
-        now = time.time()
+        now = time.monotonic()  # not_before is monotonic (retry backoff)
         deferred: list[tuple[int, int, str]] = []
         while idle and self._heap:
             entry = heapq.heappop(self._heap)
@@ -293,7 +293,7 @@ class SimulationService:
             handle = idle.pop()
             record.attempts += 1
             record.state = JobState.RUNNING
-            record.started_at = now
+            record.started_at = time.time()
             record.worker_id = handle.worker_id
             self.pool.assign(
                 handle,
@@ -326,7 +326,7 @@ class SimulationService:
         backoff = self.config.retry_backoff_s * (2 ** (record.attempts - 1))
         record.state = JobState.QUEUED
         record.worker_id = None
-        record.not_before = time.time() + backoff
+        record.not_before = time.monotonic() + backoff
         heapq.heappush(
             self._heap, (record.spec.priority, next(self._seq), record.job_id)
         )
