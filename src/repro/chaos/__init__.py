@@ -1,0 +1,76 @@
+"""Deterministic fault injection (chaos) for the simulator and service.
+
+Three injector families, one seeded plan (see ``docs/robustness.md``):
+
+* **model** - faults inside the simulated UVM runtime (fault-buffer
+  overflow, DMA transfer failure, PMA allocation failure), armed via
+  zero-cost hook sentinels in the driver pipeline,
+* **process** - serve-worker faults (SIGKILL, hang, slow start),
+* **storage** - result-store faults (torn JSON, truncated npz, stale
+  tmp debris).
+
+Activated by the ``UVMREPRO_CHAOS`` environment variable (plan file
+path or inline JSON).  Every decision is deterministic: attempt-level
+choices hash ``(seed, point, job key, attempt)``; in-run model faults
+draw from a dedicated :class:`~repro.sim.rng.SimRng` fork.
+"""
+
+from repro.chaos.injector import (
+    ChaosAllocationFailure,
+    ChaosInjector,
+    ChaosTransferError,
+    make_injector,
+    model_injection,
+)
+from repro.chaos.plan import (
+    ALL_POINTS,
+    ENV_VAR,
+    FAMILY_MODEL,
+    FAMILY_PROCESS,
+    FAMILY_STORAGE,
+    MODEL_BUFFER_OVERFLOW,
+    MODEL_DMA_FAIL,
+    MODEL_PMA_FAIL,
+    MODEL_POINTS,
+    PROCESS_HANG,
+    PROCESS_KILL,
+    PROCESS_SLOW_START,
+    STORAGE_STALE_TMP,
+    STORAGE_TORN_JSON,
+    STORAGE_TRUNCATED_NPZ,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    family_of,
+    plan_from_env,
+    set_active_plan,
+)
+
+__all__ = [
+    "ALL_POINTS",
+    "ENV_VAR",
+    "FAMILY_MODEL",
+    "FAMILY_PROCESS",
+    "FAMILY_STORAGE",
+    "MODEL_BUFFER_OVERFLOW",
+    "MODEL_DMA_FAIL",
+    "MODEL_PMA_FAIL",
+    "MODEL_POINTS",
+    "PROCESS_HANG",
+    "PROCESS_KILL",
+    "PROCESS_SLOW_START",
+    "STORAGE_STALE_TMP",
+    "STORAGE_TORN_JSON",
+    "STORAGE_TRUNCATED_NPZ",
+    "ChaosAllocationFailure",
+    "ChaosInjector",
+    "ChaosTransferError",
+    "FaultPlan",
+    "FaultSpec",
+    "active_plan",
+    "family_of",
+    "make_injector",
+    "model_injection",
+    "plan_from_env",
+    "set_active_plan",
+]

@@ -1,0 +1,113 @@
+"""Model-level fault injector for the simulated UVM runtime.
+
+The injector follows the UVMSAN hook pattern (:mod:`repro.checks.sanitizer`):
+:func:`make_injector` returns ``None`` unless model-family chaos is
+active, so every call site reduces to one ``is not None`` check and a
+fault-free run pays nothing and draws nothing.
+
+When active, the injector is constructed with a dedicated ``chaos``
+fork of the run's :class:`~repro.sim.rng.SimRng`, so per-opportunity
+probability draws never perturb the workload/scheduler streams and the
+injected run is itself bit-deterministic: same plan + same seed =>
+faults fire at exactly the same simulated instants.
+
+Model injection is *scoped*, not ambient: a plan in ``UVMREPRO_CHAOS``
+only arms the injector inside a :func:`model_injection` block (the
+serve worker's probe attempt) or when the plan opts into
+``activate="always"``.  That is what preserves the headline guarantee -
+degraded attempts are exercised and discarded, and the stored result
+always comes from a fault-free run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.chaos.plan import FAMILY_MODEL, FaultPlan, FaultSpec, active_plan
+from repro.errors import ChaosError
+from repro.sim.rng import SimRng
+
+
+class ChaosAllocationFailure(ChaosError):
+    """An injected PMA allocation failure (carries the wasted call cost)."""
+
+    def __init__(self, cost_ns: int, message: str) -> None:
+        super().__init__(message)
+        self.cost_ns = int(cost_ns)
+
+
+class ChaosTransferError(ChaosError):
+    """An injected DMA failure that exhausted the in-driver retry bound."""
+
+
+class ChaosInjector:
+    """Per-run fire bookkeeping for the model-level injection points."""
+
+    __slots__ = ("plan", "fired", "_rng")
+
+    def __init__(self, plan: FaultPlan, rng: SimRng) -> None:
+        self.plan = plan
+        #: point -> times fired this run (folded into RunResult counters).
+        self.fired: dict[str, int] = {}
+        self._rng = rng.fork("chaos")
+
+    def fire(self, point: str) -> Optional[FaultSpec]:
+        """One injection opportunity at ``point``; spec when it fires.
+
+        Honours the spec's per-run ``max_fires`` budget and, for
+        probabilities below 1, draws from the dedicated chaos RNG
+        stream (probability 1 consumes no randomness at all).
+        """
+        spec = self.plan.spec_for(point)
+        if spec is None:
+            return None
+        count = self.fired.get(point, 0)
+        if count >= spec.max_fires:
+            return None
+        if spec.probability < 1.0 and self._rng.uniform() >= spec.probability:
+            return None
+        self.fired[point] = count + 1
+        return spec
+
+    def fired_total(self) -> int:
+        return sum(self.fired.values())
+
+
+# -- activation scope ---------------------------------------------------------
+
+_scoped_plan: Optional[FaultPlan] = None
+
+
+@contextmanager
+def model_injection(plan: FaultPlan) -> Iterator[None]:
+    """Arm model-level injection for drivers built inside the block."""
+    global _scoped_plan
+    previous = _scoped_plan
+    _scoped_plan = plan
+    try:
+        yield
+    finally:
+        _scoped_plan = previous
+
+
+def make_injector(rng: SimRng) -> Optional[ChaosInjector]:
+    """The driver's constructor hook: an injector, or ``None``.
+
+    Returns an injector only when a plan with model-family faults is
+    armed - via :func:`model_injection` (the probe path), or via an
+    environment plan that opts into ``"activate": "always"`` in its
+    args on any model spec (expert mode for ad-hoc ``uvmrepro run``
+    exploration; results then reflect the degraded runtime).
+    """
+    plan = _scoped_plan
+    if plan is None:
+        env_plan = active_plan()
+        if env_plan is not None and any(
+            spec.family == FAMILY_MODEL and spec.args.get("activate") == "always"
+            for spec in env_plan.faults
+        ):
+            plan = env_plan
+    if plan is None or not plan.has_family(FAMILY_MODEL):
+        return None
+    return ChaosInjector(plan, rng)

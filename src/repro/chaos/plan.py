@@ -1,0 +1,268 @@
+"""Fault plans: the declarative description of what chaos to inject.
+
+A :class:`FaultPlan` is a seeded list of :class:`FaultSpec` entries, one
+per injection point, loaded from the ``UVMREPRO_CHAOS`` environment
+variable (a path to a JSON file, or inline JSON).  Every decision the
+plan makes is a pure function of ``(plan seed, injection point, scope,
+trial)`` - no wall clock, no process state - so a worker process, the
+supervisor, and a test can all evaluate the same plan and agree on
+exactly which attempt fails where.  Model-level injectors additionally
+draw per-opportunity randomness from :class:`repro.sim.rng.SimRng`
+(a dedicated ``chaos`` fork of the run's generator tree), keeping the
+simulation itself bit-deterministic under injection.
+
+Injection points come in three families (see ``docs/robustness.md``):
+
+* ``model.*``   - faults inside the simulated UVM runtime,
+* ``process.*`` - faults of the serve worker processes,
+* ``storage.*`` - faults of the on-disk result store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.errors import ConfigurationError
+
+#: the environment switch: a path to a plan JSON file, or inline JSON
+#: (starts with "{"); "" / "0" / unset disables chaos entirely.
+ENV_VAR = "UVMREPRO_CHAOS"
+
+# -- injection points ---------------------------------------------------------
+#: simulated fault-buffer overflow: entries are dropped + a replay storm
+#: forces stalled warps to re-raise them.
+MODEL_BUFFER_OVERFLOW = "model.fault_buffer_overflow"
+#: simulated DMA transfer failure with bounded in-driver retry.
+MODEL_DMA_FAIL = "model.dma_transfer_fail"
+#: simulated PMA allocation failure -> eviction pressure + retry.
+MODEL_PMA_FAIL = "model.pma_alloc_fail"
+#: SIGKILL the worker process (args: at="start"|"checkpoint",
+#: after_saves=N for the checkpoint variant).
+PROCESS_KILL = "process.worker_kill"
+#: worker sleeps past its deadline (args: hang_s).
+PROCESS_HANG = "process.worker_hang"
+#: worker sleeps before executing (args: delay_s); non-fatal.
+PROCESS_SLOW_START = "process.worker_slow_start"
+#: result JSON written torn (truncated, non-atomic).
+STORAGE_TORN_JSON = "storage.torn_json"
+#: trace npz written truncated.
+STORAGE_TRUNCATED_NPZ = "storage.truncated_npz"
+#: a stale ``*.tmp`` file is left behind (crashed-writer debris).
+STORAGE_STALE_TMP = "storage.stale_tmp"
+
+ALL_POINTS = (
+    MODEL_BUFFER_OVERFLOW,
+    MODEL_DMA_FAIL,
+    MODEL_PMA_FAIL,
+    PROCESS_KILL,
+    PROCESS_HANG,
+    PROCESS_SLOW_START,
+    STORAGE_TORN_JSON,
+    STORAGE_TRUNCATED_NPZ,
+    STORAGE_STALE_TMP,
+)
+
+FAMILY_MODEL = "model"
+FAMILY_PROCESS = "process"
+FAMILY_STORAGE = "storage"
+
+#: the model-family points (the serve worker probes these per attempt).
+MODEL_POINTS = (MODEL_BUFFER_OVERFLOW, MODEL_DMA_FAIL, MODEL_PMA_FAIL)
+
+
+def family_of(point: str) -> str:
+    return point.split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection point's configuration inside a plan."""
+
+    point: str
+    #: per-decision fire probability (hash/SimRng draw; 1.0 = always).
+    probability: float = 1.0
+    #: model family: per-run fire budget (opportunities beyond it pass).
+    max_fires: int = 1
+    #: how many consecutive job *attempts* this fault perturbs; attempt
+    #: ``attempts + 1`` is guaranteed clean, which is what lets the
+    #: supervisor's bounded retries always reach a fault-free run.
+    attempts: int = 1
+    #: point-specific knobs (e.g. ``{"at": "checkpoint"}``).
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.point not in ALL_POINTS:
+            raise ConfigurationError(
+                f"unknown injection point {self.point!r}; "
+                f"choose from {sorted(ALL_POINTS)}"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigurationError("probability must be in (0, 1]")
+        if self.max_fires < 1:
+            raise ConfigurationError("max_fires must be >= 1")
+        if self.attempts < 1:
+            raise ConfigurationError("attempts must be >= 1")
+        if not isinstance(self.args, dict):
+            raise ConfigurationError("args must be an object")
+
+    @property
+    def family(self) -> str:
+        return family_of(self.point)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded set of fault specs; the unit the env var activates."""
+
+    seed: int = 0xC405
+    faults: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        points = [f.point for f in self.faults]
+        dupes = sorted({p for p in points if points.count(p) > 1})
+        if dupes:
+            raise ConfigurationError(f"duplicate injection points in plan: {dupes}")
+
+    # -- queries --------------------------------------------------------------
+    def spec_for(self, point: str) -> Optional[FaultSpec]:
+        for spec in self.faults:
+            if spec.point == point:
+                return spec
+        return None
+
+    def has_family(self, fam: str) -> bool:
+        return any(f.family == fam for f in self.faults)
+
+    def family_specs(self, fam: str) -> tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.family == fam)
+
+    # -- deterministic cross-process decisions --------------------------------
+    def _draw(self, point: str, scope: str, trial: int) -> float:
+        """Uniform [0, 1) draw as a pure function of the identifiers."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{point}:{scope}:{trial}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def should_fire(
+        self, point: str, scope: str, trial: int = 0
+    ) -> Optional[FaultSpec]:
+        """Does ``point`` fire for attempt ``trial`` of job ``scope``?
+
+        ``scope`` is the job's content key and ``trial`` its zero-based
+        attempt index, so every process evaluating the plan - worker,
+        supervisor, test - reaches the same verdict with no shared
+        state.  Returns the spec when it fires, else ``None``.
+        """
+        spec = self.spec_for(point)
+        if spec is None or trial >= spec.attempts:
+            return None
+        if spec.probability < 1.0 and self._draw(point, scope, trial) >= spec.probability:
+            return None
+        return spec
+
+    # -- (de)serialization ----------------------------------------------------
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError("chaos plan must be a JSON object")
+        unknown = sorted(set(payload) - {"seed", "faults"})
+        if unknown:
+            raise ConfigurationError(f"unknown chaos plan fields: {unknown}")
+        seed = payload.get("seed", 0xC405)
+        if not isinstance(seed, int):
+            raise ConfigurationError("chaos plan seed must be an integer")
+        raw_faults = payload.get("faults", [])
+        if not isinstance(raw_faults, (list, tuple)):
+            raise ConfigurationError("chaos plan 'faults' must be an array")
+        faults = []
+        for raw in raw_faults:
+            if not isinstance(raw, Mapping):
+                raise ConfigurationError("each fault must be a JSON object")
+            extra = sorted(
+                set(raw) - {"point", "probability", "max_fires", "attempts", "args"}
+            )
+            if extra:
+                raise ConfigurationError(f"unknown fault fields: {extra}")
+            if "point" not in raw:
+                raise ConfigurationError("each fault needs a 'point'")
+            try:
+                faults.append(FaultSpec(**dict(raw)))
+            except TypeError as exc:
+                raise ConfigurationError(f"bad fault spec: {exc}") from exc
+        return cls(seed=seed, faults=tuple(faults))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid chaos plan JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [
+                {
+                    "point": f.point,
+                    "probability": f.probability,
+                    "max_fires": f.max_fires,
+                    "attempts": f.attempts,
+                    "args": dict(f.args),
+                }
+                for f in self.faults
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+# -- environment activation ---------------------------------------------------
+
+_cached_plan: Optional[FaultPlan] = None
+_cache_valid = False
+
+
+def plan_from_env() -> Optional[FaultPlan]:
+    """Read ``UVMREPRO_CHAOS`` fresh (no cache); None when disabled.
+
+    Worker processes call this at boot so a plan activated after the
+    parent imported :mod:`repro.chaos` is still honoured.
+    """
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if raw in ("", "0", "off", "none", "disabled"):
+        return None
+    if raw.startswith("{"):
+        return FaultPlan.from_json(raw)
+    path = Path(raw)
+    if not path.is_file():
+        raise ConfigurationError(f"{ENV_VAR} names a missing plan file: {raw}")
+    return FaultPlan.from_json(path.read_text(encoding="utf-8"))
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process's active plan (cached; see :func:`set_active_plan`)."""
+    global _cached_plan, _cache_valid
+    if not _cache_valid:
+        _cached_plan = plan_from_env()
+        _cache_valid = True
+    return _cached_plan
+
+
+def set_active_plan(plan: Optional[FaultPlan], *, reset: bool = False) -> None:
+    """Force the active plan (tests), or ``reset=True`` to re-read the
+    environment on the next :func:`active_plan` call."""
+    global _cached_plan, _cache_valid
+    if reset:
+        _cached_plan = None
+        _cache_valid = False
+    else:
+        _cached_plan = plan
+        _cache_valid = True

@@ -1,0 +1,71 @@
+"""Process-level fault actions for serve workers.
+
+These helpers are called from inside a worker process
+(:func:`repro.serve.pool.worker_main`) once per task, after the STARTED
+message is on the wire.  Which attempt they perturb is decided by the
+plan's stateless :meth:`~repro.chaos.plan.FaultPlan.should_fire` - keyed
+by the job's content key and attempt index - so a respawned worker
+reaches the same verdict as the one that died, and the supervisor's
+bounded retries are guaranteed a clean attempt once ``spec.attempts``
+is exhausted.
+
+``time.sleep`` / ``os.kill`` are actions, not wall-clock *reads*; the
+module stays clean under the determinism lint rules.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Callable, Optional
+
+from repro.chaos.plan import (
+    PROCESS_HANG,
+    PROCESS_KILL,
+    PROCESS_SLOW_START,
+    FaultPlan,
+)
+
+
+def apply_process_faults(plan: FaultPlan, scope: str, trial: int) -> None:
+    """Run the fatal/latency process faults due for this attempt.
+
+    ``worker_kill`` with ``at="start"`` (the default) SIGKILLs the
+    process immediately - the supervisor observes a dead worker and
+    requeues the job.  ``worker_hang`` sleeps past the job deadline so
+    the supervisor's timeout path kills and retries.  ``worker_slow_start``
+    is a non-fatal latency wobble before execution.
+    """
+    kill = plan.should_fire(PROCESS_KILL, scope, trial)
+    if kill is not None and kill.args.get("at", "start") == "start":
+        os.kill(os.getpid(), signal.SIGKILL)
+    hang = plan.should_fire(PROCESS_HANG, scope, trial)
+    if hang is not None:
+        time.sleep(float(hang.args.get("hang_s", 3600.0)))
+    slow = plan.should_fire(PROCESS_SLOW_START, scope, trial)
+    if slow is not None:
+        time.sleep(float(slow.args.get("delay_s", 0.25)))
+
+
+def checkpoint_kill_hook(
+    plan: FaultPlan, scope: str, trial: int
+) -> Optional[Callable[[int], None]]:
+    """A checkpointer ``on_save`` hook that kills mid-run, or ``None``.
+
+    ``worker_kill`` with ``at="checkpoint"`` waits until the Nth
+    checkpoint save (``after_saves``, default 1) has been durably
+    written, then SIGKILLs - the canonical crash the resume path must
+    survive: the retry attempt restores the snapshot and the final
+    result must still be bit-identical to an uninterrupted run.
+    """
+    spec = plan.should_fire(PROCESS_KILL, scope, trial)
+    if spec is None or spec.args.get("at", "start") != "checkpoint":
+        return None
+    after = int(spec.args.get("after_saves", 1))
+
+    def hook(saves: int) -> None:
+        if saves >= after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook

@@ -1,0 +1,67 @@
+"""Storage-level fault actions: torn writes, truncation, tmp debris.
+
+Each helper fabricates the on-disk state a specific crash would leave
+behind - a JSON document cut mid-write, an npz payload missing its tail,
+a temp file from a writer that died before ``os.replace`` - so the
+recovery machinery (checksums + quarantine in
+:class:`~repro.serve.store.ResultStore`, the startup tmp sweep, the
+supervisor's retry path) is exercised against realistic debris rather
+than hand-rolled mocks.
+
+The torn/truncated helpers are called *instead of* a clean
+``store.store`` and the caller then raises
+:class:`~repro.errors.ChaosError`, so the attempt is retried and the
+store converges to a clean, bit-identical entry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.trace.io import save_trace
+from repro.trace.recorder import FinalizedTrace
+
+
+def tear_json(store, key: str, doc: dict[str, Any]) -> None:
+    """Write ``doc`` torn: truncated bytes straight to the final path.
+
+    Emulates a writer that bypassed the atomic tempfile dance (or a
+    filesystem that lost the tail on crash).  Readers must detect this
+    via JSON decode failure and treat the entry as corrupt.
+    """
+    path = store.doc_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = json.dumps(doc, sort_keys=True).encode("utf-8")
+    path.write_bytes(data[: max(1, len(data) // 2)])
+
+
+def truncate_npz(
+    store,
+    key: str,
+    trace: FinalizedTrace,
+    metadata: Optional[dict[str, Any]] = None,
+) -> None:
+    """Write the trace payload, then chop off its tail.
+
+    A truncated zip container fails structurally on load; the reader
+    must quarantine it instead of surfacing a raw ``zipfile`` error.
+    """
+    final = store.trace_path(key)
+    final.parent.mkdir(parents=True, exist_ok=True)
+    save_trace(trace, final, metadata=metadata)
+    data = final.read_bytes()
+    final.write_bytes(data[: max(1, len(data) // 2)])
+
+
+def leave_stale_tmp(store, key: str) -> None:
+    """Drop crashed-writer debris next to the entry.
+
+    Mimics a worker that died between ``mkstemp`` and ``os.replace``.
+    Harmless to readers; a restarted store's startup sweep must remove
+    it so the tree does not accumulate garbage.
+    """
+    path = store.doc_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    debris = path.parent / f".chaos-{key[:12]}.stale.tmp"
+    debris.write_bytes(b"{\"torn\": tr")

@@ -354,16 +354,28 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the asynchronous simulation job service until interrupted."""
+    import os
     import time
 
     from repro.serve.http_api import serve_http
     from repro.serve.service import ServiceConfig, SimulationService
 
+    if args.chaos is not None:
+        # arm fault injection for the workers (they re-read the env at
+        # boot); validate the plan now so a typo fails at startup, not
+        # in a worker three retries deep.
+        from repro.chaos import ENV_VAR, plan_from_env
+
+        os.environ[ENV_VAR] = args.chaos
+        plan = plan_from_env()
+        if plan is not None:
+            print(f"chaos armed: {len(plan.faults)} fault(s), seed={plan.seed}")
     config = ServiceConfig(
         n_workers=args.workers,
         job_timeout_s=args.job_timeout,
         max_retries=args.max_retries,
         sweep_cache_dir=args.sweep_cache,
+        checkpoint_every_phases=args.checkpoint_every,
     )
     service = SimulationService(args.store_dir, config).start()
     server = serve_http(service, args.host, args.port)
@@ -587,6 +599,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="run_sweep-compatible memo cache dir ('' disables; default: "
         "the sweep executor's resolution incl. REPRO_SWEEP_CACHE)",
+    )
+    serve_p.add_argument(
+        "--checkpoint-every",
+        type=_non_negative_int,
+        default=256,
+        help="simulation phases between worker checkpoints (0 disables)",
+    )
+    serve_p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="fault-injection plan: JSON file path or inline JSON "
+        "(sets UVMREPRO_CHAOS for the worker pool; see docs/robustness.md)",
     )
     serve_p.set_defaults(fn=_cmd_serve)
 

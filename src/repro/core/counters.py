@@ -95,6 +95,13 @@ GPU_ACCESSES = "gpu.accesses"
 GPU_PHASES = "gpu.phases"
 PMA_CALLS = "pma.calls"
 
+# -- chaos (injected faults; always 0 in clean runs) --------------------------------
+#: names match ``"chaos." + injection point`` - the driver folds the
+#: injector's per-point fire counts in under these at run end.
+CHAOS_BUFFER_OVERFLOWS = "chaos.model.fault_buffer_overflow"
+CHAOS_DMA_FAILURES = "chaos.model.dma_transfer_fail"
+CHAOS_PMA_FAILURES = "chaos.model.pma_alloc_fail"
+
 ALL_COUNTERS = tuple(
     v
     for k, v in sorted(globals().items())

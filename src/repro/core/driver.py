@@ -26,6 +26,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chaos.injector import make_injector
+from repro.chaos.plan import MODEL_BUFFER_OVERFLOW
 from repro.checks.sanitizer import make_sanitizer
 from repro.core import counters as C
 from repro.core.batch import assemble_batch
@@ -196,13 +198,20 @@ class UvmDriver:
         self.counters = CounterSet()
         #: UVMSAN invariant hooks; None unless UVMREPRO_SANITIZE=1.
         self.sanitizer = make_sanitizer()
+        #: chaos fault injector; None unless a model-family plan is
+        #: armed (same zero-cost sentinel pattern as UVMSAN).  Draws
+        #: from a dedicated "chaos" RNG fork so injection never
+        #: perturbs workload/scheduler randomness.
+        self.chaos = make_injector(self.rng)
         self.residency = ResidencyState(space)
         self.gpu_table = PageTable(space, side="gpu")
         self.host_table = PageTable(space, side="host")
         # All managed data begins host-resident and host-mapped.
         self.host_table.mapped[:] = True
-        self.pma = PhysicalMemoryAllocator(self.cost, self.gpu_config.memory_bytes)
-        self.dma = DmaEngine(self.cost, space.page_size)
+        self.pma = PhysicalMemoryAllocator(
+            self.cost, self.gpu_config.memory_bytes, chaos=self.chaos
+        )
+        self.dma = DmaEngine(self.cost, space.page_size, chaos=self.chaos)
         self.device = GpuDevice(
             self.gpu_config,
             streams,
@@ -272,6 +281,16 @@ class UvmDriver:
         )
         self._permission_aware = MemAdvise.READ_MOSTLY in advises
         self._finished = False
+        # Resumable run-loop state.  All loop progress lives on the
+        # instance (not in locals) so a pickled driver restores mid-run
+        # and run() continues exactly where the checkpoint was taken.
+        self._init_charged = False
+        self._phase_i = 0
+        self._phase_started = False
+        self._gpu_phases_total = 0
+        self._kernel_phases = 0
+        self._kernel_stagnant = 0
+        self._kernel_last_progress = (-1, -1)
 
     def _make_eviction_policy(self):
         if self.driver_config.eviction_policy == "access_counter":
@@ -499,28 +518,51 @@ class UvmDriver:
         self.counters.add(C.PAGES_HOST_D2H, n_moved)
 
     # -- main loop ---------------------------------------------------------------------
-    def run(self) -> RunResult:
-        """Run all kernel phases to completion; returns the result."""
+    def run(self, checkpointer=None) -> RunResult:
+        """Run all kernel phases to completion; returns the result.
+
+        ``checkpointer`` (a
+        :class:`~repro.sim.engine.SimulationCheckpointer`) enables
+        periodic whole-driver snapshots at phase boundaries; a driver
+        restored from such a snapshot calls ``run()`` again and
+        continues mid-kernel, producing a result bit-identical to an
+        uninterrupted run (snapshotting only reads state).
+        """
         if self._finished:
             raise SimulationError("UvmDriver.run() may only be called once")
+
+        if not self._init_charged:
+            # First-touch session overhead (the 400-600 us floor, Section III-C).
+            self.timer.charge("init", self.cost.session_base_ns)
+            self.clock.advance(self.cost.session_base_ns)
+            self._init_charged = True
+
+        while self._phase_i < len(self._phases):
+            phase = self._phases[self._phase_i]
+            if not self._phase_started:
+                if phase.host_before is not None:
+                    self._host_access(phase.host_before)
+                if self._phase_i > 0:
+                    self.device.load_kernel(phase.streams)
+                self._kernel_phases = 0
+                self._kernel_stagnant = 0
+                self._kernel_last_progress = (-1, -1)
+                self._phase_started = True
+            self._run_kernel(checkpointer)
+            # accumulated only at kernel completion, so a mid-kernel
+            # checkpoint never double-counts on resume
+            self._gpu_phases_total += self._kernel_phases
+            self._phase_i += 1
+            self._phase_started = False
+
         self._finished = True
-
-        # First-touch session overhead (the 400-600 us floor, Section III-C).
-        self.timer.charge("init", self.cost.session_base_ns)
-        self.clock.advance(self.cost.session_base_ns)
-
-        total_phases = 0
-        for i, phase in enumerate(self._phases):
-            if phase.host_before is not None:
-                self._host_access(phase.host_before)
-            if i > 0:
-                self.device.load_kernel(phase.streams)
-            total_phases += self._run_kernel()
-
         if self.sanitizer is not None:
             self.sanitizer.check_state(
                 self.residency, self.gpu_table, self.host_table, self.lru
             )
+        if self.chaos is not None:
+            for point, count in sorted(self.chaos.fired.items()):
+                self.counters.add(f"chaos.{point}", count)
 
         return RunResult(
             total_time_ns=self.clock.now,
@@ -532,22 +574,33 @@ class UvmDriver:
             gpu_config=self.gpu_config,
             n_streams=self._n_streams,
             data_bytes=self.space.total_bytes_requested,
-            gpu_phases=total_phases,
+            gpu_phases=self._gpu_phases_total,
         )
 
-    def _run_kernel(self) -> int:
+    def _run_kernel(self, checkpointer=None) -> None:
         """Drive the currently loaded kernel to completion."""
-        phases = 0
-        stagnant = 0
-        last_progress = (-1, -1)
-
-        while phases < self.driver_config.max_phases:
-            phases += 1
+        while self._kernel_phases < self.driver_config.max_phases:
+            self._kernel_phases += 1
             result = self._run_device_phase()
             self._absorb_phase(result)
 
             if self.device.kernel_finished():
                 break
+
+            if (
+                self.chaos is not None
+                and len(self.device.fault_buffer)
+                and self.chaos.fire(MODEL_BUFFER_OVERFLOW) is not None
+            ):
+                # Injected fault-buffer overflow: pending entries are
+                # flushed (dropped) and a replay storms the SMs - the
+                # stalled warps wake, re-walk, and re-raise their
+                # faults.  Costs flush + replay + duplicate faults,
+                # never correctness (the drop/re-raise path is the
+                # hardware's own overflow behaviour).
+                self._apply_action(
+                    ReplayAction(flush_buffer=True, issue_replay=True)
+                )
 
             if len(self.device.fault_buffer):
                 self._driver_pass()
@@ -561,19 +614,21 @@ class UvmDriver:
                 self.counters[C.GPU_ACCESSES],
                 self.counters[C.FAULTS_SERVICED],
             )
-            if progress == last_progress:
-                stagnant += 1
-                if stagnant > 1000:
+            if progress == self._kernel_last_progress:
+                self._kernel_stagnant += 1
+                if self._kernel_stagnant > 1000:
                     raise DeadlockError(
-                        f"no progress for {stagnant} phases: "
+                        f"no progress for {self._kernel_stagnant} phases: "
                         f"{self.device.scheduler!r}, buffer={len(self.device.fault_buffer)}"
                     )
             else:
-                stagnant = 0
-                last_progress = progress
+                self._kernel_stagnant = 0
+                self._kernel_last_progress = progress
+
+            if checkpointer is not None:
+                # phase boundary: all driver state is consistent here
+                checkpointer.maybe_save(self)
         else:
             raise SimulationError(
                 f"kernel did not finish within {self.driver_config.max_phases} phases"
             )
-
-        return phases

@@ -32,12 +32,13 @@ class PmaStats:
     cache_hits: int = 0  # reservations served purely from cache
     releases: int = 0  # VABlock releases (evictions)
     bytes_reserved: int = 0
+    chaos_failures: int = 0  # injected allocation failures (chaos only)
 
 
 class PhysicalMemoryAllocator:
     """Device-memory accounting with over-allocation caching."""
 
-    def __init__(self, cost: CostModel, capacity_bytes: int) -> None:
+    def __init__(self, cost: CostModel, capacity_bytes: int, chaos=None) -> None:
         if capacity_bytes <= 0:
             raise ConfigurationError("PMA capacity must be positive")
         self.cost = cost
@@ -49,6 +50,8 @@ class PhysicalMemoryAllocator:
         #: bytes currently backing VABlocks.
         self.used_bytes = 0
         self.stats = PmaStats()
+        #: chaos injector (None unless model-level injection is armed).
+        self.chaos = chaos
 
     # -- queries ------------------------------------------------------------
     @property
@@ -69,6 +72,20 @@ class PhysicalMemoryAllocator:
         """
         if nbytes <= 0:
             raise ConfigurationError(f"reserve size must be positive, got {nbytes}")
+        if self.chaos is not None:
+            from repro.chaos.injector import ChaosAllocationFailure
+            from repro.chaos.plan import MODEL_PMA_FAIL
+
+            if self.chaos.fire(MODEL_PMA_FAIL) is not None:
+                # The proprietary-driver call came back empty-handed:
+                # no accounting changes, but the call's latency was
+                # paid.  The servicer degrades gracefully (eviction
+                # pressure + bounded retry).
+                self.stats.chaos_failures += 1
+                raise ChaosAllocationFailure(
+                    self.cost.pma_call_ns,
+                    f"chaos: PMA allocation of {nbytes}B failed",
+                )
         cost_ns = 0
         if self.cache_bytes < nbytes:
             # Cache miss: call into the proprietary driver for a big

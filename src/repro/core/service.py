@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chaos.injector import ChaosAllocationFailure
 from repro.core import counters as C
 from repro.core.eviction import LruEvictionPolicy
 from repro.core.pma import PhysicalMemoryAllocator
@@ -163,10 +164,24 @@ class FaultServicer:
             return 0
         evictions = 0
         vab_bytes = self.space.vablock_size
-        while not self.pma.can_reserve(vab_bytes):
-            self._evict_one(exclude_vablock=vablock_id)
-            evictions += 1
-        reserve_ns = self.pma.reserve(vab_bytes)
+        while True:
+            while not self.pma.can_reserve(vab_bytes):
+                self._evict_one(exclude_vablock=vablock_id)
+                evictions += 1
+            try:
+                reserve_ns = self.pma.reserve(vab_bytes)
+                break
+            except ChaosAllocationFailure as exc:
+                # Injected allocation failure: the wasted proprietary-
+                # driver call still costs its latency, then the driver
+                # degrades gracefully - shed load by evicting (when
+                # anything is evictable) and retry.  The injector's
+                # max_fires budget bounds the loop.
+                self._charge("service.pma_alloc", exc.cost_ns, count=1)
+                self.counters.add(C.PMA_CALLS)
+                if self.lru.select_victim(exclude=(vablock_id,)) is not None:
+                    self._evict_one(exclude_vablock=vablock_id)
+                    evictions += 1
         if reserve_ns:
             self.counters.add(C.PMA_CALLS)
         # PMA cost is "actually part of the migration process" but the

@@ -56,3 +56,27 @@ class DeadlockError(SimulationError):
 
 class TraceError(ReproError):
     """A trace query or export operation was invalid."""
+
+
+class ChaosError(SimulationError):
+    """A deliberately injected fault (see :mod:`repro.chaos`).
+
+    Raised when an injected failure exhausts its modelled recovery path
+    (e.g. a DMA transfer that keeps failing past the in-driver retry
+    bound).  The serve supervisor treats it as an infrastructure
+    failure - retryable - rather than a deterministic job error, because
+    the chaos plan bounds how many attempts it perturbs.
+    """
+
+
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be written or restored."""
+
+
+class CorruptResultError(ReproError):
+    """A stored result failed its integrity check and was quarantined.
+
+    The entry has been moved aside (``<store>/quarantine/``) so the key
+    reads as a miss afterwards; re-submitting the same spec recomputes
+    and re-stores it.
+    """

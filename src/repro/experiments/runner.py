@@ -68,6 +68,34 @@ class ExperimentSetup:
         return replace(self, cost=self.cost.with_overrides(**kwargs))
 
 
+def build_driver(
+    workload: Workload,
+    setup: Optional[ExperimentSetup] = None,
+    record_trace: bool = False,
+) -> UvmDriver:
+    """Materialize a ready-to-run driver for one simulation point.
+
+    Shared by :func:`simulate` and the checkpoint-aware
+    :func:`execute_job` path (which may instead restore a pickled
+    driver and skip construction entirely).
+    """
+    setup = setup or ExperimentSetup()
+    rng = SimRng(setup.seed)
+    space = setup.make_space()
+    build = workload.build(space, rng.fork("workload"))
+    recorder: TraceRecorder = TraceRecorder() if record_trace else NullRecorder()
+    return UvmDriver(
+        space=space,
+        streams=build.streams if build.phases is None else None,
+        phases=build.phases,
+        driver_config=setup.driver,
+        gpu_config=setup.gpu,
+        cost=setup.cost,
+        rng=rng,
+        recorder=recorder,
+    )
+
+
 def simulate(
     workload: Workload,
     setup: Optional[ExperimentSetup] = None,
@@ -78,22 +106,7 @@ def simulate(
     ``record_trace=True`` captures per-event streams (needed for access
     pattern figures); leave it off for counter/timer sweeps.
     """
-    setup = setup or ExperimentSetup()
-    rng = SimRng(setup.seed)
-    space = setup.make_space()
-    build = workload.build(space, rng.fork("workload"))
-    recorder: TraceRecorder = TraceRecorder() if record_trace else NullRecorder()
-    driver = UvmDriver(
-        space=space,
-        streams=build.streams if build.phases is None else None,
-        phases=build.phases,
-        driver_config=setup.driver,
-        gpu_config=setup.gpu,
-        cost=setup.cost,
-        rng=rng,
-        recorder=recorder,
-    )
-    return driver.run()
+    return build_driver(workload, setup, record_trace).run()
 
 
 # -- parallel sweep executor --------------------------------------------------
@@ -215,19 +228,40 @@ def _cache_store(directory: str, key: str, result: RunResult) -> None:
         pass  # a cold cache is never an error
 
 
+#: default checkpoint cadence for sweep/serve runs (simulation phases
+#: between snapshots; saving only reads state, so cadence never changes
+#: results - it only bounds how much work a crash can lose).
+DEFAULT_CHECKPOINT_PHASES = 256
+
+
+def checkpoint_path(directory: str, key: str) -> str:
+    """Where a point's mid-run snapshot lives: keyed by the same
+    content-addressed cache key as the result, under ``checkpoints/``,
+    so a snapshot can never resume a different spec or code version."""
+    return os.path.join(directory, "checkpoints", f"{key}.ckpt")
+
+
 def execute_job(
     workload: Workload,
     setup: Optional[ExperimentSetup] = None,
     record_trace: bool = False,
     cache_dir: Optional[str] = None,
+    checkpointer=None,
 ) -> tuple[RunResult, bool]:
     """Run one simulation point through the canonical cache-aware path.
 
     This is the single job-execution code path shared by
     :func:`run_sweep` and the :mod:`repro.serve` worker pool: probe the
     code-version-keyed on-disk cache (when ``cache_dir`` is given), fall
-    back to :func:`simulate`, and persist the fresh result for the next
+    back to simulating, and persist the fresh result for the next
     caller.  Returns ``(result, cache_hit)``.
+
+    ``checkpointer`` (a
+    :class:`~repro.sim.engine.SimulationCheckpointer`) adds
+    crash-resilience: the run snapshots itself periodically, a crashed
+    attempt resumes from the last snapshot instead of restarting, and a
+    completed run clears its snapshot.  Resume is reported on
+    ``checkpointer.resumed``.  Results are bit-identical either way.
     """
     setup = setup or ExperimentSetup()
     key: Optional[str] = None
@@ -235,17 +269,43 @@ def execute_job(
         key = sweep_cache_key(workload, setup, record_trace)
         cached = _cache_load(cache_dir, key)
         if cached is not None:
+            if checkpointer is not None:
+                checkpointer.clear()
             return cached, True
-    result = simulate(workload, setup, record_trace=record_trace)
+    driver = None
+    if checkpointer is not None and checkpointer.exists():
+        driver = checkpointer.load()
+        checkpointer.resumed = driver is not None
+    if driver is None:
+        driver = build_driver(workload, setup, record_trace)
+    result = driver.run(checkpointer)
+    if checkpointer is not None:
+        checkpointer.clear()
     if cache_dir is not None and key is not None:
         _cache_store(cache_dir, key, result)
     return result, False
 
 
-def _run_point(args: tuple[Workload, ExperimentSetup, bool]) -> RunResult:
+def _run_point(args) -> RunResult:
     """Module-level worker so pool submissions pickle cleanly."""
-    workload, setup, record_trace = args
-    return execute_job(workload, setup, record_trace)[0]
+    workload, setup, record_trace = args[:3]
+    directory = args[3] if len(args) > 3 else None
+    checkpointer = None
+    if directory is not None:
+        from repro.sim.engine import SimulationCheckpointer
+
+        key = sweep_cache_key(workload, setup, record_trace)
+        checkpointer = SimulationCheckpointer(
+            checkpoint_path(directory, key),
+            every_phases=DEFAULT_CHECKPOINT_PHASES,
+        )
+    return execute_job(
+        workload,
+        setup,
+        record_trace,
+        cache_dir=directory,
+        checkpointer=checkpointer,
+    )[0]
 
 
 def _resolve_workers(workers: Optional[int]) -> int:
@@ -303,15 +363,19 @@ def run_sweep(
         if results[i] is None:
             misses.append(i)
 
+    # Misses carry the cache directory so each worker checkpoints its
+    # point (under <directory>/checkpoints/) and stores its own result;
+    # a sweep killed mid-run resumes from those snapshots on re-run.
+    miss_jobs = [
+        jobs[i] if directory is None else (*jobs[i], directory) for i in misses
+    ]
     n_workers = _resolve_workers(workers)
     if len(misses) > 1 and n_workers > 1:
-        computed = _run_pool(
-            [jobs[i] for i in misses], min(n_workers, len(misses))
-        )
+        computed = _run_pool(miss_jobs, min(n_workers, len(misses)))
     else:
         computed = None
     if computed is None:
-        computed = [_run_point(jobs[i]) for i in misses]
+        computed = [_run_point(job) for job in miss_jobs]
 
     for i, result in zip(misses, computed):
         results[i] = result
@@ -320,9 +384,7 @@ def run_sweep(
     return results  # type: ignore[return-value]
 
 
-def _run_pool(
-    jobs: Sequence[tuple[Workload, ExperimentSetup, bool]], n_workers: int
-) -> Optional[list[RunResult]]:
+def _run_pool(jobs: Sequence[tuple], n_workers: int) -> Optional[list[RunResult]]:
     """Fan jobs over a process pool; ``None`` means fall back to serial
     (sandboxes without fork/semaphore support, pickling failures)."""
     import multiprocessing as mp

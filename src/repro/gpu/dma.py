@@ -33,6 +33,10 @@ class DmaStats:
     d2h_bytes: int = 0
     h2d_transfers: int = 0
     d2h_transfers: int = 0
+    #: injected-failure retries (chaos only; always 0 in clean runs).
+    #: Retries re-send on the wire but do not inflate the byte totals -
+    #: those model the *payload* the paper's "bytes moved" numbers count.
+    chaos_retries: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -57,10 +61,40 @@ def contiguous_runs(pages: np.ndarray) -> int:
 class DmaEngine:
     """Cost + accounting for host-device copies."""
 
-    def __init__(self, cost: CostModel, page_size: int) -> None:
+    def __init__(self, cost: CostModel, page_size: int, chaos=None) -> None:
         self.cost = cost
         self.page_size = page_size
         self.stats = DmaStats()
+        #: chaos injector (None unless model-level injection is armed);
+        #: same zero-cost sentinel pattern as UVMSAN.
+        self.chaos = chaos
+
+    def _chaos_transfer_ns(self, nbytes: int, transfers: int) -> int:
+        """Extra ns from an injected transfer failure (0 when inert).
+
+        A fired ``model.dma_transfer_fail`` costs ``failures`` full
+        re-issues of the transfer, modelling the driver's bounded
+        in-engine retry; failures beyond ``max_retries`` escalate to
+        :class:`~repro.chaos.injector.ChaosTransferError` (the attempt
+        is then retried at the job level).
+        """
+        if self.chaos is None:
+            return 0
+        from repro.chaos.injector import ChaosTransferError
+        from repro.chaos.plan import MODEL_DMA_FAIL
+
+        spec = self.chaos.fire(MODEL_DMA_FAIL)
+        if spec is None:
+            return 0
+        failures = int(spec.args.get("failures", 1))
+        max_retries = int(spec.args.get("max_retries", 3))
+        if failures > max_retries:
+            raise ChaosTransferError(
+                f"chaos: DMA transfer failed {failures} times "
+                f"(in-driver retry bound {max_retries})"
+            )
+        self.stats.chaos_retries += failures
+        return failures * self.cost.dma_transfer_ns(nbytes, transfers=transfers)
 
     def h2d_pages(self, pages: np.ndarray, staging_chunk_bytes: int = 2 << 20) -> int:
         """Copy host pages to device; returns simulated ns.
@@ -80,7 +114,10 @@ class DmaEngine:
         transfers = max(1, -(-nbytes // staging_chunk_bytes))
         self.stats.h2d_bytes += nbytes
         self.stats.h2d_transfers += transfers
-        return self.cost.dma_transfer_ns(nbytes, transfers=transfers)
+        ns = self.cost.dma_transfer_ns(nbytes, transfers=transfers)
+        if self.chaos is not None:
+            ns += self._chaos_transfer_ns(nbytes, transfers)
+        return ns
 
     def d2h_pages(self, pages: np.ndarray, staging_chunk_bytes: int = 2 << 20) -> int:
         """Copy device pages back to host (eviction write-back)."""
@@ -91,7 +128,10 @@ class DmaEngine:
         transfers = max(1, -(-nbytes // staging_chunk_bytes))
         self.stats.d2h_bytes += nbytes
         self.stats.d2h_transfers += transfers
-        return self.cost.dma_transfer_ns(nbytes, transfers=transfers)
+        ns = self.cost.dma_transfer_ns(nbytes, transfers=transfers)
+        if self.chaos is not None:
+            ns += self._chaos_transfer_ns(nbytes, transfers)
+        return ns
 
     def d2h_page_count(self, npages: int, runs: int = 1) -> int:
         """D2H cost for ``npages`` pages already known to be contiguous-ish."""
@@ -100,4 +140,7 @@ class DmaEngine:
         nbytes = npages * self.page_size
         self.stats.d2h_bytes += nbytes
         self.stats.d2h_transfers += runs
-        return self.cost.dma_transfer_ns(nbytes, transfers=runs)
+        ns = self.cost.dma_transfer_ns(nbytes, transfers=runs)
+        if self.chaos is not None:
+            ns += self._chaos_transfer_ns(nbytes, runs)
+        return ns

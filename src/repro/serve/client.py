@@ -4,10 +4,24 @@ Mirrors the HTTP surface one-to-one and raises
 :class:`ServiceClientError` with the server's error message on non-2xx
 responses, so CLI verbs and tests get clean failures instead of raw
 ``HTTPError`` tracebacks.
+
+Every request is bounded: connection establishment by
+``connect_timeout_s``, each subsequent socket read by ``timeout_s``
+(requests-style split; a hung accept queue and a hung handler are
+different failures with different sensible budgets).  Transport-level
+failures are retried up to ``retries`` times with exponential backoff
+and deterministic jitter drawn from a seeded
+:class:`~repro.sim.rng.SimRng` - full-throttle reconnect storms from a
+fleet of clients are what the jitter prevents, and seeding keeps test
+runs reproducible.  Server-reported 5xx responses are retried for
+``GET`` only (idempotent); a 5xx on ``POST``/``DELETE`` surfaces
+immediately since the service may have acted on it.
 """
 
 from __future__ import annotations
 
+import functools
+import http.client
 import json
 import time
 import urllib.error
@@ -15,6 +29,7 @@ import urllib.request
 from typing import Any, Optional
 
 from repro.errors import ReproError
+from repro.sim.rng import SimRng
 
 
 class ServiceClientError(ReproError):
@@ -25,35 +40,102 @@ class ServiceClientError(ReproError):
         self.status = status
 
 
+class _SplitTimeoutConnection(http.client.HTTPConnection):
+    """HTTPConnection with distinct connect and read timeouts.
+
+    Stdlib applies one ``timeout`` to the connect *and* every read; the
+    requests-style split needs the socket's timeout re-armed after the
+    connection is up.
+    """
+
+    def __init__(self, *args, read_timeout: Optional[float] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._read_timeout = read_timeout
+
+    def connect(self) -> None:
+        super().connect()
+        if self._read_timeout is not None:
+            self.sock.settimeout(self._read_timeout)
+
+
+class _SplitTimeoutHandler(urllib.request.HTTPHandler):
+    def __init__(self, read_timeout: float) -> None:
+        super().__init__()
+        self._read_timeout = read_timeout
+
+    def http_open(self, req):
+        factory = functools.partial(
+            _SplitTimeoutConnection, read_timeout=self._read_timeout
+        )
+        return self.do_open(factory, req)
+
+
 class ServiceClient:
     """Thin JSON client bound to one service base URL."""
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        connect_timeout_s: float = 5.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.2,
+        retry_seed: int = 0x7E7,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.retries = max(0, int(retries))
+        self.retry_backoff_s = retry_backoff_s
+        self._rng = SimRng(retry_seed).fork("client-retry")
+        self._opener = urllib.request.build_opener(_SplitTimeoutHandler(timeout_s))
 
     # -- transport ------------------------------------------------------------
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with jitter in [0.5x, 1.5x) of the step."""
+        step = self.retry_backoff_s * (2**attempt)
+        return step * (0.5 + float(self._rng.uniform()))
+
     def _request(
         self, method: str, path: str, payload: Optional[dict[str, Any]] = None
     ) -> Any:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"} if body else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        last_error: Optional[ServiceClientError] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
             try:
-                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
-            except Exception:
-                message = str(exc)
-            raise ServiceClientError(exc.code, message) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceClientError(0, f"cannot reach {self.base_url}: {exc.reason}")
+                # the urlopen timeout arms the *connect*; the handler
+                # re-arms the socket with the read timeout afterwards.
+                with self._opener.open(
+                    request, timeout=self.connect_timeout_s
+                ) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                try:
+                    message = json.loads(exc.read().decode("utf-8")).get(
+                        "error", str(exc)
+                    )
+                except Exception:
+                    message = str(exc)
+                last_error = ServiceClientError(exc.code, message)
+                retryable = method == "GET" and 500 <= exc.code < 600
+                if not retryable or attempt >= self.retries:
+                    raise last_error from exc
+            except urllib.error.URLError as exc:
+                # connection refused / reset / timed out: the service
+                # never (provably) processed the request, safe to retry.
+                last_error = ServiceClientError(
+                    0, f"cannot reach {self.base_url}: {exc.reason}"
+                )
+                if attempt >= self.retries:
+                    raise last_error from exc
+            time.sleep(self._backoff(attempt))
+        raise last_error  # pragma: no cover - loop always raises/returns
 
     # -- API ------------------------------------------------------------------
     def healthz(self) -> bool:

@@ -24,7 +24,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Optional
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, CorruptResultError, ReproError
 from repro.serve.service import SimulationService
 
 
@@ -121,6 +121,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(404, f"no route for GET {url.path}")
         except KeyError as exc:
             self._error(404, f"unknown job {exc.args[0]!r}")
+        except CorruptResultError as exc:
+            # the entry failed verification and was quarantined: it is
+            # gone for good (410), and resubmitting the spec recomputes.
+            self._error(410, str(exc))
         except (ValueError, ReproError) as exc:
             self._error(400, str(exc))
 

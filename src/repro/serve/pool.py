@@ -27,6 +27,9 @@ from typing import Any, Optional
 MSG_STARTED = "started"
 MSG_DONE = "done"
 MSG_ERROR = "error"
+#: an injected fault consumed this attempt; retryable (unlike MSG_ERROR,
+#: which is deterministic and fails fast).
+MSG_CHAOS = "chaos"
 
 
 def _mp_context():
@@ -42,30 +45,87 @@ def worker_main(
     result_queue,
     store_dir: str,
     cache_dir: Optional[str],
+    checkpoint_every: int = 256,
 ) -> None:
     """Worker process body: pull one task at a time, execute, report.
 
     Imports happen lazily so a ``spawn``-context worker also boots.
+
+    Fault injection (``UVMREPRO_CHAOS``) is applied here, at the worker
+    boundary: process faults (kill/hang/slow-start) hit the worker
+    itself, model faults run a *probe attempt* (the degraded simulation
+    is exercised end-to-end, its result discarded, and the attempt
+    reported as :data:`MSG_CHAOS` so the supervisor retries - keeping
+    stored results bit-identical to fault-free runs), and storage faults
+    corrupt the attempt's store artifacts before failing it.  Each
+    fault's trial index is ``attempt - 1``, so a plan's ``attempts``
+    bound guarantees a later clean attempt.
     """
+    from repro.chaos import plan as chaos_plan
+    from repro.chaos.injector import model_injection
+    from repro.chaos.process import apply_process_faults, checkpoint_kill_hook
+    from repro.chaos import storage as chaos_storage
+    from repro.errors import ChaosError
     from repro.serve.jobs import JobSpec
     from repro.serve.results import result_to_doc
     from repro.serve.store import ResultStore
-    from repro.experiments.runner import execute_job
+    from repro.sim.engine import SimulationCheckpointer
+    from repro.experiments.runner import execute_job, simulate
 
-    store = ResultStore(store_dir)
+    # fresh env read: a fork-context worker inherits the parent's module
+    # cache, and the parent may have armed a different plan.
+    plan = chaos_plan.plan_from_env()
+    # never sweep tmp debris from a worker: siblings share this root and
+    # their pre-rename tempfiles must not be unlinked under them.  The
+    # service-owned store sweeps at startup instead.
+    store = ResultStore(store_dir, sweep_tmp=False)
     while True:
         task = task_queue.get()
         if task is None:
             return
         job_id, attempt, spec_dict, key = task
         result_queue.put((MSG_STARTED, worker_id, job_id, attempt, {}))
+        trial = attempt - 1
         t0 = time.perf_counter_ns()
         try:
+            if plan is not None:
+                apply_process_faults(plan, key, trial)
             spec = JobSpec.from_dict(spec_dict)
             workload, setup = spec.build()
+
+            if plan is not None and any(
+                plan.should_fire(point, key, trial) is not None
+                for point in chaos_plan.MODEL_POINTS
+            ):
+                # probe attempt: run the degraded simulation (replay
+                # storms / DMA retries / allocation pressure all modelled
+                # and sanitized), then discard it - the canonical result
+                # must come from a clean attempt.  Bypasses the sweep
+                # cache in both directions.
+                with model_injection(plan):
+                    simulate(workload, setup, record_trace=spec.record_trace)
+                raise ChaosError(
+                    f"injected model fault(s) on attempt {attempt}; "
+                    "degraded probe completed, result discarded"
+                )
+
+            checkpointer = None
+            if checkpoint_every > 0:
+                checkpointer = SimulationCheckpointer(
+                    os.path.join(store_dir, "checkpoints", f"{key}.ckpt"),
+                    every_phases=checkpoint_every,
+                    on_save=None
+                    if plan is None
+                    else checkpoint_kill_hook(plan, key, trial),
+                )
             result, sweep_hit = execute_job(
-                workload, setup, spec.record_trace, cache_dir=cache_dir
+                workload,
+                setup,
+                spec.record_trace,
+                cache_dir=cache_dir,
+                checkpointer=checkpointer,
             )
+            resumed = checkpointer is not None and checkpointer.resumed
             elapsed_ns = time.perf_counter_ns() - t0
             doc = result_to_doc(
                 result,
@@ -79,10 +139,33 @@ def worker_main(
                     "run_wall_ns": elapsed_ns,
                 },
             )
+            trace = result.trace if spec.record_trace else None
+            if plan is not None:
+                fired = plan.should_fire(chaos_plan.STORAGE_TORN_JSON, key, trial)
+                if fired is not None:
+                    chaos_storage.tear_json(store, key, doc)
+                    raise ChaosError(
+                        f"injected torn document for {key[:12]}.. "
+                        f"on attempt {attempt}"
+                    )
+                fired = plan.should_fire(chaos_plan.STORAGE_TRUNCATED_NPZ, key, trial)
+                if fired is not None and trace is not None:
+                    chaos_storage.truncate_npz(
+                        store, key, trace, metadata={"job_id": job_id}
+                    )
+                    raise ChaosError(
+                        f"injected truncated trace for {key[:12]}.. "
+                        f"on attempt {attempt}"
+                    )
+                if plan.should_fire(chaos_plan.STORAGE_STALE_TMP, key, trial):
+                    # non-fatal debris: the attempt itself succeeds; the
+                    # service's startup sweep (or quarantine audit) must
+                    # cope with the leftover.
+                    chaos_storage.leave_stale_tmp(store, key)
             store.store(
                 key,
                 doc,
-                trace=result.trace if spec.record_trace else None,
+                trace=trace,
                 trace_metadata={"job_id": job_id, "workload": spec.workload},
             )
             result_queue.put(
@@ -91,7 +174,21 @@ def worker_main(
                     worker_id,
                     job_id,
                     attempt,
-                    {"sweep_cache_hit": sweep_hit, "run_wall_ns": elapsed_ns},
+                    {
+                        "sweep_cache_hit": sweep_hit,
+                        "run_wall_ns": elapsed_ns,
+                        "resumed": resumed,
+                    },
+                )
+            )
+        except ChaosError as exc:
+            result_queue.put(
+                (
+                    MSG_CHAOS,
+                    worker_id,
+                    job_id,
+                    attempt,
+                    {"error": f"{type(exc).__name__}: {exc}"},
                 )
             )
         except BaseException as exc:  # report and keep serving
@@ -134,10 +231,18 @@ class WorkerHandle:
 class WorkerPool:
     """Spawns, tracks, kills, and respawns worker processes."""
 
-    def __init__(self, n_workers: int, store_dir: str, cache_dir: Optional[str]):
+    def __init__(
+        self,
+        n_workers: int,
+        store_dir: str,
+        cache_dir: Optional[str],
+        checkpoint_every: int = 256,
+    ):
         self.n_workers = max(1, int(n_workers))
         self.store_dir = store_dir
         self.cache_dir = cache_dir
+        #: simulation phases between worker checkpoints (0 disables).
+        self.checkpoint_every = max(0, int(checkpoint_every))
         self._ctx = _mp_context()
         self.result_queue = self._ctx.Queue()
         self.workers: dict[int, WorkerHandle] = {}
@@ -156,6 +261,7 @@ class WorkerPool:
                 self.result_queue,
                 self.store_dir,
                 self.cache_dir,
+                self.checkpoint_every,
             ),
             daemon=True,
             name=f"repro-serve-worker-{worker_id}",

@@ -32,11 +32,11 @@ import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, CorruptResultError
 from repro.experiments.runner import _resolve_cache_dir
 from repro.serve import telemetry as tm
 from repro.serve.jobs import JobRecord, JobSpec, JobState
-from repro.serve.pool import MSG_DONE, MSG_ERROR, MSG_STARTED, WorkerPool
+from repro.serve.pool import MSG_CHAOS, MSG_DONE, MSG_ERROR, MSG_STARTED, WorkerPool
 from repro.serve.store import ResultStore
 from repro.serve.telemetry import Telemetry
 
@@ -57,6 +57,10 @@ class ServiceConfig:
     #: ``run_sweep``-compatible memo cache directory for workers
     #: (None = the sweep executor's default resolution; "" disables).
     sweep_cache_dir: Optional[str] = None
+    #: simulation phases between worker-side checkpoints (0 disables);
+    #: a respawned attempt resumes from the last snapshot, so a crash
+    #: loses at most this many phases of work.
+    checkpoint_every_phases: int = 256
 
 
 class SimulationService:
@@ -76,7 +80,12 @@ class SimulationService:
             cache_dir = self.config.sweep_cache_dir
         else:
             cache_dir = _resolve_cache_dir(True, None)
-        self.pool = WorkerPool(self.config.n_workers, store_dir, cache_dir)
+        self.pool = WorkerPool(
+            self.config.n_workers,
+            store_dir,
+            cache_dir,
+            checkpoint_every=self.config.checkpoint_every_phases,
+        )
         self._jobs: dict[str, JobRecord] = {}
         self._heap: list[tuple[int, int, str]] = []
         self._seq = itertools.count(1)
@@ -143,11 +152,22 @@ class SimulationService:
         return record
 
     def result_doc(self, job_id: str) -> Optional[dict[str, Any]]:
-        """The stored result document of a DONE job (None until then)."""
+        """The stored result document of a DONE job (None until then).
+
+        A corrupt entry raises
+        :class:`~repro.errors.CorruptResultError` *after* the store has
+        quarantined it - resubmitting the same spec then recomputes.
+        """
         record = self.get(job_id)
         if record.state is not JobState.DONE:
             return None
-        return self.store.load(record.key)
+        try:
+            return self.store.get(record.key)
+        except KeyError:
+            return None
+        except CorruptResultError:
+            self.telemetry.count(tm.RESULTS_QUARANTINED)
+            raise
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a queued or running job; False if already terminal."""
@@ -244,7 +264,18 @@ class SimulationService:
                         self.telemetry.count(tm.CACHE_HITS_SWEEP)
                     else:
                         self.telemetry.count(tm.SIMULATIONS_RUN)
+                    if detail.get("resumed"):
+                        self.telemetry.count(tm.JOBS_RESUMED)
                     self._finish(record, JobState.DONE)
+                elif kind == MSG_CHAOS:
+                    # an injected fault consumed the attempt; like any
+                    # infrastructure failure it says nothing about the
+                    # job, so retry with backoff (the plan's ``attempts``
+                    # bound guarantees a clean attempt within reach).
+                    self.telemetry.count(tm.CHAOS_INJECTIONS)
+                    self._retry_or_fail(
+                        record, detail.get("error", "injected chaos fault")
+                    )
                 elif kind == MSG_ERROR:
                     # a *reported* error is deterministic - fail fast.
                     record.error = detail.get("error", "unknown worker error")

@@ -3,30 +3,74 @@
 Documents are JSON files named by the job's content key (see
 :meth:`repro.serve.jobs.JobSpec.cache_key`), fanned out over two-hex
 prefix directories so large stores don't produce million-entry
-directories.  Writes are atomic (tempfile + ``os.replace``) so a
-concurrent reader never observes a torn document, and a worker killed
-mid-write never corrupts the store.  Trace payloads ride alongside as
-``<key>.npz`` via :mod:`repro.trace.io`.
+directories.  Writes are atomic *and durable*: tempfile + fsync +
+``os.replace`` + parent-directory fsync, so a concurrent reader never
+observes a torn document and a machine that loses power right after
+``store()`` returns still has the entry after reboot.  Trace payloads
+ride alongside as ``<key>.npz`` via :mod:`repro.trace.io`.
+
+Every stored document carries a ``checksum`` field (content hash of the
+canonical JSON minus the field itself) and every npz payload carries its
+own header checksum.  Reads verify: a corrupt entry is moved to
+``<root>/quarantine/`` for post-mortem and surfaced as
+:class:`~repro.errors.CorruptResultError` (strict :meth:`get`) or a
+plain miss (lenient :meth:`load`), never as a half-parsed document.
+
+Stale ``*.tmp*`` debris from crashed writers is swept on construction;
+pass ``sweep_tmp=False`` for stores that share a root with concurrent
+writers (the serve worker pool does: only the service-owned store
+sweeps, so a respawned worker can never unlink a sibling's in-flight
+tempfile between its write and rename).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
+from repro.errors import CorruptResultError, TraceError
 from repro.trace.io import load_trace, save_trace
 from repro.trace.recorder import FinalizedTrace
+
+#: document field holding the content hash; excluded from its own hash.
+CHECKSUM_FIELD = "checksum"
+
+
+def doc_checksum(doc: dict[str, Any]) -> str:
+    """Content hash of a result document (canonical JSON, checksum-free)."""
+    body = {k: v for k, v in doc.items() if k != CHECKSUM_FIELD}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry (the rename itself) to stable storage."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 class ResultStore:
     """Keyed JSON documents + optional npz payloads under one root."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, sweep_tmp: bool = True) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: entries moved to quarantine/ by this instance (telemetry).
+        self.quarantined = 0
+        #: stale tempfiles removed at construction (telemetry).
+        self.tmp_swept = 0
+        if sweep_tmp:
+            self.sweep_stale_tmp()
 
     # -- paths ----------------------------------------------------------------
     def doc_path(self, key: str) -> Path:
@@ -35,23 +79,117 @@ class ResultStore:
     def trace_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.npz"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    # -- hygiene --------------------------------------------------------------
+    def sweep_stale_tmp(self) -> int:
+        """Remove tempfile debris left by writers that died mid-store.
+
+        Only safe when no concurrent writer shares the root (tempfiles
+        are pre-rename private state); callers that do share pass
+        ``sweep_tmp=False`` and let the single owning process sweep.
+        """
+        swept = 0
+        for path in self.root.glob("??/*.tmp*"):
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:
+                pass
+        # glob skips dotfiles by default; the npz payload temps are
+        # dotfile-named (".{key}.{pid}.tmp.npz") so sweep those too.
+        for path in self.root.glob("??/.*tmp*"):
+            try:
+                path.unlink()
+                swept += 1
+            except OSError:
+                pass
+        self.tmp_swept += swept
+        return swept
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move a corrupt entry's files out of the addressable tree."""
+        qdir = self.quarantine_dir
+        qdir.mkdir(parents=True, exist_ok=True)
+        moved = False
+        for path in (self.doc_path(key), self.trace_path(key)):
+            if path.is_file():
+                try:
+                    os.replace(path, qdir / path.name)
+                    moved = True
+                except OSError:
+                    pass
+        if moved:
+            self.quarantined += 1
+            try:
+                (qdir / f"{key}.reason.txt").write_text(reason, encoding="utf-8")
+            except OSError:
+                pass
+
     # -- queries --------------------------------------------------------------
     def contains(self, key: str) -> bool:
-        return self.doc_path(key).is_file()
+        """True when ``key`` has a *valid* document (corrupt = absent)."""
+        return self.load(key) is not None
+
+    def get(self, key: str) -> dict[str, Any]:
+        """The stored document (checksum verified, field stripped).
+
+        Raises :class:`KeyError` when the key was never stored and
+        :class:`~repro.errors.CorruptResultError` when the entry exists
+        but fails parsing or checksum verification - the corrupt files
+        are moved to ``quarantine/`` first, so the key reads as a plain
+        miss afterwards and a writer can repopulate it.
+        """
+        path = self.doc_path(key)
+        if not path.is_file():
+            raise KeyError(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            self._quarantine(key, f"unparseable document: {exc}")
+            raise CorruptResultError(f"result {key[:12]}.. is torn: {exc}") from exc
+        if not isinstance(doc, dict):
+            self._quarantine(key, f"non-object document: {type(doc).__name__}")
+            raise CorruptResultError(f"result {key[:12]}.. is not a JSON object")
+        stored = doc.pop(CHECKSUM_FIELD, None)
+        if stored is not None:
+            actual = doc_checksum(doc)
+            if actual != stored:
+                self._quarantine(
+                    key, f"checksum mismatch: stored {stored}, actual {actual}"
+                )
+                raise CorruptResultError(
+                    f"result {key[:12]}.. failed checksum verification"
+                )
+        return doc
 
     def load(self, key: str) -> Optional[dict[str, Any]]:
-        """The stored document, or None (missing or torn are both misses)."""
+        """Lenient :meth:`get`: missing, torn, and corrupt are all None.
+
+        Corrupt entries are still quarantined as a side effect, so the
+        store self-heals on read.
+        """
         try:
-            with self.doc_path(key).open("r", encoding="utf-8") as fh:
-                return json.load(fh)
-        except (OSError, json.JSONDecodeError):
+            return self.get(key)
+        except KeyError:
+            return None
+        except CorruptResultError:
             return None
 
     def load_result_trace(self, key: str) -> Optional[FinalizedTrace]:
         path = self.trace_path(key)
         if not path.is_file():
             return None
-        trace, _meta = load_trace(path)
+        try:
+            trace, _meta = load_trace(path)
+        except TraceError as exc:
+            self._quarantine(key, f"corrupt trace payload: {exc}")
+            raise CorruptResultError(
+                f"trace payload for {key[:12]}.. is corrupt: {exc}"
+            ) from exc
         return trace
 
     def keys(self) -> Iterator[str]:
@@ -69,7 +207,11 @@ class ResultStore:
         trace: Optional[FinalizedTrace] = None,
         trace_metadata: Optional[dict[str, Any]] = None,
     ) -> Path:
-        """Atomically persist ``doc`` (and optionally its trace) under ``key``."""
+        """Atomically and durably persist ``doc`` (+ trace) under ``key``.
+
+        The written document gains a :data:`CHECKSUM_FIELD`; the caller's
+        dict is not mutated.
+        """
         path = self.doc_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         if trace is not None:
@@ -78,11 +220,20 @@ class ResultStore:
             final = self.trace_path(key)
             tmp_npz = final.with_name(f".{key}.{os.getpid()}.tmp.npz")
             save_trace(trace, tmp_npz, metadata=trace_metadata)
+            fd = os.open(tmp_npz, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
             os.replace(tmp_npz, final)
+        body = dict(doc)
+        body[CHECKSUM_FIELD] = doc_checksum(body)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(doc, fh, sort_keys=True)
+                json.dump(body, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -90,6 +241,10 @@ class ResultStore:
             except OSError:
                 pass
             raise
+        # the renames themselves must survive power loss, not just the
+        # file contents (POSIX: directory entry durability needs a dir
+        # fsync).
+        _fsync_dir(path.parent)
         return path
 
     def discard(self, key: str) -> None:

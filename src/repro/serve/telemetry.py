@@ -33,6 +33,12 @@ CACHE_HITS_SWEEP = "cache.hits.sweep"
 SIMULATIONS_RUN = "simulations.run"
 WORKER_DEATHS = "workers.deaths"
 WORKER_RESPAWNS = "workers.respawns"
+#: chaos attempts reported by workers (injected-fault probes; retried).
+CHAOS_INJECTIONS = "chaos.injections"
+#: completed attempts that restored from a mid-run checkpoint.
+JOBS_RESUMED = "jobs.resumed"
+#: corrupt store entries detected and moved to quarantine/ on read.
+RESULTS_QUARANTINED = "results.quarantined"
 
 
 class Telemetry:

@@ -11,6 +11,7 @@ real tooling) without re-simulating.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Optional
@@ -21,9 +22,27 @@ from repro.errors import TraceError
 from repro.trace.recorder import FinalizedTrace
 
 #: format version written into every trace file; bumped on schema change.
+#: (the content checksum is an *additive* header field - readers treat
+#: its absence as "legacy file, unverifiable" - so it does not bump this.)
 TRACE_FORMAT_VERSION = 1
 
 _ARRAY_FIELDS = [f.name for f in dataclasses.fields(FinalizedTrace)]
+
+
+def trace_checksum(arrays: dict[str, np.ndarray]) -> str:
+    """Content hash of a trace's array payload (field names + bytes).
+
+    Stored in the npz header at save time and re-derived at load time,
+    so a truncated or bit-flipped payload is detected even when numpy's
+    zip container happens to decompress without complaint.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
 
 
 def save_trace(
@@ -36,11 +55,12 @@ def save_trace(
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
     path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: getattr(trace, name) for name in _ARRAY_FIELDS}
     header = {
         "format_version": TRACE_FORMAT_VERSION,
         "metadata": metadata or {},
+        "checksum": trace_checksum(arrays),
     }
-    arrays = {name: getattr(trace, name) for name in _ARRAY_FIELDS}
     np.savez_compressed(
         path,
         __header__=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
@@ -67,27 +87,45 @@ def trace_summary(trace: FinalizedTrace) -> dict[str, int]:
     }
 
 
-def load_trace(path: str | Path) -> tuple[FinalizedTrace, dict[str, Any]]:
+def load_trace(
+    path: str | Path, verify_checksum: bool = True
+) -> tuple[FinalizedTrace, dict[str, Any]]:
     """Read a trace written by :func:`save_trace`.
 
     Returns ``(trace, metadata)``.  Raises :class:`TraceError` on
-    missing fields or an unknown format version.
+    missing fields, an unknown format version, a payload whose content
+    hash disagrees with the stored header checksum, or a file the zip
+    layer itself cannot decode (truncation).  Files from before the
+    checksum field load without verification.
     """
     path = Path(path)
     if not path.exists():
         raise TraceError(f"no trace file at {path}")
-    with np.load(path) as data:
-        if "__header__" not in data:
-            raise TraceError(f"{path} is not a repro trace file (no header)")
-        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
-        version = header.get("format_version")
-        if version != TRACE_FORMAT_VERSION:
+    try:
+        with np.load(path) as data:
+            if "__header__" not in data:
+                raise TraceError(f"{path} is not a repro trace file (no header)")
+            header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+            version = header.get("format_version")
+            if version != TRACE_FORMAT_VERSION:
+                raise TraceError(
+                    f"trace format version {version} unsupported "
+                    f"(expected {TRACE_FORMAT_VERSION})"
+                )
+            missing = [name for name in _ARRAY_FIELDS if name not in data]
+            if missing:
+                raise TraceError(f"trace file missing fields: {missing}")
+            arrays = {name: data[name] for name in _ARRAY_FIELDS}
+    except TraceError:
+        raise
+    except Exception as exc:  # zipfile/zlib/pickle errors on truncation
+        raise TraceError(f"unreadable trace file {path}: {exc}") from exc
+    expected = header.get("checksum")
+    if verify_checksum and expected is not None:
+        actual = trace_checksum(arrays)
+        if actual != expected:
             raise TraceError(
-                f"trace format version {version} unsupported "
-                f"(expected {TRACE_FORMAT_VERSION})"
+                f"trace checksum mismatch in {path}: "
+                f"stored {expected[:12]}.., payload {actual[:12]}.."
             )
-        missing = [name for name in _ARRAY_FIELDS if name not in data]
-        if missing:
-            raise TraceError(f"trace file missing fields: {missing}")
-        trace = FinalizedTrace(**{name: data[name] for name in _ARRAY_FIELDS})
-    return trace, header.get("metadata", {})
+    return FinalizedTrace(**arrays), header.get("metadata", {})

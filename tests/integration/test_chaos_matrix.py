@@ -1,0 +1,243 @@
+"""Integration: the chaos determinism matrix.
+
+Headline guarantee of the fault-injection layer: for every injected
+failure class - model (simulated-runtime faults), process (worker
+kill/hang/slow-start), storage (torn/truncated/stale artifacts) - the
+job completes after bounded retries/resume and the stored result is
+bit-identical to a fault-free run.  The comparison strips only the
+``meta`` envelope (wall-clock timing, worker PID); every simulated
+quantity - counters, timers, total simulated nanoseconds, DMA byte
+totals - must match exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos import (
+    ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    MODEL_BUFFER_OVERFLOW,
+    MODEL_DMA_FAIL,
+    MODEL_PMA_FAIL,
+    PROCESS_KILL,
+    PROCESS_SLOW_START,
+    STORAGE_STALE_TMP,
+    STORAGE_TORN_JSON,
+    STORAGE_TRUNCATED_NPZ,
+)
+from repro.serve import telemetry as tm
+from repro.serve.jobs import JobSpec, JobState
+from repro.serve.service import ServiceConfig, SimulationService
+from repro.serve.store import ResultStore
+from repro.units import MiB
+
+SPEC = dict(workload="stream", data_bytes=6 * MiB, seed=3)
+TRACED_SPEC = dict(SPEC, record_trace=True)
+
+
+def one_fault(point, **kwargs):
+    return FaultPlan(seed=17, faults=(FaultSpec(point=point, **kwargs),))
+
+
+@pytest.fixture
+def chaos_env(monkeypatch):
+    """Arm a plan for the worker pool; cleared automatically."""
+
+    def arm(plan):
+        if plan is None:
+            monkeypatch.delenv(ENV_VAR, raising=False)
+        else:
+            monkeypatch.setenv(ENV_VAR, plan.to_json())
+
+    arm(None)
+    return arm
+
+
+def run_job(tmp_path, name, spec_dict=SPEC, checkpoint_every=2, max_retries=3):
+    config = ServiceConfig(
+        n_workers=1,
+        job_timeout_s=60.0,
+        max_retries=max_retries,
+        retry_backoff_s=0.05,
+        sweep_cache_dir="",  # no memoization: every attempt simulates
+        checkpoint_every_phases=checkpoint_every,
+    )
+    store_dir = str(tmp_path / name)
+    with SimulationService(store_dir, config) as svc:
+        record = svc.submit(JobSpec(**spec_dict))
+        final = svc.wait(record.job_id, timeout=180.0)
+        doc = svc.result_doc(final.job_id) if final.state is JobState.DONE else None
+        counters = svc.metrics()["counters"]
+    return final, doc, counters, store_dir
+
+
+def payload(doc):
+    """The simulated payload: everything except the per-attempt meta."""
+    return {k: v for k, v in doc.items() if k != "meta"}
+
+
+def audit_store(store_dir):
+    """No partial/corrupt entry may ever be visible in the store."""
+    store = ResultStore(store_dir, sweep_tmp=False)
+    for key in store.keys():
+        doc = store.get(key)  # raises CorruptResultError on a bad entry
+        assert isinstance(doc, dict) and doc
+    return store
+
+
+class TestChaosMatrix:
+    """One injected fault per family, each bit-identical to fault-free."""
+
+    MATRIX = [
+        ("model_buffer_overflow", one_fault(MODEL_BUFFER_OVERFLOW), 2),
+        ("model_dma_fail", one_fault(MODEL_DMA_FAIL), 2),
+        ("model_pma_fail", one_fault(MODEL_PMA_FAIL), 2),
+        ("process_kill_start", one_fault(PROCESS_KILL, args={"at": "start"}), 2),
+        (
+            "process_slow_start",
+            one_fault(PROCESS_SLOW_START, args={"delay_s": 0.05}),
+            1,
+        ),
+        ("storage_torn_json", one_fault(STORAGE_TORN_JSON), 2),
+        ("storage_stale_tmp", one_fault(STORAGE_STALE_TMP), 1),
+    ]
+
+    @pytest.fixture(scope="class")
+    def baseline(self, tmp_path_factory):
+        os.environ.pop(ENV_VAR, None)
+        final, doc, _, _ = run_job(tmp_path_factory.mktemp("clean"), "clean")
+        assert final.state is JobState.DONE and final.attempts == 1
+        return doc
+
+    @pytest.mark.parametrize(
+        "name, plan, expect_attempts", MATRIX, ids=[m[0] for m in MATRIX]
+    )
+    def test_injected_run_bit_identical(
+        self, tmp_path, chaos_env, baseline, name, plan, expect_attempts
+    ):
+        chaos_env(plan)
+        final, doc, counters, store_dir = run_job(tmp_path, name)
+        assert final.state is JobState.DONE, final.error
+        assert final.attempts == expect_attempts
+        assert payload(doc) == payload(baseline)
+        audit_store(store_dir)
+
+    def test_truncated_npz_fault(self, tmp_path, chaos_env):
+        """The npz family needs a traced job; the trace must round-trip
+        intact on the clean retry."""
+        chaos_env(None)
+        clean_final, clean_doc, _, clean_store = run_job(
+            tmp_path, "clean-traced", TRACED_SPEC
+        )
+        assert clean_final.state is JobState.DONE
+
+        chaos_env(one_fault(STORAGE_TRUNCATED_NPZ))
+        final, doc, counters, store_dir = run_job(tmp_path, "trunc", TRACED_SPEC)
+        assert final.state is JobState.DONE and final.attempts == 2
+        assert payload(doc) == payload(clean_doc)
+        assert counters[tm.CHAOS_INJECTIONS] == 1
+
+        injected = audit_store(store_dir)
+        clean = ResultStore(clean_store, sweep_tmp=False)
+        a = injected.load_result_trace(doc["meta"]["key"])
+        b = clean.load_result_trace(clean_doc["meta"]["key"])
+        assert a is not None and b is not None
+        assert a.fault_page.tolist() == b.fault_page.tolist()
+
+    def test_chaos_attempts_visible_in_telemetry(self, tmp_path, chaos_env):
+        chaos_env(one_fault(MODEL_DMA_FAIL, attempts=2))
+        final, _, counters, _ = run_job(tmp_path, "telemetry")
+        assert final.state is JobState.DONE and final.attempts == 3
+        assert counters[tm.CHAOS_INJECTIONS] == 2
+        assert counters[tm.JOBS_RETRIED] == 2
+
+    def test_exhausted_retries_fail_cleanly(self, tmp_path, chaos_env):
+        """More chaos attempts than retries: the job FAILs, the store
+        stays clean, the service stays alive."""
+        chaos_env(one_fault(MODEL_DMA_FAIL, attempts=10))
+        final, doc, _, store_dir = run_job(tmp_path, "exhaust", max_retries=1)
+        assert final.state is JobState.FAILED
+        assert doc is None
+        assert len(list(ResultStore(store_dir, sweep_tmp=False).keys())) == 0
+
+
+class TestCheckpointCrashRecovery:
+    """SIGKILL the worker at successive checkpoint boundaries: every
+    crash point must resume and land on the bit-identical result."""
+
+    @pytest.mark.parametrize("after_saves", [1, 2, 3])
+    def test_kill_at_each_checkpoint(self, tmp_path, chaos_env, after_saves):
+        chaos_env(None)
+        clean_final, clean_doc, _, _ = run_job(tmp_path, "clean")
+        assert clean_final.state is JobState.DONE
+
+        chaos_env(
+            one_fault(
+                PROCESS_KILL, args={"at": "checkpoint", "after_saves": after_saves}
+            )
+        )
+        final, doc, counters, store_dir = run_job(
+            tmp_path, f"kill-{after_saves}", checkpoint_every=1
+        )
+        assert final.state is JobState.DONE, final.error
+        assert final.attempts == 2
+        assert counters[tm.WORKER_DEATHS] == 1
+        assert payload(doc) == payload(clean_doc)
+        audit_store(store_dir)
+        # the successful attempt cleared its checkpoint
+        assert list((ResultStore(store_dir, sweep_tmp=False).root / "checkpoints").glob("*.ckpt")) == []
+
+    def test_resume_actually_used(self, tmp_path, chaos_env):
+        """A kill after the first checkpoint must produce a resumed
+        attempt (visible in telemetry), not a from-scratch rerun."""
+        chaos_env(one_fault(PROCESS_KILL, args={"at": "checkpoint", "after_saves": 1}))
+        final, _, counters, _ = run_job(tmp_path, "resume", checkpoint_every=1)
+        assert final.state is JobState.DONE
+        assert counters[tm.JOBS_RESUMED] == 1
+
+
+class TestSweepCheckpointRecovery:
+    """The run_sweep path: an interrupted point resumes from its
+    checkpoint on the next sweep invocation and matches a clean sweep."""
+
+    def test_interrupted_sweep_point_resumes(self, tmp_path):
+        from repro.experiments.runner import (
+            ExperimentSetup,
+            checkpoint_path,
+            run_sweep,
+            simulate,
+            sweep_cache_key,
+        )
+        from repro.sim.engine import SimulationCheckpointer
+        from repro.workloads.stream_triad import StreamTriadWorkload
+
+        workload = StreamTriadWorkload(total_bytes=3 * MiB)
+        setup = ExperimentSetup()
+        baseline = simulate(workload, setup)
+        cache_dir = str(tmp_path / "sweep-cache")
+
+        # simulate a crashed sweep: a half-finished checkpoint on disk
+        class _Crash(Exception):
+            pass
+
+        def crash(_saves):
+            raise _Crash
+
+        key = sweep_cache_key(workload, setup, False)
+        ck = SimulationCheckpointer(
+            checkpoint_path(cache_dir, key), every_phases=2, on_save=crash
+        )
+        from repro.experiments.runner import build_driver
+
+        with pytest.raises(_Crash):
+            build_driver(workload, setup).run(ck)
+        assert ck.exists()
+
+        results = run_sweep(
+            [workload], setup, workers=1, cache_dir=cache_dir, cache=True
+        )
+        assert results[0].total_time_ns == baseline.total_time_ns
+        assert results[0].counters.as_dict() == baseline.counters.as_dict()
+        assert not ck.exists()  # consumed and cleared by the sweep

@@ -1,0 +1,100 @@
+"""Unit tests for the model-level injector and its scoped activation."""
+
+from repro.chaos import (
+    FaultPlan,
+    FaultSpec,
+    MODEL_BUFFER_OVERFLOW,
+    MODEL_DMA_FAIL,
+    MODEL_PMA_FAIL,
+    PROCESS_KILL,
+    make_injector,
+    model_injection,
+    set_active_plan,
+)
+from repro.chaos.injector import ChaosInjector
+from repro.sim.rng import SimRng
+
+MODEL_PLAN = FaultPlan(seed=3, faults=(FaultSpec(point=MODEL_DMA_FAIL, max_fires=2),))
+
+
+class TestMakeInjector:
+    def test_none_when_nothing_armed(self):
+        set_active_plan(None)
+        try:
+            assert make_injector(SimRng(1)) is None
+        finally:
+            set_active_plan(None, reset=True)
+
+    def test_armed_inside_model_injection_scope(self):
+        with model_injection(MODEL_PLAN):
+            injector = make_injector(SimRng(1))
+            assert isinstance(injector, ChaosInjector)
+        assert make_injector(SimRng(1)) is None
+
+    def test_process_only_plan_never_arms(self):
+        plan = FaultPlan(faults=(FaultSpec(point=PROCESS_KILL),))
+        with model_injection(plan):
+            assert make_injector(SimRng(1)) is None
+
+    def test_env_plan_arms_only_with_activate_always(self):
+        plan = FaultPlan(faults=(FaultSpec(point=MODEL_DMA_FAIL),))
+        set_active_plan(plan)
+        try:
+            assert make_injector(SimRng(1)) is None
+            always = FaultPlan(
+                faults=(
+                    FaultSpec(point=MODEL_DMA_FAIL, args={"activate": "always"}),
+                )
+            )
+            set_active_plan(always)
+            assert make_injector(SimRng(1)) is not None
+        finally:
+            set_active_plan(None, reset=True)
+
+    def test_scopes_nest_and_restore(self):
+        inner = FaultPlan(faults=(FaultSpec(point=MODEL_PMA_FAIL),))
+        with model_injection(MODEL_PLAN):
+            with model_injection(inner):
+                injector = make_injector(SimRng(1))
+                assert injector is not None and injector.plan is inner
+            injector = make_injector(SimRng(1))
+            assert injector is not None and injector.plan is MODEL_PLAN
+
+
+class TestChaosInjector:
+    def test_fire_honours_max_fires(self):
+        injector = ChaosInjector(MODEL_PLAN, SimRng(1))
+        assert injector.fire(MODEL_DMA_FAIL) is not None
+        assert injector.fire(MODEL_DMA_FAIL) is not None
+        assert injector.fire(MODEL_DMA_FAIL) is None  # budget of 2 spent
+        assert injector.fired == {MODEL_DMA_FAIL: 2}
+        assert injector.fired_total() == 2
+
+    def test_unlisted_point_never_fires(self):
+        injector = ChaosInjector(MODEL_PLAN, SimRng(1))
+        assert injector.fire(MODEL_BUFFER_OVERFLOW) is None
+        assert injector.fired_total() == 0
+
+    def test_certain_probability_consumes_no_randomness(self):
+        rng = SimRng(1)
+        injector = ChaosInjector(MODEL_PLAN, rng)
+        before = rng.fork("probe").uniform()
+        injector.fire(MODEL_DMA_FAIL)
+        after = rng.fork("probe").uniform()
+        assert before == after
+
+    def test_probabilistic_fire_is_seed_deterministic(self):
+        plan = FaultPlan(
+            seed=3,
+            faults=(
+                FaultSpec(point=MODEL_DMA_FAIL, probability=0.5, max_fires=100),
+            ),
+        )
+        runs = []
+        for _ in range(2):
+            injector = ChaosInjector(plan, SimRng(42))
+            runs.append(
+                [injector.fire(MODEL_DMA_FAIL) is not None for _ in range(64)]
+            )
+        assert runs[0] == runs[1]
+        assert True in runs[0] and False in runs[0]

@@ -1,0 +1,155 @@
+"""Unit tests for the fault plan model and its deterministic decisions."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ALL_POINTS,
+    ENV_VAR,
+    FAMILY_MODEL,
+    FAMILY_PROCESS,
+    FAMILY_STORAGE,
+    MODEL_DMA_FAIL,
+    MODEL_POINTS,
+    PROCESS_KILL,
+    STORAGE_TORN_JSON,
+    FaultPlan,
+    FaultSpec,
+    family_of,
+    plan_from_env,
+)
+from repro.errors import ConfigurationError
+
+SCOPE = "a" * 64
+
+
+class TestFaultSpec:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(point="model.no_such_point")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(point=MODEL_DMA_FAIL, probability=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(point=MODEL_DMA_FAIL, probability=1.5)
+
+    def test_family_derivation(self):
+        assert FaultSpec(point=MODEL_DMA_FAIL).family == FAMILY_MODEL
+        assert FaultSpec(point=PROCESS_KILL).family == FAMILY_PROCESS
+        assert FaultSpec(point=STORAGE_TORN_JSON).family == FAMILY_STORAGE
+        assert all(family_of(p) in ("model", "process", "storage") for p in ALL_POINTS)
+
+    def test_model_points_cover_model_family(self):
+        assert set(MODEL_POINTS) == {
+            p for p in ALL_POINTS if family_of(p) == FAMILY_MODEL
+        }
+
+
+class TestFaultPlan:
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(
+                faults=(
+                    FaultSpec(point=MODEL_DMA_FAIL),
+                    FaultSpec(point=MODEL_DMA_FAIL),
+                )
+            )
+
+    def test_should_fire_respects_attempts_bound(self):
+        plan = FaultPlan(faults=(FaultSpec(point=MODEL_DMA_FAIL, attempts=2),))
+        assert plan.should_fire(MODEL_DMA_FAIL, SCOPE, trial=0) is not None
+        assert plan.should_fire(MODEL_DMA_FAIL, SCOPE, trial=1) is not None
+        # attempt attempts+1 is guaranteed clean - the retry convergence
+        # property the whole chaos design rests on.
+        assert plan.should_fire(MODEL_DMA_FAIL, SCOPE, trial=2) is None
+
+    def test_should_fire_is_deterministic_across_instances(self):
+        spec = FaultSpec(point=MODEL_DMA_FAIL, probability=0.5, attempts=1)
+        a = FaultPlan(seed=99, faults=(spec,))
+        b = FaultPlan(seed=99, faults=(spec,))
+        for scope in (SCOPE, "b" * 64, "c" * 64):
+            assert (a.should_fire(MODEL_DMA_FAIL, scope) is None) == (
+                b.should_fire(MODEL_DMA_FAIL, scope) is None
+            )
+
+    def test_probability_draw_depends_on_seed(self):
+        spec = FaultSpec(point=MODEL_DMA_FAIL, probability=0.5)
+        verdicts = {
+            seed: FaultPlan(seed=seed, faults=(spec,)).should_fire(
+                MODEL_DMA_FAIL, SCOPE
+            )
+            is not None
+            for seed in range(32)
+        }
+        # with p=0.5 over 32 seeds both outcomes must appear
+        assert set(verdicts.values()) == {True, False}
+
+    def test_unlisted_point_never_fires(self):
+        plan = FaultPlan(faults=(FaultSpec(point=MODEL_DMA_FAIL),))
+        assert plan.should_fire(PROCESS_KILL, SCOPE) is None
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=7,
+            faults=(
+                FaultSpec(
+                    point=PROCESS_KILL,
+                    probability=0.25,
+                    attempts=3,
+                    args={"at": "checkpoint", "after_saves": 2},
+                ),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"seed": 1, "surprise": True})
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict({"faults": [{"point": MODEL_DMA_FAIL, "oops": 1}]})
+
+    def test_family_queries(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(point=MODEL_DMA_FAIL),
+                FaultSpec(point=STORAGE_TORN_JSON),
+            )
+        )
+        assert plan.has_family(FAMILY_MODEL)
+        assert plan.has_family(FAMILY_STORAGE)
+        assert not plan.has_family(FAMILY_PROCESS)
+        assert [s.point for s in plan.family_specs(FAMILY_MODEL)] == [MODEL_DMA_FAIL]
+
+
+class TestEnvActivation:
+    def test_unset_or_disabled_is_none(self, monkeypatch):
+        for value in (None, "", "0", "off", "none", "disabled"):
+            if value is None:
+                monkeypatch.delenv(ENV_VAR, raising=False)
+            else:
+                monkeypatch.setenv(ENV_VAR, value)
+            assert plan_from_env() is None
+
+    def test_inline_json(self, monkeypatch):
+        plan = FaultPlan(seed=5, faults=(FaultSpec(point=MODEL_DMA_FAIL),))
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        assert plan_from_env() == plan
+
+    def test_plan_file(self, monkeypatch, tmp_path):
+        plan = FaultPlan(seed=5, faults=(FaultSpec(point=STORAGE_TORN_JSON),))
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        monkeypatch.setenv(ENV_VAR, str(path))
+        assert plan_from_env() == plan
+
+    def test_missing_plan_file_rejected(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_VAR, str(tmp_path / "nope.json"))
+        with pytest.raises(ConfigurationError):
+            plan_from_env()
+
+    def test_invalid_json_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        with pytest.raises(ConfigurationError):
+            plan_from_env()

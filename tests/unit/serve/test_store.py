@@ -1,6 +1,11 @@
 """Unit tests for the content-addressed result store."""
 
-from repro.serve.store import ResultStore
+import json
+
+import pytest
+
+from repro.errors import CorruptResultError
+from repro.serve.store import CHECKSUM_FIELD, ResultStore, doc_checksum
 from repro.trace.recorder import TraceRecorder
 
 KEY_A = "aa" + "0" * 62
@@ -80,3 +85,114 @@ class TestTracePayloads:
         store.discard(KEY_A)
         assert not store.contains(KEY_A)
         assert store.load_result_trace(KEY_A) is None
+
+
+class TestChecksums:
+    def test_stored_document_carries_checksum(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"v": 1})
+        raw = json.loads(store.doc_path(KEY_A).read_text())
+        assert raw[CHECKSUM_FIELD] == doc_checksum({"v": 1})
+
+    def test_checksum_excludes_itself(self):
+        doc = {"v": 1}
+        assert doc_checksum(doc) == doc_checksum({**doc, CHECKSUM_FIELD: "anything"})
+
+    def test_caller_dict_not_mutated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        doc = {"v": 1}
+        store.store(KEY_A, doc)
+        assert doc == {"v": 1}
+
+    def test_get_strips_checksum(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"v": 1})
+        assert store.get(KEY_A) == {"v": 1}
+
+    def test_get_missing_raises_keyerror(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(KeyError):
+            store.get(KEY_A)
+
+    def test_legacy_document_without_checksum_loads(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.doc_path(KEY_A)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"v": 1}))
+        assert store.get(KEY_A) == {"v": 1}
+
+
+class TestQuarantine:
+    def _corrupt(self, store, key):
+        store.store(key, {"v": 1})
+        path = store.doc_path(key)
+        raw = json.loads(path.read_text())
+        raw["v"] = 2  # bit-flip the payload; checksum now stale
+        path.write_text(json.dumps(raw))
+
+    def test_checksum_mismatch_raises_and_quarantines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._corrupt(store, KEY_A)
+        with pytest.raises(CorruptResultError):
+            store.get(KEY_A)
+        assert store.quarantined == 1
+        assert not store.doc_path(KEY_A).exists()
+        assert (store.quarantine_dir / f"{KEY_A}.json").is_file()
+        # afterwards the key is a plain miss, so a writer can repopulate
+        with pytest.raises(KeyError):
+            store.get(KEY_A)
+
+    def test_lenient_load_self_heals(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._corrupt(store, KEY_A)
+        assert store.load(KEY_A) is None
+        assert not store.contains(KEY_A)
+        assert store.quarantined == 1
+
+    def test_torn_document_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.doc_path(KEY_A)
+        path.parent.mkdir(parents=True)
+        path.write_text('{"total_time_ns": 12')
+        with pytest.raises(CorruptResultError):
+            store.get(KEY_A)
+        assert (store.quarantine_dir / f"{KEY_A}.json").is_file()
+
+    def test_truncated_trace_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"v": 1}, trace=sample_trace())
+        npz = store.trace_path(KEY_A)
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+        with pytest.raises(CorruptResultError):
+            store.load_result_trace(KEY_A)
+        assert (store.quarantine_dir / f"{KEY_A}.npz").is_file()
+
+    def test_quarantine_dir_not_enumerated(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._corrupt(store, KEY_A)
+        store.load(KEY_A)
+        store.store(KEY_B, {"v": 3})
+        assert list(store.keys()) == [KEY_B]
+
+
+class TestTmpSweep:
+    def test_startup_sweeps_stale_tmp(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"v": 1})
+        debris = tmp_path / "aa" / "tmpabc123.tmp"
+        debris.write_text("partial")
+        dot_debris = tmp_path / "aa" / f".{KEY_A}.999.tmp.npz"
+        dot_debris.write_bytes(b"\x00")
+        reopened = ResultStore(tmp_path)
+        assert reopened.tmp_swept == 2
+        assert not debris.exists() and not dot_debris.exists()
+        assert reopened.load(KEY_A) == {"v": 1}  # real entries untouched
+
+    def test_worker_mode_does_not_sweep(self, tmp_path):
+        store = ResultStore(tmp_path)
+        debris = tmp_path / "aa"
+        debris.mkdir()
+        (debris / "tmpabc123.tmp").write_text("in flight")
+        worker_store = ResultStore(tmp_path, sweep_tmp=False)
+        assert worker_store.tmp_swept == 0
+        assert (debris / "tmpabc123.tmp").exists()

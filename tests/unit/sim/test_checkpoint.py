@@ -1,0 +1,195 @@
+"""Unit tests for event-queue snapshots and the simulation checkpointer."""
+
+import pickle
+
+import pytest
+
+from repro.errors import CheckpointError, SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import (
+    CHECKPOINT_VERSION,
+    EventQueue,
+    SimulationCheckpointer,
+)
+
+
+class TestEventQueueSnapshot:
+    def test_round_trip_preserves_order_and_counts(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule_at(300, fired.append, 3)
+        queue.schedule_at(100, fired.append, 1)
+        queue.schedule_at(200, fired.append, 2)
+        snap = queue.snapshot()
+
+        other = EventQueue(clock)
+        other.restore(snap)
+        assert len(other) == 3
+        other.run_all()
+        assert fired == [1, 2, 3]
+        assert other.dispatched == snap.dispatched + 3
+
+    def test_seq_tiebreak_replays_identically(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        fired = []
+        # same timestamp: insertion order is the only tie-break
+        queue.schedule_at(50, fired.append, "first")
+        queue.schedule_at(50, fired.append, "second")
+        snap = queue.snapshot()
+        restored = EventQueue(SimClock())
+        restored.restore(snap)
+        restored.run_all()
+        assert fired == ["first", "second"]
+
+    def test_new_events_after_restore_continue_seq(self):
+        clock = SimClock()
+        queue = EventQueue(clock)
+        queue.schedule_at(50, lambda _: None)
+        snap = queue.snapshot()
+        restored = EventQueue(SimClock())
+        restored.restore(snap)
+        ev = restored.schedule_at(50, lambda _: None)
+        assert ev.seq == snap.next_seq
+
+    def test_cancelled_events_dropped_from_snapshot(self):
+        queue = EventQueue(SimClock())
+        keep = []
+        queue.schedule_at(10, keep.append, "keep")
+        queue.schedule_at(20, keep.append, "cancelled").cancel()
+        snap = queue.snapshot()
+        assert len(snap.events) == 1
+        restored = EventQueue(SimClock())
+        restored.restore(snap)
+        restored.run_all()
+        assert keep == ["keep"]
+
+    def test_restore_rejects_events_in_the_past(self):
+        queue = EventQueue(SimClock())
+        queue.schedule_at(10, lambda _: None)
+        snap = queue.snapshot()
+        late_clock = SimClock()
+        late_clock.advance_to(100)
+        stale = EventQueue(late_clock)
+        with pytest.raises(SimulationError):
+            stale.restore(snap)
+
+
+class TestSimulationCheckpointer:
+    def test_cadence(self, tmp_path):
+        ck = SimulationCheckpointer(tmp_path / "c.ckpt", every_phases=3)
+        saved = [ck.maybe_save({"i": i}) for i in range(7)]
+        assert saved == [False, False, True, False, False, True, False]
+        assert ck.saves == 2
+        assert ck.load() == {"i": 5}
+
+    def test_save_load_round_trip(self, tmp_path):
+        ck = SimulationCheckpointer(tmp_path / "c.ckpt")
+        assert not ck.exists()
+        ck.save({"state": [1, 2, 3]})
+        assert ck.exists()
+        assert ck.load() == {"state": [1, 2, 3]}
+
+    def test_clear_removes_file(self, tmp_path):
+        ck = SimulationCheckpointer(tmp_path / "c.ckpt")
+        ck.save("x")
+        ck.clear()
+        assert not ck.exists()
+        assert ck.load() is None
+
+    def test_corrupt_file_loads_as_none_and_self_clears(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        ck = SimulationCheckpointer(path)
+        ck.save("x")
+        path.write_bytes(path.read_bytes()[:10])  # truncate
+        assert ck.load() is None
+        assert not path.exists()
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        path.write_bytes(pickle.dumps(("other-tool", CHECKPOINT_VERSION, "x")))
+        ck = SimulationCheckpointer(path)
+        assert ck.load() is None
+        assert not path.exists()
+
+    def test_stale_version_rejected(self, tmp_path):
+        path = tmp_path / "c.ckpt"
+        path.write_bytes(
+            pickle.dumps(("uvmrepro-checkpoint", CHECKPOINT_VERSION + 1, "x"))
+        )
+        assert SimulationCheckpointer(path).load() is None
+
+    def test_no_tmp_litter_after_save(self, tmp_path):
+        ck = SimulationCheckpointer(tmp_path / "c.ckpt")
+        ck.save({"big": list(range(1000))})
+        assert [p.name for p in tmp_path.iterdir()] == ["c.ckpt"]
+
+    def test_on_save_hook_sees_ordinal(self, tmp_path):
+        calls = []
+        ck = SimulationCheckpointer(
+            tmp_path / "c.ckpt", every_phases=2, on_save=calls.append
+        )
+        for _ in range(4):
+            ck.maybe_save("s")
+        assert calls == [1, 2]
+
+    def test_invalid_cadence_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            SimulationCheckpointer(tmp_path / "c.ckpt", every_phases=0)
+
+
+class TestDriverResume:
+    """Interrupt a real simulation mid-run and resume it bit-identically."""
+
+    def _workload(self):
+        from repro.workloads.stream_triad import StreamTriadWorkload
+
+        return StreamTriadWorkload(total_bytes=3 << 20)
+
+    def test_resumed_run_matches_uninterrupted(self, tmp_path):
+        from repro.experiments.runner import (
+            ExperimentSetup,
+            build_driver,
+            execute_job,
+            simulate,
+        )
+
+        workload = self._workload()
+        setup = ExperimentSetup()
+        baseline = simulate(workload, setup)
+
+        class _Interrupt(Exception):
+            pass
+
+        def crash_after_first_save(_saves: int) -> None:
+            raise _Interrupt
+
+        ck = SimulationCheckpointer(
+            tmp_path / "run.ckpt", every_phases=2, on_save=crash_after_first_save
+        )
+        driver = build_driver(workload, setup)
+        with pytest.raises(_Interrupt):
+            driver.run(ck)
+        assert ck.exists()
+
+        ck.on_save = None
+        result, cache_hit = execute_job(workload, setup, checkpointer=ck)
+        assert ck.resumed and not cache_hit
+        assert result.total_time_ns == baseline.total_time_ns
+        assert result.counters.as_dict() == baseline.counters.as_dict()
+        assert result.timer.as_dict() == baseline.timer.as_dict()
+        assert result.gpu_phases == baseline.gpu_phases
+        assert not ck.exists()  # cleared after the successful run
+
+    def test_checkpointed_run_identical_to_plain_run(self, tmp_path):
+        from repro.experiments.runner import ExperimentSetup, build_driver, simulate
+
+        workload = self._workload()
+        setup = ExperimentSetup()
+        baseline = simulate(workload, setup)
+        ck = SimulationCheckpointer(tmp_path / "run.ckpt", every_phases=1)
+        result = build_driver(workload, setup).run(ck)
+        assert ck.saves > 0
+        assert result.total_time_ns == baseline.total_time_ns
+        assert result.counters.as_dict() == baseline.counters.as_dict()
