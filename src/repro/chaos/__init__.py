@@ -34,6 +34,7 @@ from repro.chaos.plan import (
     MODEL_POINTS,
     PROCESS_HANG,
     PROCESS_KILL,
+    PROCESS_SERVICE_KILL,
     PROCESS_SLOW_START,
     STORAGE_STALE_TMP,
     STORAGE_TORN_JSON,
@@ -58,6 +59,7 @@ __all__ = [
     "MODEL_POINTS",
     "PROCESS_HANG",
     "PROCESS_KILL",
+    "PROCESS_SERVICE_KILL",
     "PROCESS_SLOW_START",
     "STORAGE_STALE_TMP",
     "STORAGE_TORN_JSON",

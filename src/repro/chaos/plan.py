@@ -48,6 +48,10 @@ PROCESS_KILL = "process.worker_kill"
 PROCESS_HANG = "process.worker_hang"
 #: worker sleeps before executing (args: delay_s); non-fatal.
 PROCESS_SLOW_START = "process.worker_slow_start"
+#: SIGKILL the *service* process itself once its write-ahead journal
+#: has durably appended ``after_records`` records (args: after_records,
+#: default 1) - the crash the journal replay path must recover from.
+PROCESS_SERVICE_KILL = "process.service_kill"
 #: result JSON written torn (truncated, non-atomic).
 STORAGE_TORN_JSON = "storage.torn_json"
 #: trace npz written truncated.
@@ -62,6 +66,7 @@ ALL_POINTS = (
     PROCESS_KILL,
     PROCESS_HANG,
     PROCESS_SLOW_START,
+    PROCESS_SERVICE_KILL,
     STORAGE_TORN_JSON,
     STORAGE_TRUNCATED_NPZ,
     STORAGE_STALE_TMP,

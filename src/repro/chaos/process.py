@@ -23,6 +23,7 @@ from typing import Callable, Optional
 from repro.chaos.plan import (
     PROCESS_HANG,
     PROCESS_KILL,
+    PROCESS_SERVICE_KILL,
     PROCESS_SLOW_START,
     FaultPlan,
 )
@@ -66,6 +67,31 @@ def checkpoint_kill_hook(
 
     def hook(saves: int) -> None:
         if saves >= after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def journal_kill_hook(
+    plan: FaultPlan, scope: str = "service", trial: int = 0
+) -> Optional[Callable[[int], None]]:
+    """A journal ``on_append`` hook that kills the service, or ``None``.
+
+    ``service_kill`` SIGKILLs the *service process* (supervisor, HTTP
+    threads, journal - everything) right after its write-ahead journal
+    has durably appended the Nth record (``after_records``, default 1).
+    Parameterizing N over every record ordinal of a reference run is the
+    recovery test matrix: at each boundary the journal prefix must
+    replay into an equivalent job table, terminal results intact and
+    non-terminal jobs requeued.
+    """
+    spec = plan.should_fire(PROCESS_SERVICE_KILL, scope, trial)
+    if spec is None:
+        return None
+    after = int(spec.args.get("after_records", 1))
+
+    def hook(records: int) -> None:
+        if records >= after:
             os.kill(os.getpid(), signal.SIGKILL)
 
     return hook

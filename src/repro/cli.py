@@ -352,14 +352,48 @@ def _cmd_exhibit(args: argparse.Namespace) -> int:
 # -- service verbs ------------------------------------------------------------
 
 
+def _probe_writable_dir(path: str, role: str) -> str | None:
+    """Create-and-probe ``path``; an error string when unusable, else None.
+
+    The service journals every transition under its directories, so an
+    unwritable path must fail at startup with exit 2 - not as an opaque
+    OSError from a worker or the journal mid-run.
+    """
+    import os
+    import uuid
+
+    try:
+        os.makedirs(path, exist_ok=True)
+        probe = os.path.join(path, f".probe-{uuid.uuid4().hex}")
+        with open(probe, "w", encoding="utf-8") as handle:
+            handle.write("probe")
+        os.unlink(probe)
+    except OSError as exc:
+        return f"{role} directory {path!r} is not writable: {exc}"
+    return None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the asynchronous simulation job service until interrupted."""
     import os
-    import time
+    import signal
+    import threading
 
     from repro.serve.http_api import serve_http
     from repro.serve.service import ServiceConfig, SimulationService
 
+    journal_path = args.journal_path or os.path.join(
+        args.store_dir, "journal.jsonl"
+    )
+    for path, role in (
+        (args.store_dir, "result store"),
+        (os.path.join(args.store_dir, "checkpoints"), "checkpoint"),
+        (os.path.dirname(journal_path) or ".", "journal"),
+    ):
+        problem = _probe_writable_dir(path, role)
+        if problem is not None:
+            print(f"uvmrepro serve: error: {problem}", file=sys.stderr)
+            return 2
     if args.chaos is not None:
         # arm fault injection for the workers (they re-read the env at
         # boot); validate the plan now so a typo fails at startup, not
@@ -376,23 +410,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         sweep_cache_dir=args.sweep_cache,
         checkpoint_every_phases=args.checkpoint_every,
+        queue_high_watermark=args.queue_high_watermark,
+        queue_low_watermark=args.queue_low_watermark,
+        poison_threshold=args.poison_threshold,
+        drain_timeout_s=args.drain_timeout,
+        journal_path=args.journal_path,
     )
     service = SimulationService(args.store_dir, config).start()
     server = serve_http(service, args.host, args.port)
+    replayed = service.telemetry.counter("jobs.journal_replayed")
+    if replayed:
+        print(f"journal replayed: {replayed} job(s) recovered from {journal_path}")
     print(
         f"uvmrepro service on {server.url} "
         f"(workers={config.n_workers}, store={args.store_dir})"
     )
     print("endpoints: POST /jobs  GET /jobs/<id>[/result]  DELETE /jobs/<id>")
-    print("           GET /metrics  GET /events?since=N  GET /healthz")
+    print("           GET /metrics  GET /events?since=N  GET /healthz  GET /readyz")
+
+    # SIGTERM = graceful drain (the k8s/systemd stop path): stop
+    # admission, let running jobs settle, journal the rest, exit 0.
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
     try:
-        while True:
-            time.sleep(3600)
+        while not stop.wait(0.5):
+            pass
+        print("\ndraining (SIGTERM) ...")
     except KeyboardInterrupt:
-        print("\nshutting down ...")
+        print("\ndraining (interrupt) ...")
     finally:
-        server.shutdown()
-        service.stop()
+        signal.signal(signal.SIGTERM, previous)
+        server.shutdown()  # stop accepting connections first
+        service.drain()  # then settle + journal + stop (idempotent)
     return 0
 
 
@@ -424,7 +473,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     client = _client(args)
     try:
         record = client.submit(spec)
-        if args.wait and record["state"] not in ("done", "failed", "cancelled"):
+        if args.wait and record["state"] not in (
+            "done", "failed", "cancelled", "poisoned"
+        ):
             record = client.wait(record["job_id"], timeout_s=args.timeout)
     except ServiceClientError as exc:
         print(f"submit failed: {exc}", file=sys.stderr)
@@ -612,6 +663,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PLAN",
         help="fault-injection plan: JSON file path or inline JSON "
         "(sets UVMREPRO_CHAOS for the worker pool; see docs/robustness.md)",
+    )
+    serve_p.add_argument(
+        "--queue-high-watermark",
+        type=_positive_int,
+        default=512,
+        help="queued depth at which submissions are shed with HTTP 429",
+    )
+    serve_p.add_argument(
+        "--queue-low-watermark",
+        type=_non_negative_int,
+        default=384,
+        help="queued depth at which shedding stops again (hysteresis)",
+    )
+    serve_p.add_argument(
+        "--poison-threshold",
+        type=_non_negative_int,
+        default=3,
+        help="worker deaths on one spec key before it is quarantined "
+        "as poisoned (0 disables the breaker)",
+    )
+    serve_p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a SIGTERM drain waits for running jobs to finish",
+    )
+    serve_p.add_argument(
+        "--journal-path",
+        default=None,
+        help="write-ahead job journal file (default: <store-dir>/journal.jsonl)",
     )
     serve_p.set_defaults(fn=_cmd_serve)
 

@@ -73,6 +73,16 @@ class CheckpointError(ReproError):
     """A simulation checkpoint could not be written or restored."""
 
 
+class JournalError(ReproError):
+    """The write-ahead job journal could not be written or replayed.
+
+    Replay itself is tolerant (a torn tail is truncated, not raised);
+    this error covers I/O failures of the journal file - an unwritable
+    directory, a failed compaction rename - that make durability
+    guarantees impossible to uphold.
+    """
+
+
 class CorruptResultError(ReproError):
     """A stored result failed its integrity check and was quarantined.
 

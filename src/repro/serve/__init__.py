@@ -12,9 +12,13 @@ long-running service so many clients can share one warm fleet:
   (JSON documents + ``.npz`` trace payloads, atomic writes),
 * :mod:`repro.serve.pool` - the supervised ``multiprocessing`` worker
   pool,
+* :mod:`repro.serve.journal` - the append-only, checksummed write-ahead
+  job journal every state transition is durably logged to; startup
+  replay makes the job table survive a ``kill -9``,
 * :mod:`repro.serve.service` - the priority-queue scheduler/supervisor
   (:class:`SimulationService`): timeouts, bounded retries with backoff,
-  worker-death recovery, instant cache serving,
+  worker-death recovery, instant cache serving, watermark admission
+  control, a poison-job circuit breaker, and graceful drain,
 * :mod:`repro.serve.telemetry` - streaming per-job telemetry built on
   :class:`~repro.sim.stats.CounterSet`/:class:`~repro.sim.stats.CategoryTimer`,
 * :mod:`repro.serve.http_api` / :mod:`repro.serve.client` - the
@@ -22,17 +26,28 @@ long-running service so many clients can share one warm fleet:
 """
 
 from repro.serve.jobs import JobSpec, JobState, JobRecord
+from repro.serve.journal import JobJournal
 from repro.serve.results import result_to_doc
 from repro.serve.store import ResultStore
-from repro.serve.service import ServiceConfig, SimulationService
+from repro.serve.service import (
+    AdmissionError,
+    QueueFullError,
+    ServiceConfig,
+    ServiceDrainingError,
+    SimulationService,
+)
 from repro.serve.telemetry import Telemetry
 
 __all__ = [
+    "AdmissionError",
+    "JobJournal",
     "JobSpec",
     "JobState",
     "JobRecord",
+    "QueueFullError",
     "ResultStore",
     "ServiceConfig",
+    "ServiceDrainingError",
     "SimulationService",
     "Telemetry",
     "result_to_doc",

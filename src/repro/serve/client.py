@@ -16,6 +16,14 @@ fleet of clients are what the jitter prevents, and seeding keeps test
 runs reproducible.  Server-reported 5xx responses are retried for
 ``GET`` only (idempotent); a 5xx on ``POST``/``DELETE`` surfaces
 immediately since the service may have acted on it.
+
+The exception: **429** (queue shed) and **503** (draining) are retried
+for *every* method - the service guarantees it created no state before
+answering them - sleeping at least the server's ``Retry-After`` hint
+each round.  When the retry budget runs out they surface as
+:class:`ServiceOverloadedError` (a :class:`ServiceClientError`
+subclass) carrying the last ``retry_after_s`` so callers can queue the
+work for later instead of treating it as a hard failure.
 """
 
 from __future__ import annotations
@@ -38,6 +46,41 @@ class ServiceClientError(ReproError):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(f"[{status}] {message}")
         self.status = status
+
+
+class ServiceOverloadedError(ServiceClientError):
+    """The service kept shedding/draining for the whole retry budget.
+
+    Distinct from a hard rejection: the request was never acted on, and
+    ``retry_after_s`` is the server's latest hint for when to try again.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after_s: float = 1.0
+    ) -> None:
+        super().__init__(status, message)
+        self.retry_after_s = retry_after_s
+
+
+def _retry_after_hint(
+    exc: urllib.error.HTTPError, detail: dict[str, Any]
+) -> float:
+    """The server's pacing hint: ``Retry-After`` header, else body field.
+
+    Only the delta-seconds form of ``Retry-After`` is parsed (it is what
+    the service emits); an HTTP-date or garbage value falls through to
+    the body's ``retry_after_s`` and finally 0 (= client's own backoff).
+    """
+    raw = exc.headers.get("Retry-After") if exc.headers is not None else None
+    if raw is not None:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            pass
+    try:
+        return max(0.0, float(detail.get("retry_after_s", 0.0)))
+    except (TypeError, ValueError):
+        return 0.0
 
 
 class _SplitTimeoutConnection(http.client.HTTPConnection):
@@ -108,6 +151,7 @@ class ServiceClient:
                 method=method,
                 headers={"Content-Type": "application/json"} if body else {},
             )
+            retry_after = 0.0
             try:
                 # the urlopen timeout arms the *connect*; the handler
                 # re-arms the socket with the read timeout afterwards.
@@ -116,14 +160,26 @@ class ServiceClient:
                 ) as response:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
+                detail: dict[str, Any] = {}
                 try:
-                    message = json.loads(exc.read().decode("utf-8")).get(
-                        "error", str(exc)
-                    )
+                    detail = json.loads(exc.read().decode("utf-8"))
+                    message = detail.get("error", str(exc))
                 except Exception:
                     message = str(exc)
-                last_error = ServiceClientError(exc.code, message)
-                retryable = method == "GET" and 500 <= exc.code < 600
+                overloaded = exc.code in (429, 503)
+                if overloaded:
+                    # admission control answered before creating any
+                    # state, so every method is safe to retry; honour the
+                    # server's pacing hint over our own backoff.
+                    retry_after = _retry_after_hint(exc, detail)
+                    last_error = ServiceOverloadedError(
+                        exc.code, message, retry_after_s=retry_after or 1.0
+                    )
+                else:
+                    last_error = ServiceClientError(exc.code, message)
+                retryable = overloaded or (
+                    method == "GET" and 500 <= exc.code < 600
+                )
                 if not retryable or attempt >= self.retries:
                     raise last_error from exc
             except urllib.error.URLError as exc:
@@ -134,12 +190,16 @@ class ServiceClient:
                 )
                 if attempt >= self.retries:
                     raise last_error from exc
-            time.sleep(self._backoff(attempt))
+            time.sleep(max(self._backoff(attempt), retry_after))
         raise last_error  # pragma: no cover - loop always raises/returns
 
     # -- API ------------------------------------------------------------------
     def healthz(self) -> bool:
         return bool(self._request("GET", "/healthz").get("ok"))
+
+    def readyz(self) -> dict[str, Any]:
+        """The readiness document; raises ServiceOverloadedError on 503."""
+        return self._request("GET", "/readyz")
 
     def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
         return self._request("POST", "/jobs", spec)
@@ -169,7 +229,7 @@ class ServiceClient:
         deadline = time.monotonic() + timeout_s
         while True:
             record = self.status(job_id)
-            if record["state"] in ("done", "failed", "cancelled"):
+            if record["state"] in ("done", "failed", "cancelled", "poisoned"):
                 return record
             if time.monotonic() > deadline:
                 raise TimeoutError(

@@ -10,7 +10,16 @@ Endpoints:
 * ``GET  /metrics``             - telemetry snapshot (counters, gauges,
   p50/p95 job latency, cache hit rate)
 * ``GET  /events?since=N``      - incremental job-transition stream
-* ``GET  /healthz``             - liveness probe
+* ``GET  /healthz``             - liveness probe (200 while the process
+  serves, even when draining)
+* ``GET  /readyz``              - readiness probe: 503 + ``Retry-After``
+  while replaying the journal, draining, or shedding load
+
+Overload and drain map onto status codes clients can act on: a
+submission shed by admission control answers **429** and a submission
+during drain/replay answers **503**, both with a ``Retry-After`` header
+and a ``retry_after_s`` body field - no job state was created, the
+request is safe to retry verbatim.
 
 Handlers run on :class:`http.server.ThreadingHTTPServer` threads; all
 shared state lives in the thread-safe :class:`SimulationService`.
@@ -25,7 +34,7 @@ from typing import Any, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ConfigurationError, CorruptResultError, ReproError
-from repro.serve.service import SimulationService
+from repro.serve.service import AdmissionError, SimulationService
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -54,11 +63,18 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
         pass  # quiet by default; telemetry is the observable surface
 
-    def _send(self, status: int, payload: Any) -> None:
+    def _send(
+        self,
+        status: int,
+        payload: Any,
+        headers: Optional[dict[str, str]] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -81,7 +97,20 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         try:
             if parts == ["healthz"]:
-                self._send(200, {"ok": True})
+                # liveness: the process is up; drain is advisory here
+                self._send(
+                    200, {"ok": True, "draining": self.server.service.draining}
+                )
+            elif parts == ["readyz"]:
+                ready, detail = self.server.service.readiness()
+                if ready:
+                    self._send(200, detail)
+                else:
+                    retry_after = self.server.service.config.shed_retry_after_s
+                    detail["retry_after_s"] = retry_after
+                    self._send(
+                        503, detail, headers={"Retry-After": f"{retry_after:g}"}
+                    )
             elif parts == ["metrics"]:
                 self._send(200, self.server.service.metrics())
             elif parts == ["events"]:
@@ -137,6 +166,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(202 if not record.cache_hit else 200, record.to_dict())
             else:
                 self._error(404, f"no route for POST {url.path}")
+        except AdmissionError as exc:
+            # 429 (shed) / 503 (draining): nothing was enqueued, the
+            # client should back off and retry the identical request.
+            self._send(
+                exc.status,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": f"{exc.retry_after_s:g}"},
+            )
         except ReproError as exc:
             self._error(400, str(exc))
 

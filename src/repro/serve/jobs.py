@@ -46,10 +46,18 @@ class JobState(str, enum.Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: quarantined by the poison-job circuit breaker: this spec's key
+    #: killed too many workers, so the service stops feeding it workers.
+    POISONED = "poisoned"
 
     @property
     def terminal(self) -> bool:
-        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+        return self in (
+            JobState.DONE,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.POISONED,
+        )
 
 
 @dataclass(frozen=True)
@@ -204,3 +212,31 @@ class JobRecord:
             "error": self.error,
             "worker_id": self.worker_id,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "JobRecord":
+        """Reconstruct a record from its :meth:`to_dict` form.
+
+        The journal replay path: the wire dict round-trips everything
+        durable.  ``worker_id`` and ``not_before`` are deliberately
+        dropped - both are meaningless in a new process (the worker is
+        gone, the monotonic clock restarted).
+        """
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError("job record must be a JSON object")
+        try:
+            record = cls(
+                job_id=str(payload["job_id"]),
+                spec=JobSpec.from_dict(payload["spec"]),
+                key=str(payload["key"]),
+                state=JobState(payload["state"]),
+                submitted_at=float(payload.get("submitted_at") or 0.0),
+                attempts=int(payload.get("attempts") or 0),
+                cache_hit=bool(payload.get("cache_hit")),
+                error=payload.get("error"),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ConfigurationError(f"bad job record: {exc}") from exc
+        record.started_at = payload.get("started_at")
+        record.finished_at = payload.get("finished_at")
+        return record

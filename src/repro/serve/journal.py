@@ -1,0 +1,261 @@
+"""Write-ahead job journal: the service's durable state of record.
+
+The :class:`SimulationService` job table and priority heap live in
+memory; the journal is what makes them survive a crash.  Every job
+state transition is appended - fsync'd before the service acts on it -
+so a ``kill -9`` at *any* record boundary followed by a restart
+reconstructs an equivalent job table: terminal jobs keep their stored
+results, non-terminal jobs are requeued.
+
+Format: an append-only file of length+checksum-framed JSONL records,
+
+``J1 <crc32:8 hex> <len:8 hex> <payload JSON>\\n``
+
+where ``crc32``/``len`` cover the payload bytes.  The fixed-width
+header makes every frame self-describing, so replay never depends on
+the payload being well-formed: a record torn by a crash mid-``write``
+(bad length, bad checksum, missing trailing newline, truncated header)
+terminates replay at the last whole record and the torn tail is
+dropped - exactly the write-ahead-log contract.  Appends are
+``flush`` + ``fsync`` per record; compaction rewrites the file through
+a tempfile + ``os.replace`` + directory fsync (the same durability
+discipline as :class:`~repro.serve.store.ResultStore`), and stale
+compaction tempfiles from a writer that died mid-compaction are swept
+when the journal is opened.
+
+The journal stores *entries* (plain JSON objects) and knows nothing of
+job semantics; the service layers last-write-wins replay of
+``{"op": "job", "record": {...}}`` entries on top.
+
+``on_append`` is a post-fsync hook (called with the running count of
+appended records) used by the chaos layer to SIGKILL the service at a
+chosen record ordinal - see
+:func:`repro.chaos.process.journal_kill_hook`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.errors import JournalError
+from repro.serve.store import fsync_dir
+
+#: frame magic; bump on any framing change.
+MAGIC = b"J1"
+#: ``b"J1 " + 8 hex crc + b" " + 8 hex len + b" "``
+_HEADER_LEN = len(MAGIC) + 1 + 8 + 1 + 8 + 1
+
+
+def frame_entry(entry: dict[str, Any]) -> bytes:
+    """One durable journal frame for ``entry`` (header + JSON + newline)."""
+    payload = json.dumps(entry, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"%s %08x %08x %s\n" % (MAGIC, crc, len(payload), payload)
+
+
+@dataclass
+class JournalReplay:
+    """What :meth:`JobJournal.replay` recovered from disk."""
+
+    entries: list[dict[str, Any]] = field(default_factory=list)
+    #: byte offset of the end of the last whole record.
+    valid_bytes: int = 0
+    #: total bytes on disk (``> valid_bytes`` means a torn tail).
+    total_bytes: int = 0
+    #: a trailing record failed framing/checksum and was dropped.
+    torn_tail: bool = False
+
+    @property
+    def dropped_bytes(self) -> int:
+        return self.total_bytes - self.valid_bytes
+
+
+def _parse_frames(data: bytes) -> JournalReplay:
+    """Decode whole frames from ``data``; stop at the first bad one.
+
+    Append-only + per-record fsync means the only way a bad frame can
+    exist is a crash mid-append - which, by construction, is the *last*
+    thing written.  Anything after the first invalid frame is therefore
+    unreachable torn debris and is dropped (reported via
+    ``torn_tail``/``dropped_bytes``), never silently half-parsed.
+    """
+    replay = JournalReplay(total_bytes=len(data))
+    offset = 0
+    n = len(data)
+    while offset < n:
+        header_end = offset + _HEADER_LEN
+        if header_end > n:
+            break  # torn header
+        header = data[offset:header_end]
+        if (
+            header[: len(MAGIC)] != MAGIC
+            or header[len(MAGIC)] != 0x20
+            or header[len(MAGIC) + 9] != 0x20
+            or header[-1] != 0x20
+        ):
+            break  # torn/corrupt header
+        try:
+            crc = int(header[len(MAGIC) + 1 : len(MAGIC) + 9], 16)
+            length = int(header[len(MAGIC) + 10 : len(MAGIC) + 18], 16)
+        except ValueError:
+            break
+        end = header_end + length + 1
+        if end > n:
+            break  # torn payload
+        payload = data[header_end : header_end + length]
+        if data[end - 1 : end] != b"\n" or (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            break
+        try:
+            entry = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break
+        if isinstance(entry, dict):
+            replay.entries.append(entry)
+        offset = end
+        replay.valid_bytes = offset
+    replay.torn_tail = replay.valid_bytes < replay.total_bytes
+    return replay
+
+
+class JobJournal:
+    """Append-only, fsync'd, checksum-framed journal at one path."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        on_append: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.path = Path(path)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise JournalError(f"cannot create journal directory: {exc}") from exc
+        #: post-fsync hook, called with the running appended-record count
+        #: (chaos uses it to kill the service at a chosen ordinal).
+        self.on_append = on_append
+        #: records appended by this instance (not counting replayed ones).
+        self.records_appended = 0
+        #: live records on disk (set by replay/compact, bumped by append).
+        self.record_count = 0
+        #: compactions performed by this instance.
+        self.compactions = 0
+        self._fh = None
+        self._lock = threading.Lock()
+        self._sweep_stale_tmp()
+
+    # -- hygiene --------------------------------------------------------------
+    def _sweep_stale_tmp(self) -> int:
+        """Remove compaction tempfiles left by a writer that died mid-swap.
+
+        The real journal is authoritative; a stale ``journal.jsonl.tmp.*``
+        must neither shadow it nor accumulate.
+        """
+        swept = 0
+        for stale in self.path.parent.glob(self.path.name + ".tmp.*"):
+            try:
+                stale.unlink()
+                swept += 1
+            except OSError:
+                pass
+        return swept
+
+    # -- replay ---------------------------------------------------------------
+    def replay(self) -> JournalReplay:
+        """Decode every whole record on disk (crash-tolerant, read-only)."""
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return JournalReplay()
+        except OSError as exc:
+            raise JournalError(f"cannot read journal {self.path}: {exc}") from exc
+        replay = _parse_frames(data)
+        self.record_count = len(replay.entries)
+        return replay
+
+    # -- writes ---------------------------------------------------------------
+    def _open_locked(self) -> None:
+        if self._fh is None:
+            try:
+                self._fh = open(self.path, "ab")
+            except OSError as exc:
+                raise JournalError(
+                    f"cannot open journal {self.path}: {exc}"
+                ) from exc
+
+    def append(self, entry: dict[str, Any]) -> int:
+        """Durably append one entry; returns the appended-record count.
+
+        The entry is on stable storage (``flush`` + ``fsync``) before
+        this returns - the caller may act on the transition knowing a
+        crash cannot lose it.
+        """
+        data = frame_entry(entry)
+        with self._lock:
+            self._open_locked()
+            try:
+                self._fh.write(data)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError as exc:
+                raise JournalError(
+                    f"cannot append to journal {self.path}: {exc}"
+                ) from exc
+            self.records_appended += 1
+            self.record_count += 1
+            count = self.records_appended
+            hook = self.on_append
+        if hook is not None:
+            hook(count)
+        return count
+
+    def compact(self, entries: list[dict[str, Any]]) -> None:
+        """Atomically replace the journal with a snapshot of ``entries``.
+
+        Replaying the compacted journal yields exactly ``entries`` - the
+        transition history is folded into its final state.  The swap is
+        tempfile + fsync + ``os.replace`` + directory fsync, so a crash
+        at any point leaves either the old journal or the new one.
+        """
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            try:
+                with open(tmp, "wb") as fh:
+                    for entry in entries:
+                        fh.write(frame_entry(entry))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except OSError as exc:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise JournalError(
+                    f"cannot compact journal {self.path}: {exc}"
+                ) from exc
+            fsync_dir(self.path.parent)
+            self.record_count = len(entries)
+            self.compactions += 1
+            self._open_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- observability --------------------------------------------------------
+    def size_bytes(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0

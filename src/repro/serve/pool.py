@@ -341,3 +341,6 @@ class WorkerPool:
 
     def alive_count(self) -> int:
         return sum(1 for h in self.workers.values() if h.alive())
+
+    def busy_count(self) -> int:
+        return sum(1 for h in self.workers.values() if not h.idle)

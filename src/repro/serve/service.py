@@ -1,10 +1,15 @@
 """The simulation job service: scheduler, supervisor, and public API.
 
-:class:`SimulationService` owns four pieces of state:
+:class:`SimulationService` owns five pieces of state:
 
 * a job table (``job_id -> JobRecord``) and a priority heap of queued
   jobs (``(priority, submit_seq)`` order: smaller priority first, FIFO
   within a priority),
+* a :class:`~repro.serve.journal.JobJournal` - the write-ahead log
+  every state transition is durably appended to *before* the service
+  acts on it, and the thing that makes the job table survive a crash:
+  startup replays the journal, reconstructs the table, requeues
+  non-terminal jobs, and compacts,
 * a :class:`~repro.serve.pool.WorkerPool` of simulator processes,
 * a :class:`~repro.serve.store.ResultStore` probed at submit time -
   a spec whose content key is already stored completes instantly
@@ -20,25 +25,75 @@ workers.  Failure semantics: infrastructure failures (worker death,
 timeout) are retried up to ``max_retries`` because they say nothing
 about the job; an error *reported* by a healthy worker is deterministic
 (the simulator is seeded) and fails the job immediately.
+
+Overload and poison protection:
+
+* **Admission control** - the queue is bounded by a high/low watermark
+  pair with hysteresis: once the queued depth reaches
+  ``queue_high_watermark`` new submissions are shed
+  (:class:`QueueFullError` -> HTTP 429 + ``Retry-After``) until the
+  depth falls back to ``queue_low_watermark``.  Store cache hits bypass
+  admission (they never queue).
+* **Poison-job circuit breaker** - a spec key that keeps killing
+  workers (``poison_threshold`` deaths/timeout kills, counted across
+  jobs and resubmissions) is quarantined: the job transitions to the
+  terminal ``poisoned`` state and later submissions of the same key are
+  poisoned immediately instead of consuming workers forever.
+* **Graceful drain** - :meth:`drain` stops admission
+  (:class:`ServiceDrainingError` -> HTTP 503) and dispatch, gives
+  running jobs ``drain_timeout_s`` to finish (their periodic
+  checkpoints bound lost work either way), journals still-running jobs
+  back to ``queued``, compacts, and stops; the next startup replays
+  them.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import queue
 import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.errors import ConfigurationError, CorruptResultError
+from repro.chaos.plan import active_plan
+from repro.chaos.process import journal_kill_hook
+from repro.errors import ConfigurationError, CorruptResultError, ReproError
 from repro.experiments.runner import _resolve_cache_dir
 from repro.serve import telemetry as tm
+from repro.serve.journal import JobJournal
 from repro.serve.jobs import JobRecord, JobSpec, JobState
 from repro.serve.pool import MSG_CHAOS, MSG_DONE, MSG_ERROR, MSG_STARTED, WorkerPool
 from repro.serve.store import ResultStore
 from repro.serve.telemetry import Telemetry
+
+
+class AdmissionError(ReproError):
+    """A submission was rejected before any state was created.
+
+    Carries the HTTP status the API layer should answer with and the
+    ``Retry-After`` hint; the request is safe to retry verbatim.
+    """
+
+    status = 503
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueFullError(AdmissionError):
+    """Shed: the queue is above the high watermark (HTTP 429)."""
+
+    status = 429
+
+
+class ServiceDrainingError(AdmissionError):
+    """The service is draining or replaying its journal (HTTP 503)."""
+
+    status = 503
 
 
 @dataclass(frozen=True)
@@ -61,6 +116,31 @@ class ServiceConfig:
     #: a respawned attempt resumes from the last snapshot, so a crash
     #: loses at most this many phases of work.
     checkpoint_every_phases: int = 256
+    #: queued depth at which new submissions are shed (429).
+    queue_high_watermark: int = 512
+    #: queued depth at which shedding stops again (hysteresis).
+    queue_low_watermark: int = 384
+    #: worker deaths/timeout kills on one spec key before the key is
+    #: quarantined as ``poisoned`` (0 disables the breaker).
+    poison_threshold: int = 3
+    #: how long :meth:`SimulationService.drain` waits for running jobs.
+    drain_timeout_s: float = 10.0
+    #: ``Retry-After`` hint (seconds) sent with shed/drain responses.
+    shed_retry_after_s: float = 1.0
+    #: write-ahead journal path (None = ``<store_dir>/journal.jsonl``).
+    journal_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_high_watermark < 1:
+            raise ConfigurationError("queue_high_watermark must be >= 1")
+        if not 0 <= self.queue_low_watermark <= self.queue_high_watermark:
+            raise ConfigurationError(
+                "queue_low_watermark must be in [0, queue_high_watermark]"
+            )
+        if self.poison_threshold < 0:
+            raise ConfigurationError("poison_threshold must be >= 0")
+        if self.drain_timeout_s < 0:
+            raise ConfigurationError("drain_timeout_s must be >= 0")
 
 
 class SimulationService:
@@ -74,6 +154,13 @@ class SimulationService:
         self.config = config or ServiceConfig()
         self.store = ResultStore(store_dir)
         self.telemetry = Telemetry()
+        self.journal = JobJournal(
+            self.config.journal_path
+            or os.path.join(store_dir, "journal.jsonl")
+        )
+        plan = active_plan()
+        if plan is not None:
+            self.journal.on_append = journal_kill_hook(plan)
         if self.config.sweep_cache_dir == "":
             cache_dir: Optional[str] = None
         elif self.config.sweep_cache_dir is not None:
@@ -93,6 +180,88 @@ class SimulationService:
         self._done = threading.Condition(self._lock)
         self._stop = threading.Event()
         self._supervisor: Optional[threading.Thread] = None
+        #: queued-job depth (kept exact so admission is O(1), not a scan).
+        self._queued = 0
+        self._shedding = False
+        self._draining = False
+        self._replaying = True
+        #: poisoned spec keys -> reason (rebuilt from the journal).
+        self._poisoned: dict[str, str] = {}
+        #: infrastructure deaths per spec key (the breaker's memory).
+        self._death_counts: dict[str, int] = {}
+        self._recover()
+        self._replaying = False
+
+    # -- crash recovery -------------------------------------------------------
+    def _recover(self) -> None:
+        """Replay the journal into a live job table, then compact.
+
+        Last-write-wins per job id.  Terminal jobs keep their state
+        (their results live in the store); non-terminal jobs - queued
+        when the crash hit, or running (the worker is gone; PR 4
+        checkpoints make the re-run cheap) - are requeued exactly once.
+        A requeued job whose result key landed in the store before the
+        crash completes instantly instead of recomputing.
+        """
+        replay = self.journal.replay()
+        max_seq = 0
+        for entry in replay.entries:
+            if entry.get("op") != "job":
+                continue
+            try:
+                record = JobRecord.from_dict(entry.get("record"))
+            except ReproError:
+                self.telemetry.count("journal.bad_records")
+                continue
+            self._jobs[record.job_id] = record
+            try:
+                max_seq = max(max_seq, int(record.job_id.rsplit("-", 1)[-1]))
+            except ValueError:
+                pass
+        self._seq = itertools.count(max_seq + 1)
+        for record in self._jobs.values():
+            self.telemetry.count(tm.JOBS_JOURNAL_REPLAYED)
+            if record.state is JobState.POISONED:
+                self._poisoned[record.key] = record.error or "poisoned"
+            if record.state.terminal:
+                continue
+            record.worker_id = None
+            record.not_before = 0.0
+            if self.store.contains(record.key):
+                record.state = JobState.DONE
+                record.cache_hit = True
+                record.finished_at = time.time()
+                self.telemetry.count(tm.CACHE_HITS_STORE)
+                self.telemetry.count(tm.JOBS_COMPLETED)
+                self.telemetry.event(
+                    record.job_id, "done", cache_hit=True, replayed=True
+                )
+                continue
+            record.state = JobState.QUEUED
+            heapq.heappush(
+                self._heap, (record.spec.priority, next(self._seq), record.job_id)
+            )
+            self._queued += 1
+            self.telemetry.event(
+                record.job_id, "requeued", replayed=True, attempts=record.attempts
+            )
+        if replay.torn_tail:
+            self.telemetry.count("journal.torn_tails")
+        if replay.entries or replay.total_bytes:
+            self._compact()
+        self._update_shedding()
+
+    def _compact(self) -> None:
+        """Fold the journal into one snapshot of the current job table."""
+        entries = [
+            {"op": "job", "record": r.to_dict()} for r in self._jobs.values()
+        ]
+        self.journal.compact(entries)
+        self.telemetry.count(tm.JOURNAL_COMPACTIONS)
+
+    def _journal_record(self, record: JobRecord) -> None:
+        """Durably log one transition (called with the lock held)."""
+        self.journal.append({"op": "job", "record": record.to_dict()})
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "SimulationService":
@@ -108,6 +277,51 @@ class SimulationService:
         if self._supervisor is not None:
             self._supervisor.join(timeout=timeout)
         self.pool.stop()
+        self.journal.close()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: stop admission, settle, journal, stop.
+
+        New submissions are rejected with :class:`ServiceDrainingError`
+        (HTTP 503) and queued jobs stay queued; running jobs get up to
+        ``drain_timeout_s`` to finish (worker checkpoints bound the lost
+        work if they don't).  Whatever is still running is journaled
+        back to ``queued``, the journal is compacted, and the service
+        stops - the next startup requeues the remainder.
+        """
+        budget = self.config.drain_timeout_s if timeout is None else timeout
+        with self._lock:
+            already = self._draining
+            self._draining = True
+        if not already:
+            self.telemetry.event("service", "draining")
+        deadline = time.monotonic() + budget
+        while time.monotonic() < deadline:
+            with self._lock:
+                running = any(
+                    r.state is JobState.RUNNING for r in self._jobs.values()
+                )
+            if not running:
+                break
+            time.sleep(max(0.01, self.config.poll_interval_s))
+        with self._lock:
+            for record in self._jobs.values():
+                if record.state is not JobState.RUNNING:
+                    continue
+                record.state = JobState.QUEUED
+                record.worker_id = None
+                record.not_before = 0.0
+                self._queued += 1
+                self._journal_record(record)
+                self.telemetry.event(
+                    record.job_id, "requeued", drain=True, attempts=record.attempts
+                )
+            self._compact()
+        self.stop()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def __enter__(self) -> "SimulationService":
         return self.start()
@@ -115,32 +329,100 @@ class SimulationService:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    # -- admission ------------------------------------------------------------
+    def _update_shedding(self) -> None:
+        """Watermark hysteresis (lock held): flip the shedding latch."""
+        if not self._shedding and self._queued >= self.config.queue_high_watermark:
+            self._shedding = True
+            self.telemetry.event("service", "shedding", queue_depth=self._queued)
+        elif self._shedding and self._queued <= self.config.queue_low_watermark:
+            self._shedding = False
+            self.telemetry.event("service", "admitting", queue_depth=self._queued)
+
+    def readiness(self) -> tuple[bool, dict[str, Any]]:
+        """The ``/readyz`` verdict: ready to accept new work, and why not."""
+        with self._lock:
+            self._update_shedding()  # probe sees the current watermark verdict
+            reasons = []
+            if self._replaying:
+                reasons.append("replaying journal")
+            if self._draining:
+                reasons.append("draining")
+            if self._shedding:
+                reasons.append(
+                    f"shedding: queue depth {self._queued} reached high "
+                    f"watermark {self.config.queue_high_watermark}"
+                )
+            detail = {
+                "ready": not reasons,
+                "reasons": reasons,
+                "queue_depth": self._queued,
+                "draining": self._draining,
+                "shedding": self._shedding,
+            }
+        return not reasons, detail
+
     # -- client API -----------------------------------------------------------
     def submit(self, spec: JobSpec) -> JobRecord:
-        """Enqueue a job (or serve it instantly from the result store)."""
+        """Enqueue a job (or serve it instantly from the result store).
+
+        Raises :class:`ServiceDrainingError` while draining/replaying
+        and :class:`QueueFullError` when the queue is above the high
+        watermark - in both cases no job state is created and the
+        request is safe to retry after the advertised delay.
+        """
         key = spec.cache_key()
+        retry_after = self.config.shed_retry_after_s
+        with self._lock:
+            if self._draining or self._replaying:
+                raise ServiceDrainingError(
+                    "service is draining; retry against the restarted instance",
+                    retry_after,
+                )
+            poisoned = self._poisoned.get(key)
         now = time.time()
-        seq = next(self._seq)
-        job_id = f"job-{seq:08d}"
-        record = JobRecord(job_id=job_id, spec=spec, key=key, submitted_at=now)
-        self.telemetry.count(tm.JOBS_SUBMITTED)
-        if self.store.contains(key):
-            record.state = JobState.DONE
-            record.cache_hit = True
-            record.finished_at = now
-            self.telemetry.count(tm.CACHE_HITS_STORE)
-            self.telemetry.count(tm.JOBS_COMPLETED)
-            self.telemetry.observe_latency(0.0)
+        record = JobRecord(
+            job_id="", spec=spec, key=key, submitted_at=now
+        )
+        if poisoned is not None:
             with self._lock:
-                self._jobs[job_id] = record
-                self._done.notify_all()
-            self.telemetry.event(job_id, "done", cache_hit=True, key=key)
+                record.job_id = f"job-{next(self._seq):08d}"
+                record.error = f"spec key {key[:12]}.. is quarantined: {poisoned}"
+                self._jobs[record.job_id] = record
+                self.telemetry.count(tm.JOBS_SUBMITTED)
+                self._finish(record, JobState.POISONED)
+            return record
+        if self.store.contains(key):
+            record.cache_hit = True
+            with self._lock:
+                record.job_id = f"job-{next(self._seq):08d}"
+                self._jobs[record.job_id] = record
+                self.telemetry.count(tm.JOBS_SUBMITTED)
+                self.telemetry.count(tm.CACHE_HITS_STORE)
+                self._finish(record, JobState.DONE)
             return record
         with self._lock:
-            self._jobs[job_id] = record
-            heapq.heappush(self._heap, (spec.priority, seq, job_id))
+            self._update_shedding()
+            if self._shedding:
+                self.telemetry.count(tm.QUEUE_SHED)
+                raise QueueFullError(
+                    f"queue depth {self._queued} is at the high watermark "
+                    f"({self.config.queue_high_watermark}); retry later",
+                    retry_after,
+                )
+            seq = next(self._seq)
+            record.job_id = f"job-{seq:08d}"
+            self.telemetry.count(tm.JOBS_SUBMITTED)
+            self._jobs[record.job_id] = record
+            self._journal_record(record)
+            heapq.heappush(self._heap, (spec.priority, seq, record.job_id))
+            self._queued += 1
         self.telemetry.event(
-            job_id, "queued", key=key, workload=spec.workload, priority=spec.priority
+            record.job_id,
+            "queued",
+            key=key,
+            workload=spec.workload,
+            priority=spec.priority,
         )
         return record
 
@@ -179,6 +461,9 @@ class SimulationService:
                 return False
             if record.state is JobState.RUNNING and record.worker_id is not None:
                 self._kill_and_respawn(record.worker_id)
+            elif record.state is JobState.QUEUED:
+                self._queued -= 1
+                self._update_shedding()
             self._finish(record, JobState.CANCELLED)
         self.telemetry.count(tm.JOBS_CANCELLED)
         return True
@@ -212,7 +497,17 @@ class SimulationService:
                 "jobs_in_flight": sum(1 for s in states if s is JobState.RUNNING),
                 "jobs_total": len(states),
                 "workers_alive": self.pool.alive_count(),
+                "workers_busy": self.pool.busy_count(),
                 "workers_configured": self.pool.n_workers,
+                "draining": self._draining,
+                "shedding": self._shedding,
+                "replaying": self._replaying,
+                "queue_high_watermark": self.config.queue_high_watermark,
+                "queue_low_watermark": self.config.queue_low_watermark,
+                "queue_shed_total": self.telemetry.counter(tm.QUEUE_SHED),
+                "poisoned_keys": len(self._poisoned),
+                "journal_size_bytes": self.journal.size_bytes(),
+                "journal_records": self.journal.record_count,
             }
         return self.telemetry.snapshot(gauges)
 
@@ -292,7 +587,8 @@ class SimulationService:
                     self.telemetry.count(tm.WORKER_DEATHS)
                     record = self._jobs.get(job_id)
                     if record is not None and record.state is JobState.RUNNING:
-                        self._retry_or_fail(record, "worker process died")
+                        if not self._note_infra_death(record):
+                            self._retry_or_fail(record, "worker process died")
             elif (
                 handle.job_id is not None
                 and handle.deadline
@@ -302,12 +598,15 @@ class SimulationService:
                 self.telemetry.count(tm.JOBS_TIMED_OUT)
                 self._kill_and_respawn(worker_id)
                 if record is not None and record.state is JobState.RUNNING:
-                    self._retry_or_fail(
-                        record,
-                        f"attempt exceeded {self.config.job_timeout_s}s timeout",
-                    )
+                    if not self._note_infra_death(record):
+                        self._retry_or_fail(
+                            record,
+                            f"attempt exceeded {self.config.job_timeout_s}s timeout",
+                        )
 
     def _dispatch(self) -> None:
+        if self._draining:
+            return  # drain: running jobs settle, queued jobs stay queued
         idle = self.pool.idle_workers()
         if not idle:
             return
@@ -326,6 +625,8 @@ class SimulationService:
             record.state = JobState.RUNNING
             record.started_at = time.time()
             record.worker_id = handle.worker_id
+            self._queued -= 1
+            self._journal_record(record)
             self.pool.assign(
                 handle,
                 record.job_id,
@@ -342,12 +643,35 @@ class SimulationService:
             )
         for entry in deferred:
             heapq.heappush(self._heap, entry)
+        self._update_shedding()
 
     # -- internal transitions (lock held) ------------------------------------
     def _kill_and_respawn(self, worker_id: int) -> None:
         self.pool.kill(worker_id)
         self.pool.respawn(worker_id)
         self.telemetry.count(tm.WORKER_RESPAWNS)
+
+    def _note_infra_death(self, record: JobRecord) -> bool:
+        """Count a worker death/timeout against the job's spec key.
+
+        Returns True when the count reached ``poison_threshold`` and the
+        breaker tripped - the record is then terminally POISONED and the
+        key quarantined, so the caller must not retry.
+        """
+        if self.config.poison_threshold <= 0:
+            return False
+        count = self._death_counts.get(record.key, 0) + 1
+        self._death_counts[record.key] = count
+        if count < self.config.poison_threshold:
+            return False
+        reason = (
+            f"{count} worker deaths/timeouts on key {record.key[:12]}.. "
+            f"(threshold {self.config.poison_threshold})"
+        )
+        self._poisoned[record.key] = reason
+        record.error = reason
+        self._finish(record, JobState.POISONED)
+        return True
 
     def _retry_or_fail(self, record: JobRecord, reason: str) -> None:
         if record.attempts > self.config.max_retries:
@@ -358,6 +682,8 @@ class SimulationService:
         record.state = JobState.QUEUED
         record.worker_id = None
         record.not_before = time.monotonic() + backoff
+        self._queued += 1
+        self._journal_record(record)
         heapq.heappush(
             self._heap, (record.spec.priority, next(self._seq), record.job_id)
         )
@@ -374,6 +700,7 @@ class SimulationService:
         record.state = state
         record.finished_at = time.time()
         record.worker_id = None
+        self._journal_record(record)
         if state is JobState.DONE:
             self.telemetry.count(tm.JOBS_COMPLETED)
             self.telemetry.observe_latency(
@@ -388,6 +715,8 @@ class SimulationService:
                 )
         elif state is JobState.FAILED:
             self.telemetry.count(tm.JOBS_FAILED)
+        elif state is JobState.POISONED:
+            self.telemetry.count(tm.JOBS_POISONED)
         self.telemetry.event(
             record.job_id,
             state.value,

@@ -47,7 +47,7 @@ def doc_checksum(doc: dict[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _fsync_dir(path: Path) -> None:
+def fsync_dir(path: Path) -> None:
     """Flush a directory entry (the rename itself) to stable storage."""
     try:
         fd = os.open(path, os.O_RDONLY)
@@ -244,7 +244,7 @@ class ResultStore:
         # the renames themselves must survive power loss, not just the
         # file contents (POSIX: directory entry durability needs a dir
         # fsync).
-        _fsync_dir(path.parent)
+        fsync_dir(path.parent)
         return path
 
     def discard(self, key: str) -> None:

@@ -39,6 +39,14 @@ CHAOS_INJECTIONS = "chaos.injections"
 JOBS_RESUMED = "jobs.resumed"
 #: corrupt store entries detected and moved to quarantine/ on read.
 RESULTS_QUARANTINED = "results.quarantined"
+#: submissions rejected by admission control (queue above watermark).
+QUEUE_SHED = "queue.shed"
+#: jobs terminally quarantined by the poison-job circuit breaker.
+JOBS_POISONED = "jobs.poisoned"
+#: jobs reconstructed from the write-ahead journal at startup.
+JOBS_JOURNAL_REPLAYED = "jobs.journal_replayed"
+#: journal compactions (startup after replay, graceful drain).
+JOURNAL_COMPACTIONS = "journal.compactions"
 
 
 class Telemetry:
@@ -82,6 +90,11 @@ class Telemetry:
             return self._seq
 
     # -- reading --------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 when never counted)."""
+        with self._lock:
+            return self.counters.get(name)
+
     def events_since(self, since: int, limit: int = 1000) -> list[dict[str, Any]]:
         """Events with ``seq > since``, oldest first (bounded by ``limit``)."""
         with self._lock:

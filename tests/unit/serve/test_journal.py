@@ -1,0 +1,161 @@
+"""Unit: the write-ahead job journal's framing and crash tolerance."""
+
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.serve.journal import JobJournal, frame_entry
+
+
+def entry(i, state="queued"):
+    return {"op": "job", "record": {"job_id": f"job-{i:08d}", "state": state}}
+
+
+class TestRoundTrip:
+    def test_append_then_replay_preserves_entries_in_order(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        written = [entry(1), entry(2, "running"), entry(2, "done")]
+        for e in written:
+            journal.append(e)
+        journal.close()
+
+        replay = JobJournal(tmp_path / "journal.jsonl").replay()
+        assert replay.entries == written
+        assert not replay.torn_tail
+        assert replay.dropped_bytes == 0
+
+    def test_append_returns_running_count(self, tmp_path):
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        assert journal.append(entry(1)) == 1
+        assert journal.append(entry(2)) == 2
+        assert journal.record_count == 2
+        journal.close()
+
+    def test_missing_file_replays_empty(self, tmp_path):
+        replay = JobJournal(tmp_path / "journal.jsonl").replay()
+        assert replay.entries == []
+        assert replay.total_bytes == 0
+
+    def test_unwritable_directory_raises_journal_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        with pytest.raises(JournalError):
+            JobJournal(blocker / "journal.jsonl")
+
+
+class TestTornTail:
+    """A crash mid-append must cost exactly the torn record, nothing more."""
+
+    @pytest.mark.parametrize("keep", ["header", "payload", "newline"])
+    def test_truncated_final_record_is_dropped(self, tmp_path, keep):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        for e in (entry(1), entry(2)):
+            journal.append(e)
+        journal.close()
+        torn = frame_entry(entry(3))
+        cut = {"header": 10, "payload": 30, "newline": len(torn) - 1}[keep]
+        with open(path, "ab") as fh:
+            fh.write(torn[:cut])
+
+        replay = JobJournal(path).replay()
+        assert replay.entries == [entry(1), entry(2)]
+        assert replay.torn_tail
+        assert replay.dropped_bytes == cut
+
+    def test_bit_flip_in_final_payload_fails_the_checksum(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.append(entry(1))
+        journal.append(entry(2))
+        journal.close()
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0x01  # inside the last record's payload
+        path.write_bytes(bytes(data))
+
+        replay = JobJournal(path).replay()
+        assert replay.entries == [entry(1)]
+        assert replay.torn_tail
+
+    def test_every_byte_truncation_yields_a_whole_record_prefix(self, tmp_path):
+        """Replay of any prefix is a prefix of the entries - no partials."""
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        written = [entry(1), entry(2, "running"), entry(3, "done")]
+        for e in written:
+            journal.append(e)
+        journal.close()
+        data = path.read_bytes()
+        for cut in range(len(data) + 1):
+            path.write_bytes(data[:cut])
+            replay = JobJournal(path).replay()
+            assert replay.entries == written[: len(replay.entries)]
+            assert replay.valid_bytes <= cut
+
+
+class TestCompaction:
+    def test_compact_replaces_history_with_snapshot(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        for e in (entry(1), entry(1, "running"), entry(1, "done"), entry(2)):
+            journal.append(e)
+        snapshot = [entry(1, "done"), entry(2)]
+        journal.compact(snapshot)
+        assert journal.compactions == 1
+        assert journal.record_count == 2
+        journal.close()
+        assert JobJournal(path).replay().entries == snapshot
+
+    def test_append_after_compact_lands_in_the_new_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.append(entry(1))
+        journal.compact([entry(1, "done")])
+        journal.append(entry(2))
+        journal.close()
+        assert JobJournal(path).replay().entries == [entry(1, "done"), entry(2)]
+
+    def test_stale_compaction_tmp_is_swept_on_open(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.append(entry(1))
+        journal.close()
+        stale = tmp_path / "journal.jsonl.tmp.99999"
+        stale.write_bytes(b"debris from a writer that died mid-compaction")
+
+        replay = JobJournal(path).replay()
+        assert not stale.exists()
+        assert replay.entries == [entry(1)]
+
+
+class TestAppendHook:
+    def test_on_append_sees_the_running_count(self, tmp_path):
+        seen = []
+        journal = JobJournal(tmp_path / "journal.jsonl", on_append=seen.append)
+        journal.append(entry(1))
+        journal.append(entry(2))
+        journal.close()
+        assert seen == [1, 2]
+
+    def test_hook_fires_after_the_record_is_durable(self, tmp_path):
+        """What the hook's crash would leave behind must already replay."""
+        path = tmp_path / "journal.jsonl"
+
+        def check(count):
+            assert len(JobJournal(path).replay().entries) == count
+
+        journal = JobJournal(path, on_append=check)
+        journal.append(entry(1))
+        journal.append(entry(2))
+        journal.close()
+
+
+class TestObservability:
+    def test_size_bytes_tracks_the_file(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        assert journal.size_bytes() == 0
+        journal.append(entry(1))
+        assert journal.size_bytes() == os.path.getsize(path)
+        journal.close()

@@ -65,6 +65,34 @@ class TestNumericValidation:
         assert main(["run", "regular", "--data-mib", "4", "--gpu-mem-mib", "32"]) == 0
 
 
+class TestServeDirectoryValidation:
+    """``uvmrepro serve`` must exit 2 on unusable directories, not crash
+    later from inside a worker or the journal."""
+
+    def test_store_dir_under_a_file_exits_2(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        rc = main(["serve", "--store-dir", str(blocker / "store")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "uvmrepro serve: error:" in err
+        assert "not writable" in err
+        assert "Traceback" not in err
+
+    def test_journal_path_under_a_file_exits_2(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file, not a directory")
+        rc = main(
+            [
+                "serve",
+                "--store-dir", str(tmp_path / "store"),
+                "--journal-path", str(blocker / "journal.jsonl"),
+            ]
+        )
+        assert rc == 2
+        assert "journal" in capsys.readouterr().err
+
+
 class TestJsonOutput:
     def test_json_mode_emits_result_document(self, capsys):
         rc = main(
