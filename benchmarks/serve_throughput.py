@@ -1,0 +1,206 @@
+"""Serve-layer throughput benchmark: cold vs batched vs warm-cache.
+
+Measures end-to-end jobs/sec of :class:`SimulationService` on a 64-job
+repeat-heavy mix (16 unique specs spanning 4 batch signatures, each
+submitted 4 times) under three configurations:
+
+* ``cold``    - every job computed solo: ``batch_max=1``, memory tier
+  off, sweep memo off, and a fresh store per repeat wave so nothing is
+  ever reused.  This is the per-job full-compute path a cache-less
+  service would pay for the whole mix.
+* ``batched`` - one service with warm workers, batched dispatch
+  (``batch_max=8``) and the in-memory result tier: unique specs run as
+  signature-grouped batches on warmed builds, repeats are answered from
+  the hot tier at submit.
+* ``warm``    - the same 64-job mix resubmitted to the batched service:
+  pure memory-tier hits.
+
+Writes ``BENCH_serve_throughput.json`` at the repo root and, with
+``--check``, exits non-zero when batched throughput is below
+``--min-speedup`` (default 3.0) times cold throughput - the CI
+perf-smoke budget.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_throughput.py [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.serve.jobs import JobSpec, JobState
+from repro.serve.service import ServiceConfig, SimulationService
+from repro.units import MiB
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serve_throughput.json"
+
+DATA_MIB = 48
+GPU_MIB = 32
+REPEATS = 4
+
+#: spec variants per workload; distinct content keys, one batch
+#: signature per workload (driver/cost overrides apply post-build).
+VARIANTS = (
+    {},
+    {"driver": {"prefetch_enabled": False}},
+    {"driver": {"replay_policy": "once"}},
+    {"cost": {"driver_wakeup_ns": 9_500}},
+)
+WORKLOADS = ("sgemm", "stream", "random", "regular")
+
+
+def unique_specs() -> list[JobSpec]:
+    specs = []
+    for workload in WORKLOADS:
+        for variant in VARIANTS:
+            specs.append(
+                JobSpec(
+                    workload=workload,
+                    data_bytes=DATA_MIB * MiB,
+                    gpu={"memory_bytes": GPU_MIB * MiB},
+                    **variant,
+                )
+            )
+    return specs
+
+
+def service_config(batch_max: int, mem_cache_mb: int) -> ServiceConfig:
+    return ServiceConfig(
+        n_workers=1,
+        batch_max=batch_max,
+        mem_cache_mb=mem_cache_mb,
+        sweep_cache_dir="",  # isolate the serve tiers from the sweep memo
+        checkpoint_every_phases=0,
+        retry_backoff_s=0.05,
+    )
+
+
+def run_wave(svc: SimulationService, specs: list[JobSpec]) -> None:
+    records = [svc.submit(spec) for spec in specs]
+    for record in records:
+        final = svc.wait(record.job_id, timeout=600.0)
+        if final.state is not JobState.DONE:
+            raise RuntimeError(
+                f"job {final.job_id} ended {final.state.value}: {final.error}"
+            )
+
+
+def bench_cold(specs: list[JobSpec], scratch: Path) -> float:
+    """Each repeat wave on a fresh store: 64 solo full computes."""
+    t0 = time.perf_counter()
+    for wave in range(REPEATS):
+        with SimulationService(
+            str(scratch / f"cold-{wave}"), service_config(1, 0)
+        ) as svc:
+            run_wave(svc, specs)
+    return time.perf_counter() - t0
+
+
+def bench_batched(specs: list[JobSpec], scratch: Path) -> tuple[float, float, dict]:
+    """One tuned service: batched mix, then a warm resubmission."""
+    with SimulationService(
+        str(scratch / "batched"), service_config(8, 64)
+    ) as svc:
+        t0 = time.perf_counter()
+        for _ in range(REPEATS):
+            run_wave(svc, specs)
+        batched_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(REPEATS):
+            run_wave(svc, specs)
+        warm_s = time.perf_counter() - t0
+        counters = dict(svc.metrics()["counters"])
+    return batched_s, warm_s, counters
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when batched speedup is below --min-speedup",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="required batched-vs-cold throughput ratio (default 3.0)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT,
+        help=f"result JSON path (default {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    specs = unique_specs()
+    n_jobs = len(specs) * REPEATS
+    with tempfile.TemporaryDirectory(prefix="uvmrepro-bench-") as tmp:
+        scratch = Path(tmp)
+        print(f"cold: {n_jobs} solo jobs ({len(specs)} unique x {REPEATS}) ...")
+        cold_s = bench_cold(specs, scratch)
+        print(f"  {cold_s:.2f}s  ({n_jobs / cold_s:.2f} jobs/s)")
+        print("batched: same mix, warm workers + batches + memory tier ...")
+        batched_s, warm_s, counters = bench_batched(specs, scratch)
+        print(f"  {batched_s:.2f}s  ({n_jobs / batched_s:.2f} jobs/s)")
+        print(f"warm: resubmission, pure memory-tier hits ...")
+        print(f"  {warm_s:.2f}s  ({n_jobs / warm_s:.2f} jobs/s)")
+
+    speedup = (n_jobs / batched_s) / (n_jobs / cold_s)
+    doc = {
+        "description": (
+            "Serve-layer throughput on a 64-job repeat-heavy mix "
+            "(16 unique specs = 4 batch signatures x 4 driver/cost "
+            "variants, each submitted 4 times). cold = solo dispatch, "
+            "all tiers off, fresh store per wave (64 full computes); "
+            "batched = one service with warm workers, batch_max=8 and "
+            "the in-memory result tier; warm = the same mix resubmitted "
+            "to that service. Wall times from the growth container "
+            "(1 CPU, shared/noisy - compare ratios, not absolutes)."
+        ),
+        "mix": {
+            "jobs": n_jobs,
+            "unique_specs": len(specs),
+            "batch_signatures": len(WORKLOADS),
+            "repeats": REPEATS,
+            "data_bytes": DATA_MIB * MiB,
+            "gpu_memory_bytes": GPU_MIB * MiB,
+            "workloads": list(WORKLOADS),
+        },
+        "config": {"n_workers": 1, "batch_max": 8, "mem_cache_mb": 64},
+        "results": {
+            "cold": {"wall_seconds": round(cold_s, 3),
+                     "jobs_per_sec": round(n_jobs / cold_s, 3)},
+            "batched": {"wall_seconds": round(batched_s, 3),
+                        "jobs_per_sec": round(n_jobs / batched_s, 3)},
+            "warm": {"wall_seconds": round(warm_s, 3),
+                     "jobs_per_sec": round(n_jobs / warm_s, 3)},
+        },
+        "speedup_batched_vs_cold": round(speedup, 2),
+        "budget": {"min_speedup_batched_vs_cold": args.min_speedup},
+        "tuned_service_counters": {
+            key: counters.get(key, 0)
+            for key in (
+                "jobs.submitted", "jobs.completed", "simulations.run",
+                "cache.hits.store", "cache.mem_hits", "cache.disk_hits",
+                "cache.misses",
+            )
+        },
+    }
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"speedup (batched vs cold): {speedup:.2f}x  -> {args.output}")
+    if args.check and speedup < args.min_speedup:
+        print(
+            f"FAIL: batched speedup {speedup:.2f}x below budget "
+            f"{args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -415,6 +415,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         poison_threshold=args.poison_threshold,
         drain_timeout_s=args.drain_timeout,
         journal_path=args.journal_path,
+        mem_cache_mb=args.mem_cache_mb,
+        batch_max=args.batch_max,
     )
     service = SimulationService(args.store_dir, config).start()
     server = serve_http(service, args.host, args.port)
@@ -693,6 +695,19 @@ def main(argv: list[str] | None = None) -> int:
         "--journal-path",
         default=None,
         help="write-ahead job journal file (default: <store-dir>/journal.jsonl)",
+    )
+    serve_p.add_argument(
+        "--mem-cache-mb",
+        type=_non_negative_int,
+        default=64,
+        help="in-memory result cache budget in MiB (0 disables the hot tier)",
+    )
+    serve_p.add_argument(
+        "--batch-max",
+        type=_positive_int,
+        default=8,
+        help="max same-signature jobs dispatched to one warm worker as a "
+        "batch (1 restores solo dispatch)",
     )
     serve_p.set_defaults(fn=_cmd_serve)
 

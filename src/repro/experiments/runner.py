@@ -16,18 +16,21 @@ costs one cache read per point.
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import enum
 import hashlib
 import os
 import pickle
 import tempfile
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.driver import DriverConfig, RunResult, UvmDriver
+from repro.errors import ConfigurationError
 from repro.gpu.device import GpuDeviceConfig
 from repro.mem.address_space import AddressSpace
 from repro.sim.costmodel import CostModel
@@ -68,21 +71,70 @@ class ExperimentSetup:
         return replace(self, cost=self.cost.with_overrides(**kwargs))
 
 
+#: pristine (AddressSpace, WorkloadBuild) pairs keyed by everything that
+#: determines ``workload.build`` output.  Entries are deep-copied on
+#: every use (the run mutates the space), so the memo stays pristine; a
+#: copy costs ~10 ms where a rebuild costs ~1 s for reference-sized
+#: workloads.  Per-process (each serve worker / sweep process warms its
+#: own), bounded to a handful of signatures.
+_warm_builds: OrderedDict[tuple, tuple] = OrderedDict()
+_WARM_BUILDS_MAX = 4
+
+
+def _build_signature(workload: Workload, setup: "ExperimentSetup") -> tuple:
+    """What :meth:`Workload.build` output depends on: the workload spec
+    itself, the seed (the build consumes ``rng.fork("workload")``), and
+    the address-space granule.  Driver/GPU/cost configs and the trace
+    flag are applied after the build, so jobs differing only there share
+    one warmed build."""
+    return (_stable_repr(workload), setup.seed, setup.vablock_bytes)
+
+
+def clear_warm_builds() -> None:
+    """Drop memoized builds (tests, or after monkeypatching a workload)."""
+    _warm_builds.clear()
+
+
 def build_driver(
     workload: Workload,
     setup: Optional[ExperimentSetup] = None,
     record_trace: bool = False,
+    warm: bool = False,
 ) -> UvmDriver:
     """Materialize a ready-to-run driver for one simulation point.
 
     Shared by :func:`simulate` and the checkpoint-aware
     :func:`execute_job` path (which may instead restore a pickled
     driver and skip construction entirely).
+
+    ``warm=True`` memoizes the built ``(space, build)`` pair per build
+    signature and hands out a deep copy, so batch members sharing a
+    signature skip the expensive :meth:`Workload.build`.  Bit-identical
+    to a cold build: the build is deterministic in ``(workload, seed,
+    vablock)``, and :meth:`SimRng.fork` is pure (derives the child seed
+    without consuming parent state), so skipping the fork on a memo hit
+    leaves the driver's own rng stream untouched.
     """
     setup = setup or ExperimentSetup()
     rng = SimRng(setup.seed)
-    space = setup.make_space()
-    build = workload.build(space, rng.fork("workload"))
+    if warm:
+        sig = _build_signature(workload, setup)
+        entry = _warm_builds.get(sig)
+        if entry is None:
+            space0 = setup.make_space()
+            build0 = workload.build(space0, rng.fork("workload"))
+            entry = (space0, build0)
+            _warm_builds[sig] = entry
+            while len(_warm_builds) > _WARM_BUILDS_MAX:
+                _warm_builds.popitem(last=False)
+        else:
+            _warm_builds.move_to_end(sig)
+        # joint deepcopy preserves aliasing between the space and the
+        # build's streams/phases (they reference the same allocations).
+        space, build = copy.deepcopy(entry)
+    else:
+        space = setup.make_space()
+        build = workload.build(space, rng.fork("workload"))
     recorder: TraceRecorder = TraceRecorder() if record_trace else NullRecorder()
     return UvmDriver(
         space=space,
@@ -247,6 +299,7 @@ def execute_job(
     record_trace: bool = False,
     cache_dir: Optional[str] = None,
     checkpointer=None,
+    warm: bool = False,
 ) -> tuple[RunResult, bool]:
     """Run one simulation point through the canonical cache-aware path.
 
@@ -277,7 +330,7 @@ def execute_job(
         driver = checkpointer.load()
         checkpointer.resumed = driver is not None
     if driver is None:
-        driver = build_driver(workload, setup, record_trace)
+        driver = build_driver(workload, setup, record_trace, warm=warm)
     result = driver.run(checkpointer)
     if checkpointer is not None:
         checkpointer.clear()
@@ -308,6 +361,37 @@ def _run_point(args) -> RunResult:
     )[0]
 
 
+def _run_batch(args) -> list[RunResult]:
+    """Module-level batch worker: run same-signature points on one warm
+    build (``warm=True`` memoizes the first member's build; the rest
+    deep-copy it instead of rebuilding).  Results are bit-identical to
+    solo :func:`_run_point` runs - the build is deterministic and the
+    memo hands out pristine copies."""
+    batch, directory = args
+    out: list[RunResult] = []
+    for workload, setup, record_trace in batch:
+        checkpointer = None
+        if directory is not None:
+            from repro.sim.engine import SimulationCheckpointer
+
+            key = sweep_cache_key(workload, setup, record_trace)
+            checkpointer = SimulationCheckpointer(
+                checkpoint_path(directory, key),
+                every_phases=DEFAULT_CHECKPOINT_PHASES,
+            )
+        out.append(
+            execute_job(
+                workload,
+                setup,
+                record_trace,
+                cache_dir=directory,
+                checkpointer=checkpointer,
+                warm=True,
+            )[0]
+        )
+    return out
+
+
 def _resolve_workers(workers: Optional[int]) -> int:
     if workers is None:
         env = os.environ.get("REPRO_SWEEP_WORKERS")
@@ -321,6 +405,28 @@ def _resolve_workers(workers: Optional[int]) -> int:
     return max(1, int(workers))
 
 
+#: process-wide in-memory RunResult tier over the pickle cache; rebuilt
+#: (never shrunk mid-entry) when a sweep asks for a different budget.
+_result_mem_cache = None
+
+
+def _mem_cache(mem_cache_mb: int):
+    """The shared in-memory result tier (None when disabled).
+
+    Lazy import: :mod:`repro.serve` imports this module, so the cache
+    class cannot be imported at module scope without a cycle.
+    """
+    global _result_mem_cache
+    if mem_cache_mb <= 0:
+        return None
+    from repro.serve.cache import LruCache
+
+    budget = int(mem_cache_mb) * 1024 * 1024
+    if _result_mem_cache is None or _result_mem_cache.max_bytes != budget:
+        _result_mem_cache = LruCache(budget)
+    return _result_mem_cache
+
+
 def run_sweep(
     points: Iterable[SweepPoint],
     setup: Optional[ExperimentSetup] = None,
@@ -328,6 +434,8 @@ def run_sweep(
     cache: bool = True,
     cache_dir: Optional[str] = None,
     record_trace: bool = False,
+    mem_cache_mb: int = 64,
+    batch_max: int = 8,
 ) -> list[RunResult]:
     """Simulate independent sweep points, in parallel and memoized.
 
@@ -335,14 +443,25 @@ def run_sweep(
     pairs; bare workloads run under ``setup`` (default:
     ``ExperimentSetup()``).  Results come back in input order.
 
-    Uncached points fan out over a ``multiprocessing`` pool of
-    ``workers`` processes (default: ``REPRO_SWEEP_WORKERS`` or the CPU
-    count; pass 1 to force serial).  Completed points are pickled into
-    ``cache_dir`` (default ``~/.cache/repro-uvm``, overridable via the
-    ``REPRO_SWEEP_CACHE`` env var; set it to ``0``/``off`` to disable)
-    keyed by :func:`sweep_cache_key`, so re-running a sweep only
-    simulates points whose workload, setup, or simulator code changed.
+    Result reads are tiered: a process-wide in-memory LRU
+    (``mem_cache_mb`` MiB; 0 disables) answers first, then the on-disk
+    pickle cache in ``cache_dir`` (default ``~/.cache/repro-uvm``,
+    overridable via the ``REPRO_SWEEP_CACHE`` env var; set it to
+    ``0``/``off`` to disable) keyed by :func:`sweep_cache_key`, so
+    re-running a sweep only simulates points whose workload, setup, or
+    simulator code changed.
+
+    Uncached points are grouped by build signature (workload spec, seed,
+    granule) and dispatched in batches of up to ``batch_max``; each
+    batch reuses one warmed workload build instead of rebuilding per
+    point, with bit-identical results.  Batches fan out over a
+    ``multiprocessing`` pool of ``workers`` processes (default:
+    ``REPRO_SWEEP_WORKERS`` or the CPU count; pass 1 to force serial).
     """
+    if mem_cache_mb < 0:
+        raise ConfigurationError("mem_cache_mb must be >= 0")
+    if batch_max < 1:
+        raise ConfigurationError("batch_max must be >= 1")
     default_setup = setup or ExperimentSetup()
     jobs: list[tuple[Workload, ExperimentSetup, bool]] = []
     for point in points:
@@ -353,38 +472,61 @@ def run_sweep(
             jobs.append((point, default_setup, record_trace))
 
     directory = _resolve_cache_dir(cache, cache_dir)
+    mem = _mem_cache(mem_cache_mb)
     results: list[Optional[RunResult]] = [None] * len(jobs)
     keys: list[Optional[str]] = [None] * len(jobs)
     misses: list[int] = []
     for i, job in enumerate(jobs):
-        if directory is not None:
+        if directory is not None or mem is not None:
             keys[i] = sweep_cache_key(job[0], job[1], job[2])
+        if mem is not None and keys[i] is not None:
+            results[i] = mem.get(keys[i])
+            if results[i] is not None and directory is not None and not os.path.exists(
+                os.path.join(directory, f"{keys[i]}.pkl")
+            ):
+                # write-through: the process-wide memory tier outlives
+                # any one cache directory, so a mem hit must still
+                # populate the on-disk memo this sweep maintains.
+                _cache_store(directory, keys[i], results[i])
+        if results[i] is None and directory is not None and keys[i] is not None:
             results[i] = _cache_load(directory, keys[i])
+            if results[i] is not None and mem is not None:
+                mem.put(keys[i], results[i])
         if results[i] is None:
             misses.append(i)
 
-    # Misses carry the cache directory so each worker checkpoints its
-    # point (under <directory>/checkpoints/) and stores its own result;
-    # a sweep killed mid-run resumes from those snapshots on re-run.
-    miss_jobs = [
-        jobs[i] if directory is None else (*jobs[i], directory) for i in misses
-    ]
+    # Group misses by build signature so each batch shares one warmed
+    # build, then chunk to batch_max.  Batches carry the cache directory
+    # so each worker checkpoints its points (under
+    # <directory>/checkpoints/) and stores its own results; a sweep
+    # killed mid-run resumes from those snapshots on re-run.
+    groups: OrderedDict[tuple, list[int]] = OrderedDict()
+    for i in misses:
+        groups.setdefault(_build_signature(jobs[i][0], jobs[i][1]), []).append(i)
+    batches: list[list[int]] = []
+    for members in groups.values():
+        for start in range(0, len(members), batch_max):
+            batches.append(members[start : start + batch_max])
+    batch_args = [([jobs[i] for i in chunk], directory) for chunk in batches]
     n_workers = _resolve_workers(workers)
-    if len(misses) > 1 and n_workers > 1:
-        computed = _run_pool(miss_jobs, min(n_workers, len(misses)))
+    if len(batch_args) > 1 and n_workers > 1:
+        computed = _run_pool(_run_batch, batch_args, min(n_workers, len(batch_args)))
     else:
         computed = None
     if computed is None:
-        computed = [_run_point(job) for job in miss_jobs]
+        computed = [_run_batch(args) for args in batch_args]
 
-    for i, result in zip(misses, computed):
-        results[i] = result
-        if directory is not None and keys[i] is not None:
-            _cache_store(directory, keys[i], result)
+    for chunk, outs in zip(batches, computed):
+        for i, result in zip(chunk, outs):
+            results[i] = result
+            if directory is not None and keys[i] is not None:
+                _cache_store(directory, keys[i], result)
+            if mem is not None and keys[i] is not None:
+                mem.put(keys[i], result)
     return results  # type: ignore[return-value]
 
 
-def _run_pool(jobs: Sequence[tuple], n_workers: int) -> Optional[list[RunResult]]:
+def _run_pool(fn, jobs: Sequence, n_workers: int) -> Optional[list]:
     """Fan jobs over a process pool; ``None`` means fall back to serial
     (sandboxes without fork/semaphore support, pickling failures)."""
     import multiprocessing as mp
@@ -396,6 +538,6 @@ def _run_pool(jobs: Sequence[tuple], n_workers: int) -> Optional[list[RunResult]
         except ValueError:  # pragma: no cover - non-POSIX
             ctx = mp.get_context()
         with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
-            return list(pool.map(_run_point, jobs))
+            return list(pool.map(fn, jobs))
     except Exception:  # pragma: no cover - environment-dependent
         return None

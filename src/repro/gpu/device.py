@@ -276,8 +276,8 @@ class GpuDevice:
             # the float sum is bitwise-identical to the scalar loop
             contrib = retired[nz] * soa.flops[sel[nz]]
             acc = 0.0
-            for v in contrib:
-                acc += float(v)
+            for v in contrib.tolist():  # Python floats: same values, no
+                acc += v  # per-element numpy scalar boxing
             result.flops_retired = acc
         if result.accesses_retired and (
             self.access_counters is not None or remote is not None
@@ -303,34 +303,31 @@ class GpuDevice:
             sched.mark_stalled(f_ids, f_pages)
             utlb = self.utlb
             f_gpcs = (soa.sm_id[f_ids] // utlb.sms_per_gpc) % utlb.n_gpcs
-            f_writes = soa.writes_flat[pos1[f_rows]]
-            f_streams = soa.stream_ids[f_ids]
-            f_sms = soa.sm_id[f_ids]
-            now = clock.now
             buf = self.fault_buffer
-            for j in range(f_ids.size):
-                page = int(f_pages[j])
-                gpc = int(f_gpcs[j])
-                if not utlb.should_raise_gpc(gpc, page):
-                    result.faults_coalesced += 1
-                    continue
-                pushed = buf.push_fields(
-                    page=page,
-                    is_write=bool(f_writes[j]),
-                    timestamp_ns=now,
-                    gpc_id=gpc,
-                    utlb_id=gpc,
-                    stream_id=int(f_streams[j]),
-                    sm_id=int(f_sms[j]),
+            # One vectorized pass replaces the per-entry
+            # should_raise_gpc / push_fields / forget_gpc loop; drops
+            # (buffer full) are resolved against the free-slot budget
+            # with identical visit-order semantics.
+            push_mask, n_coalesced, n_dropped = utlb.raise_batch(
+                f_gpcs, f_pages, buf.free_slots
+            )
+            result.faults_coalesced += n_coalesced
+            result.faults_dropped += n_dropped
+            if n_dropped:
+                buf.count_dropped(n_dropped)
+            p_rows = np.flatnonzero(push_mask)
+            if p_rows.size:
+                p_gpcs = f_gpcs[p_rows]
+                buf.push_arrays(
+                    f_pages[p_rows],
+                    soa.writes_flat[pos1[f_rows[p_rows]]],
+                    clock.now,
+                    p_gpcs,
+                    p_gpcs,
+                    soa.stream_ids[f_ids[p_rows]],
+                    soa.sm_id[f_ids[p_rows]],
                 )
-                if pushed:
-                    result.faults_enqueued += 1
-                else:
-                    # Buffer full: hardware drops the record; the warp
-                    # stays stalled and re-walks after the next replay,
-                    # so forget the uTLB pending state for the re-raise.
-                    utlb.forget_gpc(gpc, page)
-                    result.faults_dropped += 1
+                result.faults_enqueued += int(p_rows.size)
         sched.refill()
         return result
 

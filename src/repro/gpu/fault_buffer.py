@@ -128,6 +128,54 @@ class FaultBuffer:
             self.high_watermark = self._size
         return True
 
+    def push_arrays(
+        self,
+        pages: np.ndarray,
+        writes: np.ndarray,
+        timestamp_ns: int,
+        gpcs: np.ndarray,
+        utlbs: np.ndarray,
+        streams: np.ndarray,
+        sms: np.ndarray,
+    ) -> int:
+        """Enqueue a batch of fault records sharing one timestamp.
+
+        The caller guarantees the batch fits (``len(pages) <=``
+        :attr:`free_slots`) - capacity drops are resolved *before* the
+        write by :meth:`~repro.gpu.tlb.UTlbArray.raise_batch` and
+        reported through :meth:`count_dropped`.  Semantically identical
+        to a :meth:`push_fields` loop, minus the per-entry Python calls.
+        """
+        n = int(pages.size)
+        if n == 0:
+            return 0
+        if n > self.free_slots:
+            raise ConfigurationError(
+                f"batch of {n} fault records exceeds {self.free_slots} free slots"
+            )
+        tail = self._head + self._size
+        if tail >= self.capacity:
+            tail -= self.capacity
+        idx = tail + np.arange(n, dtype=np.int64)
+        if tail + n > self.capacity:
+            idx[idx >= self.capacity] -= self.capacity
+        self._page[idx] = pages
+        self._write[idx] = writes
+        self._ts[idx] = timestamp_ns
+        self._gpc[idx] = gpcs
+        self._utlb[idx] = utlbs
+        self._stream[idx] = streams
+        self._sm[idx] = sms
+        self._size += n
+        self.total_enqueued += n
+        if self._size > self.high_watermark:
+            self.high_watermark = self._size
+        return n
+
+    def count_dropped(self, n: int) -> None:
+        """Account capacity drops resolved outside :meth:`push_fields`."""
+        self.total_dropped += int(n)
+
     def try_push(self, entry: FaultEntry) -> bool:
         """Enqueue a :class:`FaultEntry`; returns False (drop) when full."""
         return self.push_fields(

@@ -89,6 +89,31 @@ class SoaStreams:
             (s.flops_per_access for s in streams), dtype=np.float64, count=n
         )
         self.faults_raised = np.zeros(n, dtype=np.int64)
+        #: reusable per-window scan scratch (see :func:`advance_batch`);
+        #: keyed by window width, rows grown to the high-water mark.
+        self._scratch: dict[int, dict[str, np.ndarray]] = {}
+
+    def scan_scratch(self, k: int, width: int) -> dict[str, np.ndarray]:
+        """Preallocated ``k x width`` scan buffers for one gallop round.
+
+        The hot loop in :func:`advance_batch` previously allocated five
+        fresh ``k x W`` arrays per round; reusing high-water-sized
+        buffers removes that churn (the returned views alias scratch -
+        valid until the next call with the same ``width``).
+        """
+        bufs = self._scratch.get(width)
+        if bufs is None or bufs["idx"].shape[0] < k:
+            bufs = {
+                "idx": np.empty((k, width), dtype=np.int64),
+                "pg": np.empty((k, width), dtype=np.int64),
+                "ok": np.empty((k, width), dtype=bool),
+                "wr": np.empty((k, width), dtype=bool),
+                "wok": np.empty((k, width), dtype=bool),
+                "valid": np.empty((k, width), dtype=bool),
+                "arange": np.arange(width, dtype=np.int64),
+            }
+            self._scratch[width] = bufs
+        return bufs
 
 
 def advance_batch(
@@ -122,19 +147,30 @@ def advance_batch(
     live = np.flatnonzero(cur < end)
     width = START_WINDOW
     while live.size:
+        n_live = int(live.size)
         c = cur[live]
         e = end[live]
-        idx = c[:, None] + np.arange(width, dtype=np.int64)
-        valid = idx < e[:, None]
-        np.minimum(idx, pages.size - 1, out=idx)
-        pg = pages[idx]
+        bufs = soa.scan_scratch(n_live, width)
+        idx = bufs["idx"][:n_live]
+        np.add(c[:, None], bufs["arange"], out=idx)
+        valid = bufs["valid"][:n_live]
+        np.less(idx, e[:, None], out=valid)
+        # mode="clip" clamps to pages.size - 1, replacing the explicit
+        # np.minimum pass (idx is always >= 0)
+        pg = bufs["pg"][:n_live]
+        np.take(pages, idx, out=pg, mode="clip")
+        ok = bufs["ok"][:n_live]
+        np.take(read_ok, pg, out=ok)
         if check_writes:
-            ok = np.where(writes[idx], write_ok[pg], read_ok[pg])
-        else:
-            ok = read_ok[pg]  # fancy indexing: already a private copy
-        ok |= ~valid
+            wr = bufs["wr"][:n_live]
+            np.take(writes, idx, out=wr, mode="clip")
+            wok = bufs["wok"][:n_live]
+            np.take(write_ok, pg, out=wok)
+            np.copyto(ok, wok, where=wr)
+        np.logical_not(valid, out=valid)
+        np.logical_or(ok, valid, out=ok)
         first = ok.argmin(axis=1)
-        missed = ~ok[np.arange(live.size), first]
+        missed = ~ok[np.arange(n_live), first]
         if missed.any():
             rows = live[missed]
             mpos = c[missed] + first[missed]

@@ -10,9 +10,18 @@ duplicates (fault-source erasure means the driver cannot tell).
 The pending set of a uTLB is cleared by a replay notification: after a
 replay, an unsatisfied access walks the table and faults again, which is
 exactly how duplicate faults reach the driver across replays.
+
+The pending filters are stored as one boolean matrix (GPC x page,
+lazily sized to the highest page seen) so the SoA engine can test and
+update a whole phase's fault batch with vectorized gathers instead of a
+Python set probe per access (:meth:`UTlbArray.raise_batch`).  The
+scalar methods (:meth:`should_raise` / :meth:`forget`) operate on the
+same matrix, so both engines observe identical coalescing state.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
@@ -25,9 +34,23 @@ class UTlbArray:
             raise ConfigurationError("n_gpcs and sms_per_gpc must be positive")
         self.n_gpcs = n_gpcs
         self.sms_per_gpc = sms_per_gpc
-        self._pending: list[set[int]] = [set() for _ in range(n_gpcs)]
+        #: (n_gpcs, n_pages) pending matrix, grown on demand; starts
+        #: empty because the page-space extent is unknown at build time.
+        self._pending = np.zeros((n_gpcs, 0), dtype=bool)
+        self._pending_count = 0
         self.coalesced = 0  # same-GPC duplicate accesses absorbed
         self.raised = 0  # fault entries actually emitted
+
+    def _ensure_pages(self, max_page: int) -> None:
+        """Grow the pending matrix to cover ``max_page`` (geometric)."""
+        width = self._pending.shape[1]
+        if max_page < width:
+            return
+        new_width = max(max_page + 1, width * 2, 1024)
+        grown = np.zeros((self.n_gpcs, new_width), dtype=bool)
+        if width:
+            grown[:, :width] = self._pending
+        self._pending = grown
 
     def gpc_of_sm(self, sm_id: int) -> int:
         """GPC owning a given SM (round-robin placement)."""
@@ -46,13 +69,69 @@ class UTlbArray:
     def should_raise_gpc(self, gpc: int, page: int) -> bool:
         """Like :meth:`should_raise` with the GPC already resolved (the
         SoA engine precomputes GPC ids for a whole phase in one shot)."""
-        pending = self._pending[gpc]
-        if page in pending:
+        self._ensure_pages(page)
+        if self._pending[gpc, page]:
             self.coalesced += 1
             return False
-        pending.add(page)
+        self._pending[gpc, page] = True
+        self._pending_count += 1
         self.raised += 1
         return True
+
+    def raise_batch(
+        self, gpcs: np.ndarray, pages: np.ndarray, budget: int
+    ) -> tuple[np.ndarray, int, int]:
+        """Vectorized emission for one phase's fault batch.
+
+        Replays the exact sequential semantics of the per-entry loop
+
+        ``should_raise_gpc`` -> push (success) / ``forget_gpc`` (buffer
+        full, counted as a drop)
+
+        over entries visited in order, with ``budget`` free fault-buffer
+        slots.  Only *new* (gpc, page) pairs consume slots; once the
+        budget is exhausted every further new pair is raised, dropped,
+        and forgotten again - net state unchanged, one drop counted -
+        which collapses to: the first ``budget`` distinct non-pending
+        pairs (in visit order) are pushed, later occurrences of a pushed
+        or already-pending pair coalesce, and everything else drops.
+
+        Returns ``(push_mask, n_coalesced, n_dropped)`` aligned with the
+        inputs; pending state and the coalesced/raised counters are
+        updated exactly as the sequential loop would leave them.
+        """
+        m = int(pages.size)
+        if m == 0:
+            return np.zeros(0, dtype=bool), 0, 0
+        self._ensure_pages(int(pages.max()))
+        width = self._pending.shape[1]
+        already = self._pending[gpcs, pages]
+        combined = gpcs * np.int64(width) + pages
+        _, first_idx, inverse = np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        is_first = np.zeros(m, dtype=bool)
+        is_first[first_idx] = True
+        new = is_first & ~already
+        push_mask = np.zeros(m, dtype=bool)
+        new_rows = np.flatnonzero(new)
+        n_push = min(int(new_rows.size), max(0, int(budget)))
+        if n_push:
+            push_rows = new_rows[:n_push]
+            push_mask[push_rows] = True
+            self._pending[gpcs[push_rows], pages[push_rows]] = True
+            self._pending_count += n_push
+        # coalesced: non-pushed entries whose pair is pending - either
+        # pre-batch pending or raised by a pushed entry earlier on.
+        pushed_key = np.zeros(first_idx.size, dtype=bool)
+        if n_push:
+            pushed_key[inverse[push_mask]] = True
+        coalesce = ~push_mask & (already | pushed_key[inverse])
+        n_coalesced = int(coalesce.sum())
+        n_dropped = m - n_push - n_coalesced
+        self.coalesced += n_coalesced
+        self.raised += n_push
+        return push_mask, n_coalesced, n_dropped
 
     def forget(self, sm_id: int, page: int) -> None:
         """Drop a pending entry (the fault-buffer push was dropped).
@@ -64,7 +143,9 @@ class UTlbArray:
         self.forget_gpc(self.gpc_of_sm(sm_id), page)
 
     def forget_gpc(self, gpc: int, page: int) -> None:
-        self._pending[gpc].discard(page)
+        if page < self._pending.shape[1] and self._pending[gpc, page]:
+            self._pending[gpc, page] = False
+            self._pending_count -= 1
         self.raised -= 1
 
     def on_replay(self) -> None:
@@ -73,8 +154,9 @@ class UTlbArray:
         Unsatisfied accesses will re-walk and re-raise, creating the
         duplicate faults the batch-flush policy exists to suppress.
         """
-        for pending in self._pending:
-            pending.clear()
+        if self._pending_count:
+            self._pending[:] = False
+            self._pending_count = 0
 
     def pending_total(self) -> int:
-        return sum(len(p) for p in self._pending)
+        return self._pending_count

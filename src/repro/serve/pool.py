@@ -1,12 +1,21 @@
 """Supervised ``multiprocessing`` worker pool.
 
 Each worker is a separate OS process with its *own* depth-1 task queue,
-so the supervisor always knows exactly which job a worker holds - the
+so the supervisor always knows exactly which jobs a worker holds - the
 property that makes death/timeout recovery exact: when a worker dies or
-is killed, its assigned job (and only that job) is requeued.  A shared
+is killed, its assigned jobs (and only those) are requeued.  A shared
 result queue carries small completion messages back; the actual result
 documents go through the on-disk :class:`~repro.serve.store.ResultStore`
 written by the worker itself, so large payloads never transit a pipe.
+
+Workers are *warm*: one process serves many tasks, and a task is a
+**batch** - a list of job members sharing a workload/setup build
+signature.  The worker executes members sequentially with
+``warm=True``, so the first member's expensive workload build is
+memoized in-process and later members (and later batches with the same
+signature) deep-copy it instead of rebuilding.  Each member reports its
+own started/done/error message, so the supervisor tracks per-member
+timeouts, retries, and death recovery exactly as it did for solo jobs.
 
 Workers execute jobs through
 :func:`repro.experiments.runner.execute_job` - the same cache-aware code
@@ -21,7 +30,7 @@ import os
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 #: message kinds on the result queue
 MSG_STARTED = "started"
@@ -47,7 +56,7 @@ def worker_main(
     cache_dir: Optional[str],
     checkpoint_every: int = 256,
 ) -> None:
-    """Worker process body: pull one task at a time, execute, report.
+    """Worker process body: pull one batch at a time, run its members, report.
 
     Imports happen lazily so a ``spawn``-context worker also boots.
 
@@ -62,15 +71,7 @@ def worker_main(
     bound guarantees a later clean attempt.
     """
     from repro.chaos import plan as chaos_plan
-    from repro.chaos.injector import model_injection
-    from repro.chaos.process import apply_process_faults, checkpoint_kill_hook
-    from repro.chaos import storage as chaos_storage
-    from repro.errors import ChaosError
-    from repro.serve.jobs import JobSpec
-    from repro.serve.results import result_to_doc
     from repro.serve.store import ResultStore
-    from repro.sim.engine import SimulationCheckpointer
-    from repro.experiments.runner import execute_job, simulate
 
     # fresh env read: a fork-context worker inherits the parent's module
     # cache, and the parent may have armed a different plan.
@@ -83,127 +84,163 @@ def worker_main(
         task = task_queue.get()
         if task is None:
             return
-        job_id, attempt, spec_dict, key = task
-        result_queue.put((MSG_STARTED, worker_id, job_id, attempt, {}))
-        trial = attempt - 1
-        t0 = time.perf_counter_ns()
-        try:
-            if plan is not None:
-                apply_process_faults(plan, key, trial)
-            spec = JobSpec.from_dict(spec_dict)
-            workload, setup = spec.build()
-
-            if plan is not None and any(
-                plan.should_fire(point, key, trial) is not None
-                for point in chaos_plan.MODEL_POINTS
-            ):
-                # probe attempt: run the degraded simulation (replay
-                # storms / DMA retries / allocation pressure all modelled
-                # and sanitized), then discard it - the canonical result
-                # must come from a clean attempt.  Bypasses the sweep
-                # cache in both directions.
-                with model_injection(plan):
-                    simulate(workload, setup, record_trace=spec.record_trace)
-                raise ChaosError(
-                    f"injected model fault(s) on attempt {attempt}; "
-                    "degraded probe completed, result discarded"
-                )
-
-            checkpointer = None
-            if checkpoint_every > 0:
-                checkpointer = SimulationCheckpointer(
-                    os.path.join(store_dir, "checkpoints", f"{key}.ckpt"),
-                    every_phases=checkpoint_every,
-                    on_save=None
-                    if plan is None
-                    else checkpoint_kill_hook(plan, key, trial),
-                )
-            result, sweep_hit = execute_job(
-                workload,
-                setup,
-                spec.record_trace,
-                cache_dir=cache_dir,
-                checkpointer=checkpointer,
+        # a task is a batch of members sharing a build signature; they
+        # run sequentially on this warm process, each reporting its own
+        # started/done/error message.
+        for member in task:
+            _run_member(
+                worker_id, result_queue, store, cache_dir, checkpoint_every, plan, member
             )
-            resumed = checkpointer is not None and checkpointer.resumed
-            elapsed_ns = time.perf_counter_ns() - t0
-            doc = result_to_doc(
-                result,
-                extra={
-                    "job_id": job_id,
-                    "key": key,
-                    "workload": spec.workload,
-                    "data_bytes": spec.data_bytes,
-                    "seed": spec.seed,
-                    "worker_pid": os.getpid(),
+
+
+def _run_member(
+    worker_id: int,
+    result_queue,
+    store,
+    cache_dir: Optional[str],
+    checkpoint_every: int,
+    plan,
+    member: tuple,
+) -> None:
+    """Execute one batch member and report its outcome (worker-side).
+
+    Split out of :func:`worker_main` so each member gets its own
+    try/except: a member's reported error (or injected fault) must not
+    take down the siblings queued behind it on the same worker.
+    """
+    from repro.chaos import plan as chaos_plan
+    from repro.chaos.injector import model_injection
+    from repro.chaos.process import apply_process_faults, checkpoint_kill_hook
+    from repro.chaos import storage as chaos_storage
+    from repro.errors import ChaosError
+    from repro.serve.jobs import JobSpec
+    from repro.serve.results import result_to_doc
+    from repro.sim.engine import SimulationCheckpointer
+    from repro.experiments.runner import execute_job, simulate
+
+    store_dir = os.fspath(store.root)
+    job_id, attempt, spec_dict, key = member
+    result_queue.put((MSG_STARTED, worker_id, job_id, attempt, {}))
+    trial = attempt - 1
+    t0 = time.perf_counter_ns()
+    try:
+        if plan is not None:
+            apply_process_faults(plan, key, trial)
+        spec = JobSpec.from_dict(spec_dict)
+        workload, setup = spec.build()
+
+        if plan is not None and any(
+            plan.should_fire(point, key, trial) is not None
+            for point in chaos_plan.MODEL_POINTS
+        ):
+            # probe attempt: run the degraded simulation (replay
+            # storms / DMA retries / allocation pressure all modelled
+            # and sanitized), then discard it - the canonical result
+            # must come from a clean attempt.  Bypasses the sweep
+            # cache in both directions.
+            with model_injection(plan):
+                simulate(workload, setup, record_trace=spec.record_trace)
+            raise ChaosError(
+                f"injected model fault(s) on attempt {attempt}; "
+                "degraded probe completed, result discarded"
+            )
+
+        checkpointer = None
+        if checkpoint_every > 0:
+            checkpointer = SimulationCheckpointer(
+                os.path.join(store_dir, "checkpoints", f"{key}.ckpt"),
+                every_phases=checkpoint_every,
+                on_save=None
+                if plan is None
+                else checkpoint_kill_hook(plan, key, trial),
+            )
+        result, sweep_hit = execute_job(
+            workload,
+            setup,
+            spec.record_trace,
+            cache_dir=cache_dir,
+            checkpointer=checkpointer,
+            warm=True,
+        )
+        resumed = checkpointer is not None and checkpointer.resumed
+        elapsed_ns = time.perf_counter_ns() - t0
+        doc = result_to_doc(
+            result,
+            extra={
+                "job_id": job_id,
+                "key": key,
+                "workload": spec.workload,
+                "data_bytes": spec.data_bytes,
+                "seed": spec.seed,
+                "worker_pid": os.getpid(),
+                "run_wall_ns": elapsed_ns,
+            },
+        )
+        trace = result.trace if spec.record_trace else None
+        if plan is not None:
+            fired = plan.should_fire(chaos_plan.STORAGE_TORN_JSON, key, trial)
+            if fired is not None:
+                chaos_storage.tear_json(store, key, doc)
+                raise ChaosError(
+                    f"injected torn document for {key[:12]}.. "
+                    f"on attempt {attempt}"
+                )
+            fired = plan.should_fire(chaos_plan.STORAGE_TRUNCATED_NPZ, key, trial)
+            if fired is not None and trace is not None:
+                chaos_storage.truncate_npz(
+                    store, key, trace, metadata={"job_id": job_id}
+                )
+                raise ChaosError(
+                    f"injected truncated trace for {key[:12]}.. "
+                    f"on attempt {attempt}"
+                )
+            if plan.should_fire(chaos_plan.STORAGE_STALE_TMP, key, trial):
+                # non-fatal debris: the attempt itself succeeds; the
+                # service's startup sweep (or quarantine audit) must
+                # cope with the leftover.
+                chaos_storage.leave_stale_tmp(store, key)
+        store.store(
+            key,
+            doc,
+            trace=trace,
+            trace_metadata={"job_id": job_id, "workload": spec.workload},
+        )
+        result_queue.put(
+            (
+                MSG_DONE,
+                worker_id,
+                job_id,
+                attempt,
+                {
+                    "sweep_cache_hit": sweep_hit,
                     "run_wall_ns": elapsed_ns,
+                    "resumed": resumed,
                 },
             )
-            trace = result.trace if spec.record_trace else None
-            if plan is not None:
-                fired = plan.should_fire(chaos_plan.STORAGE_TORN_JSON, key, trial)
-                if fired is not None:
-                    chaos_storage.tear_json(store, key, doc)
-                    raise ChaosError(
-                        f"injected torn document for {key[:12]}.. "
-                        f"on attempt {attempt}"
-                    )
-                fired = plan.should_fire(chaos_plan.STORAGE_TRUNCATED_NPZ, key, trial)
-                if fired is not None and trace is not None:
-                    chaos_storage.truncate_npz(
-                        store, key, trace, metadata={"job_id": job_id}
-                    )
-                    raise ChaosError(
-                        f"injected truncated trace for {key[:12]}.. "
-                        f"on attempt {attempt}"
-                    )
-                if plan.should_fire(chaos_plan.STORAGE_STALE_TMP, key, trial):
-                    # non-fatal debris: the attempt itself succeeds; the
-                    # service's startup sweep (or quarantine audit) must
-                    # cope with the leftover.
-                    chaos_storage.leave_stale_tmp(store, key)
-            store.store(
-                key,
-                doc,
-                trace=trace,
-                trace_metadata={"job_id": job_id, "workload": spec.workload},
+        )
+    except ChaosError as exc:
+        result_queue.put(
+            (
+                MSG_CHAOS,
+                worker_id,
+                job_id,
+                attempt,
+                {"error": f"{type(exc).__name__}: {exc}"},
             )
-            result_queue.put(
-                (
-                    MSG_DONE,
-                    worker_id,
-                    job_id,
-                    attempt,
-                    {
-                        "sweep_cache_hit": sweep_hit,
-                        "run_wall_ns": elapsed_ns,
-                        "resumed": resumed,
-                    },
-                )
+        )
+    except BaseException as exc:  # report and keep serving
+        result_queue.put(
+            (
+                MSG_ERROR,
+                worker_id,
+                job_id,
+                attempt,
+                {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(limit=8),
+                },
             )
-        except ChaosError as exc:
-            result_queue.put(
-                (
-                    MSG_CHAOS,
-                    worker_id,
-                    job_id,
-                    attempt,
-                    {"error": f"{type(exc).__name__}: {exc}"},
-                )
-            )
-        except BaseException as exc:  # report and keep serving
-            result_queue.put(
-                (
-                    MSG_ERROR,
-                    worker_id,
-                    job_id,
-                    attempt,
-                    {
-                        "error": f"{type(exc).__name__}: {exc}",
-                        "traceback": traceback.format_exc(limit=8),
-                    },
-                )
-            )
+        )
 
 
 @dataclass
@@ -213,16 +250,22 @@ class WorkerHandle:
     worker_id: int
     process: mp.Process
     task_queue: Any
-    #: job currently assigned (None = idle), plus its attempt number.
-    job_id: Optional[str] = None
-    attempt: int = 0
-    #: monotonic-clock deadline for the running job (0 = no deadline).
+    #: batch members assigned to this worker: job_id -> attempt.
+    #: Members are removed one by one as their completion messages
+    #: drain; empty = idle.
+    assignments: dict[str, int] = field(default_factory=dict)
+    #: the member the worker is executing right now (first member at
+    #: assign time, refreshed by each MSG_STARTED).  Death/timeout
+    #: charges only this member; unstarted siblings requeue free.
+    active_job: Optional[str] = None
+    #: monotonic-clock deadline for the *active member*, re-armed on
+    #: every member start (0 = no deadline).
     deadline: float = 0.0
     jobs_done: int = field(default=0)
 
     @property
     def idle(self) -> bool:
-        return self.job_id is None
+        return not self.assignments
 
     def alive(self) -> bool:
         return self.process.is_alive()
@@ -321,23 +364,30 @@ class WorkerPool:
     def assign(
         self,
         handle: WorkerHandle,
-        job_id: str,
-        attempt: int,
-        spec_dict: dict,
-        key: str,
+        members: Sequence[tuple[str, int, dict, str]],
         timeout_s: float,
     ) -> None:
-        handle.job_id = job_id
-        handle.attempt = attempt
+        """Hand a batch of ``(job_id, attempt, spec_dict, key)`` members
+        to an idle worker.  The per-attempt timeout applies to each
+        member separately: the deadline is armed here for the first
+        member and re-armed by the supervisor on every MSG_STARTED."""
+        if not members:
+            raise ValueError("assign() needs at least one batch member")
+        for job_id, attempt, _spec, _key in members:
+            handle.assignments[job_id] = attempt
+        handle.active_job = members[0][0]
         # monotonic: a wall-clock step (NTP, DST) must not expire jobs
         handle.deadline = time.monotonic() + timeout_s if timeout_s > 0 else 0.0
-        handle.task_queue.put((job_id, attempt, spec_dict, key))
+        handle.task_queue.put(list(members))
 
-    def release(self, handle: WorkerHandle) -> None:
-        handle.job_id = None
-        handle.attempt = 0
-        handle.deadline = 0.0
+    def release(self, handle: WorkerHandle, job_id: str) -> None:
+        """One member finished (done/error/chaos): drop its assignment."""
+        handle.assignments.pop(job_id, None)
         handle.jobs_done += 1
+        if handle.active_job == job_id:
+            handle.active_job = None
+        if not handle.assignments:
+            handle.deadline = 0.0
 
     def alive_count(self) -> int:
         return sum(1 for h in self.workers.values() if h.alive())

@@ -63,6 +63,7 @@ from repro.chaos.process import journal_kill_hook
 from repro.errors import ConfigurationError, CorruptResultError, ReproError
 from repro.experiments.runner import _resolve_cache_dir
 from repro.serve import telemetry as tm
+from repro.serve.cache import LruCache
 from repro.serve.journal import JobJournal
 from repro.serve.jobs import JobRecord, JobSpec, JobState
 from repro.serve.pool import MSG_CHAOS, MSG_DONE, MSG_ERROR, MSG_STARTED, WorkerPool
@@ -129,8 +130,17 @@ class ServiceConfig:
     shed_retry_after_s: float = 1.0
     #: write-ahead journal path (None = ``<store_dir>/journal.jsonl``).
     journal_path: Optional[str] = None
+    #: in-memory result cache budget (MiB); 0 disables the hot tier.
+    mem_cache_mb: int = 64
+    #: max queued jobs sharing one workload/setup signature dispatched
+    #: to a warm worker as one batch; 1 restores solo dispatch.
+    batch_max: int = 8
 
     def __post_init__(self) -> None:
+        if self.mem_cache_mb < 0:
+            raise ConfigurationError("mem_cache_mb must be >= 0")
+        if self.batch_max < 1:
+            raise ConfigurationError("batch_max must be >= 1")
         if self.queue_high_watermark < 1:
             raise ConfigurationError("queue_high_watermark must be >= 1")
         if not 0 <= self.queue_low_watermark <= self.queue_high_watermark:
@@ -154,6 +164,9 @@ class SimulationService:
         self.config = config or ServiceConfig()
         self.store = ResultStore(store_dir)
         self.telemetry = Telemetry()
+        #: hot tier over the result store; holds only validated documents.
+        self.result_cache = LruCache(self.config.mem_cache_mb * 1024 * 1024)
+        self._evictions_reported = 0
         self.journal = JobJournal(
             self.config.journal_path
             or os.path.join(store_dir, "journal.jsonl")
@@ -232,6 +245,7 @@ class SimulationService:
                 record.cache_hit = True
                 record.finished_at = time.time()
                 self.telemetry.count(tm.CACHE_HITS_STORE)
+                self.telemetry.count(tm.CACHE_DISK_HITS)
                 self.telemetry.count(tm.JOBS_COMPLETED)
                 self.telemetry.event(
                     record.job_id, "done", cache_hit=True, replayed=True
@@ -392,13 +406,17 @@ class SimulationService:
                 self.telemetry.count(tm.JOBS_SUBMITTED)
                 self._finish(record, JobState.POISONED)
             return record
-        if self.store.contains(key):
+        mem_hit = key in self.result_cache
+        if mem_hit or self.store.contains(key):
             record.cache_hit = True
             with self._lock:
                 record.job_id = f"job-{next(self._seq):08d}"
                 self._jobs[record.job_id] = record
                 self.telemetry.count(tm.JOBS_SUBMITTED)
                 self.telemetry.count(tm.CACHE_HITS_STORE)
+                self.telemetry.count(
+                    tm.CACHE_MEM_HITS if mem_hit else tm.CACHE_DISK_HITS
+                )
                 self._finish(record, JobState.DONE)
             return record
         with self._lock:
@@ -436,23 +454,43 @@ class SimulationService:
     def result_doc(self, job_id: str) -> Optional[dict[str, Any]]:
         """The stored result document of a DONE job (None until then).
 
-        A corrupt entry raises
-        :class:`~repro.errors.CorruptResultError` *after* the store has
-        quarantined it - resubmitting the same spec then recomputes.
+        Tiered read: the in-memory LRU answers first
+        (``cache.mem_hits``); otherwise the on-disk store is read and -
+        only after it validated the checksum - the document is memoized
+        for the next probe (``cache.disk_hits``).  A corrupt entry
+        raises :class:`~repro.errors.CorruptResultError` *after* the
+        store has quarantined it, and is never memoized, so
+        resubmitting the same spec recomputes instead of serving the
+        bad document from memory.
         """
         record = self.get(job_id)
         if record.state is not JobState.DONE:
             return None
+        doc = self.result_cache.get(record.key)
+        if doc is not None:
+            self.telemetry.count(tm.CACHE_MEM_HITS)
+            return doc
         try:
-            return self.store.get(record.key)
+            doc = self.store.get(record.key)
         except KeyError:
+            self.telemetry.count(tm.CACHE_MISSES)
             return None
         except CorruptResultError:
             self.telemetry.count(tm.RESULTS_QUARANTINED)
+            self.result_cache.discard(record.key)
             raise
+        self.telemetry.count(tm.CACHE_DISK_HITS)
+        self.result_cache.put(record.key, doc)
+        return doc
 
     def cancel(self, job_id: str) -> bool:
-        """Cancel a queued or running job; False if already terminal."""
+        """Cancel a queued or running job; False if already terminal.
+
+        Cancelling a member of a running batch kills the whole worker
+        (the worker executes members sequentially and cannot skip one),
+        so its sibling members requeue immediately with their
+        dispatch-time attempt refunded.
+        """
         with self._lock:
             record = self._jobs.get(job_id)
             if record is None:
@@ -460,7 +498,15 @@ class SimulationService:
             if record.state.terminal:
                 return False
             if record.state is JobState.RUNNING and record.worker_id is not None:
+                handle = self.pool.workers.get(record.worker_id)
+                siblings = []
+                if handle is not None:
+                    siblings = [j for j in handle.assignments if j != job_id]
                 self._kill_and_respawn(record.worker_id)
+                for sibling_id in siblings:
+                    sibling = self._jobs.get(sibling_id)
+                    if sibling is not None and sibling.state is JobState.RUNNING:
+                        self._requeue_unstarted(sibling)
             elif record.state is JobState.QUEUED:
                 self._queued -= 1
                 self._update_shedding()
@@ -490,9 +536,21 @@ class SimulationService:
             return list(self._jobs.values())
 
     def metrics(self) -> dict[str, Any]:
+        cache_stats = self.result_cache.stats()
         with self._lock:
+            # mirror LRU evictions into the monotonic counter set lazily
+            # (the cache counts internally; telemetry learns the delta).
+            delta = cache_stats.evictions - self._evictions_reported
+            if delta > 0:
+                self.telemetry.count(tm.CACHE_EVICTIONS, delta)
+                self._evictions_reported = cache_stats.evictions
             states = [r.state for r in self._jobs.values()]
             gauges = {
+                "mem_cache_entries": cache_stats.entries,
+                "mem_cache_bytes": cache_stats.size_bytes,
+                "mem_cache_max_bytes": cache_stats.max_bytes,
+                "mem_cache_evictions": cache_stats.evictions,
+                "batch_max": self.config.batch_max,
                 "queue_depth": sum(1 for s in states if s is JobState.QUEUED),
                 "jobs_in_flight": sum(1 for s in states if s is JobState.RUNNING),
                 "jobs_total": len(states),
@@ -544,16 +602,22 @@ class SimulationService:
                 current = (
                     handle is not None
                     and record is not None
-                    and handle.job_id == job_id
-                    and handle.attempt == attempt
+                    and handle.assignments.get(job_id) == attempt
                     and record.state is JobState.RUNNING
                 )
                 if not current:
                     continue
                 if kind == MSG_STARTED:
                     record.started_at = time.time()
+                    # this member is now the one on the clock: re-arm
+                    # the per-attempt deadline for it.
+                    handle.active_job = job_id
+                    if self.config.job_timeout_s > 0:
+                        handle.deadline = (
+                            time.monotonic() + self.config.job_timeout_s
+                        )
                     continue
-                self.pool.release(handle)
+                self.pool.release(handle, job_id)
                 if kind == MSG_DONE:
                     if detail.get("sweep_cache_hit"):
                         self.telemetry.count(tm.CACHE_HITS_SWEEP)
@@ -580,29 +644,56 @@ class SimulationService:
         now = time.monotonic()  # handle.deadline is monotonic
         for worker_id, handle in list(self.pool.workers.items()):
             if not handle.alive():
-                job_id = handle.job_id
+                assignments = dict(handle.assignments)
                 self.pool.respawn(worker_id)
                 self.telemetry.count(tm.WORKER_RESPAWNS)
-                if job_id is not None:
+                if assignments:
                     self.telemetry.count(tm.WORKER_DEATHS)
-                    record = self._jobs.get(job_id)
-                    if record is not None and record.state is JobState.RUNNING:
-                        if not self._note_infra_death(record):
-                            self._retry_or_fail(record, "worker process died")
-            elif (
-                handle.job_id is not None
-                and handle.deadline
-                and now > handle.deadline
-            ):
-                record = self._jobs.get(handle.job_id)
+                    self._recover_batch(assignments, "worker process died")
+            elif handle.assignments and handle.deadline and now > handle.deadline:
+                assignments = dict(handle.assignments)
                 self.telemetry.count(tm.JOBS_TIMED_OUT)
                 self._kill_and_respawn(worker_id)
-                if record is not None and record.state is JobState.RUNNING:
-                    if not self._note_infra_death(record):
-                        self._retry_or_fail(
-                            record,
-                            f"attempt exceeded {self.config.job_timeout_s}s timeout",
-                        )
+                self._recover_batch(
+                    assignments,
+                    f"attempt exceeded {self.config.job_timeout_s}s timeout",
+                )
+
+    def _recover_batch(
+        self,
+        assignments: dict[str, int],
+        reason: str,
+    ) -> None:
+        """Recover the members a dead/killed worker was holding.
+
+        Members execute in assignment order and every result is durably
+        stored *before* its completion message is sent, so the batch
+        decomposes deterministically even when the per-member progress
+        messages died with the worker (a SIGKILL can race the queue's
+        feeder thread):
+
+        * a member whose result already reached the store finished -
+          only the message was lost.  Finalize it as DONE.
+        * the first remaining member was the one executing; only it is
+          charged: a death count against the poison breaker, then retry
+          with backoff (or terminal failure).
+        * later siblings merely sat in the dead worker's queue - they
+          requeue immediately with the dispatch-time attempt refunded,
+          no backoff, no death count.
+        """
+        charged = False
+        for job_id in assignments:
+            record = self._jobs.get(job_id)
+            if record is None or record.state is not JobState.RUNNING:
+                continue
+            if self.store.contains(record.key):
+                self._finish(record, JobState.DONE)
+            elif not charged:
+                charged = True
+                if not self._note_infra_death(record):
+                    self._retry_or_fail(record, reason)
+            else:
+                self._requeue_unstarted(record)
 
     def _dispatch(self) -> None:
         if self._draining:
@@ -613,6 +704,49 @@ class SimulationService:
         now = time.monotonic()  # not_before is monotonic (retry backoff)
         deferred: list[tuple[int, int, str]] = []
         while idle and self._heap:
+            batch = self._take_batch(now, deferred)
+            if not batch:
+                break
+            handle = idle.pop()
+            members = []
+            for record in batch:
+                record.attempts += 1
+                record.state = JobState.RUNNING
+                record.started_at = time.time()  # refined per MSG_STARTED
+                record.worker_id = handle.worker_id
+                self._queued -= 1
+                self._journal_record(record)
+                members.append(
+                    (record.job_id, record.attempts, record.spec.to_dict(), record.key)
+                )
+                self.telemetry.event(
+                    record.job_id,
+                    "running",
+                    attempt=record.attempts,
+                    worker_id=handle.worker_id,
+                    batch_size=len(batch),
+                )
+            self.pool.assign(handle, members, self.config.job_timeout_s)
+        for entry in deferred:
+            heapq.heappush(self._heap, entry)
+        self._update_shedding()
+
+    def _take_batch(
+        self, now: float, deferred: list[tuple[int, int, str]]
+    ) -> list[JobRecord]:
+        """Pop the next dispatchable job plus queued jobs sharing its
+        build signature, up to ``batch_max`` (lock held).
+
+        The head job is strictly priority/FIFO order, as before; the
+        rest of the batch is gathered by scanning the heap and pushing
+        non-matching entries back, so the only reordering batching
+        introduces is same-signature jobs riding along early - a
+        deliberate throughput-for-strict-FIFO trade bounded by
+        ``batch_max``.  Backoff-deferred jobs land in ``deferred`` (the
+        caller re-pushes them after the dispatch round).
+        """
+        head: Optional[JobRecord] = None
+        while self._heap:
             entry = heapq.heappop(self._heap)
             record = self._jobs.get(entry[2])
             if record is None or record.state is not JobState.QUEUED:
@@ -620,30 +754,52 @@ class SimulationService:
             if record.not_before > now:
                 deferred.append(entry)
                 continue
-            handle = idle.pop()
-            record.attempts += 1
-            record.state = JobState.RUNNING
-            record.started_at = time.time()
-            record.worker_id = handle.worker_id
-            self._queued -= 1
-            self._journal_record(record)
-            self.pool.assign(
-                handle,
-                record.job_id,
-                record.attempts,
-                record.spec.to_dict(),
-                record.key,
-                self.config.job_timeout_s,
-            )
-            self.telemetry.event(
-                record.job_id,
-                "running",
-                attempt=record.attempts,
-                worker_id=handle.worker_id,
-            )
-        for entry in deferred:
-            heapq.heappush(self._heap, entry)
-        self._update_shedding()
+            head = record
+            break
+        if head is None:
+            return []
+        batch = [head]
+        if self.config.batch_max > 1:
+            signature = head.spec.batch_signature()
+            skipped: list[tuple[int, int, str]] = []
+            while self._heap and len(batch) < self.config.batch_max:
+                entry = heapq.heappop(self._heap)
+                record = self._jobs.get(entry[2])
+                if record is None or record.state is not JobState.QUEUED:
+                    continue
+                if (
+                    record.not_before > now
+                    or record.spec.batch_signature() != signature
+                ):
+                    skipped.append(entry)
+                    continue
+                batch.append(record)
+            for entry in skipped:
+                heapq.heappush(self._heap, entry)
+        return batch
+
+    def _requeue_unstarted(self, record: JobRecord) -> None:
+        """Return a never-started batch sibling to the queue (lock held).
+
+        The dispatch-time attempt is refunded: the member never ran, so
+        charging it would burn retry budget (and skew backoff) for work
+        a *different* job's failure interrupted.
+        """
+        record.attempts -= 1
+        record.state = JobState.QUEUED
+        record.worker_id = None
+        record.not_before = 0.0
+        self._queued += 1
+        self._journal_record(record)
+        heapq.heappush(
+            self._heap, (record.spec.priority, next(self._seq), record.job_id)
+        )
+        self.telemetry.event(
+            record.job_id,
+            "requeued",
+            batch_sibling=True,
+            attempts=record.attempts,
+        )
 
     # -- internal transitions (lock held) ------------------------------------
     def _kill_and_respawn(self, worker_id: int) -> None:

@@ -1,0 +1,162 @@
+"""Unit: the in-memory LRU result tier (boundaries, eviction, threads)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.cache import CacheStats, LruCache, estimate_size
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        cache = LruCache(1024)
+        assert cache.get("k") is None
+        assert cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_put_refreshes_existing_key_without_growth(self):
+        cache = LruCache(1024)
+        cache.put("k", {"v": 1}, size_bytes=100)
+        cache.put("k", {"v": 2}, size_bytes=100)
+        assert len(cache) == 1
+        assert cache.size_bytes == 100
+        assert cache.get("k") == {"v": 2}
+
+    def test_copy_out_protects_cached_document(self):
+        cache = LruCache(1024)
+        cache.put("k", {"v": 1})
+        doc = cache.get("k")
+        doc["v"] = 999
+        doc["extra"] = True
+        assert cache.get("k") == {"v": 1}
+
+    def test_put_copies_in_too(self):
+        cache = LruCache(1024)
+        original = {"v": 1}
+        cache.put("k", original)
+        original["v"] = 999
+        assert cache.get("k") == {"v": 1}
+
+    def test_contains_does_not_count_a_probe(self):
+        cache = LruCache(1024)
+        cache.put("k", 1, size_bytes=8)
+        assert "k" in cache and "missing" not in cache
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 0)
+
+    def test_discard_and_clear(self):
+        cache = LruCache(1024)
+        cache.put("a", 1, size_bytes=10)
+        cache.put("b", 2, size_bytes=10)
+        cache.discard("a")
+        cache.discard("never-there")  # no-op
+        assert "a" not in cache and cache.size_bytes == 10
+        cache.clear()
+        assert len(cache) == 0 and cache.size_bytes == 0
+
+
+class TestNegativeEntryProtection:
+    def test_none_is_not_cacheable(self):
+        cache = LruCache(1024)
+        with pytest.raises(ConfigurationError):
+            cache.put("k", None)
+        assert "k" not in cache
+
+
+class TestBounds:
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LruCache(-1)
+
+    def test_disabled_cache_is_inert(self):
+        cache = LruCache(0)
+        assert not cache.enabled
+        assert not cache.put("k", 1)
+        assert cache.get("k") is None
+        assert cache.stats() == CacheStats(0, 0, 0, 0, 0, 0, 0)
+
+    def test_oversize_value_rejected_not_destructive(self):
+        cache = LruCache(100)
+        cache.put("small", 1, size_bytes=50)
+        assert not cache.put("huge", 2, size_bytes=101)
+        assert "small" in cache  # the live entry survived
+        assert cache.stats().rejected == 1
+
+    def test_eviction_is_lru_order(self):
+        cache = LruCache(30)
+        for key in ("a", "b", "c"):
+            cache.put(key, key, size_bytes=10)
+        cache.get("a")  # refresh: b becomes least-recently-used
+        cache.put("d", "d", size_bytes=10)
+        assert "b" not in cache
+        assert all(k in cache for k in ("a", "c", "d"))
+        assert cache.stats().evictions == 1
+
+    def test_exact_budget_boundary_does_not_evict(self):
+        cache = LruCache(30)
+        for key in ("a", "b", "c"):
+            cache.put(key, key, size_bytes=10)
+        assert len(cache) == 3 and cache.stats().evictions == 0
+
+    def test_one_byte_over_evicts_exactly_one(self):
+        cache = LruCache(30)
+        for key in ("a", "b", "c"):
+            cache.put(key, key, size_bytes=10)
+        cache.put("d", "d", size_bytes=11)
+        assert len(cache) == 2  # 10 + 11 = 21; another 10 would fit but order rules
+        assert cache.size_bytes <= 30
+
+    def test_size_accounting_never_goes_negative(self):
+        cache = LruCache(25)
+        cache.put("a", "a", size_bytes=10)
+        cache.put("a", "a", size_bytes=20)  # refresh to larger
+        cache.put("b", "b", size_bytes=20)  # evicts a
+        assert cache.size_bytes == 20
+        assert cache.stats().size_bytes >= 0
+
+
+class TestEstimateSize:
+    def test_json_documents_use_json_length(self):
+        doc = {"counters": {"x": 1}, "ns": 12345}
+        import json
+
+        expected = len(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        assert estimate_size(doc) == expected
+
+    def test_non_json_values_fall_back_to_pickle(self):
+        import numpy as np
+
+        arr = np.zeros(1000, dtype=np.int64)
+        assert estimate_size({"a": arr}) >= arr.nbytes
+
+
+class TestConcurrency:
+    def test_hammer_from_many_threads(self):
+        cache = LruCache(50_000)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(300):
+                    key = f"k{(tid * 7 + i) % 40}"
+                    cache.put(key, {"tid": tid, "i": i}, size_bytes=100)
+                    value = cache.get(key)
+                    if value is not None:
+                        assert set(value) == {"tid", "i"}
+                    cache.discard(f"k{(i * 13) % 40}")
+                    _ = cache.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.size_bytes <= cache.max_bytes
+        assert stats.size_bytes == 100 * stats.entries
