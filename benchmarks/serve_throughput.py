@@ -20,9 +20,20 @@ Writes ``BENCH_serve_throughput.json`` at the repo root and, with
 ``--min-speedup`` (default 3.0) times cold throughput - the CI
 perf-smoke budget.
 
+``--gateway`` benchmarks the fleet tier instead: the same 64-job mix
+submitted over HTTP through a consistent-hash gateway
+(:mod:`repro.fleet`) fronting a 3-shard fleet of tuned services,
+against the single-shard cold baseline.  The container has one CPU, so
+the fleet's win comes from what sharding preserves - all repeats of a
+content key route to the same shard's warm workers and memory tier -
+plus shard-parallel queueing, not from raw CPU parallelism.  Writes
+``BENCH_fleet_throughput.json``; with ``--check`` the budget is
+``--min-fleet-speedup`` (default 2.0) times cold.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/serve_throughput.py [--check]
+    PYTHONPATH=src python benchmarks/serve_throughput.py --gateway [--check]
 """
 
 from __future__ import annotations
@@ -40,6 +51,8 @@ from repro.units import MiB
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_serve_throughput.json"
+FLEET_OUTPUT = REPO_ROOT / "BENCH_fleet_throughput.json"
+FLEET_SHARDS = 3
 
 DATA_MIB = 48
 GPU_MIB = 32
@@ -71,7 +84,9 @@ def unique_specs() -> list[JobSpec]:
     return specs
 
 
-def service_config(batch_max: int, mem_cache_mb: int) -> ServiceConfig:
+def service_config(
+    batch_max: int, mem_cache_mb: int, shard_name: str | None = None
+) -> ServiceConfig:
     return ServiceConfig(
         n_workers=1,
         batch_max=batch_max,
@@ -79,6 +94,7 @@ def service_config(batch_max: int, mem_cache_mb: int) -> ServiceConfig:
         sweep_cache_dir="",  # isolate the serve tiers from the sweep memo
         checkpoint_every_phases=0,
         retry_backoff_s=0.05,
+        shard_name=shard_name,
     )
 
 
@@ -120,6 +136,144 @@ def bench_batched(specs: list[JobSpec], scratch: Path) -> tuple[float, float, di
     return batched_s, warm_s, counters
 
 
+def bench_gateway(specs: list[JobSpec], scratch: Path) -> tuple[float, dict]:
+    """The 64-job mix over HTTP through a gateway + 3 tuned shards.
+
+    Everything rides the real wire: shard HTTP servers, the gateway's
+    routing/health layer, and an unmodified :class:`ServiceClient`
+    submitting to the gateway URL.
+    """
+    from repro.fleet import (
+        FleetGateway,
+        GatewayConfig,
+        ShardSpec,
+        serve_gateway_http,
+    )
+    from repro.serve.client import ServiceClient
+    from repro.serve.http_api import serve_http
+
+    shards = []
+    try:
+        for i in range(FLEET_SHARDS):
+            svc = SimulationService(
+                str(scratch / f"fleet-shard{i}"),
+                service_config(8, 64, shard_name=f"shard{i}"),
+            ).start()
+            server = serve_http(svc, "127.0.0.1", 0)
+            shards.append((svc, server))
+        gateway = FleetGateway(
+            GatewayConfig(
+                shards=tuple(
+                    ShardSpec(f"shard{i}", server.url)
+                    for i, (_, server) in enumerate(shards)
+                ),
+                vnodes=64,
+                probe_interval_s=0.5,
+                read_timeout_s=600.0,
+            )
+        ).start()
+        gateway_server = serve_gateway_http(gateway, "127.0.0.1", 0)
+        try:
+            client = ServiceClient(
+                gateway_server.url, timeout_s=600.0, retries=2
+            )
+            t0 = time.perf_counter()
+            for _ in range(REPEATS):
+                records = [client.submit(spec.to_dict()) for spec in specs]
+                for record in records:
+                    final = client.wait(record["job_id"], timeout_s=600.0)
+                    if final["state"] != "done":
+                        raise RuntimeError(
+                            f"job {final['job_id']} ended {final['state']}: "
+                            f"{final.get('error')}"
+                        )
+            fleet_s = time.perf_counter() - t0
+            counters = dict(gateway.metrics()["counters"])
+        finally:
+            gateway_server.shutdown()
+            gateway_server.server_close()
+            gateway.stop()
+    finally:
+        for svc, server in shards:
+            server.shutdown()
+            svc.stop()
+    return fleet_s, counters
+
+
+def run_fleet_benchmark(args: argparse.Namespace) -> int:
+    specs = unique_specs()
+    n_jobs = len(specs) * REPEATS
+    with tempfile.TemporaryDirectory(prefix="uvmrepro-bench-") as tmp:
+        scratch = Path(tmp)
+        print(f"cold: {n_jobs} solo jobs ({len(specs)} unique x {REPEATS}) ...")
+        cold_s = bench_cold(specs, scratch)
+        print(f"  {cold_s:.2f}s  ({n_jobs / cold_s:.2f} jobs/s)")
+        print(
+            f"fleet: same mix over HTTP via gateway + {FLEET_SHARDS} "
+            "tuned shards ..."
+        )
+        fleet_s, counters = bench_gateway(specs, scratch)
+        print(f"  {fleet_s:.2f}s  ({n_jobs / fleet_s:.2f} jobs/s)")
+
+    speedup = (n_jobs / fleet_s) / (n_jobs / cold_s)
+    doc = {
+        "description": (
+            "Fleet-gateway throughput on the 64-job repeat-heavy mix "
+            "(16 unique specs, each submitted 4 times) submitted over "
+            "HTTP through the consistent-hash gateway fronting "
+            f"{FLEET_SHARDS} tuned service shards (batch_max=8, memory "
+            "tier on), against the single-shard cold baseline (solo "
+            "dispatch, all tiers off, fresh store per wave). One-CPU "
+            "container: the fleet win is key-affinity (repeats hit "
+            "their shard's warm workers and memory tier), not CPU "
+            "parallelism. Compare ratios, not absolutes."
+        ),
+        "mix": {
+            "jobs": n_jobs,
+            "unique_specs": len(specs),
+            "batch_signatures": len(WORKLOADS),
+            "repeats": REPEATS,
+            "data_bytes": DATA_MIB * MiB,
+            "gpu_memory_bytes": GPU_MIB * MiB,
+            "workloads": list(WORKLOADS),
+        },
+        "fleet": {
+            "shards": FLEET_SHARDS,
+            "vnodes": 64,
+            "shard_config": {
+                "n_workers": 1, "batch_max": 8, "mem_cache_mb": 64
+            },
+            "transport": "http (client -> gateway -> shard)",
+        },
+        "results": {
+            "cold": {"wall_seconds": round(cold_s, 3),
+                     "jobs_per_sec": round(n_jobs / cold_s, 3)},
+            "fleet": {"wall_seconds": round(fleet_s, 3),
+                      "jobs_per_sec": round(n_jobs / fleet_s, 3)},
+        },
+        "speedup_fleet_vs_cold": round(speedup, 2),
+        "budget": {"min_speedup_fleet_vs_cold": args.min_fleet_speedup},
+        "gateway_counters": {
+            key: counters.get(key, 0)
+            for key in (
+                "fleet.jobs_routed", "fleet.reroutes", "fleet.probes",
+                "fleet.shard_down", "jobs.submitted", "simulations.run",
+                "cache.mem_hits",
+            )
+        },
+    }
+    args.output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"speedup (fleet vs cold): {speedup:.2f}x  -> {args.output}")
+    if args.check and speedup < args.min_fleet_speedup:
+        print(
+            f"FAIL: fleet speedup {speedup:.2f}x below budget "
+            f"{args.min_fleet_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -131,10 +285,25 @@ def main(argv: list[str] | None = None) -> int:
         help="required batched-vs-cold throughput ratio (default 3.0)",
     )
     parser.add_argument(
-        "--output", type=Path, default=OUTPUT,
-        help=f"result JSON path (default {OUTPUT})",
+        "--gateway", action="store_true",
+        help="benchmark the 3-shard fleet gateway against cold instead "
+        "of the single-service tiers",
+    )
+    parser.add_argument(
+        "--min-fleet-speedup", type=float, default=2.0,
+        help="required fleet-vs-cold throughput ratio with --gateway "
+        "(default 2.0)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help=f"result JSON path (default {OUTPUT}, or {FLEET_OUTPUT} "
+        "with --gateway)",
     )
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = FLEET_OUTPUT if args.gateway else OUTPUT
+    if args.gateway:
+        return run_fleet_benchmark(args)
 
     specs = unique_specs()
     n_jobs = len(specs) * REPEATS

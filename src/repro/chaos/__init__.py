@@ -35,6 +35,7 @@ from repro.chaos.plan import (
     PROCESS_HANG,
     PROCESS_KILL,
     PROCESS_SERVICE_KILL,
+    PROCESS_SHARD_KILL,
     PROCESS_SLOW_START,
     STORAGE_STALE_TMP,
     STORAGE_TORN_JSON,
@@ -60,6 +61,7 @@ __all__ = [
     "PROCESS_HANG",
     "PROCESS_KILL",
     "PROCESS_SERVICE_KILL",
+    "PROCESS_SHARD_KILL",
     "PROCESS_SLOW_START",
     "STORAGE_STALE_TMP",
     "STORAGE_TORN_JSON",

@@ -52,6 +52,11 @@ PROCESS_SLOW_START = "process.worker_slow_start"
 #: has durably appended ``after_records`` records (args: after_records,
 #: default 1) - the crash the journal replay path must recover from.
 PROCESS_SERVICE_KILL = "process.service_kill"
+#: SIGKILL one named *shard* of a fleet (args: shard=<shard name>,
+#: after_records=N): the shard whose ``--shard-name`` matches dies
+#: after its journal's Nth append, so the gateway's quarantine +
+#: re-route path is exercised against a real mid-load process loss.
+PROCESS_SHARD_KILL = "process.shard_kill"
 #: result JSON written torn (truncated, non-atomic).
 STORAGE_TORN_JSON = "storage.torn_json"
 #: trace npz written truncated.
@@ -67,6 +72,7 @@ ALL_POINTS = (
     PROCESS_HANG,
     PROCESS_SLOW_START,
     PROCESS_SERVICE_KILL,
+    PROCESS_SHARD_KILL,
     STORAGE_TORN_JSON,
     STORAGE_TRUNCATED_NPZ,
     STORAGE_STALE_TMP,

@@ -24,6 +24,7 @@ from repro.chaos.plan import (
     PROCESS_HANG,
     PROCESS_KILL,
     PROCESS_SERVICE_KILL,
+    PROCESS_SHARD_KILL,
     PROCESS_SLOW_START,
     FaultPlan,
 )
@@ -87,6 +88,37 @@ def journal_kill_hook(
     """
     spec = plan.should_fire(PROCESS_SERVICE_KILL, scope, trial)
     if spec is None:
+        return None
+    after = int(spec.args.get("after_records", 1))
+
+    def hook(records: int) -> None:
+        if records >= after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def shard_kill_hook(
+    plan: FaultPlan,
+    shard_name: Optional[str],
+    scope: str = "service",
+    trial: int = 0,
+) -> Optional[Callable[[int], None]]:
+    """A journal ``on_append`` hook that kills one named shard, or ``None``.
+
+    ``shard_kill`` is :data:`PROCESS_SERVICE_KILL`'s fleet sibling: the
+    plan names a target (``args["shard"]``), every shard of the fleet
+    is started with the same ``UVMREPRO_CHAOS`` plan, and only the
+    process whose ``--shard-name`` matches arms the hook - after its
+    write-ahead journal durably appends the Nth record
+    (``after_records``, default 1) the shard SIGKILLs itself.  The
+    gateway must then quarantine it, re-route its keys to the next ring
+    replica, and still land results bit-identical to a fault-free run.
+    """
+    if shard_name is None:
+        return None
+    spec = plan.should_fire(PROCESS_SHARD_KILL, scope, trial)
+    if spec is None or spec.args.get("shard") != shard_name:
         return None
     after = int(spec.args.get("after_records", 1))
 

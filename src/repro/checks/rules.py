@@ -25,6 +25,7 @@ from repro.checks.linter import ParsedModule, Rule, Violation
 #: and benchmarks time real execution.
 _NONDETERMINISM_ALLOWLIST = (
     "src/repro/serve/",
+    "src/repro/fleet/",
     "src/repro/cli.py",
     "benchmarks/",
 )

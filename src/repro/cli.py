@@ -11,8 +11,10 @@ Subcommands:
   data source),
 * ``uvmrepro serve`` - run the asynchronous simulation job service
   (:mod:`repro.serve`): HTTP API, worker pool, result store,
+* ``uvmrepro gateway`` - run the consistent-hash fleet gateway
+  (:mod:`repro.fleet`) routing jobs across N service shards,
 * ``uvmrepro submit / status / fetch / cancel`` - client verbs against a
-  running service.
+  running service *or* gateway (same HTTP surface).
 """
 
 from __future__ import annotations
@@ -417,6 +419,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         journal_path=args.journal_path,
         mem_cache_mb=args.mem_cache_mb,
         batch_max=args.batch_max,
+        shard_name=args.shard_name,
     )
     service = SimulationService(args.store_dir, config).start()
     server = serve_http(service, args.host, args.port)
@@ -444,6 +447,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, previous)
         server.shutdown()  # stop accepting connections first
         service.drain()  # then settle + journal + stop (idempotent)
+    return 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Run the fleet gateway in front of N running service shards."""
+    import signal
+    import threading
+
+    from repro.errors import ConfigurationError
+    from repro.fleet import (
+        FleetGateway,
+        GatewayConfig,
+        load_fleet_config,
+        serve_gateway_http,
+    )
+
+    if bool(args.shards) == bool(args.fleet_config):
+        print(
+            "uvmrepro gateway: error: give exactly one of --shards or "
+            "--fleet-config",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.fleet_config:
+            config = load_fleet_config(args.fleet_config)
+        else:
+            config = GatewayConfig.from_shard_urls(
+                args.shards,
+                vnodes=args.vnodes,
+                probe_interval_s=args.probe_interval,
+                down_after_probes=args.down_after,
+                recover_after_probes=args.recover_after,
+            )
+    except ConfigurationError as exc:
+        print(f"uvmrepro gateway: error: {exc}", file=sys.stderr)
+        return 2
+    gateway = FleetGateway(config).start()
+    server = serve_gateway_http(gateway, args.host, args.port)
+    states = gateway.shard_states()
+    print(
+        f"uvmrepro gateway on {server.url} "
+        f"({len(config.shards)} shard(s), vnodes={config.vnodes})"
+    )
+    for spec in config.shards:
+        print(f"  {spec.name:12s} {spec.url}  [{states[spec.name]}]")
+    print("endpoints: POST /jobs  GET /jobs/<id>[/result]  DELETE /jobs/<id>")
+    print("           GET /metrics  GET /events?since=N  GET /healthz  GET /readyz")
+
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        while not stop.wait(0.5):
+            pass
+        print("\nstopping (SIGTERM) ...")
+    except KeyboardInterrupt:
+        print("\nstopping (interrupt) ...")
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.shutdown()
+        gateway.stop()
     return 0
 
 
@@ -709,7 +773,51 @@ def main(argv: list[str] | None = None) -> int:
         help="max same-signature jobs dispatched to one warm worker as a "
         "batch (1 restores solo dispatch)",
     )
+    serve_p.add_argument(
+        "--shard-name",
+        default=None,
+        help="this instance's fleet shard name (surfaced in /healthz and "
+        "targeted by the process.shard_kill chaos point)",
+    )
     serve_p.set_defaults(fn=_cmd_serve)
+
+    gw_p = sub.add_parser(
+        "gateway",
+        help="run the consistent-hash fleet gateway over N service shards",
+    )
+    gw_p.add_argument("--host", default="127.0.0.1")
+    gw_p.add_argument("--port", type=_non_negative_int, default=8343)
+    gw_p.add_argument(
+        "--shards",
+        nargs="+",
+        default=None,
+        metavar="URL",
+        help="shard base URLs in ring order (auto-named shard0..shardN-1)",
+    )
+    gw_p.add_argument(
+        "--fleet-config",
+        default=None,
+        metavar="JSON",
+        help="fleet config: JSON file path or inline JSON "
+        "(named shards + tunables; see docs/fleet.md)",
+    )
+    gw_p.add_argument(
+        "--vnodes", type=_positive_int, default=64,
+        help="virtual nodes per shard on the hash ring",
+    )
+    gw_p.add_argument(
+        "--probe-interval", type=float, default=1.0,
+        help="seconds between shard health-probe sweeps",
+    )
+    gw_p.add_argument(
+        "--down-after", type=_positive_int, default=3,
+        help="consecutive failed probes before a shard is quarantined",
+    )
+    gw_p.add_argument(
+        "--recover-after", type=_positive_int, default=2,
+        help="consecutive ready probes a quarantined shard needs to rejoin",
+    )
+    gw_p.set_defaults(fn=_cmd_gateway)
 
     url_kw = {"default": "http://127.0.0.1:8344", "help": "service base URL"}
     submit_p = sub.add_parser("submit", help="submit a job to a running service")

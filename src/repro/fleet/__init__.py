@@ -1,0 +1,37 @@
+"""repro.fleet: consistent-hash sharded gateway tier over the serve layer.
+
+A :class:`FleetGateway` routes content-addressed job submissions across
+N independent :class:`~repro.serve.service.SimulationService` shards
+via a :class:`HashRing`, probes shard health, re-routes around shedding
+or dead shards, and aggregates fleet-wide metrics - all behind the same
+HTTP surface a single service exposes, so existing clients work
+unmodified against a gateway URL.
+"""
+
+from repro.fleet.gateway import (
+    FleetGateway,
+    FleetUnavailableError,
+    GatewayHTTPServer,
+    ShardState,
+    serve_gateway_http,
+)
+from repro.fleet.registry import (
+    GatewayConfig,
+    ShardSpec,
+    load_fleet_config,
+)
+from repro.fleet.ring import RING_SPACE, HashRing, stable_hash
+
+__all__ = [
+    "FleetGateway",
+    "FleetUnavailableError",
+    "GatewayConfig",
+    "GatewayHTTPServer",
+    "HashRing",
+    "RING_SPACE",
+    "ShardSpec",
+    "ShardState",
+    "load_fleet_config",
+    "serve_gateway_http",
+    "stable_hash",
+]

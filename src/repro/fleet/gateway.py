@@ -1,0 +1,875 @@
+"""The fleet gateway: a consistent-hash sharded tier over the serve layer.
+
+:class:`FleetGateway` fronts N independent :class:`~repro.serve.service.
+SimulationService` shards - each with its own journal, store, and cache
+- and speaks the *same* JSON-over-HTTP surface as a single service, so
+:class:`~repro.serve.client.ServiceClient` (and every CLI verb) works
+unmodified against a gateway URL.
+
+Routing: a submission's :meth:`~repro.serve.jobs.JobSpec.spec_digest`
+(the spec's content hash - deterministic, cheap, identical in every
+process) lands on a :class:`~repro.fleet.ring.HashRing` with virtual
+nodes, so each shard owns ~1/N of the key space and membership changes
+remap only ~1/N of the keys.  All requests for one content key hit one
+shard, which is what makes the shard-local result store and memory
+tier behave like a fleet-wide cache.
+
+Health: a background prober sweeps every shard's ``/readyz``:
+
+* a shard that answers **503** (shedding/draining) is *alive* but
+  paced - it is skipped for new submissions until its ``Retry-After``
+  gate expires, and submissions it sheds re-route to the next ring
+  replica immediately,
+* a shard that stops answering is quarantined **DOWN** after
+  ``down_after_probes`` consecutive failures and rejoins only after
+  ``recover_after_probes`` consecutive ready answers,
+* when a shard goes DOWN the gateway **fails over**: every accepted job
+  mapped to it whose outcome the client still needs is re-submitted to
+  the next replica.  Job specs are content-addressed and simulations
+  deterministic, so a re-run lands a bit-identical result - accepted
+  jobs are never lost, merely recomputed.
+
+The gateway keeps its job table in memory only: shards are the durable
+tier (write-ahead journals, atomic stores), the gateway is a stateless
+router plus a routing table that can be rebuilt by resubmitting.
+
+``/metrics`` aggregates the fleet: summed per-shard counters and
+numeric gauges, per-shard breakdowns, and gateway-level ``fleet.*``
+counters (reroutes, shard_down, failovers) plus ring-balance gauges.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import ThreadingHTTPServer
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError
+from repro.experiments.runner import code_version
+from repro.fleet.registry import GatewayConfig, ShardSpec
+from repro.fleet.ring import HashRing
+from repro.serve import telemetry as tm
+from repro.serve.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceOverloadedError,
+)
+from repro.serve.jobs import JobSpec
+from repro.serve.service import AdmissionError
+from repro.serve.telemetry import Telemetry
+from repro.serve.wire import JsonRequestHandler
+
+logger = logging.getLogger("repro.fleet")
+
+#: job states after which a shard-side job will never change again.
+_TERMINAL = ("done", "failed", "cancelled", "poisoned")
+#: terminal states that must NOT be recomputed on failover: a failure
+#: is deterministic and a cancellation is a client decision.
+_NO_FAILOVER = ("failed", "cancelled", "poisoned")
+
+
+class FleetUnavailableError(AdmissionError):
+    """No shard can accept the submission right now (HTTP 503).
+
+    Same contract as the service's admission errors: nothing was
+    created anywhere, the request is safe to retry verbatim after the
+    advertised delay.
+    """
+
+    status = 503
+
+
+class ShardState(str, enum.Enum):
+    """The prober's verdict on one shard."""
+
+    #: answering ready probes; full routing member.
+    UP = "up"
+    #: alive but answering 503 (shedding/draining); skipped for new
+    #: submissions until its Retry-After gate expires.
+    SHEDDING = "shedding"
+    #: quarantined: stopped answering probes/requests entirely.
+    DOWN = "down"
+
+
+class ShardHandle:
+    """Mutable runtime state of one shard (guarded by the gateway lock)."""
+
+    def __init__(self, spec: ShardSpec, client: ServiceClient) -> None:
+        self.spec = spec
+        self.client = client
+        #: optimistic: the first probe sweep corrects this immediately.
+        self.state = ShardState.UP
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        #: monotonic gate while SHEDDING (honours the shard's Retry-After).
+        self.not_before = 0.0
+        self.code_version: Optional[str] = None
+        self.last_error: Optional[str] = None
+
+
+@dataclass
+class GatewayJob:
+    """The gateway's routing entry for one accepted submission."""
+
+    gateway_id: str
+    #: the verbatim client payload - what a failover re-submits.
+    payload: dict[str, Any]
+    #: spec content digest; the ring routing key.
+    key: str
+    #: current shard (None while orphaned awaiting re-route).
+    shard_name: Optional[str]
+    shard_job_id: Optional[str]
+    submitted_at: float = 0.0
+    #: cached terminal record (a terminal shard job never changes).
+    last_record: Optional[dict[str, Any]] = None
+    #: the result document was successfully returned to a client.
+    served_result: bool = False
+    #: times this job was re-submitted after losing its shard.
+    failovers: int = 0
+    workload: str = ""
+
+
+class FleetGateway:
+    """Consistent-hash routing gateway over a static shard registry."""
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self.config = config
+        self.telemetry = Telemetry()
+        self.code_version = code_version()
+        self._ring = HashRing(
+            (s.name for s in config.shards), vnodes=config.vnodes
+        )
+        self._shards: dict[str, ShardHandle] = {
+            spec.name: ShardHandle(
+                spec,
+                ServiceClient(
+                    spec.url,
+                    timeout_s=config.read_timeout_s,
+                    connect_timeout_s=config.connect_timeout_s,
+                    retries=0,
+                ),
+            )
+            for spec in config.shards
+        }
+        self._jobs: dict[str, GatewayJob] = {}
+        self._seq = itertools.count(1)
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+        #: version sets already warned about (warn once per combination).
+        self._warned_versions: set[frozenset] = set()
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "FleetGateway":
+        self.probe_once()  # synchronous first sweep: honest initial states
+        self._prober = threading.Thread(
+            target=self._probe_loop, name="repro-fleet-prober", daemon=True
+        )
+        self._prober.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._prober is not None:
+            self._prober.join(timeout=timeout)
+
+    def __enter__(self) -> "FleetGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- health probing -------------------------------------------------------
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self.config.probe_interval_s):
+            try:
+                self.probe_once()
+            except Exception:  # one bad sweep must not kill the prober
+                self.telemetry.count("fleet.probe_errors")
+
+    def probe_once(self) -> None:
+        """One sweep: probe every shard, then retry orphaned jobs."""
+        for shard in self._shards.values():
+            self._probe_shard(shard)
+        self._reroute_orphans()
+
+    def _probe_shard(self, shard: ShardHandle) -> None:
+        self.telemetry.count(tm.FLEET_PROBES)
+        try:
+            shard.client.request_with_budget("GET", "/readyz")
+        except ServiceOverloadedError as exc:
+            # it answered: alive, just not ready (shedding/draining).
+            self._note_shed(shard, exc.retry_after_s)
+            return
+        except (ReproError, OSError) as exc:
+            self._note_failure(shard, str(exc))
+            return
+        self._note_ready(shard)
+
+    def _note_shed(self, shard: ShardHandle, retry_after_s: float) -> None:
+        """Shard answered 429/503: pace it, and clear any quarantine."""
+        with self._lock:
+            shard.consecutive_failures = 0
+            was_down = shard.state is ShardState.DOWN
+            shard.state = ShardState.SHEDDING
+            shard.not_before = time.monotonic() + max(0.0, retry_after_s)
+        self.telemetry.event(
+            "fleet",
+            "shard_shedding",
+            shard=shard.spec.name,
+            retry_after_s=retry_after_s,
+            was_down=was_down,
+        )
+
+    def _note_failure(self, shard: ShardHandle, error: str) -> None:
+        """A probe or request could not reach the shard at all."""
+        with self._lock:
+            shard.consecutive_successes = 0
+            shard.consecutive_failures += 1
+            shard.last_error = error
+            went_down = (
+                shard.state is not ShardState.DOWN
+                and shard.consecutive_failures >= self.config.down_after_probes
+            )
+            if went_down:
+                shard.state = ShardState.DOWN
+        if went_down:
+            self.telemetry.count(tm.FLEET_SHARD_DOWN)
+            self.telemetry.event(
+                "fleet", "shard_down", shard=shard.spec.name, error=error
+            )
+            logger.warning(
+                "shard %s (%s) quarantined: %s",
+                shard.spec.name,
+                shard.spec.url,
+                error,
+            )
+            self._failover_shard(shard)
+
+    def _note_ready(self, shard: ShardHandle) -> None:
+        recovered = False
+        with self._lock:
+            shard.consecutive_failures = 0
+            shard.last_error = None
+            if shard.state is ShardState.UP:
+                if shard.code_version is not None:
+                    return
+                # first successful contact: fall through to version fetch
+            elif shard.state is ShardState.SHEDDING:
+                shard.state = ShardState.UP
+                shard.not_before = 0.0
+            else:  # DOWN: require a streak of ready answers to rejoin
+                shard.consecutive_successes += 1
+                if shard.consecutive_successes < self.config.recover_after_probes:
+                    return
+                shard.state = ShardState.UP
+                shard.not_before = 0.0
+                recovered = True
+        if recovered:
+            self.telemetry.count(tm.FLEET_SHARD_RECOVERED)
+            self.telemetry.event("fleet", "shard_recovered", shard=shard.spec.name)
+            logger.info("shard %s rejoined the fleet", shard.spec.name)
+        self._refresh_version(shard)
+
+    def _refresh_version(self, shard: ShardHandle) -> None:
+        """Record the shard's ``/healthz`` code version; warn on skew."""
+        try:
+            doc, _ = shard.client.request_with_budget("GET", "/healthz")
+        except (ReproError, OSError):
+            return
+        with self._lock:
+            shard.code_version = doc.get("code_version")
+        self._check_versions()
+
+    def _check_versions(self) -> None:
+        # only shard-vs-shard skew matters: shards compute and cache the
+        # results, the gateway merely routes, so its own version is not
+        # part of the compatibility set.
+        with self._lock:
+            versions = {
+                s.spec.name: s.code_version
+                for s in self._shards.values()
+                if s.code_version
+            }
+            observed = frozenset(versions.values())
+            if len(observed) <= 1 or observed in self._warned_versions:
+                return
+            self._warned_versions.add(observed)
+        self.telemetry.count(tm.FLEET_VERSION_MISMATCH)
+        self.telemetry.event(
+            "fleet",
+            "version_mismatch",
+            gateway=self.code_version,
+            shards=versions,
+        )
+        logger.warning(
+            "fleet is running mixed code versions (results will not be "
+            "cache-compatible across shards): gateway=%s shards=%s",
+            self.code_version,
+            versions,
+        )
+
+    # -- routing --------------------------------------------------------------
+    def _eligible(self, shard: ShardHandle, now: float) -> bool:
+        if shard.state is ShardState.DOWN:
+            return False
+        if shard.state is ShardState.SHEDDING and shard.not_before > now:
+            return False
+        return True
+
+    def _route_submit(
+        self,
+        payload: dict[str, Any],
+        key: str,
+        exclude: frozenset = frozenset(),
+    ) -> tuple[ShardHandle, dict[str, Any]]:
+        """Submit ``payload`` to the first willing shard in ring order.
+
+        Walks the key's replica preference list: quarantined shards and
+        shards inside their Retry-After gate are skipped, a shard that
+        sheds (429/503) is paced and skipped, a shard that is
+        unreachable is charged a failure (possibly quarantining it) -
+        in every case the next distinct ring replica is tried.  A 4xx
+        from a shard (bad spec) propagates unchanged.  Raises
+        :class:`FleetUnavailableError` when no shard will take it.
+        """
+        order = self._ring.preference(key)
+        budget_spent = 0.0
+        shed_hint: Optional[float] = None
+        for name in order:
+            if name in exclude:
+                continue
+            shard = self._shards[name]
+            with self._lock:
+                eligible = self._eligible(shard, time.monotonic())
+                gate = shard.not_before
+            if not eligible:
+                if shard.state is ShardState.SHEDDING:
+                    wait = max(0.0, gate - time.monotonic())
+                    shed_hint = wait if shed_hint is None else min(shed_hint, wait)
+                continue
+            try:
+                record, budget_spent = shard.client.request_with_budget(
+                    "POST", "/jobs", payload, budget_spent
+                )
+            except ServiceOverloadedError as exc:
+                self._note_shed(shard, exc.retry_after_s)
+                shed_hint = (
+                    exc.retry_after_s
+                    if shed_hint is None
+                    else min(shed_hint, exc.retry_after_s)
+                )
+                continue
+            except ServiceClientError as exc:
+                if exc.status == 0:  # unreachable; never acted on the spec
+                    self._note_failure(shard, str(exc))
+                    continue
+                raise  # a real verdict (400 bad spec, ...) - pass through
+            if name != order[0]:
+                self.telemetry.count(tm.FLEET_REROUTES)
+            return shard, record
+        retry_after = shed_hint if shed_hint else self.config.shed_retry_after_s
+        raise FleetUnavailableError(
+            f"no shard available for key {key[:12]}.. "
+            f"({len(order) - len(exclude)} candidate(s) down or shedding)",
+            max(retry_after, 0.05),
+        )
+
+    # -- failover -------------------------------------------------------------
+    def _failover_shard(self, shard: ShardHandle) -> None:
+        """Re-route every job the dead shard still owed an outcome for.
+
+        Skipped: jobs whose cached terminal state is failed/cancelled/
+        poisoned (deterministic verdicts - recomputing is pointless or
+        wrong) and done jobs whose result document a client already
+        fetched.  Everything else - queued, running, or done-but-
+        unfetched - is orphaned and re-submitted to a surviving
+        replica; determinism makes the recomputed result bit-identical.
+        """
+        with self._lock:
+            victims = []
+            for entry in self._jobs.values():
+                if entry.shard_name != shard.spec.name:
+                    continue
+                state = (entry.last_record or {}).get("state")
+                if state in _NO_FAILOVER:
+                    continue
+                if state == "done" and entry.served_result:
+                    continue
+                entry.shard_name = None
+                entry.shard_job_id = None
+                entry.last_record = None
+                victims.append(entry)
+        for entry in victims:
+            self._try_reroute(entry, exclude=frozenset({shard.spec.name}))
+
+    def _reroute_orphans(self) -> None:
+        with self._lock:
+            orphans = [e for e in self._jobs.values() if e.shard_name is None]
+        for entry in orphans:
+            self._try_reroute(entry)
+
+    def _try_reroute(
+        self, entry: GatewayJob, exclude: frozenset = frozenset()
+    ) -> bool:
+        """Re-submit an orphaned job; False leaves it for the next sweep."""
+        with self._lock:
+            if entry.shard_name is not None:  # another thread beat us to it
+                return True
+        try:
+            shard, record = self._route_submit(entry.payload, entry.key, exclude)
+        except (AdmissionError, ServiceClientError, ReproError):
+            return False
+        with self._lock:
+            entry.shard_name = shard.spec.name
+            entry.shard_job_id = record["job_id"]
+            entry.failovers += 1
+            if record.get("state") in _TERMINAL:
+                entry.last_record = dict(record)
+        self.telemetry.count(tm.FLEET_FAILOVERS)
+        self.telemetry.count(tm.FLEET_REROUTES)
+        self.telemetry.event(
+            entry.gateway_id,
+            "failover",
+            shard=shard.spec.name,
+            shard_job_id=record["job_id"],
+            key=entry.key,
+        )
+        return True
+
+    # -- client API (mirrors SimulationService for the HTTP layer) ------------
+    def submit_dict(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Validate, route by content key, and track one submission."""
+        spec = JobSpec.from_dict(payload)  # 400 on malformed payloads
+        key = spec.spec_digest()
+        shard, record = self._route_submit(dict(payload), key)
+        with self._lock:
+            gateway_id = f"gw-{next(self._seq):08d}"
+            entry = GatewayJob(
+                gateway_id=gateway_id,
+                payload=dict(payload),
+                key=key,
+                shard_name=shard.spec.name,
+                shard_job_id=record["job_id"],
+                submitted_at=time.time(),
+                workload=spec.workload,
+            )
+            if record.get("state") in _TERMINAL:
+                entry.last_record = dict(record)
+            self._jobs[gateway_id] = entry
+        self.telemetry.count(tm.FLEET_JOBS_ROUTED)
+        self.telemetry.event(
+            gateway_id,
+            "routed",
+            shard=shard.spec.name,
+            shard_job_id=record["job_id"],
+            key=key,
+            workload=spec.workload,
+        )
+        return self._rewrite(entry, record)
+
+    def _entry(self, gateway_id: str) -> GatewayJob:
+        with self._lock:
+            entry = self._jobs.get(gateway_id)
+        if entry is None:
+            raise KeyError(gateway_id)
+        return entry
+
+    def _rewrite(
+        self, entry: GatewayJob, record: dict[str, Any]
+    ) -> dict[str, Any]:
+        """A shard record presented under the gateway's job id."""
+        out = dict(record)
+        out["job_id"] = entry.gateway_id
+        out["shard"] = entry.shard_name
+        out["failovers"] = entry.failovers
+        return out
+
+    def _synthetic(self, entry: GatewayJob, state: str) -> dict[str, Any]:
+        """A record for a job the gateway cannot currently ask a shard
+        about (orphaned mid-failover); clients keep polling it."""
+        return {
+            "job_id": entry.gateway_id,
+            "state": state,
+            "key": entry.key,
+            "spec": dict(entry.payload),
+            "submitted_at": entry.submitted_at,
+            "started_at": None,
+            "finished_at": None,
+            "attempts": 0,
+            "cache_hit": False,
+            "error": None,
+            "worker_id": None,
+            "shard": entry.shard_name,
+            "failovers": entry.failovers,
+        }
+
+    def status(self, gateway_id: str) -> dict[str, Any]:
+        """The job's current record (terminal records answer from cache)."""
+        entry = self._entry(gateway_id)
+        with self._lock:
+            cached = entry.last_record
+            shard_name, shard_job_id = entry.shard_name, entry.shard_job_id
+        if cached is not None:
+            return self._rewrite(entry, cached)
+        if shard_name is None:
+            return self._synthetic(entry, "queued")
+        shard = self._shards[shard_name]
+        try:
+            record, _ = shard.client.request_with_budget(
+                "GET", f"/jobs/{shard_job_id}"
+            )
+        except ServiceClientError as exc:
+            if exc.status == 0:
+                # shard unreachable: charge the failure (which may
+                # quarantine it and re-route this very entry), then
+                # answer from whatever state the entry is in now.
+                self._note_failure(shard, str(exc))
+                with self._lock:
+                    cached = entry.last_record
+                if cached is not None:
+                    return self._rewrite(entry, cached)
+                return self._synthetic(entry, "queued")
+            if exc.status == 404:
+                # the shard forgot the job (restarted against a fresh
+                # journal/store): re-submit it through normal routing.
+                with self._lock:
+                    entry.shard_name = None
+                    entry.shard_job_id = None
+                self._try_reroute(entry)
+                return self._synthetic(entry, "queued")
+            raise
+        with self._lock:
+            if record.get("state") in _TERMINAL:
+                entry.last_record = dict(record)
+        return self._rewrite(entry, record)
+
+    def result_doc(self, gateway_id: str) -> Optional[dict[str, Any]]:
+        """The stored result document (None until available)."""
+        entry = self._entry(gateway_id)
+        with self._lock:
+            shard_name, shard_job_id = entry.shard_name, entry.shard_job_id
+        if shard_name is None:
+            return None  # mid-failover; the recompute is on its way
+        shard = self._shards[shard_name]
+        try:
+            doc, _ = shard.client.request_with_budget(
+                "GET", f"/jobs/{shard_job_id}/result"
+            )
+        except ServiceClientError as exc:
+            if exc.status == 0:
+                self._note_failure(shard, str(exc))
+                return None
+            if exc.status == 404:
+                return None
+            raise  # 410 quarantined-corrupt and friends pass through
+        with self._lock:
+            entry.served_result = True
+        return doc
+
+    def cancel(self, gateway_id: str) -> bool:
+        """Cancel wherever the job lives; False if already finished."""
+        entry = self._entry(gateway_id)
+        with self._lock:
+            cached = entry.last_record
+            shard_name, shard_job_id = entry.shard_name, entry.shard_job_id
+        if cached is not None and cached.get("state") in _TERMINAL:
+            return False
+        if shard_name is None:
+            # orphaned: cancel locally; the cached terminal state also
+            # stops any later failover from resurrecting it.
+            with self._lock:
+                entry.last_record = self._synthetic(entry, "cancelled")
+            self.telemetry.event(gateway_id, "cancelled", orphaned=True)
+            return True
+        shard = self._shards[shard_name]
+        try:
+            record, _ = shard.client.request_with_budget(
+                "DELETE", f"/jobs/{shard_job_id}"
+            )
+        except ServiceClientError as exc:
+            if exc.status == 409:
+                return False
+            if exc.status == 0:
+                self._note_failure(shard, str(exc))
+                with self._lock:
+                    if (entry.last_record or {}).get("state") in _TERMINAL:
+                        return False
+                    entry.last_record = self._synthetic(entry, "cancelled")
+                self.telemetry.event(gateway_id, "cancelled", shard_lost=True)
+                return True
+            raise
+        with self._lock:
+            entry.last_record = dict(record)
+        self.telemetry.event(gateway_id, "cancelled", shard=shard_name)
+        return True
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Fleet-wide job summaries under gateway ids (one bulk call per
+        reachable shard; unreachable shards fall back to cached/synthetic
+        state)."""
+        summaries: dict[str, dict[str, Any]] = {}
+        for shard in self._shards.values():
+            with self._lock:
+                if shard.state is ShardState.DOWN:
+                    continue
+            try:
+                listing, _ = shard.client.request_with_budget("GET", "/jobs")
+            except (ReproError, OSError):
+                continue
+            for item in listing.get("jobs", []):
+                summaries[f"{shard.spec.name}:{item['job_id']}"] = item
+        out = []
+        with self._lock:
+            entries = list(self._jobs.values())
+        for entry in entries:
+            cached = entry.last_record
+            live = (
+                summaries.get(f"{entry.shard_name}:{entry.shard_job_id}")
+                if entry.shard_name
+                else None
+            )
+            base = cached or live or self._synthetic(entry, "queued")
+            out.append(
+                {
+                    "job_id": entry.gateway_id,
+                    "state": base.get("state", "queued"),
+                    "workload": entry.workload or base.get("workload", ""),
+                    "attempts": base.get("attempts", 0),
+                    "cache_hit": bool(base.get("cache_hit")),
+                    "shard": entry.shard_name,
+                    "failovers": entry.failovers,
+                }
+            )
+        return out
+
+    # -- observability --------------------------------------------------------
+    def shard_states(self) -> dict[str, str]:
+        with self._lock:
+            return {
+                name: shard.state.value for name, shard in self._shards.items()
+            }
+
+    def healthz_payload(self) -> dict[str, Any]:
+        with self._lock:
+            versions = {
+                name: shard.code_version
+                for name, shard in self._shards.items()
+            }
+        return {
+            "ok": True,
+            "role": "gateway",
+            "code_version": self.code_version,
+            "draining": False,
+            "shards": self.shard_states(),
+            "shard_versions": versions,
+        }
+
+    def readiness(self) -> tuple[bool, dict[str, Any]]:
+        """Ready iff at least one shard can accept a submission now."""
+        now = time.monotonic()
+        with self._lock:
+            eligible = [
+                name
+                for name, shard in self._shards.items()
+                if self._eligible(shard, now)
+            ]
+        detail = {
+            "ready": bool(eligible),
+            "reasons": [] if eligible else ["no shard is up and admitting"],
+            "eligible_shards": eligible,
+            "shards": self.shard_states(),
+        }
+        return bool(eligible), detail
+
+    def metrics(self) -> dict[str, Any]:
+        """The fleet aggregate: summed shard counters/gauges + breakdowns.
+
+        Shard counter names never collide with the gateway's own
+        ``fleet.*`` namespace, so the merged ``counters`` map is exactly
+        "sum of reachable shards, plus gateway routing counters"; the
+        raw per-shard documents ride along under ``fleet.shards`` so
+        operators (and tests) can audit the aggregation.
+        """
+        per_shard: dict[str, Optional[dict[str, Any]]] = {}
+        for name, shard in self._shards.items():
+            try:
+                doc, _ = shard.client.request_with_budget("GET", "/metrics")
+            except (ReproError, OSError):
+                doc = None
+            per_shard[name] = doc
+        counters: dict[str, int] = {}
+        gauges: dict[str, Any] = {}
+        for doc in per_shard.values():
+            if doc is None:
+                continue
+            for name, value in doc.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, value in doc.get("gauges", {}).items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                gauges[name] = gauges.get(name, 0) + value
+        shares = self._ring.shares()
+        states = self.shard_states()
+        with self._lock:
+            shard_meta = {
+                name: {
+                    "url": shard.spec.url,
+                    "state": states[name],
+                    "code_version": shard.code_version,
+                    "last_error": shard.last_error,
+                    "ring_share": shares.get(name, 0.0),
+                    "metrics": per_shard[name],
+                }
+                for name, shard in self._shards.items()
+            }
+            orphaned = sum(1 for e in self._jobs.values() if e.shard_name is None)
+            jobs_tracked = len(self._jobs)
+        gauges.update(
+            {
+                "fleet_size": len(self._shards),
+                "shards_up": sum(1 for s in states.values() if s == "up"),
+                "shards_shedding": sum(
+                    1 for s in states.values() if s == "shedding"
+                ),
+                "shards_down": sum(1 for s in states.values() if s == "down"),
+                "ring_vnodes": self.config.vnodes,
+                "ring_max_share": max(shares.values()) if shares else 0.0,
+                "ring_min_share": min(shares.values()) if shares else 0.0,
+                "gateway_jobs_tracked": jobs_tracked,
+                "gateway_jobs_orphaned": orphaned,
+            }
+        )
+        snapshot = self.telemetry.snapshot(gauges)
+        counters.update(snapshot["counters"])
+        snapshot["counters"] = counters
+        snapshot["fleet"] = {"shards": shard_meta, "ring_shares": shares}
+        return snapshot
+
+
+# -- HTTP surface -------------------------------------------------------------
+
+
+class GatewayHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`FleetGateway`."""
+
+    daemon_threads = True
+    request_queue_size = 256
+
+    def __init__(self, address: tuple[str, int], gateway: FleetGateway):
+        super().__init__(address, _GatewayHandler)
+        self.gateway = gateway
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _GatewayHandler(JsonRequestHandler):
+    """The service surface, answered by routing instead of executing."""
+
+    server: GatewayHTTPServer
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        gateway = self.server.gateway
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self.send_json(200, gateway.healthz_payload())
+            elif parts == ["readyz"]:
+                ready, detail = gateway.readiness()
+                if ready:
+                    self.send_json(200, detail)
+                else:
+                    self.send_retry_after(
+                        503, detail, gateway.config.shed_retry_after_s
+                    )
+            elif parts == ["metrics"]:
+                self.send_json(200, gateway.metrics())
+            elif parts == ["events"]:
+                query = parse_qs(url.query)
+                since = int(query.get("since", ["0"])[0])
+                limit = int(query.get("limit", ["1000"])[0])
+                events = gateway.telemetry.events_since(since, limit)
+                next_since = events[-1]["seq"] if events else since
+                self.send_json(200, {"events": events, "next_since": next_since})
+            elif parts == ["jobs"]:
+                self.send_json(200, {"jobs": gateway.jobs()})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self.send_json(200, gateway.status(parts[1]))
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+                doc = gateway.result_doc(parts[1])
+                if doc is None:
+                    record = gateway.status(parts[1])
+                    self.send_json_error(
+                        404, f"{parts[1]} has no result ({record['state']})"
+                    )
+                else:
+                    self.send_json(200, doc)
+            else:
+                self.send_json_error(404, f"no route for GET {url.path}")
+        except KeyError as exc:
+            self.send_json_error(404, f"unknown job {exc.args[0]!r}")
+        except ServiceClientError as exc:
+            # a shard's verdict (410 corrupt, 4xx): pass it through
+            self.send_json_error(exc.status or 502, str(exc))
+        except (ValueError, ReproError) as exc:
+            self.send_json_error(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802
+        gateway = self.server.gateway
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["jobs"]:
+                record = gateway.submit_dict(self.read_json_body())
+                done = record.get("state") == "done" and record.get("cache_hit")
+                self.send_json(200 if done else 202, record)
+            else:
+                self.send_json_error(404, f"no route for POST {url.path}")
+        except AdmissionError as exc:
+            # fleet-wide unavailability, same contract as a single
+            # service shedding: nothing was created, retry verbatim.
+            self.send_retry_after(exc.status, {"error": str(exc)}, exc.retry_after_s)
+        except ServiceOverloadedError as exc:
+            self.send_retry_after(exc.status, {"error": str(exc)}, exc.retry_after_s)
+        except ServiceClientError as exc:
+            self.send_json_error(exc.status or 502, str(exc))
+        except ReproError as exc:
+            self.send_json_error(400, str(exc))
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        gateway = self.server.gateway
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        try:
+            if len(parts) == 2 and parts[0] == "jobs":
+                if gateway.cancel(parts[1]):
+                    self.send_json(200, gateway.status(parts[1]))
+                else:
+                    self.send_json_error(409, f"{parts[1]} already finished")
+            else:
+                self.send_json_error(404, f"no route for DELETE {self.path}")
+        except KeyError as exc:
+            self.send_json_error(404, f"unknown job {exc.args[0]!r}")
+        except ServiceClientError as exc:
+            self.send_json_error(exc.status or 502, str(exc))
+
+
+def serve_gateway_http(
+    gateway: FleetGateway, host: str = "127.0.0.1", port: int = 0
+) -> GatewayHTTPServer:
+    """Bind a gateway server (``port=0`` = ephemeral) on a daemon thread."""
+    server = GatewayHTTPServer((host, port), gateway)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-fleet-http", daemon=True
+    )
+    thread.start()
+    return server

@@ -1,0 +1,159 @@
+"""Static shard registry and gateway configuration.
+
+The fleet is described declaratively: a list of named shard URLs plus
+routing/probing tunables, loaded either from CLI ``--shards`` URLs
+(auto-named ``shard0..shardN-1`` in order, so every gateway instance
+derives the same ring) or from a JSON fleet config file::
+
+    {
+      "shards": [
+        {"name": "a", "url": "http://10.0.0.1:8344"},
+        {"name": "b", "url": "http://10.0.0.2:8344"}
+      ],
+      "vnodes": 64,
+      "probe_interval_s": 1.0
+    }
+
+Shard *names* are the ring identities: replacing a dead machine while
+keeping its shard name keeps the key mapping stable, whereas renaming
+a shard deliberately remaps ~1/N of the space (consistent hashing's
+minimal-remap property).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's identity: ring name + service base URL."""
+
+    name: str
+    url: str
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ConfigurationError("shard name must be non-empty, no whitespace")
+        if "/" in self.name or "@" in self.name:
+            raise ConfigurationError(
+                f"shard name {self.name!r} may not contain '/' or '@'"
+            )
+        if not self.url.startswith(("http://", "https://")):
+            raise ConfigurationError(
+                f"shard url {self.url!r} must start with http:// or https://"
+            )
+        object.__setattr__(self, "url", self.url.rstrip("/"))
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of one gateway instance."""
+
+    shards: tuple[ShardSpec, ...] = field(default_factory=tuple)
+    #: virtual nodes per shard on the hash ring.
+    vnodes: int = 64
+    #: seconds between health-probe sweeps over the fleet.
+    probe_interval_s: float = 1.0
+    #: consecutive failed probes/requests before a shard is quarantined.
+    down_after_probes: int = 3
+    #: consecutive ready probes a DOWN shard needs to rejoin routing.
+    recover_after_probes: int = 2
+    #: per-shard request timeouts (requests-style split).
+    connect_timeout_s: float = 2.0
+    read_timeout_s: float = 30.0
+    #: ``Retry-After`` hint when the whole fleet is unavailable/shedding.
+    shed_retry_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ConfigurationError("a fleet needs at least one shard")
+        names = [s.name for s in self.shards]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ConfigurationError(f"duplicate shard names: {dupes}")
+        urls = [s.url for s in self.shards]
+        dupe_urls = sorted({u for u in urls if urls.count(u) > 1})
+        if dupe_urls:
+            raise ConfigurationError(f"duplicate shard urls: {dupe_urls}")
+        if self.vnodes < 1:
+            raise ConfigurationError("vnodes must be >= 1")
+        if self.probe_interval_s <= 0:
+            raise ConfigurationError("probe_interval_s must be > 0")
+        if self.down_after_probes < 1:
+            raise ConfigurationError("down_after_probes must be >= 1")
+        if self.recover_after_probes < 1:
+            raise ConfigurationError("recover_after_probes must be >= 1")
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_shard_urls(cls, urls: Sequence[str], **kwargs: Any) -> "GatewayConfig":
+        """Auto-name shards ``shard0..shardN-1`` in the given URL order.
+
+        The order is the identity: every gateway started with the same
+        ``--shards`` list derives the same ring.
+        """
+        shards = tuple(
+            ShardSpec(name=f"shard{i}", url=url) for i, url in enumerate(urls)
+        )
+        return cls(shards=shards, **kwargs)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GatewayConfig":
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError("fleet config must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown fleet config fields: {unknown}")
+        raw_shards = payload.get("shards", [])
+        if not isinstance(raw_shards, (list, tuple)):
+            raise ConfigurationError("fleet config 'shards' must be an array")
+        shards = []
+        for raw in raw_shards:
+            if not isinstance(raw, Mapping):
+                raise ConfigurationError("each shard must be a JSON object")
+            extra = sorted(set(raw) - {"name", "url"})
+            if extra:
+                raise ConfigurationError(f"unknown shard fields: {extra}")
+            try:
+                shards.append(ShardSpec(**dict(raw)))
+            except TypeError as exc:
+                raise ConfigurationError(f"bad shard spec: {exc}") from exc
+        kwargs = {k: v for k, v in payload.items() if k != "shards"}
+        try:
+            return cls(shards=tuple(shards), **kwargs)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad fleet config: {exc}") from exc
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "shards": [{"name": s.name, "url": s.url} for s in self.shards],
+            "vnodes": self.vnodes,
+            "probe_interval_s": self.probe_interval_s,
+            "down_after_probes": self.down_after_probes,
+            "recover_after_probes": self.recover_after_probes,
+            "connect_timeout_s": self.connect_timeout_s,
+            "read_timeout_s": self.read_timeout_s,
+            "shed_retry_after_s": self.shed_retry_after_s,
+        }
+
+
+def load_fleet_config(source: str) -> GatewayConfig:
+    """A config from inline JSON (starts with ``{``) or a file path."""
+    text = source.strip()
+    if not text.startswith("{"):
+        path = Path(text)
+        if not path.is_file():
+            raise ConfigurationError(f"fleet config file not found: {source!r}")
+        text = path.read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid fleet config JSON: {exc}") from exc
+    return GatewayConfig.from_dict(payload)

@@ -1,0 +1,146 @@
+"""Consistent-hash ring with virtual nodes (stdlib only).
+
+The gateway's routing core: shard names are placed on a 64-bit ring at
+``vnodes`` positions each, a key is routed to the owner of the first
+virtual node at or after its own hash position, and failover walks the
+ring to the next *distinct* shard.  The two properties the fleet
+depends on:
+
+* **balance** - with enough virtual nodes every shard owns ~1/N of the
+  key space (the exact per-shard share is computable from the ring's
+  arc lengths; see :meth:`HashRing.shares`),
+* **minimal remap** - adding or removing a shard only remaps the keys
+  whose owning arcs changed, ~1/N of the space, instead of reshuffling
+  everything the way ``hash(key) % N`` would.
+
+All positions come from SHA-256 (:func:`stable_hash`), never from
+Python's seeded ``hash()``, so every process - gateway restarts,
+tests, a second gateway instance in front of the same fleet - computes
+the identical ring and routes every key the same way.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+from repro.errors import ConfigurationError
+
+#: size of the hash space; positions are the first 8 bytes of SHA-256.
+RING_SPACE = 1 << 64
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit ring position, identical in every process.
+
+    ``hashlib`` rather than ``hash()``: the latter is salted per
+    process (PYTHONHASHSEED), which would silently break deterministic
+    routing across gateway restarts.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring mapping string keys onto named nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ConfigurationError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._nodes: set[str] = set()
+        self._positions: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -----------------------------------------------------------
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if not node:
+            raise ConfigurationError("node name must be non-empty")
+        if node in self._nodes:
+            raise ConfigurationError(f"node {node!r} is already on the ring")
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ConfigurationError(f"node {node!r} is not on the ring")
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        points = sorted(
+            (stable_hash(f"{node}#{i}"), node)
+            for node in self._nodes
+            for i in range(self.vnodes)
+        )
+        self._positions = [position for position, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    # -- routing --------------------------------------------------------------
+    def _start_index(self, key: str) -> int:
+        # first virtual node at-or-after the key's position (wrapping);
+        # bisect_left keeps "key lands exactly on a vnode" owned by it.
+        return bisect.bisect_left(self._positions, stable_hash(key)) % len(
+            self._positions
+        )
+
+    def primary(self, key: str) -> str:
+        """The shard that owns ``key``."""
+        if not self._owners:
+            raise ConfigurationError("ring is empty")
+        return self._owners[self._start_index(key)]
+
+    def preference(self, key: str, n: Optional[int] = None) -> list[str]:
+        """Up to ``n`` distinct nodes in ring order starting at the owner.
+
+        The failover order: ``preference(key)[0]`` is the primary and
+        each subsequent entry is the next distinct shard walking the
+        ring clockwise - the shard a key remaps to if everything before
+        it is down.  Deterministic for a fixed membership set.
+        """
+        if not self._owners:
+            return []
+        want = len(self._nodes) if n is None else min(int(n), len(self._nodes))
+        start = self._start_index(key)
+        order: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._owners)):
+            node = self._owners[(start + offset) % len(self._owners)]
+            if node not in seen:
+                seen.add(node)
+                order.append(node)
+                if len(order) == want:
+                    break
+        return order
+
+    # -- balance --------------------------------------------------------------
+    def shares(self) -> dict[str, float]:
+        """Exact fraction of the key space each node owns (sums to 1.0).
+
+        Computed from arc lengths, not sampling: the virtual node at
+        position ``p_i`` owns the arc ``(p_{i-1}, p_i]``, wrapping at
+        the top of the 64-bit space.
+        """
+        if not self._owners:
+            return {}
+        if len(self._owners) == 1:
+            return {self._owners[0]: 1.0}
+        shares = dict.fromkeys(self._nodes, 0)
+        previous = self._positions[-1]
+        for position, owner in zip(self._positions, self._owners):
+            shares[owner] += (position - previous) % RING_SPACE
+            previous = position
+        return {node: arc / RING_SPACE for node, arc in shares.items()}

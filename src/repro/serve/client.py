@@ -20,10 +20,19 @@ immediately since the service may have acted on it.
 The exception: **429** (queue shed) and **503** (draining) are retried
 for *every* method - the service guarantees it created no state before
 answering them - sleeping at least the server's ``Retry-After`` hint
-each round.  When the retry budget runs out they surface as
-:class:`ServiceOverloadedError` (a :class:`ServiceClientError`
-subclass) carrying the last ``retry_after_s`` so callers can queue the
-work for later instead of treating it as a hard failure.
+(fractional seconds honoured) each round.  When the retry budget runs
+out they surface as :class:`ServiceOverloadedError` (a
+:class:`ServiceClientError` subclass) carrying the last
+``retry_after_s`` so callers can queue the work for later instead of
+treating it as a hard failure.
+
+Total sleep across one logical request is capped by
+``backoff_budget_s``, shared across every retry *and* re-routed
+attempt of that request: a shard that advertises a 300 s
+``Retry-After`` cannot stall a caller for five minutes, and a gateway
+that already waited upstream passes the remaining budget down instead
+of paying the penalty twice (see
+:meth:`ServiceClient.request_with_budget`).
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ import urllib.request
 from typing import Any, Optional
 
 from repro.errors import ReproError
+from repro.serve.wire import error_detail, retry_after_hint
 from repro.sim.rng import SimRng
 
 
@@ -60,27 +70,6 @@ class ServiceOverloadedError(ServiceClientError):
     ) -> None:
         super().__init__(status, message)
         self.retry_after_s = retry_after_s
-
-
-def _retry_after_hint(
-    exc: urllib.error.HTTPError, detail: dict[str, Any]
-) -> float:
-    """The server's pacing hint: ``Retry-After`` header, else body field.
-
-    Only the delta-seconds form of ``Retry-After`` is parsed (it is what
-    the service emits); an HTTP-date or garbage value falls through to
-    the body's ``retry_after_s`` and finally 0 (= client's own backoff).
-    """
-    raw = exc.headers.get("Retry-After") if exc.headers is not None else None
-    if raw is not None:
-        try:
-            return max(0.0, float(raw))
-        except ValueError:
-            pass
-    try:
-        return max(0.0, float(detail.get("retry_after_s", 0.0)))
-    except (TypeError, ValueError):
-        return 0.0
 
 
 class _SplitTimeoutConnection(http.client.HTTPConnection):
@@ -124,12 +113,16 @@ class ServiceClient:
         retries: int = 2,
         retry_backoff_s: float = 0.2,
         retry_seed: int = 0x7E7,
+        backoff_budget_s: float = 60.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
         self.connect_timeout_s = connect_timeout_s
         self.retries = max(0, int(retries))
         self.retry_backoff_s = retry_backoff_s
+        #: cap on *cumulative* retry sleep per logical request; shared
+        #: across re-routed attempts via :meth:`request_with_budget`.
+        self.backoff_budget_s = max(0.0, float(backoff_budget_s))
         self._rng = SimRng(retry_seed).fork("client-retry")
         self._opener = urllib.request.build_opener(_SplitTimeoutHandler(timeout_s))
 
@@ -139,11 +132,42 @@ class ServiceClient:
         step = self.retry_backoff_s * (2**attempt)
         return step * (0.5 + float(self._rng.uniform()))
 
+    def _pace(self, retry_after: float) -> float:
+        """Jitter the server's pacing hint by up to +10%.
+
+        A fleet of clients shed at the same instant would otherwise all
+        come back on the same tick; the jitter is seeded, so tests stay
+        reproducible.
+        """
+        if retry_after <= 0.0:
+            return 0.0
+        return retry_after * (1.0 + 0.1 * float(self._rng.uniform()))
+
     def _request(
         self, method: str, path: str, payload: Optional[dict[str, Any]] = None
     ) -> Any:
+        return self.request_with_budget(method, path, payload)[0]
+
+    def request_with_budget(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict[str, Any]] = None,
+        budget_spent_s: float = 0.0,
+    ) -> tuple[Any, float]:
+        """One logical request under a shared sleep budget.
+
+        ``budget_spent_s`` is backoff time an upstream caller (e.g. the
+        fleet gateway, across re-routed attempts) already slept for this
+        logical request; it counts against ``backoff_budget_s`` so the
+        request is never penalized twice.  Returns ``(response, total
+        budget spent)`` - the caller threads the spent figure into the
+        next re-routed attempt.  When the budget is exhausted the last
+        error is raised immediately instead of sleeping.
+        """
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         last_error: Optional[ServiceClientError] = None
+        spent = max(0.0, float(budget_spent_s))
         for attempt in range(self.retries + 1):
             request = urllib.request.Request(
                 self.base_url + path,
@@ -158,20 +182,15 @@ class ServiceClient:
                 with self._opener.open(
                     request, timeout=self.connect_timeout_s
                 ) as response:
-                    return json.loads(response.read().decode("utf-8"))
+                    return json.loads(response.read().decode("utf-8")), spent
             except urllib.error.HTTPError as exc:
-                detail: dict[str, Any] = {}
-                try:
-                    detail = json.loads(exc.read().decode("utf-8"))
-                    message = detail.get("error", str(exc))
-                except Exception:
-                    message = str(exc)
+                detail, message = error_detail(exc)
                 overloaded = exc.code in (429, 503)
                 if overloaded:
                     # admission control answered before creating any
                     # state, so every method is safe to retry; honour the
                     # server's pacing hint over our own backoff.
-                    retry_after = _retry_after_hint(exc, detail)
+                    retry_after = retry_after_hint(exc.headers, detail)
                     last_error = ServiceOverloadedError(
                         exc.code, message, retry_after_s=retry_after or 1.0
                     )
@@ -190,7 +209,14 @@ class ServiceClient:
                 )
                 if attempt >= self.retries:
                     raise last_error from exc
-            time.sleep(max(self._backoff(attempt), retry_after))
+            remaining = self.backoff_budget_s - spent
+            if remaining <= 0.0:
+                raise last_error
+            delay = min(
+                max(self._backoff(attempt), self._pace(retry_after)), remaining
+            )
+            time.sleep(delay)
+            spent += delay
         raise last_error  # pragma: no cover - loop always raises/returns
 
     # -- API ------------------------------------------------------------------

@@ -11,7 +11,9 @@ Endpoints:
   p50/p95 job latency, cache hit rate)
 * ``GET  /events?since=N``      - incremental job-transition stream
 * ``GET  /healthz``             - liveness probe (200 while the process
-  serves, even when draining)
+  serves, even when draining); reports ``role`` (``"service"``),
+  ``code_version``, and the configured ``shard_name`` so fleet
+  operators can detect mixed-version or misconfigured shards
 * ``GET  /readyz``              - readiness probe: 503 + ``Retry-After``
   while replaying the journal, draining, or shedding load
 
@@ -27,14 +29,14 @@ shared state lives in the thread-safe :class:`SimulationService`.
 
 from __future__ import annotations
 
-import json
 import threading
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional
+from http.server import ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ConfigurationError, CorruptResultError, ReproError
+from repro.errors import CorruptResultError, ReproError
+from repro.experiments.runner import code_version
 from repro.serve.service import AdmissionError, SimulationService
+from repro.serve.wire import JsonRequestHandler
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -55,41 +57,8 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
 
-class _Handler(BaseHTTPRequestHandler):
+class _Handler(JsonRequestHandler):
     server: ServiceHTTPServer
-    protocol_version = "HTTP/1.1"
-
-    # -- plumbing -------------------------------------------------------------
-    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
-        pass  # quiet by default; telemetry is the observable surface
-
-    def _send(
-        self,
-        status: int,
-        payload: Any,
-        headers: Optional[dict[str, str]] = None,
-    ) -> None:
-        body = json.dumps(payload).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
-
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
-
-    def _read_json(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
-        if length <= 0:
-            raise ConfigurationError("request body required")
-        raw = self.rfile.read(length)
-        try:
-            return json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise ConfigurationError(f"invalid JSON body: {exc}") from exc
 
     # -- routes ---------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
@@ -98,31 +67,36 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if parts == ["healthz"]:
                 # liveness: the process is up; drain is advisory here
-                self._send(
-                    200, {"ok": True, "draining": self.server.service.draining}
+                self.send_json(
+                    200,
+                    {
+                        "ok": True,
+                        "draining": self.server.service.draining,
+                        "role": "service",
+                        "code_version": code_version(),
+                        "shard_name": self.server.service.config.shard_name,
+                    },
                 )
             elif parts == ["readyz"]:
                 ready, detail = self.server.service.readiness()
                 if ready:
-                    self._send(200, detail)
+                    self.send_json(200, detail)
                 else:
-                    retry_after = self.server.service.config.shed_retry_after_s
-                    detail["retry_after_s"] = retry_after
-                    self._send(
-                        503, detail, headers={"Retry-After": f"{retry_after:g}"}
+                    self.send_retry_after(
+                        503, detail, self.server.service.config.shed_retry_after_s
                     )
             elif parts == ["metrics"]:
-                self._send(200, self.server.service.metrics())
+                self.send_json(200, self.server.service.metrics())
             elif parts == ["events"]:
                 query = parse_qs(url.query)
                 since = int(query.get("since", ["0"])[0])
                 limit = int(query.get("limit", ["1000"])[0])
                 events = self.server.service.telemetry.events_since(since, limit)
                 next_since = events[-1]["seq"] if events else since
-                self._send(200, {"events": events, "next_since": next_since})
+                self.send_json(200, {"events": events, "next_since": next_since})
             elif parts == ["jobs"]:
                 records = self.server.service.jobs()
-                self._send(
+                self.send_json(
                     200,
                     {
                         "jobs": [
@@ -138,44 +112,42 @@ class _Handler(BaseHTTPRequestHandler):
                     },
                 )
             elif len(parts) == 2 and parts[0] == "jobs":
-                self._send(200, self.server.service.get(parts[1]).to_dict())
+                self.send_json(200, self.server.service.get(parts[1]).to_dict())
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
                 doc = self.server.service.result_doc(parts[1])
                 if doc is None:
                     record = self.server.service.get(parts[1])
-                    self._error(404, f"{parts[1]} has no result ({record.state.value})")
+                    self.send_json_error(404, f"{parts[1]} has no result ({record.state.value})")
                 else:
-                    self._send(200, doc)
+                    self.send_json(200, doc)
             else:
-                self._error(404, f"no route for GET {url.path}")
+                self.send_json_error(404, f"no route for GET {url.path}")
         except KeyError as exc:
-            self._error(404, f"unknown job {exc.args[0]!r}")
+            self.send_json_error(404, f"unknown job {exc.args[0]!r}")
         except CorruptResultError as exc:
             # the entry failed verification and was quarantined: it is
             # gone for good (410), and resubmitting the spec recomputes.
-            self._error(410, str(exc))
+            self.send_json_error(410, str(exc))
         except (ValueError, ReproError) as exc:
-            self._error(400, str(exc))
+            self.send_json_error(400, str(exc))
 
     def do_POST(self) -> None:  # noqa: N802
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         try:
             if parts == ["jobs"]:
-                record = self.server.service.submit_dict(self._read_json())
-                self._send(202 if not record.cache_hit else 200, record.to_dict())
+                record = self.server.service.submit_dict(self.read_json_body())
+                self.send_json(202 if not record.cache_hit else 200, record.to_dict())
             else:
-                self._error(404, f"no route for POST {url.path}")
+                self.send_json_error(404, f"no route for POST {url.path}")
         except AdmissionError as exc:
             # 429 (shed) / 503 (draining): nothing was enqueued, the
             # client should back off and retry the identical request.
-            self._send(
-                exc.status,
-                {"error": str(exc), "retry_after_s": exc.retry_after_s},
-                headers={"Retry-After": f"{exc.retry_after_s:g}"},
+            self.send_retry_after(
+                exc.status, {"error": str(exc)}, exc.retry_after_s
             )
         except ReproError as exc:
-            self._error(400, str(exc))
+            self.send_json_error(400, str(exc))
 
     def do_DELETE(self) -> None:  # noqa: N802
         parts = [p for p in urlparse(self.path).path.split("/") if p]
@@ -183,13 +155,13 @@ class _Handler(BaseHTTPRequestHandler):
             if len(parts) == 2 and parts[0] == "jobs":
                 cancelled = self.server.service.cancel(parts[1])
                 if cancelled:
-                    self._send(200, self.server.service.get(parts[1]).to_dict())
+                    self.send_json(200, self.server.service.get(parts[1]).to_dict())
                 else:
-                    self._error(409, f"{parts[1]} already finished")
+                    self.send_json_error(409, f"{parts[1]} already finished")
             else:
-                self._error(404, f"no route for DELETE {self.path}")
+                self.send_json_error(404, f"no route for DELETE {self.path}")
         except KeyError as exc:
-            self._error(404, f"unknown job {exc.args[0]!r}")
+            self.send_json_error(404, f"unknown job {exc.args[0]!r}")
 
 
 def serve_http(

@@ -59,7 +59,7 @@ from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.chaos.plan import active_plan
-from repro.chaos.process import journal_kill_hook
+from repro.chaos.process import journal_kill_hook, shard_kill_hook
 from repro.errors import ConfigurationError, CorruptResultError, ReproError
 from repro.experiments.runner import _resolve_cache_dir
 from repro.serve import telemetry as tm
@@ -135,6 +135,10 @@ class ServiceConfig:
     #: max queued jobs sharing one workload/setup signature dispatched
     #: to a warm worker as one batch; 1 restores solo dispatch.
     batch_max: int = 8
+    #: identity of this instance inside a fleet (reported by /healthz,
+    #: targeted by the ``process.shard_kill`` chaos point); None when
+    #: running solo.
+    shard_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mem_cache_mb < 0:
@@ -173,7 +177,11 @@ class SimulationService:
         )
         plan = active_plan()
         if plan is not None:
-            self.journal.on_append = journal_kill_hook(plan)
+            hook = journal_kill_hook(plan) or shard_kill_hook(
+                plan, self.config.shard_name
+            )
+            if hook is not None:
+                self.journal.on_append = hook
         if self.config.sweep_cache_dir == "":
             cache_dir: Optional[str] = None
         elif self.config.sweep_cache_dir is not None:

@@ -56,6 +56,24 @@ JOBS_JOURNAL_REPLAYED = "jobs.journal_replayed"
 #: journal compactions (startup after replay, graceful drain).
 JOURNAL_COMPACTIONS = "journal.compactions"
 
+# fleet-gateway counters (namespaced ``fleet.`` so they can never
+# collide with shard counters in the gateway's /metrics aggregate)
+#: submissions accepted and routed to a shard by the gateway.
+FLEET_JOBS_ROUTED = "fleet.jobs_routed"
+#: requests served by a shard other than their ring-primary (shed,
+#: quarantined, or dead primary), plus failover re-submissions.
+FLEET_REROUTES = "fleet.reroutes"
+#: shard transitions into the quarantined DOWN state.
+FLEET_SHARD_DOWN = "fleet.shard_down"
+#: shard transitions back to UP after quarantine.
+FLEET_SHARD_RECOVERED = "fleet.shard_recovered"
+#: health probes issued (every shard, every probe tick).
+FLEET_PROBES = "fleet.probes"
+#: jobs re-submitted to a surviving shard after their shard went down.
+FLEET_FAILOVERS = "fleet.failovers"
+#: /healthz code_version disagreements observed between shards.
+FLEET_VERSION_MISMATCH = "fleet.version_mismatch"
+
 
 class Telemetry:
     """Thread-safe counters, timers, latency samples, and an event log."""

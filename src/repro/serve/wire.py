@@ -1,0 +1,128 @@
+"""Shared JSON-over-HTTP wire helpers (stdlib only).
+
+One home for the request/response plumbing the serve layer's HTTP
+surface (:mod:`repro.serve.http_api`), its client
+(:mod:`repro.serve.client`), and the fleet gateway
+(:mod:`repro.fleet.gateway`) all speak:
+
+* :class:`JsonRequestHandler` - a :class:`BaseHTTPRequestHandler` with
+  the service's conventions baked in: HTTP/1.1 keep-alive, quiet
+  logging (telemetry is the observable surface), JSON bodies with
+  explicit ``Content-Length``, ``{"error": ...}`` error envelopes, and
+  ``Retry-After``-bearing overload responses,
+* :func:`error_detail` / :func:`retry_after_hint` - the client-side
+  decoding of those envelopes: parse the error body once, and resolve
+  the server's pacing hint (``Retry-After`` header first, body
+  ``retry_after_s`` second, 0 = no hint).
+
+Keeping both directions in one module is what stops the gateway from
+growing a third, slightly different copy of the protocol: a shard, the
+gateway, and a plain service all answer byte-compatible envelopes, so
+:class:`~repro.serve.client.ServiceClient` works unmodified against
+any of them.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+from email.message import Message
+from http.server import BaseHTTPRequestHandler
+from typing import Any, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+
+
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Request handler base with the service's JSON conventions."""
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------------
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+        pass  # quiet by default; telemetry is the observable surface
+
+    def send_json(
+        self,
+        status: int,
+        payload: Any,
+        headers: Optional[dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def send_json_error(self, status: int, message: str) -> None:
+        self.send_json(status, {"error": message})
+
+    def send_retry_after(
+        self, status: int, payload: dict[str, Any], retry_after_s: float
+    ) -> None:
+        """An overload answer (429/503): body field + ``Retry-After``.
+
+        The header carries the fractional-second delta form
+        (``%g``-formatted) clients parse via :func:`retry_after_hint`.
+        """
+        body = dict(payload)
+        body["retry_after_s"] = retry_after_s
+        self.send_json(
+            status, body, headers={"Retry-After": f"{retry_after_s:g}"}
+        )
+
+    def read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ConfigurationError("request body required")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"invalid JSON body: {exc}") from exc
+
+
+def error_detail(exc: urllib.error.HTTPError) -> tuple[dict[str, Any], str]:
+    """Decode a non-2xx response body into ``(detail dict, message)``.
+
+    The detail is the parsed ``{"error": ..., "retry_after_s": ...}``
+    envelope when the body is valid JSON, else ``{}``; the message is
+    the server's ``error`` field, falling back to the stringified
+    exception for non-JSON bodies (proxies, raw stdlib errors).
+    """
+    detail: dict[str, Any] = {}
+    try:
+        parsed = json.loads(exc.read().decode("utf-8"))
+        if isinstance(parsed, dict):
+            detail = parsed
+        message = detail.get("error", str(exc))
+    except Exception:
+        message = str(exc)
+    return detail, str(message)
+
+
+def retry_after_hint(
+    headers: Optional[Union[Message, Mapping[str, str]]],
+    detail: Mapping[str, Any],
+) -> float:
+    """The server's pacing hint in seconds (0.0 = no usable hint).
+
+    Only the delta-seconds form of ``Retry-After`` is parsed - it is
+    what the service emits - and fractional values (``"0.25"``) are
+    honoured, not truncated.  An HTTP-date or garbage value falls
+    through to the body's ``retry_after_s`` and finally 0 (= the
+    client's own backoff).
+    """
+    raw = headers.get("Retry-After") if headers is not None else None
+    if raw is not None:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            pass
+    try:
+        return max(0.0, float(detail.get("retry_after_s", 0.0)))
+    except (TypeError, ValueError):
+        return 0.0

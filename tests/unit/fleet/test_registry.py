@@ -1,0 +1,114 @@
+"""Shard registry / fleet config validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.registry import GatewayConfig, ShardSpec, load_fleet_config
+
+
+class TestShardSpec:
+    def test_url_trailing_slash_stripped(self):
+        assert ShardSpec("a", "http://h:1/").url == "http://h:1"
+
+    @pytest.mark.parametrize(
+        "name", ["", "has space", "a/b", "a@b", "tab\tname"]
+    )
+    def test_bad_names_rejected(self, name):
+        with pytest.raises(ConfigurationError):
+            ShardSpec(name, "http://h:1")
+
+    @pytest.mark.parametrize("url", ["h:1", "ftp://h:1", ""])
+    def test_bad_urls_rejected(self, url):
+        with pytest.raises(ConfigurationError):
+            ShardSpec("a", url)
+
+
+class TestGatewayConfig:
+    def test_needs_a_shard(self):
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(shards=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate shard names"):
+            GatewayConfig(
+                shards=(
+                    ShardSpec("a", "http://h:1"),
+                    ShardSpec("a", "http://h:2"),
+                )
+            )
+
+    def test_duplicate_urls_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate shard urls"):
+            GatewayConfig(
+                shards=(
+                    ShardSpec("a", "http://h:1"),
+                    ShardSpec("b", "http://h:1"),
+                )
+            )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("vnodes", 0),
+            ("probe_interval_s", 0.0),
+            ("down_after_probes", 0),
+            ("recover_after_probes", 0),
+        ],
+    )
+    def test_tunables_validated(self, field, value):
+        with pytest.raises(ConfigurationError):
+            GatewayConfig(
+                shards=(ShardSpec("a", "http://h:1"),), **{field: value}
+            )
+
+    def test_from_shard_urls_names_in_order(self):
+        config = GatewayConfig.from_shard_urls(
+            ["http://h:1", "http://h:2", "http://h:3"]
+        )
+        assert [s.name for s in config.shards] == ["shard0", "shard1", "shard2"]
+
+    def test_roundtrip_through_dict(self):
+        config = GatewayConfig.from_shard_urls(
+            ["http://h:1", "http://h:2"], vnodes=16, probe_interval_s=0.5
+        )
+        assert GatewayConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fleet config"):
+            GatewayConfig.from_dict(
+                {"shards": [{"name": "a", "url": "http://h:1"}], "bogus": 1}
+            )
+
+    def test_unknown_shard_fields_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown shard"):
+            GatewayConfig.from_dict(
+                {"shards": [{"name": "a", "url": "http://h:1", "weight": 2}]}
+            )
+
+
+class TestLoadFleetConfig:
+    def test_inline_json(self):
+        config = load_fleet_config(
+            '{"shards": [{"name": "a", "url": "http://h:1"}], "vnodes": 8}'
+        )
+        assert config.vnodes == 8
+        assert config.shards[0].name == "a"
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "fleet.json"
+        path.write_text(
+            json.dumps({"shards": [{"name": "a", "url": "http://h:1"}]})
+        )
+        assert load_fleet_config(str(path)).shards[0].url == "http://h:1"
+
+    def test_missing_file(self):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_fleet_config("/nonexistent/fleet.json")
+
+    def test_invalid_json(self):
+        with pytest.raises(ConfigurationError, match="invalid fleet config"):
+            load_fleet_config("{not json")

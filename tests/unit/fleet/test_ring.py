@@ -1,0 +1,178 @@
+"""Hash-ring properties the gateway's routing correctness rests on."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.ring import RING_SPACE, HashRing, stable_hash
+
+#: src/ directory that `import repro` resolved to, for subprocesses.
+_SRC = str(Path(__file__).resolve().parents[3] / "src")
+
+
+def _run_in_subprocess(script: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC
+    env["PYTHONHASHSEED"] = hash_seed
+    return subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    ).stdout.strip()
+
+
+def _keys(n: int) -> list[str]:
+    # spec_digest-shaped keys: hex strings, content-derived
+    return [f"{stable_hash(f'key-{i}'):016x}" for i in range(n)]
+
+
+class TestStableHash:
+    def test_within_ring_space(self):
+        for text in ("", "a", "key-123", "x" * 1000):
+            assert 0 <= stable_hash(text) < RING_SPACE
+
+    def test_deterministic_across_processes(self):
+        # hash() would be salted per process; stable_hash must not be.
+        script = (
+            "from repro.fleet.ring import stable_hash;"
+            "print(stable_hash('probe-key'))"
+        )
+        outputs = {
+            _run_in_subprocess(script, seed) for seed in ("0", "1", "424242")
+        }
+        assert outputs == {str(stable_hash("probe-key"))}
+
+
+class TestMembership:
+    def test_add_duplicate_rejected(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ConfigurationError):
+            ring.add("a")
+
+    def test_remove_missing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(["a"]).remove("b")
+
+    def test_empty_ring_has_no_primary(self):
+        with pytest.raises(ConfigurationError):
+            HashRing().primary("k")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(vnodes=0)
+
+
+class TestRouting:
+    def test_routing_is_deterministic(self):
+        ring_a = HashRing(["s0", "s1", "s2"], vnodes=64)
+        ring_b = HashRing(["s2", "s0", "s1"], vnodes=64)  # insertion order
+        for key in _keys(200):
+            assert ring_a.primary(key) == ring_b.primary(key)
+            assert ring_a.preference(key) == ring_b.preference(key)
+
+    def test_routing_deterministic_across_processes(self):
+        script = (
+            "from repro.fleet.ring import HashRing;"
+            "ring = HashRing(['s0', 's1', 's2'], vnodes=64);"
+            "print(','.join(ring.primary(f'key-{i}') for i in range(64)))"
+        )
+        outputs = {_run_in_subprocess(script, seed) for seed in ("0", "7")}
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        local = ",".join(ring.primary(f"key-{i}") for i in range(64))
+        assert outputs == {local}
+
+    def test_preference_starts_at_primary_and_covers_all(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=32)
+        for key in _keys(50):
+            order = ring.preference(key)
+            assert order[0] == ring.primary(key)
+            assert sorted(order) == ["s0", "s1", "s2", "s3"]
+
+    def test_preference_n_truncates(self):
+        ring = HashRing(["s0", "s1", "s2"], vnodes=32)
+        assert len(ring.preference("k", n=2)) == 2
+        assert len(ring.preference("k", n=99)) == 3
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"], vnodes=8)
+        assert all(ring.primary(k) == "only" for k in _keys(20))
+        assert ring.shares() == {"only": 1.0}
+
+
+class TestBalance:
+    @pytest.mark.parametrize("n_shards", range(1, 9))
+    def test_key_share_bounded_one_to_eight_shards(self, n_shards):
+        """With 64 vnodes no shard owns a wildly outsized key share.
+
+        Checked against the *exact* arc-length shares and against an
+        empirical routing of 4000 keys; both must stay within loose
+        bounds around the ideal 1/N (consistent hashing concentrates
+        around the mean as vnodes grow - 64 is enough for ~2x bounds).
+        """
+        nodes = [f"s{i}" for i in range(n_shards)]
+        ring = HashRing(nodes, vnodes=64)
+        ideal = 1.0 / n_shards
+
+        shares = ring.shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        assert max(shares.values()) <= min(2.0 * ideal, 1.0) + 1e-9
+        assert min(shares.values()) >= 0.45 * ideal
+
+        counts = dict.fromkeys(nodes, 0)
+        keys = _keys(4000)
+        for key in keys:
+            counts[ring.primary(key)] += 1
+        assert max(counts.values()) / len(keys) <= min(2.0 * ideal, 1.0) + 1e-9
+        assert min(counts.values()) / len(keys) >= 0.4 * ideal
+
+
+class TestMinimalRemap:
+    def test_join_remaps_about_one_over_n(self):
+        keys = _keys(3000)
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        before = {k: ring.primary(k) for k in keys}
+        ring.add("s3")
+        moved = sum(1 for k in keys if ring.primary(k) != before[k])
+        # ideal: 1/4 of keys move to the new shard; nothing else moves
+        assert 0.10 <= moved / len(keys) <= 0.45
+        for k in keys:
+            if ring.primary(k) != before[k]:
+                assert ring.primary(k) == "s3"
+
+    def test_leave_remaps_only_the_departed_keys(self):
+        keys = _keys(3000)
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=64)
+        before = {k: ring.primary(k) for k in keys}
+        ring.remove("s3")
+        for k in keys:
+            if before[k] != "s3":
+                assert ring.primary(k) == before[k], "unrelated key remapped"
+        orphans = [k for k in keys if before[k] == "s3"]
+        assert orphans, "test needs keys on the removed shard"
+
+    def test_leave_then_rejoin_restores_mapping(self):
+        keys = _keys(500)
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        before = {k: ring.primary(k) for k in keys}
+        ring.remove("s1")
+        ring.add("s1")
+        assert {k: ring.primary(k) for k in keys} == before
+
+    def test_failover_target_is_next_preference(self):
+        """Removing a shard moves its keys to their preference()[1]."""
+        keys = _keys(1000)
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=64)
+        expectation = {
+            k: ring.preference(k)[1] for k in keys if ring.primary(k) == "s2"
+        }
+        ring.remove("s2")
+        for key, successor in expectation.items():
+            assert ring.primary(key) == successor

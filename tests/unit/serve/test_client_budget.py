@@ -1,0 +1,123 @@
+"""ServiceClient retry pacing: fractional Retry-After + sleep budget."""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import ThreadingHTTPServer
+
+import pytest
+
+from repro.serve.client import ServiceClient, ServiceOverloadedError
+from repro.serve.wire import JsonRequestHandler, retry_after_hint
+
+
+class _SheddingHandler(JsonRequestHandler):
+    server: "_SheddingServer"
+
+    def do_GET(self):  # noqa: N802
+        self.server.requests += 1
+        self.send_retry_after(
+            503, {"error": "draining"}, self.server.retry_after_s
+        )
+
+    do_POST = do_GET
+
+
+class _SheddingServer(ThreadingHTTPServer):
+    """Answers every request with 503 + Retry-After."""
+
+    daemon_threads = True
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(("127.0.0.1", 0), _SheddingHandler)
+        self.retry_after_s = retry_after_s
+        self.requests = 0
+        threading.Thread(target=self.serve_forever, daemon=True).start()
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.server_address[1]}"
+
+
+@pytest.fixture
+def shedding():
+    server = _SheddingServer(retry_after_s=0.2)
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestRetryAfterParsing:
+    def test_fractional_header_honoured(self):
+        class _Headers(dict):
+            def get(self, key, default=None):
+                return super().get(key, default)
+
+        assert retry_after_hint(_Headers({"Retry-After": "0.25"}), {}) == 0.25
+        assert retry_after_hint(_Headers({"Retry-After": "3"}), {}) == 3.0
+        assert retry_after_hint(_Headers(), {"retry_after_s": 0.5}) == 0.5
+        assert retry_after_hint(_Headers({"Retry-After": "junk"}), {}) == 0.0
+
+    def test_fractional_pacing_on_the_wire(self, shedding):
+        """One retry paced by a 0.2 s hint sleeps >= 0.2 s, not 1 s.
+
+        An integer-only parser would floor "0.2" to nothing (or crash)
+        and fall back to exponential backoff; the elapsed window pins
+        the fractional value actually being used.
+        """
+        client = ServiceClient(
+            shedding.url, retries=1, retry_backoff_s=0.001, backoff_budget_s=10
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            client.readyz()
+        elapsed = time.monotonic() - started
+        assert excinfo.value.retry_after_s == pytest.approx(0.2)
+        assert 0.2 <= elapsed < 1.0
+        assert shedding.requests == 2
+
+
+class TestBackoffBudget:
+    def test_total_sleep_capped_by_budget(self, shedding):
+        """A server advertising long Retry-After cannot stall the client
+        past its budget, no matter how many retries are configured."""
+        shedding.retry_after_s = 30.0
+        client = ServiceClient(
+            shedding.url, retries=50, backoff_budget_s=0.3
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloadedError):
+            client.readyz()
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.0  # budget 0.3 s, not 50 * 30 s
+        # budget allows one capped sleep, then the next failure raises
+        assert shedding.requests == 2
+
+    def test_exhausted_budget_raises_without_sleeping(self, shedding):
+        client = ServiceClient(shedding.url, retries=5, backoff_budget_s=10.0)
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloadedError):
+            # an upstream hop (gateway) already spent the whole budget
+            client.request_with_budget("GET", "/readyz", budget_spent_s=10.0)
+        assert time.monotonic() - started < 0.5
+        assert shedding.requests == 1
+
+    def test_spent_figure_accumulates_across_attempts(self, shedding):
+        shedding.retry_after_s = 0.05
+        client = ServiceClient(
+            shedding.url, retries=2, retry_backoff_s=0.01, backoff_budget_s=10
+        )
+        with pytest.raises(ServiceOverloadedError):
+            client.request_with_budget("GET", "/readyz")
+        # separate logical request, pre-charged: sleeps shrink to fit
+        with pytest.raises(ServiceOverloadedError):
+            client.request_with_budget("GET", "/readyz", budget_spent_s=9.99)
+
+    def test_zero_budget_disables_sleeping_entirely(self, shedding):
+        client = ServiceClient(shedding.url, retries=3, backoff_budget_s=0.0)
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloadedError):
+            client.readyz()
+        assert time.monotonic() - started < 0.5
+        assert shedding.requests == 1
