@@ -1,4 +1,4 @@
-"""Correctness tooling: static lint pass and runtime invariant sanitizer.
+"""Correctness tooling: static analysis engine and runtime invariant sanitizer.
 
 The reproduction's credibility rests on two properties the experiment
 layer assumes implicitly:
@@ -13,10 +13,20 @@ layer assumes implicitly:
 
 Two complementary tools enforce them:
 
-* :mod:`repro.checks.linter` + :mod:`repro.checks.rules` - an AST-based
-  lint pass (stdlib ``ast``, no dependencies) run by ``uvmrepro check``
-  and in CI, with a committed baseline for grandfathered violations
-  (:mod:`repro.checks.baseline`);
+* static analysis, run by ``uvmrepro check`` and in CI:
+
+  - :mod:`repro.checks.linter` + :mod:`repro.checks.rules` - the
+    per-statement AST tier (stdlib ``ast``, no dependencies), with a
+    committed baseline for grandfathered violations
+    (:mod:`repro.checks.baseline`) and inline/file-level waivers;
+  - :mod:`repro.checks.graph` + :mod:`repro.checks.dataflow` +
+    :mod:`repro.checks.flow_rules` - the interprocedural tier: a
+    package-wide module/call graph, a summary-based taint engine on
+    top of it, and four analysis families (determinism taint, lock
+    discipline + fork safety, journal/hook protocol, units flow);
+  - :mod:`repro.checks.sarif` - SARIF 2.1.0 emitter for code-scanning
+    UIs (``uvmrepro check --format sarif``);
+
 * :mod:`repro.checks.sanitizer` - "UVMSAN", runtime assertion hooks in
   the driver pipeline, zero-cost unless ``UVMREPRO_SANITIZE=1``.
 """

@@ -1,0 +1,707 @@
+"""Forward taint propagation over the project call graph.
+
+The engine answers one question for a configurable :class:`TaintSpec`:
+*which sink positions can a value carrying a given taint label reach?*
+It is summary-based and context-insensitive:
+
+1. every function gets a :class:`Summary` - the labels its return value
+   can carry, which parameters flow to the return, and which parameters
+   reach a sink *inside* the function (transitively);
+2. summaries are computed to a fixpoint in bottom-up call order, so a
+   wall-clock read three calls below a seed assignment still surfaces;
+3. a final pass re-walks every function with the stable summaries and
+   emits :class:`Flow` records wherever concretely-tainted values meet
+   a sink.
+
+The abstract domain is a set of string labels per expression.  Branches
+merge by union, loop bodies run twice (loop-carried taint), and unknown
+calls optionally propagate the union of their argument taints - sound
+for "does nondeterminism reach state" questions, quiet enough to hold
+the real tree clean.  Heap state is *not* modeled: attribute stores do
+not taint later attribute loads.  That is a deliberate precision choice
+(see docs/checks.md); the planted fixtures pin the flows that matter.
+
+Synthetic ``param:<i>`` labels seed parameters during summary
+computation; they never appear in reported flows.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.checks.graph import (
+    CallSite,
+    FunctionInfo,
+    ProjectGraph,
+    dotted_chain,
+)
+
+Labels = frozenset[str]
+EMPTY: Labels = frozenset()
+
+_PARAM_PREFIX = "param:"
+
+
+def _param_label(index: int) -> str:
+    return f"{_PARAM_PREFIX}{index}"
+
+
+def concrete(labels: Labels) -> Labels:
+    """Labels with the synthetic parameter markers stripped."""
+    return frozenset(l for l in labels if not l.startswith(_PARAM_PREFIX))
+
+
+def _params_of(labels: Labels) -> frozenset[int]:
+    return frozenset(
+        int(l[len(_PARAM_PREFIX):]) for l in labels if l.startswith(_PARAM_PREFIX)
+    )
+
+
+def match_dotted(pattern: str, name: Optional[str]) -> bool:
+    """Exact dotted match, or prefix match for ``pkg.mod.*`` patterns."""
+    if name is None:
+        return False
+    if pattern.endswith(".*"):
+        stem = pattern[:-2]
+        return name == stem or name.startswith(stem + ".")
+    return name == pattern
+
+
+@dataclass(frozen=True)
+class CallSink:
+    """A call whose (selected) arguments are taint sinks.
+
+    Matching is by resolved dotted callee (``callee``), by trailing
+    attribute name (``attr``) and optionally a dotted-receiver suffix
+    (``receiver``), e.g. ``attr="append", receiver="journal"`` matches
+    ``self.journal.append(...)`` and ``self._journal.append(...)``.
+    ``args``/``kwargs`` select positions; None means every argument.
+    """
+
+    name: str
+    callee: Optional[str] = None
+    attr: Optional[str] = None
+    attrs: tuple[str, ...] = ()
+    receiver: Optional[str] = None
+    args: Optional[tuple[int, ...]] = None
+    kwargs: Optional[tuple[str, ...]] = None
+
+    def matches(self, site: CallSite) -> bool:
+        if self.callee is not None and match_dotted(self.callee, site.callee):
+            return True
+        names = self.attrs or ((self.attr,) if self.attr else ())
+        if not names or site.attr not in names:
+            # a bare-name call ``cache_key(x)`` should still match an
+            # attr-style sink: compare the callee's last component too.
+            if not (
+                names
+                and site.callee
+                and site.callee.rsplit(".", 1)[-1] in names
+                and self.receiver is None
+            ):
+                return False
+        if self.receiver is not None:
+            recv = site.receiver or ""
+            last = recv.rsplit(".", 1)[-1]
+            if self.receiver not in last:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class AttrSink:
+    """Attribute stores (``self.x = value``) in scoped paths are sinks."""
+
+    name: str
+    #: relpath prefixes where attribute stores count as state writes.
+    scope: tuple[str, ...] = ()
+
+    def matches(self, relpath: str) -> bool:
+        return any(relpath.startswith(p) for p in self.scope) if self.scope else True
+
+
+@dataclass
+class TaintSpec:
+    """Sources, sanitizers, and sinks for one analysis family."""
+
+    #: dotted callee pattern -> label (``time.time`` -> ``wallclock``).
+    call_sources: dict[str, str] = field(default_factory=dict)
+    #: trailing attribute name -> label, for calls whose receiver we
+    #: cannot resolve (``anything.hexdigest`` style).  Use sparingly.
+    attr_sources: dict[str, str] = field(default_factory=dict)
+    #: dotted name-load pattern -> label (``repro.units.PAGE_SIZE``).
+    name_sources: dict[str, str] = field(default_factory=dict)
+    #: callee pattern -> labels it strips (None = strips everything).
+    sanitizers: dict[str, Optional[frozenset[str]]] = field(default_factory=dict)
+    call_sinks: tuple[CallSink, ...] = ()
+    attr_sinks: tuple[AttrSink, ...] = ()
+    #: labels meaning "iterating this container is order-nondeterministic".
+    unordered_labels: frozenset[str] = EMPTY
+    #: label granted to a for-target iterating an unordered container.
+    iter_order_label: Optional[str] = None
+    #: label set() literals/constructors carry (feeds unordered_labels).
+    set_literal_label: Optional[str] = None
+    #: unknown calls propagate the union of their argument taints.
+    propagate_unknown_calls: bool = True
+    #: called per BinOp/Compare with (left, right, opname); returns the
+    #: offending label set (reported as sink "mix") or None.
+    mix: Optional[Callable[[Labels, Labels, str], Optional[Labels]]] = None
+    #: BinOp result algebra (left, right, opname) -> labels; None means
+    #: plain union.  Lets a units spec cancel ``bytes // bytes`` ratios.
+    binop_result: Optional[Callable[[Labels, Labels, str], Labels]] = None
+    #: keyword-argument laundering: (kwarg name, labels) -> labels kept.
+    #: This is the *sanctioned-sink* hook: a wall-clock value passed as
+    #: ``submitted_at=...`` is a record timestamp, not a leak.
+    kwarg_launder: Optional[Callable[[str, Labels], Labels]] = None
+
+    def source_for(self, site: CallSite) -> Labels:
+        labels: set[str] = set()
+        for pattern, label in self.call_sources.items():
+            if match_dotted(pattern, site.callee):
+                labels.add(label)
+        if site.attr and site.attr in self.attr_sources:
+            labels.add(self.attr_sources[site.attr])
+        return frozenset(labels)
+
+    def is_sanitizer(self, site: CallSite) -> bool:
+        return any(
+            match_dotted(p, site.callee)
+            or (site.attr is not None and p == "." + site.attr)
+            for p in self.sanitizers
+        )
+
+    def cleared(self, site: CallSite) -> Optional[frozenset[str]]:
+        for pattern, labels in self.sanitizers.items():
+            if match_dotted(pattern, site.callee) or (
+                site.attr is not None and pattern == "." + site.attr
+            ):
+                return labels
+        return None
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One tainted value reaching one sink."""
+
+    sink: str
+    labels: Labels
+    function: str
+    relpath: str
+    lineno: int
+    #: human detail: the attribute / callee the sink matched.
+    detail: str = ""
+
+    def key(self) -> tuple:
+        return (self.sink, self.relpath, self.lineno, self.labels, self.detail)
+
+
+@dataclass
+class Summary:
+    """Interprocedural behaviour of one function."""
+
+    ret_labels: Labels = EMPTY
+    ret_params: frozenset[int] = frozenset()
+    #: parameter index -> sink names it (transitively) reaches.
+    param_flows: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Summary)
+            and self.ret_labels == other.ret_labels
+            and self.ret_params == other.ret_params
+            and self.param_flows == other.param_flows
+        )
+
+
+class TaintEngine:
+    """Run one :class:`TaintSpec` over a :class:`ProjectGraph`."""
+
+    MAX_ROUNDS = 12
+
+    def __init__(self, graph: ProjectGraph, spec: TaintSpec) -> None:
+        self.graph = graph
+        self.spec = spec
+        self.summaries: dict[str, Summary] = {}
+        self._sites: dict[int, CallSite] = {}
+        for fn in graph.functions.values():
+            for site in fn.calls:
+                self._sites[id(site.node)] = site
+
+    def run(self) -> list[Flow]:
+        order = self.graph.call_order()
+        for qual in order:
+            self.summaries[qual] = Summary()
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for qual in order:
+                fn = self.graph.functions[qual]
+                analysis = _FunctionAnalysis(self, fn, seed_params=True)
+                summary = analysis.run()
+                if summary != self.summaries[qual]:
+                    self.summaries[qual] = summary
+                    changed = True
+            if not changed:
+                break
+        flows: dict[tuple, Flow] = {}
+
+        def emit(flow: Flow) -> None:
+            flows.setdefault(flow.key(), flow)
+
+        for qual in order:
+            fn = self.graph.functions[qual]
+            _FunctionAnalysis(self, fn, seed_params=False, emit=emit).run()
+        return sorted(
+            flows.values(), key=lambda f: (f.relpath, f.lineno, f.sink, f.detail)
+        )
+
+    def site(self, node: ast.Call) -> Optional[CallSite]:
+        return self._sites.get(id(node))
+
+
+class _FunctionAnalysis:
+    """One abstract-interpretation pass over one function body."""
+
+    def __init__(
+        self,
+        engine: TaintEngine,
+        fn: FunctionInfo,
+        seed_params: bool,
+        emit: Optional[Callable[[Flow], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.spec = engine.spec
+        self.fn = fn
+        self.emit = emit
+        self.env: dict[str, Labels] = {}
+        self.ret: Labels = EMPTY
+        self.param_flows: dict[int, set[str]] = {}
+        self.param_names = fn.param_names()
+        if seed_params:
+            for i, name in enumerate(self.param_names):
+                self.env[name] = frozenset({_param_label(i)})
+
+    # -- driving --------------------------------------------------------------
+    def run(self) -> Summary:
+        self._exec_block(self.fn.node.body, self.env)
+        return Summary(
+            ret_labels=concrete(self.ret),
+            ret_params=_params_of(self.ret),
+            param_flows={
+                i: frozenset(sinks) for i, sinks in sorted(self.param_flows.items())
+            },
+        )
+
+    def _flow(self, sink: str, labels: Labels, node: ast.AST, detail: str) -> None:
+        hit = concrete(labels)
+        if hit and self.emit is not None:
+            self.emit(
+                Flow(
+                    sink=sink,
+                    labels=hit,
+                    function=self.fn.qualname,
+                    relpath=self.fn.relpath,
+                    lineno=getattr(node, "lineno", 0),
+                    detail=detail,
+                )
+            )
+        for index in _params_of(labels):
+            self.param_flows.setdefault(index, set()).add(sink)
+
+    # -- statements -----------------------------------------------------------
+    def _exec_block(self, stmts: Iterable[ast.stmt], env: dict[str, Labels]) -> None:
+        for stmt in stmts:
+            self._exec(stmt, env)
+
+    def _merge(self, env: dict[str, Labels], *branches: dict[str, Labels]) -> None:
+        keys: set[str] = set(env)
+        for branch in branches:
+            keys |= set(branch)
+        for key in keys:
+            merged: Labels = env.get(key, EMPTY)
+            for branch in branches:
+                merged |= branch.get(key, EMPTY)
+            env[key] = merged
+
+    def _exec(self, stmt: ast.stmt, env: dict[str, Labels]) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._exec_assign(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.ret |= self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            body_env, else_env = dict(env), dict(env)
+            self._exec_block(stmt.body, body_env)
+            self._exec_block(stmt.orelse, else_env)
+            self._merge(env, body_env, else_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_labels = self._eval(stmt.iter, env)
+            target_labels = iter_labels
+            if (
+                self.spec.iter_order_label
+                and iter_labels & self.spec.unordered_labels
+            ):
+                target_labels |= frozenset({self.spec.iter_order_label})
+            body_env = dict(env)
+            for _ in range(2):  # loop-carried taint needs a second pass
+                self._bind(stmt.target, target_labels, body_env)
+                self._exec_block(stmt.body, body_env)
+            self._exec_block(stmt.orelse, body_env)
+            self._merge(env, body_env)
+        elif isinstance(stmt, ast.While):
+            body_env = dict(env)
+            for _ in range(2):
+                self._eval(stmt.test, body_env)
+                self._exec_block(stmt.body, body_env)
+            self._exec_block(stmt.orelse, body_env)
+            self._merge(env, body_env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, labels, env)
+            self._exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self._exec_block(stmt.body, body_env)
+            branch_envs = [body_env]
+            for handler in stmt.handlers:
+                handler_env = dict(env)
+                self._exec_block(handler.body, handler_env)
+                branch_envs.append(handler_env)
+            self._merge(env, *branch_envs)
+            self._exec_block(stmt.orelse, env)
+            self._exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for value in (getattr(stmt, "exc", None), getattr(stmt, "test", None),
+                          getattr(stmt, "msg", None), getattr(stmt, "cause", None)):
+                if value is not None:
+                    self._eval(value, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # nested defs/classes, import, pass, break, continue, global:
+        # not executed - flows inside nested functions are out of scope.
+
+    def _exec_assign(self, stmt: ast.stmt, env: dict[str, Labels]) -> None:
+        if isinstance(stmt, ast.Assign):
+            value, targets = stmt.value, stmt.targets
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                return
+            value, targets = stmt.value, [stmt.target]
+        else:  # AugAssign
+            value, targets = stmt.value, [stmt.target]
+        labels = self._eval(value, env)
+        if isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            labels |= env.get(stmt.target.id, EMPTY)
+        for target in targets:
+            self._bind(target, labels, env, store_node=stmt)
+
+    def _bind(
+        self,
+        target: ast.AST,
+        labels: Labels,
+        env: dict[str, Labels],
+        store_node: Optional[ast.stmt] = None,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = labels
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, labels, env, store_node)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, labels, env, store_node)
+        elif isinstance(target, ast.Attribute):
+            for sink in self.spec.attr_sinks:
+                if sink.matches(self.fn.relpath):
+                    self._flow(sink.name, labels, store_node or target, target.attr)
+        elif isinstance(target, ast.Subscript):
+            if isinstance(target.value, ast.Name):
+                name = target.value.id
+                env[name] = env.get(name, EMPTY) | labels
+
+    # -- expressions ----------------------------------------------------------
+    def _eval(self, node: ast.AST, env: dict[str, Labels]) -> Labels:
+        spec = self.spec
+        if isinstance(node, ast.Name):
+            labels = env.get(node.id, EMPTY)
+            if node.id not in env:
+                labels |= self._name_source(node.id)
+            return labels
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value, env)
+            chain = dotted_chain(node)
+            if chain is not None and chain.split(".")[0] not in env:
+                base |= self._name_source(chain)
+            return base
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, env)
+            right = self._eval(node.right, env)
+            self._check_mix(left, right, node.op, node)
+            if spec.binop_result is not None:
+                return spec.binop_result(
+                    concrete(left), concrete(right), type(node.op).__name__
+                ) | (left - concrete(left)) | (right - concrete(right))
+            return left | right
+        if isinstance(node, ast.Compare):
+            left = self._eval(node.left, env)
+            out = left
+            for op, comparator in zip(node.ops, node.comparators):
+                right = self._eval(comparator, env)
+                self._check_mix(left, right, op, node)
+                out |= right
+                left = right
+            return out
+        if isinstance(node, ast.BoolOp):
+            out: Labels = EMPTY
+            for value in node.values:
+                out |= self._eval(value, env)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, env)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            return self._eval(node.body, env) | self._eval(node.orelse, env)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            out = EMPTY
+            for element in node.elts:
+                out |= self._eval(element, env)
+            return out
+        if isinstance(node, ast.Set):
+            out = EMPTY
+            for element in node.elts:
+                out |= self._eval(element, env)
+            if spec.set_literal_label:
+                out |= frozenset({spec.set_literal_label})
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out |= self._eval(key, env)
+            for value in node.values:
+                out |= self._eval(value, env)
+            return out
+        if isinstance(node, ast.Subscript):
+            out = self._eval(node.value, env)
+            self._eval(node.slice, env)
+            return out
+        if isinstance(node, ast.Slice):
+            for part in (node.lower, node.upper, node.step):
+                if part is not None:
+                    self._eval(part, env)
+            return EMPTY
+        if isinstance(node, ast.JoinedStr):
+            out = EMPTY
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self._eval(value.value, env)
+            return out
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, env)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            comp_env = dict(env)
+            self._bind_comprehensions(node.generators, comp_env)
+            out = self._eval(node.elt, comp_env)
+            if isinstance(node, ast.SetComp) and spec.set_literal_label:
+                out |= frozenset({spec.set_literal_label})
+            return out
+        if isinstance(node, ast.DictComp):
+            comp_env = dict(env)
+            self._bind_comprehensions(node.generators, comp_env)
+            return self._eval(node.key, comp_env) | self._eval(node.value, comp_env)
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            return self._eval(node.value, env)
+        if isinstance(node, ast.Yield):
+            return self._eval(node.value, env) if node.value else EMPTY
+        if isinstance(node, ast.NamedExpr):
+            labels = self._eval(node.value, env)
+            self._bind(node.target, labels, env)
+            return labels
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        return EMPTY
+
+    def _bind_comprehensions(
+        self, generators: Iterable[ast.comprehension], env: dict[str, Labels]
+    ) -> None:
+        for gen in generators:
+            iter_labels = self._eval(gen.iter, env)
+            target_labels = iter_labels
+            if (
+                self.spec.iter_order_label
+                and iter_labels & self.spec.unordered_labels
+            ):
+                target_labels |= frozenset({self.spec.iter_order_label})
+            self._bind(gen.target, target_labels, env)
+            for condition in gen.ifs:
+                self._eval(condition, env)
+
+    def _name_source(self, chain: str) -> Labels:
+        qual, _known = self.engine.graph.resolve_name(
+            self.fn.module, chain, self.fn.class_name
+        )
+        if qual is None:
+            return EMPTY
+        labels = {
+            label
+            for pattern, label in self.spec.name_sources.items()
+            if match_dotted(pattern, qual)
+        }
+        return frozenset(labels)
+
+    def _check_mix(
+        self, left: Labels, right: Labels, op: ast.AST, node: ast.AST
+    ) -> None:
+        if self.spec.mix is None:
+            return
+        bad = self.spec.mix(concrete(left), concrete(right), type(op).__name__)
+        if bad:
+            self._flow("mix", bad, node, type(op).__name__)
+        # parameter-carried operands cannot be judged context-free; skip.
+
+    # -- calls ----------------------------------------------------------------
+    def _eval_call(self, node: ast.Call, env: dict[str, Labels]) -> Labels:
+        spec = self.spec
+        site = self.engine.site(node)
+        arg_labels = [self._eval(arg, env) for arg in node.args]
+        kw_labels = {
+            kw.arg: self._eval(kw.value, env) for kw in node.keywords
+        }  # **kwargs lands under key None
+        if spec.kwarg_launder is not None:
+            kw_labels = {
+                name: (
+                    spec.kwarg_launder(name, labels) if name is not None else labels
+                )
+                for name, labels in kw_labels.items()
+            }
+        recv_labels: Labels = EMPTY
+        if isinstance(node.func, ast.Attribute):
+            recv_labels = self._eval(node.func.value, env)
+        elif not isinstance(node.func, ast.Name):
+            self._eval(node.func, env)
+        everything: Labels = recv_labels
+        for labels in arg_labels:
+            everything |= labels
+        for labels in kw_labels.values():
+            everything |= labels
+
+        if site is None:
+            return everything if spec.propagate_unknown_calls else EMPTY
+
+        if spec.is_sanitizer(site):
+            stripped = spec.cleared(site)
+            base = EMPTY if stripped is None else everything - stripped
+            # a converter is sanitizer + source: bytes_to_pages() strips
+            # the incoming unit and stamps its own.
+            return base | spec.source_for(site)
+
+        out = spec.source_for(site)
+        if spec.set_literal_label and site.callee in (
+            "builtins.set",
+            "builtins.frozenset",
+        ):
+            out |= frozenset({spec.set_literal_label})
+
+        target = self._call_target(site)
+        if target is not None:
+            summary = self.engine.summaries.get(target.qualname)
+            if summary is not None:
+                by_param = self._map_args_to_params(
+                    target, site, arg_labels, kw_labels, recv_labels
+                )
+                out |= summary.ret_labels
+                for index in summary.ret_params:
+                    out |= by_param.get(index, EMPTY)
+                for index, sinks in summary.param_flows.items():
+                    labels = by_param.get(index, EMPTY)
+                    if labels:
+                        for sink in sorted(sinks):
+                            self._flow(
+                                sink,
+                                labels,
+                                node,
+                                site.callee or target.qualname,
+                            )
+        elif spec.propagate_unknown_calls:
+            out |= everything
+
+        for sink in spec.call_sinks:
+            if sink.matches(site):
+                for labels, detail in self._sink_positions(
+                    sink, node, arg_labels, kw_labels
+                ):
+                    self._flow(sink.name, labels, node, detail)
+        return out
+
+    def _call_target(self, site: CallSite) -> Optional[FunctionInfo]:
+        if not site.known or site.callee is None:
+            return None
+        graph = self.engine.graph
+        qual = site.callee
+        if qual in graph.classes:
+            init = graph.classes[qual].methods.get("__init__")
+            if init is None:
+                return None
+            qual = init
+        return graph.functions.get(qual)
+
+    def _map_args_to_params(
+        self,
+        target: FunctionInfo,
+        site: CallSite,
+        arg_labels: list[Labels],
+        kw_labels: dict[Optional[str], Labels],
+        recv_labels: Labels,
+    ) -> dict[int, Labels]:
+        """Call-site argument taints keyed by callee parameter index."""
+        offset = 0
+        by_param: dict[int, Labels] = {}
+        if target.class_name is not None:
+            # bound method / constructor: parameter 0 is self.
+            offset = 1
+            by_param[0] = recv_labels
+        names = target.param_names()
+        for position, labels in enumerate(arg_labels):
+            by_param[position + offset] = labels
+        for keyword, labels in kw_labels.items():
+            if keyword is None:
+                continue
+            if keyword in names:
+                by_param[names.index(keyword)] = labels
+        return by_param
+
+    def _sink_positions(
+        self,
+        sink: CallSink,
+        node: ast.Call,
+        arg_labels: list[Labels],
+        kw_labels: dict[Optional[str], Labels],
+    ) -> Iterable[tuple[Labels, str]]:
+        detail = dotted_chain(node.func) or (
+            node.func.attr if isinstance(node.func, ast.Attribute) else "<call>"
+        )
+        if sink.args is None and sink.kwargs is None:
+            union: Labels = EMPTY
+            for labels in arg_labels:
+                union |= labels
+            for labels in kw_labels.values():
+                union |= labels
+            if union:
+                yield union, detail
+            return
+        for position in sink.args or ():
+            if position < len(arg_labels) and arg_labels[position]:
+                yield arg_labels[position], detail
+        for keyword in sink.kwargs or ():
+            labels = kw_labels.get(keyword, EMPTY)
+            if labels:
+                yield labels, detail

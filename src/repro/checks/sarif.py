@@ -1,0 +1,137 @@
+"""Minimal SARIF 2.1.0 emitter for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua
+franca code-scanning UIs ingest (GitHub code scanning, VS Code SARIF
+viewer, ...).  The emitter maps the linter's vocabulary directly:
+
+* every :class:`~repro.checks.linter.Rule`/flow rule becomes a
+  ``tool.driver.rules`` entry (id + short description),
+* every :class:`~repro.checks.linter.Violation` becomes a ``result``
+  with one physical location,
+* parse errors and expired waivers become tool-level notifications,
+  so ``--strict`` failures are visible in the artifact too.
+
+Output is fully deterministic: rules and results are sorted, and the
+JSON is dumped with sorted keys - the golden-file test diffs it byte
+for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from repro.checks.linter import LintReport, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "uvmrepro-check"
+
+
+def _result(violation: Violation, rule_index: Mapping[str, int]) -> dict:
+    return {
+        "ruleId": violation.rule,
+        "ruleIndex": rule_index.get(violation.rule, -1),
+        "level": "warning",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {"startLine": max(violation.line, 1)},
+                }
+            }
+        ],
+    }
+
+
+def _notification(message: str, level: str) -> dict:
+    return {"level": level, "message": {"text": message}}
+
+
+def to_sarif(
+    report: LintReport,
+    rule_descriptions: Mapping[str, str] | None = None,
+    tool_version: str = "0",
+) -> dict:
+    """Render one lint run as a SARIF ``log`` dict.
+
+    ``rule_descriptions`` maps rule id -> human description; rules that
+    produced violations are always listed even when no description is
+    known.
+    """
+    descriptions = dict(rule_descriptions or {})
+    for violation in report.violations:
+        descriptions.setdefault(violation.rule, "")
+    rule_ids = sorted(descriptions)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": descriptions[rule_id] or rule_id},
+        }
+        for rule_id in rule_ids
+    ]
+    results = [
+        _result(v, rule_index)
+        for v in sorted(
+            report.violations, key=lambda v: (v.path, v.line, v.rule, v.message)
+        )
+    ]
+    notifications = [
+        _notification(text, "error") for text in sorted(report.parse_errors)
+    ] + [
+        _notification(text, "warning") for text in sorted(report.expired_waivers)
+    ]
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "version": tool_version,
+                "informationUri": "https://example.invalid/uvm-repro",
+                "rules": rules,
+            }
+        },
+        "results": results,
+        "columnKind": "utf16CodeUnits",
+    }
+    if notifications:
+        run["invocations"] = [
+            {
+                "executionSuccessful": not report.parse_errors,
+                "toolExecutionNotifications": notifications,
+            }
+        ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def render_sarif(
+    report: LintReport,
+    rule_descriptions: Mapping[str, str] | None = None,
+    tool_version: str = "0",
+) -> str:
+    """The SARIF log as deterministic, pretty-printed JSON text."""
+    log = to_sarif(report, rule_descriptions, tool_version)
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"
+
+
+def rule_catalog(
+    rules: Sequence[object], flow_rules: Sequence[object]
+) -> dict[str, str]:
+    """id -> description for every standard and flow rule."""
+    catalog: dict[str, str] = {}
+    for rule in list(rules) + list(flow_rules):
+        name = getattr(rule, "name", "")
+        if name:
+            catalog[name] = getattr(rule, "description", "")
+    return catalog

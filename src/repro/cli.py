@@ -595,6 +595,34 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_python_files(root: "Path") -> list["Path"]:
+    """Tracked-modified plus untracked ``.py`` files, relative to ``root``."""
+    import subprocess
+    from pathlib import Path
+
+    files: set[str] = set()
+    for cmd in (
+        ["git", "-C", str(root), "diff", "--name-only", "HEAD", "--"],
+        ["git", "-C", str(root), "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"git failed ({' '.join(cmd[3:])}): {proc.stderr.strip()}"
+            )
+        files.update(line.strip() for line in proc.stdout.splitlines())
+    return sorted(
+        root / f
+        for f in files
+        if f.endswith(".py")
+        and (root / f).is_file()
+        # mirror the default lint universe (src/repro): tests and the
+        # planted-bug fixture trees are never linted by the full pass,
+        # so a changed-files subset must not lint them either.
+        and f.startswith("src/repro/")
+    )
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Run the repository lint pass against the committed baseline."""
     from pathlib import Path
@@ -604,12 +632,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
         load_baseline,
         save_baseline,
     )
+    from repro.checks.flow_rules import default_flow_rules
     from repro.checks.linter import lint_paths
     from repro.checks.rules import default_rules
 
     if args.list_rules:
         for rule in default_rules():
             print(f"{rule.name:24s} {rule.description}")
+        for rule in default_flow_rules():
+            print(f"{rule.name:24s} [{rule.family}] {rule.description}")
         return 0
 
     root = (
@@ -620,8 +651,25 @@ def _cmd_check(args: argparse.Namespace) -> int:
     baseline_path = (
         Path(args.baseline) if args.baseline else root / "checks_baseline.json"
     )
-    paths = [Path(p) for p in args.paths] or None
-    report = lint_paths(root, paths=paths)
+    path_args = list(args.paths) + list(args.extra_paths or [])
+    if args.changed and path_args:
+        print(
+            "check: --changed and explicit paths are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    if args.changed:
+        try:
+            paths: list[Path] | None = _changed_python_files(root)
+        except RuntimeError as exc:
+            print(f"check: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(f"0 changed python file(s) under {root}; nothing to lint")
+            return 0
+    else:
+        paths = [Path(p) for p in path_args] or None
+    report = lint_paths(root, paths=paths, flow=args.flow, analyses=args.analysis)
 
     if args.update_baseline:
         counts = save_baseline(baseline_path, report.violations)
@@ -632,25 +680,48 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0
 
     diff = diff_against_baseline(report.violations, load_baseline(baseline_path))
+
+    sarif_text: str | None = None
+    if args.format == "sarif" or args.sarif_out:
+        from repro.checks.sarif import render_sarif, rule_catalog
+
+        catalog = rule_catalog(default_rules(), default_flow_rules())
+        sarif_text = render_sarif(report, catalog)
+    if args.sarif_out:
+        Path(args.sarif_out).write_text(sarif_text, encoding="utf-8")
+
+    status = 0
+    if diff.new or report.parse_errors:
+        status = 1
+    if args.strict and (diff.stale or report.expired_waivers):
+        status = max(status, 1)
+
+    if args.format == "sarif":
+        sys.stdout.write(sarif_text or "")
+        return status
+
     for violation in diff.new:
         print(violation.render())
     for line in report.parse_errors:
         print(f"parse error: {line}")
-    status = 0
-    if diff.new or report.parse_errors:
-        status = 1
     print(
         f"{len(diff.new)} new violation(s), {len(diff.baselined)} baselined, "
         f"{len(diff.stale)} stale baseline entr(ies) "
         f"across {report.files_checked} file(s)"
     )
+    for line in report.expired_waivers:
+        print(f"expired waiver: {line}")
+    if report.expired_waivers and args.strict:
+        print(
+            "strict mode: expired waivers fail the check; fix the finding "
+            "or renew the until= date"
+        )
     if diff.stale:
         for key, count in diff.stale.items():
             print(f"stale baseline entry ({count}x): {key}")
         if args.strict:
             print("strict mode: stale baseline entries fail the check; "
                   "re-run with --update-baseline to trim them")
-            status = max(status, 1)
     return status
 
 
@@ -854,11 +925,38 @@ def main(argv: list[str] | None = None) -> int:
 
     check_p = sub.add_parser(
         "check",
-        help="run the determinism/units lint pass (repro.checks)",
+        help="run the static-analysis pass: lint rules + flow analyses",
     )
     check_p.add_argument(
         "paths", nargs="*", default=[],
         help="files/directories to lint (default: src/repro under the repo root)",
+    )
+    check_p.add_argument(
+        "--paths", dest="extra_paths", nargs="+", default=None, metavar="PATH",
+        help="additional files/directories to lint (same as the positionals)",
+    )
+    check_p.add_argument(
+        "--changed", action="store_true",
+        help="lint only git-changed python files (tracked modifications "
+        "plus untracked); mutually exclusive with explicit paths",
+    )
+    check_p.add_argument(
+        "--flow", action=argparse.BooleanOptionalAction, default=True,
+        help="run the interprocedural flow analyses (default: on; "
+        "--no-flow for the per-statement rules only)",
+    )
+    check_p.add_argument(
+        "--analysis", action="append", default=None,
+        choices=["determinism", "concurrency", "protocol", "units"],
+        help="restrict flow analyses to one family (repeatable)",
+    )
+    check_p.add_argument(
+        "--format", choices=["text", "sarif"], default="text",
+        help="report format on stdout (default: text)",
+    )
+    check_p.add_argument(
+        "--sarif-out", default=None, metavar="PATH",
+        help="also write the SARIF log to PATH (independent of --format)",
     )
     check_p.add_argument(
         "--root", default=None,
@@ -871,7 +969,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     check_p.add_argument(
         "--strict", action="store_true",
-        help="also fail on stale baseline entries",
+        help="also fail on stale baseline entries and expired waivers",
     )
     check_p.add_argument(
         "--update-baseline", action="store_true",

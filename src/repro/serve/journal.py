@@ -175,7 +175,8 @@ class JobJournal:
         except OSError as exc:
             raise JournalError(f"cannot read journal {self.path}: {exc}") from exc
         replay = _parse_frames(data)
-        self.record_count = len(replay.entries)
+        with self._lock:
+            self.record_count = len(replay.entries)
         return replay
 
     # -- writes ---------------------------------------------------------------

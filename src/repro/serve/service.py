@@ -343,7 +343,8 @@ class SimulationService:
 
     @property
     def draining(self) -> bool:
-        return self._draining
+        with self._lock:
+            return self._draining
 
     def __enter__(self) -> "SimulationService":
         return self.start()

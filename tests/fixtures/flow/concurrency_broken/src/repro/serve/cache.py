@@ -1,0 +1,29 @@
+"""Planted bug: lock-guarded state read without the lock."""
+
+import threading
+
+
+class MiniCache:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict[str, int] = {}
+        self._hits = 0
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self._items[key] = value
+
+    def get(self, key: str) -> int | None:
+        with self._lock:
+            value = self._items.get(key)
+            if value is not None:
+                self._hits += 1
+            return value
+
+    def size(self) -> int:
+        # BUG: self._items is guarded by self._lock everywhere else.
+        return len(self._items)
+
+    def reset_hits(self) -> None:
+        # BUG: write to lock-guarded counter without the lock.
+        self._hits = 0

@@ -1,0 +1,17 @@
+"""Planted bug: a parent-process lock captured into a worker."""
+
+import multiprocessing
+import threading
+
+
+def _worker(lock: threading.Lock, n: int) -> None:
+    with lock:
+        print(n)
+
+
+def spawn(n: int) -> multiprocessing.Process:
+    lock = threading.Lock()
+    # BUG: a threading lock crosses the process spawn boundary.
+    proc = multiprocessing.Process(target=_worker, args=(lock, n))
+    proc.start()
+    return proc

@@ -1,0 +1,14 @@
+"""Fixed twin: workers receive picklable mp primitives only."""
+
+import multiprocessing
+
+
+def _worker(queue: "multiprocessing.Queue", n: int) -> None:
+    queue.put(n)
+
+
+def spawn(n: int) -> multiprocessing.Process:
+    queue: "multiprocessing.Queue" = multiprocessing.Queue()
+    proc = multiprocessing.Process(target=_worker, args=(queue, n))
+    proc.start()
+    return proc

@@ -1,0 +1,16 @@
+"""Planted bugs: nondeterminism reaching seeds and simulation state."""
+
+import time
+
+from repro.sim.entropy import mixed_entropy
+from repro.sim.rng import SimRng
+
+
+class Engine:
+    def __init__(self, name: str) -> None:
+        # BUG: wallclock + hash() reach the SimRng seed through two calls.
+        self.rng = SimRng(seed=mixed_entropy(name))
+
+    def step(self) -> None:
+        # BUG: wall-clock value stored into simulation state.
+        self.cursor = time.time()

@@ -1,0 +1,12 @@
+"""Planted bug: nondeterministic seed material, laundered through a helper."""
+
+import time
+
+
+def fresh_entropy() -> float:
+    # wallclock born here; the leak is two calls away.
+    return time.time()
+
+
+def mixed_entropy(name: str) -> int:
+    return int(fresh_entropy() * 1000) ^ hash(name)

@@ -1,0 +1,19 @@
+"""Fixed twin: config-derived seeds; wallclock only in sanctioned sinks."""
+
+import time
+
+from repro.sim.entropy import stable_entropy
+from repro.sim.rng import SimRng
+
+
+class Engine:
+    def __init__(self, name: str, seed: int) -> None:
+        # seed is pure configuration.
+        self.rng = SimRng(seed=stable_entropy(name, seed))
+        # wall-clock into a *_at record timestamp: sanctioned sink.
+        self.created_at = time.time()
+
+    def step(self, budget_s: float) -> float:
+        # monotonic deadlines are not a taint source at all.
+        deadline = time.monotonic() + budget_s
+        return deadline

@@ -1,0 +1,7 @@
+"""Fixed twin: seed material is pure configuration."""
+
+import zlib
+
+
+def stable_entropy(name: str, seed: int) -> int:
+    return seed ^ zlib.crc32(name.encode("utf-8"))

@@ -1,0 +1,10 @@
+"""Mini SimRng twin so the rng-seed sink has a resolvable target."""
+
+
+class SimRng:
+    def __init__(self, seed: int = 0, name: str = "root") -> None:
+        self.seed = seed
+        self.name = name
+
+    def fork(self, stream: str) -> "SimRng":
+        return SimRng(self.seed + 1, stream)

@@ -1,0 +1,24 @@
+"""Planted bugs: state mutated without journaling; unguarded hook use."""
+
+
+class MiniService:
+    def __init__(self, journal, chaos=None, sanitizer=None) -> None:
+        self.journal = journal
+        self.chaos = chaos
+        self.sanitizer = sanitizer
+        self.jobs: dict[str, object] = {}
+
+    def finish(self, record) -> None:
+        # BUG: job-state mutation with no journal append in this function.
+        record.state = "done"
+        self.jobs[record.job_id] = record
+
+    def requeue(self, record) -> None:
+        record.state = "queued"
+        self.journal.append({"op": "job", "record": record.job_id})
+
+    def step(self, batch) -> None:
+        # BUG: chaos hook dereferenced without a None guard.
+        self.chaos.fire("dispatch")
+        # BUG: sanitizer hook called without a None guard.
+        self.sanitizer.check_batch(batch)

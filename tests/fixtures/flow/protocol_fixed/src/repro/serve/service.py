@@ -1,0 +1,27 @@
+"""Fixed twin: journal-before-act holds; hooks are None-guarded."""
+
+
+class MiniService:
+    def __init__(self, journal, chaos=None, sanitizer=None) -> None:
+        self.journal = journal
+        self.chaos = chaos
+        self.sanitizer = sanitizer
+        self.jobs: dict[str, object] = {}
+
+    def finish(self, record) -> None:
+        record.state = "done"
+        self.jobs[record.job_id] = record
+        self._journal_record(record)
+
+    def requeue(self, record) -> None:
+        record.state = "queued"
+        self.journal.append({"op": "job", "record": record.job_id})
+
+    def step(self, batch) -> None:
+        if self.chaos is not None:
+            self.chaos.fire("dispatch")
+        if self.sanitizer is not None:
+            self.sanitizer.check_batch(batch)
+
+    def _journal_record(self, record) -> None:
+        self.journal.append({"op": "job", "record": record.job_id})

@@ -1,0 +1,22 @@
+"""Planted bugs: ns/bytes/pages mixed in arithmetic and comparisons."""
+
+from repro.units import MiB, PAGE_SIZE, US, bytes_to_pages
+
+
+def migrate_cost(size_bytes: int) -> int:
+    latency = 20 * US
+    footprint = 2 * MiB
+    # BUG: adds a nanosecond latency to a byte count.
+    return latency + footprint
+
+
+def should_prefetch(size_bytes: int) -> bool:
+    budget = 50 * US
+    # BUG: orders a byte count against a nanosecond budget.
+    return 4 * PAGE_SIZE < budget
+
+
+def page_span(size_bytes: int) -> int:
+    pages = bytes_to_pages(4 * MiB)
+    # BUG: subtracts pages from bytes.
+    return 4 * MiB - pages

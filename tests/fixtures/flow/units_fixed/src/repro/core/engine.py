@@ -1,0 +1,22 @@
+"""Fixed twin: same shapes, units kept consistent."""
+
+from repro.units import MiB, PAGE_SIZE, US, bytes_to_pages
+
+
+def migrate_cost(size_bytes: int) -> int:
+    latency = 20 * US
+    per_page = 2 * US
+    # ns + ns: consistent.
+    return latency + per_page * bytes_to_pages(size_bytes)
+
+
+def should_prefetch(size_bytes: int) -> bool:
+    budget = 2 * MiB
+    # bytes vs bytes: consistent.
+    return 4 * PAGE_SIZE < budget
+
+
+def page_span(size_bytes: int) -> int:
+    # bytes // bytes is a dimensionless page count, not a mix.
+    pages = (4 * MiB) // PAGE_SIZE
+    return pages - bytes_to_pages(size_bytes)

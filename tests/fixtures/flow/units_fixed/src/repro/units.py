@@ -1,0 +1,13 @@
+"""Mini units twin: the taint sources the units analysis anchors on."""
+
+NS = 1
+US = 1_000 * NS
+MS = 1_000 * US
+
+KiB = 1 << 10
+MiB = 1 << 20
+PAGE_SIZE = 4 * KiB
+
+
+def bytes_to_pages(n: int) -> int:
+    return (n + PAGE_SIZE - 1) // PAGE_SIZE

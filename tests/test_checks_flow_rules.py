@@ -1,0 +1,142 @@
+"""Planted-bug fixture tests: every analysis family fires on its broken
+fixture tree and stays silent on the fixed twin."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks.flow_rules import FAMILIES, default_flow_rules
+from repro.checks.linter import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "flow"
+
+# family -> rule names its broken fixture must trigger.
+EXPECTED_RULES = {
+    "determinism": {"flow-determinism-taint"},
+    "concurrency": {"flow-lock-discipline", "flow-fork-capture"},
+    "protocol": {"flow-journal-before-act", "flow-hook-sentinel"},
+    "units": {"flow-units-mix"},
+}
+
+
+def flow_report(fixture: str, family: str):
+    return lint_paths(
+        FIXTURES / fixture, rules=[], flow=True, analyses=[family]
+    )
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTED_RULES))
+def test_family_fires_on_broken_fixture(family):
+    report = flow_report(f"{family}_broken", family)
+    assert report.parse_errors == []
+    assert {v.rule for v in report.violations} == EXPECTED_RULES[family]
+
+
+@pytest.mark.parametrize("family", sorted(EXPECTED_RULES))
+def test_family_silent_on_fixed_fixture(family):
+    report = flow_report(f"{family}_fixed", family)
+    assert report.parse_errors == []
+    assert report.violations == []
+
+
+def test_expected_rules_cover_every_family():
+    assert set(EXPECTED_RULES) == set(FAMILIES)
+    by_family: dict[str, set[str]] = {}
+    for rule in default_flow_rules():
+        by_family.setdefault(rule.family, set()).add(rule.name)
+    assert by_family == EXPECTED_RULES
+
+
+# -- pinned per-family flows --------------------------------------------------
+def test_determinism_catches_interprocedural_seed_flow():
+    report = flow_report("determinism_broken", "determinism")
+    seeds = [
+        v for v in report.violations if "rng-seed" in v.message
+    ]
+    assert seeds, [v.render() for v in report.violations]
+    assert all(v.path == "src/repro/sim/engine.py" for v in seeds)
+    assert any("wallclock" in v.message for v in seeds)
+    assert any("hashseed" in v.message for v in seeds)
+
+
+def test_determinism_fixed_twin_uses_sanctioned_sinks():
+    # the fixed twin DOES call time.time() - into a *_at timestamp -
+    # and time.monotonic() for a deadline; neither may fire.
+    source = (
+        FIXTURES / "determinism_fixed" / "src" / "repro" / "sim" / "engine.py"
+    ).read_text(encoding="utf-8")
+    assert "time.time()" in source
+    assert "time.monotonic()" in source
+
+
+def test_lock_discipline_names_the_guarding_lock():
+    report = flow_report("concurrency_broken", "concurrency")
+    lock_violations = [
+        v for v in report.violations if v.rule == "flow-lock-discipline"
+    ]
+    assert {v.line for v in lock_violations} == {25, 29}
+    assert all("self._lock" in v.message for v in lock_violations)
+
+
+def test_fork_capture_flags_the_spawn_site():
+    report = flow_report("concurrency_broken", "concurrency")
+    forks = [v for v in report.violations if v.rule == "flow-fork-capture"]
+    assert [v.path for v in forks] == ["src/repro/serve/pool.py"]
+    assert "lock" in forks[0].message
+
+
+def test_journal_before_act_flags_only_the_unjournaled_mutation():
+    report = flow_report("protocol_broken", "protocol")
+    journal = [
+        v for v in report.violations if v.rule == "flow-journal-before-act"
+    ]
+    # finish() mutates without journaling; requeue() journals and is clean.
+    assert len(journal) == 1
+    assert "finish" in journal[0].message
+
+
+def test_hook_sentinel_flags_both_unguarded_hooks():
+    report = flow_report("protocol_broken", "protocol")
+    hooks = [v for v in report.violations if v.rule == "flow-hook-sentinel"]
+    chains = {v.message.split("hook ")[1].split(" ")[0] for v in hooks}
+    assert chains == {"self.chaos", "self.sanitizer"}
+
+
+def test_units_mix_reports_the_operator_and_units():
+    report = flow_report("units_broken", "units")
+    messages = [v.message for v in report.violations]
+    assert any("Add" in m and "bytes" in m and "ns" in m for m in messages)
+    assert any("Lt" in m for m in messages)
+    assert any("pages" in m for m in messages)
+
+
+# -- family selection ---------------------------------------------------------
+def test_analyses_filter_narrows_the_rule_set():
+    names = {r.name for r in default_flow_rules(["protocol"])}
+    assert names == {"flow-journal-before-act", "flow-hook-sentinel"}
+
+
+def test_unknown_family_raises():
+    with pytest.raises(ValueError, match="unknown analysis"):
+        default_flow_rules(["cosmic"])
+
+
+def test_other_families_stay_silent_on_foreign_fixtures():
+    # the units fixture must not trip the determinism analysis, etc.
+    report = lint_paths(
+        FIXTURES / "units_broken", rules=[], flow=True, analyses=["determinism"]
+    )
+    assert report.violations == []
+
+
+def test_full_flow_analysis_of_the_repo_is_clean_and_fast():
+    import time
+
+    start = time.monotonic()
+    report = lint_paths(REPO_ROOT, rules=[], flow=True)
+    elapsed = time.monotonic() - start
+    assert report.violations == [], [v.render() for v in report.violations]
+    assert elapsed < 10.0, f"flow analysis took {elapsed:.1f}s (budget 10s)"

@@ -414,3 +414,93 @@ def test_cli_check_fails_and_baselines(tmp_path, capsys):
     capsys.readouterr()
     assert main(root) == 0
     assert main(root + ["--strict"]) == 1
+
+
+# -- waiver extensions: module-level and expiry -------------------------------
+def test_file_level_waiver_silences_whole_module(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        "src/repro/core/thing.py",
+        """
+        # lint: allow-file(determinism-wallclock) replay tooling
+        import time
+
+        a = time.time()
+        b = time.perf_counter()
+        """,
+    )
+    assert report.violations == []
+
+
+def test_file_level_waiver_is_rule_specific(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        "src/repro/core/thing.py",
+        """
+        # lint: allow-file(bare-except)
+        import time
+
+        a = time.time()
+        """,
+    )
+    assert rules_hit(report) == {"determinism-wallclock"}
+
+
+def test_expired_waiver_stops_silencing(tmp_path):
+    import datetime
+
+    path = tmp_path / "src/repro/core/thing.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        "import time\n"
+        "t = time.time()  # lint: allow(determinism-wallclock, until=2026-06-30)\n",
+        encoding="utf-8",
+    )
+    before = lint_paths(
+        tmp_path, paths=[path], today=datetime.date(2026, 6, 30)
+    )
+    assert before.violations == []
+    assert before.expired_waivers == []
+    after = lint_paths(
+        tmp_path, paths=[path], today=datetime.date(2026, 7, 1)
+    )
+    assert rules_hit(after) == {"determinism-wallclock"}
+    assert len(after.expired_waivers) == 1
+    assert "expired 2026-06-30" in after.expired_waivers[0]
+
+
+def test_malformed_waiver_is_a_parse_error(tmp_path):
+    report = lint_snippet(
+        tmp_path,
+        "src/repro/core/thing.py",
+        """
+        CAP = 4096  # lint: allow(units-magic-literal, until=not-a-date)
+        """,
+    )
+    assert any("malformed lint waiver" in e for e in report.parse_errors)
+
+
+def test_waiver_applies_to_flow_violations(tmp_path):
+    source = """
+    class S:
+        def __init__(self, journal):
+            self.journal = journal
+
+        def finish(self, record):
+            record.state = "done"{marker}
+    """
+    path = tmp_path / "src/repro/serve/service.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        textwrap.dedent(source.format(marker="")), encoding="utf-8"
+    )
+    flagged = lint_paths(tmp_path, paths=[path], rules=[], flow=True)
+    assert rules_hit(flagged) == {"flow-journal-before-act"}
+    path.write_text(
+        textwrap.dedent(
+            source.format(marker="  # lint: allow(flow-journal-before-act)")
+        ),
+        encoding="utf-8",
+    )
+    waived = lint_paths(tmp_path, paths=[path], rules=[], flow=True)
+    assert waived.violations == []

@@ -1,0 +1,92 @@
+"""SARIF emitter: golden-file byte equality plus structural checks."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.checks.flow_rules import default_flow_rules
+from repro.checks.linter import LintReport, Violation
+from repro.checks.rules import default_rules
+from repro.checks.sarif import (
+    SARIF_VERSION,
+    render_sarif,
+    rule_catalog,
+    to_sarif,
+)
+
+GOLDEN = Path(__file__).resolve().parent / "fixtures" / "sarif_golden.json"
+
+
+def sample_report() -> LintReport:
+    return LintReport(
+        violations=[
+            Violation(
+                rule="flow-determinism-taint",
+                path="src/repro/sim/engine.py",
+                line=12,
+                message="wallclock value reaches rng-seed sink",
+            ),
+            Violation(
+                rule="units-magic-literal",
+                path="src/repro/core/config.py",
+                line=7,
+                message="power-of-two byte-size literal 4096",
+            ),
+        ],
+        files_checked=2,
+        parse_errors=[],
+        expired_waivers=[
+            "src/repro/core/config.py:3: waiver for bare-except expired 2025-01-01"
+        ],
+    )
+
+
+def test_sarif_matches_golden_file():
+    rendered = render_sarif(
+        sample_report(),
+        {
+            "flow-determinism-taint": "nondeterminism must not reach sinks",
+            "units-magic-literal": "use repro.units constants",
+        },
+        tool_version="1",
+    )
+    assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+
+def test_sarif_is_deterministic():
+    args = (sample_report(), {"units-magic-literal": "d"}, "1")
+    assert render_sarif(*args) == render_sarif(*args)
+
+
+def test_sarif_structure():
+    log = to_sarif(sample_report())
+    assert log["version"] == SARIF_VERSION
+    (run,) = log["runs"]
+    assert run["tool"]["driver"]["name"] == "uvmrepro-check"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert len(run["results"]) == 2
+    for result, violation in zip(
+        run["results"], sorted(sample_report().violations, key=lambda v: v.path)
+    ):
+        assert result["ruleId"] == violation.rule
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == violation.path
+        assert location["region"]["startLine"] == violation.line
+    # expired waivers surface as tool notifications.
+    notes = run["invocations"][0]["toolExecutionNotifications"]
+    assert any("expired 2025-01-01" in n["message"]["text"] for n in notes)
+
+
+def test_rule_catalog_covers_standard_and_flow_rules():
+    catalog = rule_catalog(default_rules(), default_flow_rules())
+    assert "units-magic-literal" in catalog
+    assert "flow-lock-discipline" in catalog
+    assert all(catalog.values()), "every rule needs a description"
+
+
+def test_sarif_output_is_valid_json_with_sorted_keys():
+    rendered = render_sarif(sample_report())
+    parsed = json.loads(rendered)
+    assert rendered == json.dumps(parsed, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,256 @@
+"""`uvmrepro check` flags: flow selection, --changed, formats, exit codes."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+
+def expect_clean_rejection(capsys, argv, fragment):
+    """argparse must exit 2 with a one-line error, not a traceback."""
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert fragment in err
+    assert "Traceback" not in err
+
+
+def write(root: Path, relpath: str, source: str) -> Path:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+CLEAN = """
+    def helper() -> int:
+        return 3
+    """
+
+DIRTY = """
+    import time
+
+    def helper() -> float:
+        return time.time()
+    """
+
+
+# -- flag validation ----------------------------------------------------------
+def test_unknown_flag_exits_2(capsys):
+    expect_clean_rejection(capsys, ["check", "--bogus"], "unrecognized arguments")
+
+
+def test_bad_analysis_family_exits_2(capsys):
+    expect_clean_rejection(
+        capsys, ["check", "--analysis", "cosmic"], "invalid choice"
+    )
+
+
+def test_bad_format_exits_2(capsys):
+    expect_clean_rejection(capsys, ["check", "--format", "xml"], "invalid choice")
+
+
+def test_changed_with_paths_exits_2(tmp_path, capsys):
+    write(tmp_path, "src/repro/m.py", CLEAN)
+    code = main(
+        ["check", "--root", str(tmp_path), "--changed", "src/repro/m.py"]
+    )
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+# -- rule catalog -------------------------------------------------------------
+def test_list_rules_includes_flow_tier(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "units-magic-literal" in out
+    assert "flow-determinism-taint" in out
+    assert "[concurrency]" in out
+
+
+# -- linting a tree -----------------------------------------------------------
+def test_clean_tree_exits_0(tmp_path, capsys):
+    write(tmp_path, "src/repro/m.py", CLEAN)
+    assert main(["check", "--root", str(tmp_path)]) == 0
+    assert "0 new violation(s)" in capsys.readouterr().out
+
+
+def test_violation_exits_1(tmp_path, capsys):
+    write(tmp_path, "src/repro/core/m.py", DIRTY)
+    assert main(["check", "--root", str(tmp_path)]) == 1
+    assert "determinism-wallclock" in capsys.readouterr().out
+
+
+def test_no_flow_skips_flow_analyses(tmp_path):
+    write(
+        tmp_path,
+        "src/repro/serve/service.py",
+        """
+        class S:
+            def __init__(self, journal):
+                self.journal = journal
+
+            def finish(self, record):
+                record.state = "done"
+        """,
+    )
+    assert main(["check", "--root", str(tmp_path)]) == 1
+    assert main(["check", "--root", str(tmp_path), "--no-flow"]) == 0
+
+
+def test_analysis_narrows_families(tmp_path):
+    write(
+        tmp_path,
+        "src/repro/serve/service.py",
+        """
+        class S:
+            def __init__(self, journal):
+                self.journal = journal
+
+            def finish(self, record):
+                record.state = "done"
+        """,
+    )
+    assert main(["check", "--root", str(tmp_path), "--analysis", "units"]) == 0
+    assert main(["check", "--root", str(tmp_path), "--analysis", "protocol"]) == 1
+
+
+def test_paths_option_matches_positional(tmp_path, capsys):
+    write(tmp_path, "src/repro/core/m.py", DIRTY)
+    write(tmp_path, "src/repro/core/ok.py", CLEAN)
+    code = main(
+        [
+            "check",
+            "--root",
+            str(tmp_path),
+            "--paths",
+            str(tmp_path / "src/repro/core/ok.py"),
+        ]
+    )
+    assert code == 0
+    assert "across 1 file(s)" in capsys.readouterr().out
+
+
+# -- SARIF --------------------------------------------------------------------
+def test_format_sarif_prints_a_log(tmp_path, capsys):
+    write(tmp_path, "src/repro/core/m.py", DIRTY)
+    code = main(["check", "--root", str(tmp_path), "--format", "sarif"])
+    assert code == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    results = log["runs"][0]["results"]
+    assert any(r["ruleId"] == "determinism-wallclock" for r in results)
+
+
+def test_sarif_out_writes_artifact(tmp_path, capsys):
+    write(tmp_path, "src/repro/m.py", CLEAN)
+    artifact = tmp_path / "check.sarif"
+    code = main(
+        ["check", "--root", str(tmp_path), "--sarif-out", str(artifact)]
+    )
+    assert code == 0
+    log = json.loads(artifact.read_text(encoding="utf-8"))
+    assert log["runs"][0]["results"] == []
+    # text report still goes to stdout.
+    assert "0 new violation(s)" in capsys.readouterr().out
+
+
+# -- --changed ----------------------------------------------------------------
+def git(root: Path, *argv: str) -> None:
+    subprocess.run(
+        ["git", "-C", str(root), "-c", "user.email=t@t", "-c", "user.name=t"]
+        + list(argv),
+        check=True,
+        capture_output=True,
+    )
+
+
+@pytest.fixture()
+def git_repo(tmp_path):
+    git(tmp_path, "init", "-q")
+    write(tmp_path, "src/repro/m.py", CLEAN)
+    git(tmp_path, "add", "-A")
+    git(tmp_path, "commit", "-qm", "seed")
+    return tmp_path
+
+
+def test_changed_with_no_changes_exits_0(git_repo, capsys):
+    assert main(["check", "--root", str(git_repo), "--changed"]) == 0
+    assert "nothing to lint" in capsys.readouterr().out
+
+
+def test_changed_lints_modified_tracked_file(git_repo, capsys):
+    write(git_repo, "src/repro/core/m.py", DIRTY)
+    git(git_repo, "add", "-A")
+    git(git_repo, "commit", "-qm", "add core")
+    write(
+        git_repo,
+        "src/repro/core/m.py",
+        DIRTY + "    extra = time.time()\n",
+    )
+    assert main(["check", "--root", str(git_repo), "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "determinism-wallclock" in out
+    assert "across 1 file(s)" in out
+
+
+def test_changed_picks_up_untracked_files(git_repo, capsys):
+    write(git_repo, "src/repro/core/fresh.py", DIRTY)
+    assert main(["check", "--root", str(git_repo), "--changed"]) == 1
+    assert "fresh.py" in capsys.readouterr().out
+
+
+def test_changed_outside_a_git_repo_exits_2(tmp_path, capsys):
+    write(tmp_path, "src/repro/m.py", CLEAN)
+    code = main(["check", "--root", str(tmp_path), "--changed"])
+    assert code == 2
+    assert "git failed" in capsys.readouterr().err
+
+
+# -- strict waiver expiry -----------------------------------------------------
+def test_strict_fails_expired_waiver(tmp_path, capsys):
+    write(
+        tmp_path,
+        "src/repro/core/m.py",
+        """
+        import time
+
+        t = time.time()  # lint: allow(determinism-wallclock, until=2020-01-01)
+        """,
+    )
+    assert main(["check", "--root", str(tmp_path), "--no-flow"]) == 1
+    capsys.readouterr()
+    code = main(["check", "--root", str(tmp_path), "--no-flow", "--strict"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "expired waiver" in out
+    assert "renew the until= date" in out
+
+
+def test_live_waiver_passes_strict(tmp_path):
+    write(
+        tmp_path,
+        "src/repro/core/m.py",
+        """
+        import time
+
+        t = time.time()  # lint: allow(determinism-wallclock, until=2999-01-01)
+        """,
+    )
+    assert main(["check", "--root", str(tmp_path), "--no-flow", "--strict"]) == 0
+
+
+def test_changed_ignores_files_outside_the_lint_universe(git_repo, capsys):
+    # tests (and fixture trees) are never linted by the full pass; the
+    # changed-files subset must match that universe, not widen it.
+    write(git_repo, "tests/test_something.py", DIRTY)
+    write(git_repo, "tests/fixtures/flow/planted.py", DIRTY)
+    assert main(["check", "--root", str(git_repo), "--changed"]) == 0
+    assert "nothing to lint" in capsys.readouterr().out
