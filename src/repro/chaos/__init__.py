@@ -32,6 +32,7 @@ from repro.chaos.plan import (
     MODEL_DMA_FAIL,
     MODEL_PMA_FAIL,
     MODEL_POINTS,
+    PROCESS_GATEWAY_KILL,
     PROCESS_HANG,
     PROCESS_KILL,
     PROCESS_SERVICE_KILL,
@@ -58,6 +59,7 @@ __all__ = [
     "MODEL_DMA_FAIL",
     "MODEL_PMA_FAIL",
     "MODEL_POINTS",
+    "PROCESS_GATEWAY_KILL",
     "PROCESS_HANG",
     "PROCESS_KILL",
     "PROCESS_SERVICE_KILL",

@@ -57,6 +57,13 @@ PROCESS_SERVICE_KILL = "process.service_kill"
 #: after its journal's Nth append, so the gateway's quarantine +
 #: re-route path is exercised against a real mid-load process loss.
 PROCESS_SHARD_KILL = "process.shard_kill"
+#: SIGKILL one named *gateway* (args: gateway=<gateway name>,
+#: after_records=N): the gateway whose ``--gateway-name`` matches dies
+#: after its membership journal's Nth append - and because per-key
+#: migration cursor records flow through that journal, N can land the
+#: kill *mid arc-migration*, the crash the journaled cursor resume and
+#: gateway-replication failover must survive.
+PROCESS_GATEWAY_KILL = "process.gateway_kill"
 #: result JSON written torn (truncated, non-atomic).
 STORAGE_TORN_JSON = "storage.torn_json"
 #: trace npz written truncated.
@@ -73,6 +80,7 @@ ALL_POINTS = (
     PROCESS_SLOW_START,
     PROCESS_SERVICE_KILL,
     PROCESS_SHARD_KILL,
+    PROCESS_GATEWAY_KILL,
     STORAGE_TORN_JSON,
     STORAGE_TRUNCATED_NPZ,
     STORAGE_STALE_TMP,

@@ -21,6 +21,7 @@ import time
 from typing import Callable, Optional
 
 from repro.chaos.plan import (
+    PROCESS_GATEWAY_KILL,
     PROCESS_HANG,
     PROCESS_KILL,
     PROCESS_SERVICE_KILL,
@@ -88,6 +89,42 @@ def journal_kill_hook(
     """
     spec = plan.should_fire(PROCESS_SERVICE_KILL, scope, trial)
     if spec is None:
+        return None
+    after = int(spec.args.get("after_records", 1))
+
+    def hook(records: int) -> None:
+        if records >= after:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def gateway_kill_hook(
+    plan: FaultPlan,
+    gateway_name: Optional[str],
+    scope: str = "gateway",
+    trial: int = 0,
+) -> Optional[Callable[[int], None]]:
+    """A membership-journal ``on_append`` hook that kills one named
+    gateway, or ``None``.
+
+    ``gateway_kill`` targets the routing tier itself: the plan names a
+    gateway (``args["gateway"]``), every gateway is started with the
+    same ``UVMREPRO_CHAOS`` plan, and only the process whose
+    ``--gateway-name`` matches arms the hook - after its membership
+    journal durably appends the Nth record (``after_records``, default
+    1) the gateway SIGKILLs itself.  Because per-key migration cursor
+    records flow through the same journal, N chosen past a
+    ``migration_start`` lands the kill *mid-migration*; clients must
+    fail over to the replica gateway (which shares the view by epoch)
+    and a restarted primary must resume the migration from its
+    journaled cursor - with every job still completing bit-identical
+    to a solo run.
+    """
+    if gateway_name is None:
+        return None
+    spec = plan.should_fire(PROCESS_GATEWAY_KILL, scope, trial)
+    if spec is None or spec.args.get("gateway") != gateway_name:
         return None
     after = int(spec.args.get("after_records", 1))
 

@@ -423,6 +423,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     service = SimulationService(args.store_dir, config).start()
     server = serve_http(service, args.host, args.port)
+    announcer = None
+    if args.announce:
+        from repro.serve.service import JoinAnnouncer
+
+        try:
+            announcer = JoinAnnouncer(
+                args.announce,
+                shard_name=args.shard_name,
+                advertise_url=args.advertise_url or server.url,
+            ).start()
+        except Exception as exc:  # announce is best-effort; serve anyway
+            print(f"uvmrepro serve: error: {exc}", file=sys.stderr)
+            service.drain()
+            server.shutdown()
+            return 2
     replayed = service.telemetry.counter("jobs.journal_replayed")
     if replayed:
         print(f"journal replayed: {replayed} job(s) recovered from {journal_path}")
@@ -445,6 +460,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("\ndraining (interrupt) ...")
     finally:
         signal.signal(signal.SIGTERM, previous)
+        if announcer is not None:
+            announcer.leave()  # tell the gateways before going dark
         server.shutdown()  # stop accepting connections first
         service.drain()  # then settle + journal + stop (idempotent)
     return 0
@@ -452,6 +469,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_gateway(args: argparse.Namespace) -> int:
     """Run the fleet gateway in front of N running service shards."""
+    import os
     import signal
     import threading
 
@@ -463,38 +481,87 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
         serve_gateway_http,
     )
 
-    if bool(args.shards) == bool(args.fleet_config):
+    dynamic = bool(args.follow or args.membership_journal)
+    if args.shards and args.fleet_config:
         print(
-            "uvmrepro gateway: error: give exactly one of --shards or "
+            "uvmrepro gateway: error: give only one of --shards or "
             "--fleet-config",
             file=sys.stderr,
         )
         return 2
+    if not (args.shards or args.fleet_config or dynamic):
+        print(
+            "uvmrepro gateway: error: give --shards or --fleet-config "
+            "(or --follow / --membership-journal for dynamic membership)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.membership_journal:
+        problem = _probe_writable_dir(
+            os.path.dirname(args.membership_journal) or ".",
+            "membership journal",
+        )
+        if problem is not None:
+            print(f"uvmrepro gateway: error: {problem}", file=sys.stderr)
+            return 2
+    if args.chaos is not None:
+        from repro.chaos import ENV_VAR, plan_from_env
+
+        os.environ[ENV_VAR] = args.chaos
+        plan = plan_from_env()
+        if plan is not None:
+            print(f"chaos armed: {len(plan.faults)} fault(s), seed={plan.seed}")
     try:
+        overrides = {
+            "probation_probes": args.probation_probes,
+            "allow_version_skew": args.allow_version_skew,
+            "membership_journal": args.membership_journal,
+            "follow": args.follow,
+            "gateway_name": args.gateway_name,
+        }
         if args.fleet_config:
             config = load_fleet_config(args.fleet_config)
+            merged = config.to_dict()
+            for key, value in overrides.items():
+                if value not in (None, False):
+                    merged[key] = value
+            config = GatewayConfig.from_dict(merged)
         else:
             config = GatewayConfig.from_shard_urls(
-                args.shards,
+                args.shards or (),
                 vnodes=args.vnodes,
                 probe_interval_s=args.probe_interval,
                 down_after_probes=args.down_after,
                 recover_after_probes=args.recover_after,
+                **overrides,
             )
     except ConfigurationError as exc:
         print(f"uvmrepro gateway: error: {exc}", file=sys.stderr)
         return 2
-    gateway = FleetGateway(config).start()
+    journal_hook = None
+    if config.gateway_name:
+        from repro.chaos import active_plan, set_active_plan
+        from repro.chaos.process import gateway_kill_hook
+
+        set_active_plan(None, reset=True)  # pick up --chaos from env
+        plan = active_plan()
+        if plan is not None:
+            journal_hook = gateway_kill_hook(plan, config.gateway_name)
+    gateway = FleetGateway(config, journal_hook=journal_hook).start()
     server = serve_gateway_http(gateway, args.host, args.port)
     states = gateway.shard_states()
+    role = f"follower of {config.follow}" if config.follow else "primary"
     print(
         f"uvmrepro gateway on {server.url} "
-        f"({len(config.shards)} shard(s), vnodes={config.vnodes})"
+        f"({len(states)} shard(s), vnodes={config.vnodes}, {role}, "
+        f"epoch={gateway.membership.epoch})"
     )
-    for spec in config.shards:
-        print(f"  {spec.name:12s} {spec.url}  [{states[spec.name]}]")
+    for member in sorted(gateway.membership.members(), key=lambda m: m.name):
+        state = states.get(member.name, member.state.value)
+        print(f"  {member.name:12s} {member.url}  [{state}]")
     print("endpoints: POST /jobs  GET /jobs/<id>[/result]  DELETE /jobs/<id>")
     print("           GET /metrics  GET /events?since=N  GET /healthz  GET /readyz")
+    print("           POST /fleet/join  POST /fleet/leave  GET /fleet/view")
 
     stop = threading.Event()
     previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
@@ -514,7 +581,10 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
 def _client(args: argparse.Namespace):
     from repro.serve.client import ServiceClient
 
-    return ServiceClient(args.url)
+    # --url accepts a comma-separated list of equivalent endpoints
+    # (replicated gateways); the client fails over between them.
+    endpoints = [u for u in (p.strip() for p in args.url.split(",")) if u]
+    return ServiceClient(endpoints)
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -850,6 +920,21 @@ def main(argv: list[str] | None = None) -> int:
         help="this instance's fleet shard name (surfaced in /healthz and "
         "targeted by the process.shard_kill chaos point)",
     )
+    serve_p.add_argument(
+        "--announce",
+        nargs="+",
+        default=None,
+        metavar="GATEWAY_URL",
+        help="gateway base URL(s) to announce this shard to via "
+        "POST /fleet/join (requires --shard-name); re-announces "
+        "periodically and sends /fleet/leave on graceful drain",
+    )
+    serve_p.add_argument(
+        "--advertise-url",
+        default=None,
+        help="base URL gateways should reach this shard at "
+        "(default: the bound listen address)",
+    )
     serve_p.set_defaults(fn=_cmd_serve)
 
     gw_p = sub.add_parser(
@@ -888,9 +973,55 @@ def main(argv: list[str] | None = None) -> int:
         "--recover-after", type=_positive_int, default=2,
         help="consecutive ready probes a quarantined shard needs to rejoin",
     )
+    gw_p.add_argument(
+        "--membership-journal",
+        default=None,
+        metavar="PATH",
+        help="fsync'd membership journal file; a restarted gateway "
+        "replays the fleet from it (enables elastic membership with "
+        "no static shard list)",
+    )
+    gw_p.add_argument(
+        "--probation-probes",
+        type=_positive_int,
+        default=2,
+        help="consecutive healthy /readyz probes a /fleet/join "
+        "candidate needs before its arc is migrated over",
+    )
+    gw_p.add_argument(
+        "--allow-version-skew",
+        action="store_true",
+        help="admit joiners whose code_version differs from the fleet "
+        "(results will not be cache-compatible)",
+    )
+    gw_p.add_argument(
+        "--follow",
+        default=None,
+        metavar="PRIMARY_URL",
+        help="run as a replica: tail the primary gateway's membership "
+        "view via GET /fleet/view (joins/leaves answer 503 with a "
+        "primary hint)",
+    )
+    gw_p.add_argument(
+        "--gateway-name",
+        default=None,
+        help="this instance's name (surfaced in /healthz and targeted "
+        "by the process.gateway_kill chaos point)",
+    )
+    gw_p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="fault-injection plan: JSON file path or inline JSON "
+        "(sets UVMREPRO_CHAOS; process.gateway_kill needs --gateway-name)",
+    )
     gw_p.set_defaults(fn=_cmd_gateway)
 
-    url_kw = {"default": "http://127.0.0.1:8344", "help": "service base URL"}
+    url_kw = {
+        "default": "http://127.0.0.1:8344",
+        "help": "service base URL (comma-separate several equivalent "
+        "gateways for client-side failover)",
+    }
     submit_p = sub.add_parser("submit", help="submit a job to a running service")
     submit_p.add_argument("workload", choices=workload_names())
     _add_sim_args(submit_p, data_mib=32, gpu_mem_mib=256)

@@ -6,6 +6,13 @@ via a :class:`HashRing`, probes shard health, re-routes around shedding
 or dead shards, and aggregates fleet-wide metrics - all behind the same
 HTTP surface a single service exposes, so existing clients work
 unmodified against a gateway URL.
+
+Membership is elastic: shards join and leave at runtime through a
+journaled, epoch-versioned :class:`FleetMembership`, the remapped ring
+arc is copied between stores by the :class:`Migrator` before routing
+flips, and a second gateway can replicate the whole view by tailing
+``GET /fleet/view`` - see :mod:`repro.fleet.membership` and
+:mod:`repro.fleet.migrate`.
 """
 
 from repro.fleet.gateway import (
@@ -15,23 +22,33 @@ from repro.fleet.gateway import (
     ShardState,
     serve_gateway_http,
 )
+from repro.fleet.membership import FleetMembership, Member, MemberState
+from repro.fleet.migrate import MigrationTask, Migrator, in_flight_from_entries
 from repro.fleet.registry import (
     GatewayConfig,
     ShardSpec,
     load_fleet_config,
+    normalize_base_url,
 )
 from repro.fleet.ring import RING_SPACE, HashRing, stable_hash
 
 __all__ = [
     "FleetGateway",
+    "FleetMembership",
     "FleetUnavailableError",
     "GatewayConfig",
     "GatewayHTTPServer",
     "HashRing",
+    "Member",
+    "MemberState",
+    "MigrationTask",
+    "Migrator",
     "RING_SPACE",
     "ShardSpec",
     "ShardState",
+    "in_flight_from_entries",
     "load_fleet_config",
+    "normalize_base_url",
     "serve_gateway_http",
     "stable_hash",
 ]

@@ -32,10 +32,27 @@ Health: a background prober sweeps every shard's ``/readyz``:
 The gateway keeps its job table in memory only: shards are the durable
 tier (write-ahead journals, atomic stores), the gateway is a stateless
 router plus a routing table that can be rebuilt by resubmitting.
+Gateway job ids embed the spec digest (``gw-<digest16>-<seq>``), so a
+*different* gateway instance handed an id it never minted can **adopt**
+the job: walk the digest's ring preference, find the shard-side job by
+digest, and reconstruct the routing entry - which is what lets clients
+fail over between replicated gateways mid-job.
+
+Membership is **elastic** (see :mod:`repro.fleet.membership`): shards
+announce themselves via ``POST /fleet/join``, survive a probation
+window of healthy probes, get their ring arc migrated over
+(:mod:`repro.fleet.migrate`), and only then join routing; graceful
+``POST /fleet/leave`` runs the same migration outward before the
+member drops off the ring.  The membership view is journaled (a
+restarted gateway replays the fleet) and replicated: a follower
+gateway started with ``follow=<primary>`` tails ``GET /fleet/view``
+long-polls and applies any higher-epoch view, so two gateways never
+disagree on routing.
 
 ``/metrics`` aggregates the fleet: summed per-shard counters and
 numeric gauges, per-shard breakdowns, and gateway-level ``fleet.*``
-counters (reroutes, shard_down, failovers) plus ring-balance gauges.
+counters (reroutes, shard_down, failovers, joins, migrations, adopted
+jobs) plus ring-balance/epoch gauges and the migration audit trail.
 """
 
 from __future__ import annotations
@@ -47,11 +64,13 @@ import threading
 import time
 from dataclasses import dataclass, field
 from http.server import ThreadingHTTPServer
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.runner import code_version
+from repro.fleet.membership import FleetMembership, MemberState
+from repro.fleet.migrate import MigrationTask, Migrator, in_flight_from_entries
 from repro.fleet.registry import GatewayConfig, ShardSpec
 from repro.fleet.ring import HashRing
 from repro.serve import telemetry as tm
@@ -136,54 +155,444 @@ class GatewayJob:
 
 
 class FleetGateway:
-    """Consistent-hash routing gateway over a static shard registry."""
+    """Consistent-hash routing gateway over an elastic shard membership."""
 
-    def __init__(self, config: GatewayConfig) -> None:
+    def __init__(
+        self,
+        config: GatewayConfig,
+        journal_hook: Optional[Callable[[int], None]] = None,
+    ) -> None:
         self.config = config
         self.telemetry = Telemetry()
         self.code_version = code_version()
-        self._ring = HashRing(
-            (s.name for s in config.shards), vnodes=config.vnodes
-        )
-        self._shards: dict[str, ShardHandle] = {
-            spec.name: ShardHandle(
-                spec,
-                ServiceClient(
-                    spec.url,
-                    timeout_s=config.read_timeout_s,
-                    connect_timeout_s=config.connect_timeout_s,
-                    retries=0,
-                ),
-            )
-            for spec in config.shards
-        }
-        self._jobs: dict[str, GatewayJob] = {}
-        self._seq = itertools.count(1)
         self._lock = threading.RLock()
         self._stop = threading.Event()
+        #: woken on every membership epoch bump (the /fleet/view long-poll).
+        self._view_cond = threading.Condition()
+        #: the single source of truth for who is in the fleet; the static
+        #: config shards seed the first epoch of a fresh journal.
+        self.membership = FleetMembership(
+            config.membership_journal,
+            seeds=config.shards,
+            on_append=journal_hook,
+        )
+        self._shards: dict[str, ShardHandle] = {}
+        self._ring = HashRing((), vnodes=config.vnodes)
+        self._sync_handles_locked()
+        self._jobs: dict[str, GatewayJob] = {}
+        self._seq = itertools.count(1)
         self._prober: Optional[threading.Thread] = None
+        self._follower: Optional[threading.Thread] = None
         #: version sets already warned about (warn once per combination).
         self._warned_versions: set[frozenset] = set()
+        #: serializes arc migrations (overlapping ring deltas compose badly).
+        self._migration_sem = threading.Lock()
+        #: mid -> in-flight MigrationTask (readiness + double-read checks).
+        self._live_migrations: dict[str, MigrationTask] = {}
+        #: completed migration audit documents, oldest first.
+        self._migration_audits: list[dict[str, Any]] = []
+        #: (from_ring, to_ring) of every migration this process saw -
+        #: the double-read candidates for keys caught in a handoff.
+        self._migration_rings: list[tuple[HashRing, HashRing]] = []
+        #: migrations recovered from the journal, resumed by start().
+        self._pending_resume = in_flight_from_entries(
+            self.membership.extra_entries
+        )
+        for member in self.membership.members():
+            if member.state is MemberState.SYNCING and not any(
+                p["node"] == member.name for p in self._pending_resume
+            ):
+                # killed between the SYNCING transition and the start
+                # record: the migration never began, begin it afresh.
+                self._pending_resume.append(
+                    {
+                        "mid": f"join:{member.name}:e{member.epoch}",
+                        "kind": "join",
+                        "node": member.name,
+                        "done_keys": set(),
+                    }
+                )
+        #: 503 on /readyz until the replayed fleet's migrations resume.
+        self._resuming = bool(self._pending_resume)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> "FleetGateway":
+        for pending in self._pending_resume:
+            self._spawn_migration(
+                pending["kind"],
+                pending["node"],
+                done_keys=pending["done_keys"],
+                mid=pending["mid"],
+            )
+        self._pending_resume = []
+        self._resuming = False
         self.probe_once()  # synchronous first sweep: honest initial states
         self._prober = threading.Thread(
             target=self._probe_loop, name="repro-fleet-prober", daemon=True
         )
         self._prober.start()
+        if self.config.follow:
+            self._follower = threading.Thread(
+                target=self._follow_loop, name="repro-fleet-follower", daemon=True
+            )
+            self._follower.start()
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
-        if self._prober is not None:
-            self._prober.join(timeout=timeout)
+        with self._view_cond:
+            self._view_cond.notify_all()
+        for thread in (self._prober, self._follower):
+            if thread is not None:
+                thread.join(timeout=timeout)
+        self.membership.close()
 
     def __enter__(self) -> "FleetGateway":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.stop()
+
+    # -- elastic membership ---------------------------------------------------
+    def _sync_handles_locked(self) -> None:
+        """Reconcile shard handles + ring with the membership table.
+
+        Handles exist for every non-LEFT member (probation members are
+        probed, syncing members are migration endpoints) but the ring
+        carries only ACTIVE members - the routing flip *is* the ACTIVE
+        transition.
+        """
+        routable = {m.name: m for m in self.membership.routable()}
+        for name, member in routable.items():
+            handle = self._shards.get(name)
+            if handle is None or handle.spec.url != member.url:
+                self._shards[name] = ShardHandle(
+                    ShardSpec(name, member.url),
+                    ServiceClient(
+                        member.url,
+                        timeout_s=self.config.read_timeout_s,
+                        connect_timeout_s=self.config.connect_timeout_s,
+                        retries=0,
+                    ),
+                )
+        for name in [n for n in self._shards if n not in routable]:
+            del self._shards[name]
+        active = set(self.membership.active_names())
+        if active != set(self._ring.nodes):
+            self._ring = HashRing(active, vnodes=self.config.vnodes)
+
+    def _handles(self) -> list[ShardHandle]:
+        with self._lock:
+            return list(self._shards.values())
+
+    def _client_for(self, name: str) -> Optional[ServiceClient]:
+        with self._lock:
+            handle = self._shards.get(name)
+        return None if handle is None else handle.client
+
+    def _notify_view(self) -> None:
+        with self._view_cond:
+            self._view_cond.notify_all()
+
+    def _primary_hint(self) -> dict[str, Any]:
+        return {
+            "error": "this gateway is a follower; announce to the primary",
+            "primary": self.config.follow,
+        }
+
+    def join(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Handle one ``POST /fleet/join``; returns (status, body).
+
+        Idempotent: a member re-announcing its current identity gets
+        its current state back without an epoch bump, which is what
+        lets shards re-announce on a timer to heal gateway restarts.
+        """
+        if self.config.follow:
+            return 503, self._primary_hint()
+        name = str(payload.get("shard_name", ""))
+        url = str(payload.get("url", ""))
+        joiner_version = payload.get("code_version")
+        try:
+            spec = ShardSpec(name, url)  # validates + normalizes
+        except ConfigurationError as exc:
+            self.telemetry.count(tm.FLEET_JOINS_REJECTED)
+            return 400, {"error": str(exc)}
+        with self._lock:
+            existing = self.membership.get(spec.name)
+            if (
+                existing is not None
+                and existing.url == spec.url
+                and existing.state is not MemberState.LEFT
+            ):
+                return 200, {
+                    "shard_name": spec.name,
+                    "state": existing.state.value,
+                    "epoch": self.membership.epoch,
+                }
+            for member in self.membership.routable():
+                if member.url == spec.url and member.name != spec.name:
+                    self.telemetry.count(tm.FLEET_JOINS_REJECTED)
+                    return 409, {
+                        "error": f"url {spec.url} already registered as "
+                        f"shard {member.name!r}"
+                    }
+            fleet_versions = {
+                h.code_version
+                for h in self._shards.values()
+                if h.code_version
+                and self.membership.get(h.spec.name) is not None
+                and self.membership.get(h.spec.name).state
+                is MemberState.ACTIVE
+            } or {self.code_version}
+            if (
+                joiner_version is not None
+                and joiner_version not in fleet_versions
+                and not self.config.allow_version_skew
+            ):
+                self.telemetry.count(tm.FLEET_JOINS_REJECTED)
+                self.telemetry.event(
+                    "fleet",
+                    "join_rejected",
+                    shard=spec.name,
+                    reason="version skew",
+                    joiner=joiner_version,
+                    fleet=sorted(fleet_versions),
+                )
+                return 403, {
+                    "error": f"code_version {joiner_version!r} does not match "
+                    f"the fleet ({sorted(fleet_versions)}); results would not "
+                    "be cache-compatible (pass --allow-version-skew to admit)"
+                }
+            self.membership.upsert(
+                spec.name,
+                spec.url,
+                code_version=joiner_version,
+                state=MemberState.PROBATION,
+            )
+            self._sync_handles_locked()
+            epoch = self.membership.epoch
+        self.telemetry.count(tm.FLEET_JOINS)
+        self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
+        self.telemetry.event(
+            "fleet", "member_joined", shard=spec.name, url=spec.url, epoch=epoch
+        )
+        logger.info("shard %s (%s) joined on probation", spec.name, spec.url)
+        self._notify_view()
+        return 202, {
+            "shard_name": spec.name,
+            "state": MemberState.PROBATION.value,
+            "epoch": epoch,
+            "probation_probes": self.config.probation_probes,
+        }
+
+    def leave(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Handle one ``POST /fleet/leave`` (graceful drain)."""
+        if self.config.follow:
+            return 503, self._primary_hint()
+        name = str(payload.get("shard_name", ""))
+        with self._lock:
+            member = self.membership.get(name)
+            if member is None:
+                return 404, {"error": f"unknown shard {name!r}"}
+            if member.state is MemberState.LEFT:
+                return 200, {"shard_name": name, "state": "left"}
+            on_ring = name in self._ring.nodes and len(self._ring) > 1
+            if not on_ring:
+                # probation/syncing member, or the last shard standing:
+                # nothing to migrate off the ring, drop it immediately.
+                self.membership.set_state(name, MemberState.LEFT)
+                self._sync_handles_locked()
+        self.telemetry.count(tm.FLEET_LEAVES)
+        self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
+        self.telemetry.event("fleet", "member_leaving", shard=name, migrate=on_ring)
+        self._notify_view()
+        if on_ring:
+            # the member keeps serving its arc while the migrator copies
+            # it out; the LEFT transition (= the routing flip) happens in
+            # _run_migration once the copy lands.
+            self._spawn_migration("leave", name)
+            return 202, {"shard_name": name, "state": "leaving"}
+        return 200, {"shard_name": name, "state": "left"}
+
+    def _note_probation(self, shard: ShardHandle) -> None:
+        """Count one healthy probe toward a probation member's admission."""
+        member = self.membership.get(shard.spec.name)
+        if member is None or member.state is not MemberState.PROBATION:
+            return
+        member.healthy_probes += 1
+        if member.healthy_probes < self.config.probation_probes:
+            return
+        with self._lock:
+            self.membership.set_state(shard.spec.name, MemberState.SYNCING)
+        self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
+        self.telemetry.event(
+            "fleet", "member_syncing", shard=shard.spec.name
+        )
+        logger.info(
+            "shard %s passed probation; migrating its arc", shard.spec.name
+        )
+        self._notify_view()
+        self._spawn_migration("join", shard.spec.name)
+
+    # -- arc migration --------------------------------------------------------
+    def _spawn_migration(
+        self,
+        kind: str,
+        node: str,
+        done_keys: Optional[set] = None,
+        mid: Optional[str] = None,
+    ) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._run_migration,
+            args=(kind, node, set(done_keys or ()), mid),
+            name=f"repro-fleet-migrate-{node}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def _run_migration(
+        self, kind: str, node: str, done_keys: set, mid: Optional[str]
+    ) -> None:
+        """Copy the arc, then flip routing (the member state transition)."""
+        with self._migration_sem:
+            with self._lock:
+                current = self._ring
+                target: Optional[HashRing] = None
+                if kind == "join":
+                    if node not in current.nodes:
+                        target = current.with_node(node)
+                elif node in current.nodes and len(current) > 1:
+                    target = current.without_node(node)
+                if mid is None:
+                    mid = f"{kind}:{node}:e{self.membership.epoch}"
+                task = MigrationTask(
+                    mid=mid, kind=kind, node=node, done_keys=done_keys
+                )
+                self._live_migrations[mid] = task
+            try:
+                if target is not None:
+                    audit = Migrator(
+                        self._client_for,
+                        journal_append=self.membership.append_entry,
+                        telemetry=self.telemetry,
+                        stop=self._stop,
+                    ).run(task, current, target)
+                else:
+                    audit = task.audit()
+            finally:
+                with self._lock:
+                    self._live_migrations.pop(mid, None)
+            with self._lock:
+                self._migration_audits.append(audit)
+                if target is not None:
+                    self._migration_rings.append((current, target))
+                member = self.membership.get(node)
+                flipped = False
+                if kind == "join":
+                    if member is not None and member.state is MemberState.SYNCING:
+                        self.membership.set_state(node, MemberState.ACTIVE)
+                        self.telemetry.count(tm.FLEET_MEMBERS_PROMOTED)
+                        flipped = True
+                elif member is not None and member.state is not MemberState.LEFT:
+                    self.membership.set_state(node, MemberState.LEFT)
+                    flipped = True
+                if flipped:
+                    self._sync_handles_locked()
+        if flipped:
+            self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
+        self.telemetry.event("fleet", "migration_done", **audit)
+        logger.info(
+            "migration %s done: %d key(s) moved, %d skipped",
+            mid,
+            audit["keys_migrated"],
+            audit["skips"],
+        )
+        self._notify_view()
+        if kind == "leave":
+            self._reroute_from(node)
+
+    def _reroute_from(self, name: str) -> None:
+        """Orphan + re-route jobs tracked on a member that left."""
+        with self._lock:
+            victims = []
+            for entry in self._jobs.values():
+                if entry.shard_name != name:
+                    continue
+                state = (entry.last_record or {}).get("state")
+                if state in _NO_FAILOVER:
+                    continue
+                if state == "done" and entry.served_result:
+                    continue
+                entry.shard_name = None
+                entry.shard_job_id = None
+                entry.last_record = None
+                victims.append(entry)
+        for entry in victims:
+            self._try_reroute(entry, exclude=frozenset({name}))
+
+    def migration_audit(self) -> dict[str, Any]:
+        """Every migration this gateway ran (the accounting document)."""
+        with self._lock:
+            return {
+                "completed": [dict(a) for a in self._migration_audits],
+                "live": [
+                    {"mid": t.mid, "kind": t.kind, "node": t.node}
+                    for t in self._live_migrations.values()
+                ],
+                "epoch": self.membership.epoch,
+            }
+
+    # -- view replication -----------------------------------------------------
+    def wait_view(self, since: int = 0, wait_s: float = 0.0) -> dict[str, Any]:
+        """The membership view, long-polling until ``epoch > since``.
+
+        A follower tails this: the bounded wait returns the current
+        (possibly unchanged) view on timeout so the poll loop never
+        hangs past its budget.
+        """
+        deadline = time.monotonic() + min(max(wait_s, 0.0), 30.0)
+        with self._view_cond:
+            while (
+                self.membership.epoch <= since
+                and not self._stop.is_set()
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._view_cond.wait(remaining)
+        return self.membership.view()
+
+    def _follow_loop(self) -> None:
+        """Tail the primary's /fleet/view and adopt higher-epoch views."""
+        client = ServiceClient(
+            self.config.follow,
+            timeout_s=max(self.config.read_timeout_s, 15.0),
+            connect_timeout_s=self.config.connect_timeout_s,
+            retries=0,
+        )
+        while not self._stop.is_set():
+            since = self.membership.epoch
+            try:
+                view, _ = client.request_with_budget(
+                    "GET", f"/fleet/view?since={since}&wait_s=10"
+                )
+            except (ReproError, OSError):
+                self._stop.wait(min(1.0, self.config.probe_interval_s))
+                continue
+            try:
+                applied = self.membership.apply_view(view)
+            except ConfigurationError:
+                continue
+            if applied:
+                with self._lock:
+                    self._sync_handles_locked()
+                self.telemetry.count(tm.FLEET_VIEWS_APPLIED)
+                self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
+                self.telemetry.event(
+                    "fleet", "view_applied", epoch=view.get("epoch")
+                )
+                self._notify_view()
 
     # -- health probing -------------------------------------------------------
     def _probe_loop(self) -> None:
@@ -194,8 +603,12 @@ class FleetGateway:
                 self.telemetry.count("fleet.probe_errors")
 
     def probe_once(self) -> None:
-        """One sweep: probe every shard, then retry orphaned jobs."""
-        for shard in self._shards.values():
+        """One sweep: probe every shard, then retry orphaned jobs.
+
+        Probation members are probed too - their healthy streak is what
+        admits them (see :meth:`_note_probation`).
+        """
+        for shard in self._handles():
             self._probe_shard(shard)
         self._reroute_orphans()
 
@@ -254,6 +667,7 @@ class FleetGateway:
 
     def _note_ready(self, shard: ShardHandle) -> None:
         recovered = False
+        self._note_probation(shard)
         with self._lock:
             shard.consecutive_failures = 0
             shard.last_error = None
@@ -339,14 +753,18 @@ class FleetGateway:
         from a shard (bad spec) propagates unchanged.  Raises
         :class:`FleetUnavailableError` when no shard will take it.
         """
-        order = self._ring.preference(key)
+        with self._lock:
+            ring = self._ring  # membership swaps rings; snapshot one
+        order = ring.preference(key)
         budget_spent = 0.0
         shed_hint: Optional[float] = None
         for name in order:
             if name in exclude:
                 continue
-            shard = self._shards[name]
             with self._lock:
+                shard = self._shards.get(name)
+                if shard is None:  # left the fleet since preference()
+                    continue
                 eligible = self._eligible(shard, time.monotonic())
                 gate = shard.not_before
             if not eligible:
@@ -450,7 +868,9 @@ class FleetGateway:
         key = spec.spec_digest()
         shard, record = self._route_submit(dict(payload), key)
         with self._lock:
-            gateway_id = f"gw-{next(self._seq):08d}"
+            # the digest in the id is what lets a *sibling* gateway
+            # adopt this job if a client fails over to it (see _adopt).
+            gateway_id = f"gw-{key}-{next(self._seq):06d}"
             entry = GatewayJob(
                 gateway_id=gateway_id,
                 payload=dict(payload),
@@ -478,8 +898,74 @@ class FleetGateway:
         with self._lock:
             entry = self._jobs.get(gateway_id)
         if entry is None:
+            entry = self._adopt(gateway_id)
+        if entry is None:
             raise KeyError(gateway_id)
         return entry
+
+    def _adopt(self, gateway_id: str) -> Optional[GatewayJob]:
+        """Reconstruct a sibling gateway's job from shard state.
+
+        Gateway ids embed the spec digest, and shards list it per job:
+        walking the digest's ring preference finds the shard running the
+        spec, and its record (which carries the verbatim spec) rebuilds
+        a routing entry good enough to poll, fetch, cancel, and fail
+        over - so a client that loses its gateway mid-job can finish
+        the job through a replica.  Ids that don't parse (including the
+        old ``gw-<seq>`` form) stay unknown: adoption never invents
+        jobs.
+        """
+        parts = gateway_id.split("-")
+        if len(parts) != 3 or parts[0] != "gw":
+            return None
+        digest, seq = parts[1], parts[2]
+        if len(digest) != 16 or not seq.isdigit():
+            return None
+        try:
+            int(digest, 16)
+        except ValueError:
+            return None
+        with self._lock:
+            ring = self._ring  # membership swaps rings; snapshot one
+        for name in ring.preference(digest):
+            client = self._client_for(name)
+            if client is None:
+                continue
+            try:
+                listing, _ = client.request_with_budget("GET", "/jobs")
+            except (ReproError, OSError):
+                continue
+            for item in listing.get("jobs", []):
+                if item.get("digest") != digest:
+                    continue
+                try:
+                    record, _ = client.request_with_budget(
+                        "GET", f"/jobs/{item['job_id']}"
+                    )
+                except (ReproError, OSError):
+                    continue
+                payload = record.get("spec")
+                if not isinstance(payload, dict):
+                    continue
+                entry = GatewayJob(
+                    gateway_id=gateway_id,
+                    payload=dict(payload),
+                    key=digest,
+                    shard_name=name,
+                    shard_job_id=record["job_id"],
+                    submitted_at=float(record.get("submitted_at") or 0.0),
+                    workload=str(record.get("spec", {}).get("workload", "")),
+                )
+                if record.get("state") in _TERMINAL:
+                    entry.last_record = dict(record)
+                with self._lock:
+                    entry = self._jobs.setdefault(gateway_id, entry)
+                self.telemetry.count(tm.FLEET_JOBS_ADOPTED)
+                self.telemetry.event(
+                    gateway_id, "adopted", shard=name, key=digest
+                )
+                return entry
+        return None
 
     def _rewrite(
         self, entry: GatewayJob, record: dict[str, Any]
@@ -520,7 +1006,14 @@ class FleetGateway:
             return self._rewrite(entry, cached)
         if shard_name is None:
             return self._synthetic(entry, "queued")
-        shard = self._shards[shard_name]
+        with self._lock:
+            shard = self._shards.get(shard_name)
+        if shard is None:  # the member left; route the job afresh
+            with self._lock:
+                entry.shard_name = None
+                entry.shard_job_id = None
+            self._try_reroute(entry)
+            return self._synthetic(entry, "queued")
         try:
             record, _ = shard.client.request_with_budget(
                 "GET", f"/jobs/{shard_job_id}"
@@ -551,13 +1044,23 @@ class FleetGateway:
         return self._rewrite(entry, record)
 
     def result_doc(self, gateway_id: str) -> Optional[dict[str, Any]]:
-        """The stored result document (None until available)."""
+        """The stored result document (None until available).
+
+        A miss on the routed shard falls back to the key's owner under
+        every other ring this gateway has migrated between (the
+        **double-read**): during an arc handoff the entry provably
+        exists on exactly one of the two owners, so reading both means
+        no request ever misses mid-migration.
+        """
         entry = self._entry(gateway_id)
         with self._lock:
             shard_name, shard_job_id = entry.shard_name, entry.shard_job_id
         if shard_name is None:
             return None  # mid-failover; the recompute is on its way
-        shard = self._shards[shard_name]
+        with self._lock:
+            shard = self._shards.get(shard_name)
+        if shard is None:
+            return self._double_read(entry, exclude={shard_name})
         try:
             doc, _ = shard.client.request_with_budget(
                 "GET", f"/jobs/{shard_job_id}/result"
@@ -565,13 +1068,62 @@ class FleetGateway:
         except ServiceClientError as exc:
             if exc.status == 0:
                 self._note_failure(shard, str(exc))
-                return None
+                return self._double_read(entry, exclude={shard_name})
             if exc.status == 404:
-                return None
+                return self._double_read(entry, exclude={shard_name})
             raise  # 410 quarantined-corrupt and friends pass through
         with self._lock:
             entry.served_result = True
         return doc
+
+    def _double_read_candidates(self, key: str, exclude: set) -> list[str]:
+        """The key's owners under rings adjacent to a migration."""
+        with self._lock:
+            rings = [ring for pair in self._migration_rings for ring in pair]
+            # mid-migration the counterpart is the joiner/leaver itself
+            live_nodes = [t.node for t in self._live_migrations.values()]
+        candidates: list[str] = []
+        for ring in rings:
+            try:
+                owner = ring.primary(key)
+            except ReproError:
+                continue
+            if owner not in exclude and owner not in candidates:
+                candidates.append(owner)
+        for node in live_nodes:
+            if node not in exclude and node not in candidates:
+                candidates.append(node)
+        return candidates
+
+    def _double_read(
+        self, entry: GatewayJob, exclude: set
+    ) -> Optional[dict[str, Any]]:
+        """Fetch the result from the migration counterpart owner(s)."""
+        for name in self._double_read_candidates(entry.key, set(exclude)):
+            client = self._client_for(name)
+            if client is None:
+                continue
+            try:
+                listing, _ = client.request_with_budget("GET", "/jobs")
+            except (ReproError, OSError):
+                continue
+            for item in listing.get("jobs", []):
+                if item.get("digest") != entry.key or item.get("state") != "done":
+                    continue
+                try:
+                    doc, _ = client.request_with_budget(
+                        "GET", f"/jobs/{item['job_id']}/result"
+                    )
+                except (ReproError, OSError):
+                    continue
+                with self._lock:
+                    entry.served_result = True
+                self.telemetry.count(tm.FLEET_DOUBLE_READS)
+                self.telemetry.event(
+                    entry.gateway_id, "double_read", shard=name, key=entry.key
+                )
+                return doc
+        return None
 
     def cancel(self, gateway_id: str) -> bool:
         """Cancel wherever the job lives; False if already finished."""
@@ -581,14 +1133,15 @@ class FleetGateway:
             shard_name, shard_job_id = entry.shard_name, entry.shard_job_id
         if cached is not None and cached.get("state") in _TERMINAL:
             return False
-        if shard_name is None:
-            # orphaned: cancel locally; the cached terminal state also
-            # stops any later failover from resurrecting it.
+        with self._lock:
+            shard = self._shards.get(shard_name) if shard_name else None
+        if shard is None:
+            # orphaned (or its member left): cancel locally; the cached
+            # terminal state also stops failover from resurrecting it.
             with self._lock:
                 entry.last_record = self._synthetic(entry, "cancelled")
             self.telemetry.event(gateway_id, "cancelled", orphaned=True)
             return True
-        shard = self._shards[shard_name]
         try:
             record, _ = shard.client.request_with_budget(
                 "DELETE", f"/jobs/{shard_job_id}"
@@ -615,7 +1168,7 @@ class FleetGateway:
         reachable shard; unreachable shards fall back to cached/synthetic
         state)."""
         summaries: dict[str, dict[str, Any]] = {}
-        for shard in self._shards.values():
+        for shard in self._handles():
             with self._lock:
                 if shard.state is ShardState.DOWN:
                     continue
@@ -665,28 +1218,70 @@ class FleetGateway:
         return {
             "ok": True,
             "role": "gateway",
+            "gateway_name": self.config.gateway_name,
+            "follower": bool(self.config.follow),
+            "epoch": self.membership.epoch,
             "code_version": self.code_version,
             "draining": False,
             "shards": self.shard_states(),
             "shard_versions": versions,
+            "members": {
+                m.name: m.state.value for m in self.membership.members()
+            },
         }
 
+    def _unserved_arcs_locked(self) -> list[str]:
+        """Live leave-migrations whose arc has no serving owner.
+
+        During a *join* migration the old owner keeps serving, so the
+        arc is always covered; during a *leave* the leaver serves until
+        the flip - unless it has meanwhile died, in which case the arc's
+        keys are reachable on neither side until the copy lands and the
+        ring flips.  Answering 503 then is honest: admitting requests
+        would route them into the hole.
+        """
+        unserved = []
+        for task in self._live_migrations.values():
+            if task.kind != "leave":
+                continue
+            handle = self._shards.get(task.node)
+            if handle is None or handle.state is ShardState.DOWN:
+                unserved.append(task.mid)
+        return unserved
+
     def readiness(self) -> tuple[bool, dict[str, Any]]:
-        """Ready iff at least one shard can accept a submission now."""
+        """Ready iff routing is coherent and a shard can admit.
+
+        Not ready while: the replayed membership journal's in-flight
+        migrations have not been resumed yet, a follower has not seen
+        its first view, a mid-migration arc has no serving owner, or no
+        shard is up and admitting.
+        """
         now = time.monotonic()
+        reasons: list[str] = []
+        if self._resuming:
+            reasons.append("replaying membership journal")
+        if self.config.follow and not self.membership.members():
+            reasons.append("awaiting first membership view from primary")
         with self._lock:
             eligible = [
                 name
                 for name, shard in self._shards.items()
                 if self._eligible(shard, now)
+                and name in self._ring.nodes
             ]
+            for mid in self._unserved_arcs_locked():
+                reasons.append(f"arc mid-migration with no serving owner: {mid}")
+        if not eligible:
+            reasons.append("no shard is up and admitting")
         detail = {
-            "ready": bool(eligible),
-            "reasons": [] if eligible else ["no shard is up and admitting"],
+            "ready": not reasons,
+            "reasons": reasons,
             "eligible_shards": eligible,
             "shards": self.shard_states(),
+            "epoch": self.membership.epoch,
         }
-        return bool(eligible), detail
+        return not reasons, detail
 
     def metrics(self) -> dict[str, Any]:
         """The fleet aggregate: summed shard counters/gauges + breakdowns.
@@ -698,12 +1293,12 @@ class FleetGateway:
         operators (and tests) can audit the aggregation.
         """
         per_shard: dict[str, Optional[dict[str, Any]]] = {}
-        for name, shard in self._shards.items():
+        for shard in self._handles():
             try:
                 doc, _ = shard.client.request_with_budget("GET", "/metrics")
             except (ReproError, OSError):
                 doc = None
-            per_shard[name] = doc
+            per_shard[shard.spec.name] = doc
         counters: dict[str, int] = {}
         gauges: dict[str, Any] = {}
         for doc in per_shard.values():
@@ -715,25 +1310,28 @@ class FleetGateway:
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     continue
                 gauges[name] = gauges.get(name, 0) + value
-        shares = self._ring.shares()
         states = self.shard_states()
         with self._lock:
+            shares = self._ring.shares()
             shard_meta = {
                 name: {
                     "url": shard.spec.url,
-                    "state": states[name],
+                    "state": states.get(name),
                     "code_version": shard.code_version,
                     "last_error": shard.last_error,
                     "ring_share": shares.get(name, 0.0),
-                    "metrics": per_shard[name],
+                    "metrics": per_shard.get(name),
                 }
                 for name, shard in self._shards.items()
             }
             orphaned = sum(1 for e in self._jobs.values() if e.shard_name is None)
             jobs_tracked = len(self._jobs)
+            fleet_size = len(self._shards)
+            live_migrations = len(self._live_migrations)
+        member_states = [m.state.value for m in self.membership.members()]
         gauges.update(
             {
-                "fleet_size": len(self._shards),
+                "fleet_size": fleet_size,
                 "shards_up": sum(1 for s in states.values() if s == "up"),
                 "shards_shedding": sum(
                     1 for s in states.values() if s == "shedding"
@@ -744,12 +1342,26 @@ class FleetGateway:
                 "ring_min_share": min(shares.values()) if shares else 0.0,
                 "gateway_jobs_tracked": jobs_tracked,
                 "gateway_jobs_orphaned": orphaned,
+                "fleet_epoch": self.membership.epoch,
+                "members_active": member_states.count("active"),
+                "members_probation": member_states.count("probation"),
+                "members_syncing": member_states.count("syncing"),
+                "members_left": member_states.count("left"),
+                "migrations_live": live_migrations,
             }
         )
         snapshot = self.telemetry.snapshot(gauges)
         counters.update(snapshot["counters"])
         snapshot["counters"] = counters
-        snapshot["fleet"] = {"shards": shard_meta, "ring_shares": shares}
+        snapshot["fleet"] = {
+            "shards": shard_meta,
+            "ring_shares": shares,
+            "epoch": self.membership.epoch,
+            "members": {
+                m.name: m.state.value for m in self.membership.members()
+            },
+            "migrations": self.migration_audit(),
+        }
         return snapshot
 
 
@@ -803,6 +1415,13 @@ class _GatewayHandler(JsonRequestHandler):
                 self.send_json(200, {"events": events, "next_since": next_since})
             elif parts == ["jobs"]:
                 self.send_json(200, {"jobs": gateway.jobs()})
+            elif parts == ["fleet", "view"]:
+                query = parse_qs(url.query)
+                since = int(query.get("since", ["0"])[0])
+                wait_s = float(query.get("wait_s", ["0"])[0])
+                self.send_json(200, gateway.wait_view(since, wait_s))
+            elif parts == ["fleet", "migrations"]:
+                self.send_json(200, gateway.migration_audit())
             elif len(parts) == 2 and parts[0] == "jobs":
                 self.send_json(200, gateway.status(parts[1]))
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
@@ -833,6 +1452,22 @@ class _GatewayHandler(JsonRequestHandler):
                 record = gateway.submit_dict(self.read_json_body())
                 done = record.get("state") == "done" and record.get("cache_hit")
                 self.send_json(200 if done else 202, record)
+            elif parts == ["fleet", "join"]:
+                status, body = gateway.join(self.read_json_body())
+                if status == 503:
+                    self.send_retry_after(
+                        503, body, gateway.config.shed_retry_after_s
+                    )
+                else:
+                    self.send_json(status, body)
+            elif parts == ["fleet", "leave"]:
+                status, body = gateway.leave(self.read_json_body())
+                if status == 503:
+                    self.send_retry_after(
+                        503, body, gateway.config.shed_retry_after_s
+                    )
+                else:
+                    self.send_json(status, body)
             else:
                 self.send_json_error(404, f"no route for POST {url.path}")
         except AdmissionError as exc:

@@ -1,0 +1,285 @@
+"""Dynamic fleet membership: the journaled, epoch-versioned shard view.
+
+PR 7's gateway routed over a *static* registry frozen at startup; this
+module is what makes the fleet elastic.  A :class:`FleetMembership` is
+the single source of truth for who is in the fleet:
+
+* every member carries a lifecycle state (:class:`MemberState`) -
+  ``probation`` while the gateway collects healthy ``/readyz`` probes
+  from a new joiner, ``syncing`` while the store migrator copies the
+  joiner's ring arc over, ``active`` once it serves traffic, and
+  ``left`` after a graceful drain,
+* every mutation bumps a monotonically increasing **epoch** and is
+  durably appended to a membership journal using the exact frame
+  discipline of :class:`~repro.serve.journal.JobJournal` (checksummed,
+  fsync'd, torn-tail tolerant), so a gateway restart replays the fleet
+  instead of forgetting it,
+* the serializable :meth:`FleetMembership.view` document is what a
+  secondary gateway tails over ``GET /fleet/view`` - two gateways that
+  agree on the view (higher epoch wins) derive the identical hash ring
+  and therefore never disagree on routing.
+
+The journal is shared with the migrator's cursor records: entries with
+``op == "member"`` mutate the table, any other op is preserved verbatim
+for the owner to replay (see :attr:`FleetMembership.extra_entries`).
+That sharing is deliberate - the ``process.gateway_kill`` chaos point
+hooks the journal's ``on_append``, and per-key migration cursor records
+give it the record-ordinal granularity to SIGKILL a gateway *mid*-
+migration, not just between membership changes.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.fleet.registry import ShardSpec
+from repro.serve.journal import JobJournal
+
+
+class MemberState(str, enum.Enum):
+    """Lifecycle of one fleet member (distinct from probe health)."""
+
+    #: announced via /fleet/join; collecting healthy readiness probes.
+    PROBATION = "probation"
+    #: passed probation; the migrator is copying its ring arc over.
+    SYNCING = "syncing"
+    #: full routing member: on the hash ring, receiving submissions.
+    ACTIVE = "active"
+    #: gracefully departed (or replaced); off the ring, kept for audit.
+    LEFT = "left"
+
+
+@dataclass
+class Member:
+    """One shard's membership record (state is lifecycle, not health)."""
+
+    name: str
+    url: str
+    code_version: Optional[str] = None
+    state: MemberState = MemberState.PROBATION
+    #: epoch of the mutation that last touched this member.
+    epoch: int = 0
+    #: consecutive healthy probes while on probation (runtime only).
+    healthy_probes: int = field(default=0, compare=False)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "url": self.url,
+            "code_version": self.code_version,
+            "state": self.state.value,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Member":
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError("member record must be a JSON object")
+        try:
+            state = MemberState(payload.get("state", "probation"))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"unknown member state {payload.get('state')!r}"
+            ) from exc
+        spec = ShardSpec(
+            str(payload.get("name", "")), str(payload.get("url", ""))
+        )  # reuse the registry's name/url validation + normalization
+        return cls(
+            name=spec.name,
+            url=spec.url,
+            code_version=payload.get("code_version"),
+            state=state,
+            epoch=int(payload.get("epoch", 0)),
+        )
+
+
+class FleetMembership:
+    """Epoch-versioned member table, durably journaled when given a path.
+
+    Thread-safe and self-contained: it never calls back into the
+    gateway, so the gateway may hold its own lock across any method
+    here without deadlock risk.  With ``journal_path=None`` the table
+    is memory-only (unit tests, follower gateways that tail a primary).
+    """
+
+    def __init__(
+        self,
+        journal_path: Optional[str | Path] = None,
+        seeds: Iterable[ShardSpec] = (),
+        on_append: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self._lock = threading.RLock()
+        self._members: dict[str, Member] = {}
+        self._epoch = 0
+        #: journal entries that are not membership ops (migration
+        #: cursors); the owning gateway replays these after __init__.
+        self.extra_entries: list[dict[str, Any]] = []
+        #: replayed-member count (observability; 0 on a fresh journal).
+        self.replayed = 0
+        self.journal: Optional[JobJournal] = None
+        if journal_path is not None:
+            self.journal = JobJournal(journal_path, on_append=on_append)
+            self._replay()
+        if not self._members:
+            # fresh fleet: the static registry seeds the first epoch as
+            # full members (they were vetted by config, not probation).
+            for spec in seeds:
+                self._mutate_locked(
+                    Member(
+                        name=spec.name, url=spec.url, state=MemberState.ACTIVE
+                    )
+                )
+
+    # -- journal replay -------------------------------------------------------
+    def _replay(self) -> None:
+        assert self.journal is not None
+        replay = self.journal.replay()
+        for entry in replay.entries:
+            if entry.get("op") != "member":
+                self.extra_entries.append(entry)
+                continue
+            try:
+                member = Member.from_dict(entry.get("member", {}))
+            except ConfigurationError:
+                continue  # a torn-tail survivor cannot be half-applied
+            self._members[member.name] = member
+            self._epoch = max(self._epoch, member.epoch)
+            self.replayed += 1
+        if replay.entries:
+            self._compact_locked()
+
+    def _compact_locked(self) -> None:
+        if self.journal is None:
+            return
+        entries = [
+            {"op": "member", "member": m.to_dict()}
+            for m in self._members.values()
+        ]
+        self.journal.compact(entries)
+
+    # -- mutation -------------------------------------------------------------
+    def _mutate_locked(self, member: Member) -> Member:
+        """Apply + journal one member change; bumps the epoch."""
+        self._epoch += 1
+        member.epoch = self._epoch
+        self._members[member.name] = member
+        if self.journal is not None:
+            self.journal.append({"op": "member", "member": member.to_dict()})
+        return member
+
+    def upsert(
+        self,
+        name: str,
+        url: str,
+        code_version: Optional[str] = None,
+        state: MemberState = MemberState.PROBATION,
+    ) -> Member:
+        """Insert or update one member; bumps the epoch and journals."""
+        spec = ShardSpec(name, url)  # validate + normalize
+        with self._lock:
+            previous = self._members.get(spec.name)
+            member = Member(
+                name=spec.name,
+                url=spec.url,
+                code_version=code_version,
+                state=state,
+            )
+            if previous is not None:
+                member.healthy_probes = previous.healthy_probes
+            return self._mutate_locked(member)
+
+    def set_state(self, name: str, state: MemberState) -> Member:
+        """Transition one member's lifecycle state (epoch bump + journal)."""
+        with self._lock:
+            member = self._members.get(name)
+            if member is None:
+                raise KeyError(name)
+            member.state = state
+            return self._mutate_locked(member)
+
+    def append_entry(self, entry: dict[str, Any]) -> None:
+        """Durably append a non-membership entry (migration cursors)."""
+        with self._lock:
+            if self.journal is not None:
+                self.journal.append(entry)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
+
+    def get(self, name: str) -> Optional[Member]:
+        with self._lock:
+            return self._members.get(name)
+
+    def members(self) -> list[Member]:
+        with self._lock:
+            return list(self._members.values())
+
+    def active_names(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                m.name
+                for m in self._members.values()
+                if m.state is MemberState.ACTIVE
+            )
+
+    def routable(self) -> list[Member]:
+        """Members that need shard handles (everything but LEFT)."""
+        with self._lock:
+            return [
+                m
+                for m in self._members.values()
+                if m.state is not MemberState.LEFT
+            ]
+
+    # -- replication ----------------------------------------------------------
+    def view(self) -> dict[str, Any]:
+        """The serializable membership document a secondary tails."""
+        with self._lock:
+            return {
+                "epoch": self._epoch,
+                "members": [
+                    m.to_dict() for m in sorted(
+                        self._members.values(), key=lambda m: m.name
+                    )
+                ],
+            }
+
+    def apply_view(self, view: Mapping[str, Any]) -> bool:
+        """Adopt a remote view when its epoch is higher; returns applied.
+
+        Higher epoch wins, ties and stale views are ignored - the
+        invariant two replicated gateways rely on for never disagreeing
+        about the ring.  The whole table is replaced (the view is a
+        snapshot, not a delta) and journaled if this side persists.
+        """
+        if not isinstance(view, Mapping):
+            raise ConfigurationError("membership view must be a JSON object")
+        try:
+            epoch = int(view.get("epoch", 0))
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError("membership view epoch must be an int") from exc
+        members = [Member.from_dict(raw) for raw in view.get("members", [])]
+        with self._lock:
+            if epoch <= self._epoch:
+                return False
+            self._members = {m.name: m for m in members}
+            self._epoch = epoch
+            if self.journal is not None:
+                for member in members:
+                    self.journal.append(
+                        {"op": "member", "member": member.to_dict()}
+                    )
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            if self.journal is not None:
+                self.journal.close()

@@ -1,0 +1,315 @@
+"""Ring-aware store migration: move exactly the remapped arc, verified.
+
+When membership changes, the consistent-hash ring's minimal-remap
+property says precisely which keys change owner: the delta between the
+current ring and the hypothetical ring with the member added/removed
+(:meth:`~repro.fleet.ring.HashRing.with_node` /
+:meth:`~repro.fleet.ring.HashRing.without_node`).  The
+:class:`Migrator` walks that arc *before* routing flips:
+
+* **join** - every existing member's store is enumerated and each key
+  whose primary under the target ring is the joiner is copied old
+  owner -> joiner,
+* **leave** - the leaver's whole store is copied out, each key to its
+  primary under the ring without the leaver.
+
+Every copy is end-to-end verified: the exporter ships the document
+*with* its stored content checksum, the migrator recomputes the hash
+over the wire payload before forwarding, and the importing store
+recomputes it again before anything touches disk - a transfer that
+corrupts a document is dropped (and counted), never planted.  Only
+after the whole arc (plus a catch-up sweep for entries written during
+the copy) has landed does the caller flip routing, so a request for a
+migrated key never misses: before the flip the old owner still serves
+it, after the flip the new owner holds the copy, and during the
+handoff the gateway double-reads from both.
+
+Per-key progress is journaled through the membership journal
+(``{"op": "migrated", "mid": ..., "key": ...}`` cursor records framed
+and fsync'd like every other entry), so a gateway SIGKILLed
+mid-migration resumes from the last copied key instead of starting
+over - and so the ``process.gateway_kill`` chaos point, which hooks
+the journal's ``on_append``, can kill it *between* any two keys.
+
+A source that dies mid-copy is not fatal: its keys are skipped and
+counted (:data:`~repro.serve.telemetry.FLEET_MIGRATION_KEY_SKIPS`);
+content-addressed determinism means a later read of a skipped key
+recomputes a bit-identical result.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import ReproError
+from repro.fleet.ring import HashRing
+from repro.serve import telemetry as tm
+from repro.serve.client import ServiceClient, ServiceClientError
+from repro.serve.store import CHECKSUM_FIELD, doc_checksum
+from repro.serve.telemetry import Telemetry
+
+logger = logging.getLogger("repro.fleet")
+
+#: extra enumeration passes after the main copy (entries written while
+#: the arc was in flight); each pass only touches keys not yet moved.
+MAX_CATCHUP_SWEEPS = 3
+
+
+@dataclass
+class MigrationTask:
+    """One arc migration's identity and resumable cursor."""
+
+    #: migration id - stable across a crash/resume (journal-matched).
+    mid: str
+    #: ``"join"`` (copy toward the new member) or ``"leave"`` (copy out).
+    kind: str
+    #: the member joining or leaving.
+    node: str
+    #: keys already copied (seeded from journal cursor records on resume).
+    done_keys: set[str] = field(default_factory=set)
+    #: keys that could not be copied (dead source, corrupt entry).
+    skipped: list[dict[str, str]] = field(default_factory=list)
+    #: keys copied by *this* run (excludes resumed cursor entries).
+    keys_migrated: int = 0
+    #: copies that found the destination already populated (idempotent).
+    already_present: int = 0
+    #: enumeration passes performed (1 main + catch-up sweeps).
+    sweeps: int = 0
+    #: exact fraction of the key space this migration remaps.
+    remap_share: float = 0.0
+    error: Optional[str] = None
+
+    def audit(self) -> dict[str, Any]:
+        """The migration's accounting document (journaled + /metrics)."""
+        return {
+            "mid": self.mid,
+            "kind": self.kind,
+            "node": self.node,
+            "remap_share": self.remap_share,
+            "keys_migrated": self.keys_migrated,
+            "keys_resumed": max(0, len(self.done_keys) - self.keys_migrated),
+            "already_present": self.already_present,
+            "skips": len(self.skipped),
+            "skipped": list(self.skipped),
+            "sweeps": self.sweeps,
+            "error": self.error,
+        }
+
+
+class Migrator:
+    """Copies one remapped arc between shard stores, key by key.
+
+    Deliberately decoupled from the gateway: it sees shards only
+    through ``client_for`` (name -> :class:`ServiceClient` or ``None``
+    when the shard has no handle) and persists its cursor through
+    ``journal_append``, so unit tests can drive it against fake shards
+    and the gateway can run it on a background thread while holding
+    none of its locks.
+    """
+
+    def __init__(
+        self,
+        client_for: Callable[[str], Optional[ServiceClient]],
+        journal_append: Optional[Callable[[dict[str, Any]], None]] = None,
+        telemetry: Optional[Telemetry] = None,
+        stop: Optional[threading.Event] = None,
+    ) -> None:
+        self._client_for = client_for
+        self._journal_append = journal_append
+        self._telemetry = telemetry
+        self._stop = stop
+
+    # -- helpers --------------------------------------------------------------
+    def _count(self, name: str, value: int = 1) -> None:
+        if self._telemetry is not None:
+            self._telemetry.count(name, value)
+
+    def _journal(self, entry: dict[str, Any]) -> None:
+        if self._journal_append is not None:
+            self._journal_append(entry)
+
+    def _stopped(self) -> bool:
+        return self._stop is not None and self._stop.is_set()
+
+    def _list_keys(self, shard_name: str) -> Optional[list[str]]:
+        """The shard's store keys, or None when it cannot be asked."""
+        client = self._client_for(shard_name)
+        if client is None:
+            return None
+        try:
+            doc, _ = client.request_with_budget("GET", "/store/keys")
+        except (ReproError, OSError):
+            return None
+        keys = doc.get("keys")
+        return [str(k) for k in keys] if isinstance(keys, list) else None
+
+    def _assignments(
+        self, task: MigrationTask, current: HashRing, target: HashRing
+    ) -> Iterable[tuple[str, str, str]]:
+        """Yield ``(source, key, destination)`` copies still to make.
+
+        For a join only keys whose *target-ring* primary is the joiner
+        move (the minimal-remap arc); for a leave everything the leaver
+        holds moves to its target-ring primary - the leaver may hold
+        non-primary keys from earlier reroutes, and orphaning those
+        would silently shrink the fleet-wide cache.
+        """
+        if task.kind == "join":
+            for source in sorted(current.nodes):
+                if source == task.node:
+                    continue
+                keys = self._list_keys(source)
+                if keys is None:
+                    task.skipped.append(
+                        {"key": "*", "source": source, "reason": "unreachable"}
+                    )
+                    continue
+                for key in keys:
+                    if key in task.done_keys:
+                        continue
+                    if target.primary(key) == task.node:
+                        yield source, key, task.node
+        else:
+            keys = self._list_keys(task.node)
+            if keys is None:
+                task.skipped.append(
+                    {"key": "*", "source": task.node, "reason": "unreachable"}
+                )
+                return
+            for key in keys:
+                if key in task.done_keys:
+                    continue
+                yield task.node, key, target.primary(key)
+
+    def _copy_key(self, source: str, key: str, destination: str) -> bool:
+        """Export, re-verify, and import one entry; False = skipped."""
+        src = self._client_for(source)
+        dst = self._client_for(destination)
+        if src is None or dst is None:
+            return False
+        try:
+            entry, _ = src.request_with_budget("GET", f"/store/entries/{key}")
+        except (ReproError, OSError):
+            # dead/corrupt source (410 = quarantined): recompute covers it
+            return False
+        doc = entry.get("doc")
+        if not isinstance(doc, dict):
+            return False
+        advertised = doc.get(CHECKSUM_FIELD)
+        body = {k: v for k, v in doc.items() if k != CHECKSUM_FIELD}
+        if advertised is None or doc_checksum(body) != advertised:
+            logger.warning(
+                "migration: %s from %s failed checksum in transit", key, source
+            )
+            return False
+        try:
+            dst.request_with_budget(
+                "POST",
+                f"/store/entries/{key}",
+                {"doc": doc, "trace_b64": entry.get("trace_b64")},
+            )
+        except (ReproError, OSError):
+            return False
+        return True
+
+    # -- the migration --------------------------------------------------------
+    def _sweep(
+        self, task: MigrationTask, current: HashRing, target: HashRing
+    ) -> int:
+        """One enumeration pass; returns keys copied this pass."""
+        copied = 0
+        task.sweeps += 1
+        for source, key, destination in self._assignments(task, current, target):
+            if self._stopped():
+                break
+            if destination == source:
+                task.done_keys.add(key)
+                continue
+            if self._copy_key(source, key, destination):
+                task.done_keys.add(key)
+                task.keys_migrated += 1
+                copied += 1
+                self._count(tm.FLEET_KEYS_MIGRATED)
+                # the resumable cursor: a gateway killed right after
+                # this fsync restarts with the key already marked done.
+                self._journal({"op": "migrated", "mid": task.mid, "key": key})
+            else:
+                task.skipped.append(
+                    {"key": key, "source": source, "reason": "copy failed"}
+                )
+                self._count(tm.FLEET_MIGRATION_KEY_SKIPS)
+        return copied
+
+    def run(
+        self, task: MigrationTask, current: HashRing, target: HashRing
+    ) -> dict[str, Any]:
+        """Copy the whole remapped arc; returns the audit document.
+
+        Loops catch-up sweeps until a pass copies nothing (bounded by
+        :data:`MAX_CATCHUP_SWEEPS`): jobs keep completing on the old
+        owner while the main pass runs, and those late entries belong
+        to the new owner too.  The caller flips routing only after this
+        returns - the copy itself changes no routing state.
+        """
+        task.remap_share = current.diff_share(target)
+        self._count(tm.FLEET_MIGRATIONS_STARTED)
+        self._journal(
+            {
+                "op": "migration_start",
+                "mid": task.mid,
+                "kind": task.kind,
+                "node": task.node,
+                "remap_share": task.remap_share,
+            }
+        )
+        try:
+            while self._sweep(task, current, target) > 0:
+                if self._stopped() or task.sweeps >= MAX_CATCHUP_SWEEPS:
+                    break
+        except Exception as exc:  # keep the audit trail even on a bug
+            task.error = str(exc)
+            logger.exception("migration %s failed", task.mid)
+        audit = task.audit()
+        self._journal({"op": "migration_done", "mid": task.mid, "audit": audit})
+        if task.error is None:
+            self._count(tm.FLEET_MIGRATIONS_COMPLETED)
+        return audit
+
+
+def in_flight_from_entries(
+    entries: Iterable[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """Unfinished migrations recovered from journal extra-entries.
+
+    Pairs ``migration_start`` records with their ``migration_done`` and
+    returns the unmatched starts, each carrying the ``done_keys`` set
+    accumulated from its cursor records - exactly what a restarted
+    gateway needs to resume where the dead one stopped.
+    """
+    starts: dict[str, dict[str, Any]] = {}
+    cursors: dict[str, set[str]] = {}
+    for entry in entries:
+        op = entry.get("op")
+        mid = entry.get("mid")
+        if not isinstance(mid, str):
+            continue
+        if op == "migration_start":
+            starts[mid] = entry
+        elif op == "migration_done":
+            starts.pop(mid, None)
+            cursors.pop(mid, None)
+        elif op == "migrated" and isinstance(entry.get("key"), str):
+            cursors.setdefault(mid, set()).add(entry["key"])
+    return [
+        {
+            "mid": mid,
+            "kind": str(entry.get("kind", "join")),
+            "node": str(entry.get("node", "")),
+            "done_keys": cursors.get(mid, set()),
+        }
+        for mid, entry in starts.items()
+        if entry.get("node")
+    ]

@@ -25,9 +25,41 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, Optional, Sequence
+from urllib.parse import urlsplit, urlunsplit
 
 from repro.errors import ConfigurationError
+
+#: scheme defaults stripped during URL normalization.
+_DEFAULT_PORTS = {"http": 80, "https": 443}
+
+
+def normalize_base_url(url: str) -> str:
+    """One canonical spelling per endpoint identity.
+
+    ``http://Host:80/`` and ``http://host`` are the same server; if the
+    registry treated them as distinct the duplicate check would pass
+    and the ring would carry two names for one store.  Lowercases
+    scheme and host, drops the scheme-default port, and strips the
+    trailing slash; an explicit non-default port and any path are kept.
+    """
+    if not url.startswith(("http://", "https://")):
+        raise ConfigurationError(
+            f"shard url {url!r} must start with http:// or https://"
+        )
+    parts = urlsplit(url)
+    if not parts.hostname:
+        raise ConfigurationError(f"shard url {url!r} has no host")
+    try:
+        port = parts.port
+    except ValueError as exc:
+        raise ConfigurationError(f"shard url {url!r} has a bad port: {exc}") from exc
+    scheme = parts.scheme.lower()
+    host = parts.hostname.lower()
+    if port is not None and port != _DEFAULT_PORTS.get(scheme):
+        host = f"{host}:{port}"
+    path = parts.path.rstrip("/")
+    return urlunsplit((scheme, host, path, "", "")).rstrip("/")
 
 
 @dataclass(frozen=True)
@@ -44,11 +76,7 @@ class ShardSpec:
             raise ConfigurationError(
                 f"shard name {self.name!r} may not contain '/' or '@'"
             )
-        if not self.url.startswith(("http://", "https://")):
-            raise ConfigurationError(
-                f"shard url {self.url!r} must start with http:// or https://"
-            )
-        object.__setattr__(self, "url", self.url.rstrip("/"))
+        object.__setattr__(self, "url", normalize_base_url(self.url))
 
 
 @dataclass(frozen=True)
@@ -69,10 +97,27 @@ class GatewayConfig:
     read_timeout_s: float = 30.0
     #: ``Retry-After`` hint when the whole fleet is unavailable/shedding.
     shed_retry_after_s: float = 1.0
+    #: consecutive healthy ``/readyz`` probes a /fleet/join candidate
+    #: needs before the migrator starts syncing its ring arc.
+    probation_probes: int = 2
+    #: admit joiners whose code_version differs from the active fleet's
+    #: (results would not be cache-compatible; off by default).
+    allow_version_skew: bool = False
+    #: membership journal path; None keeps membership in memory only.
+    membership_journal: Optional[str] = None
+    #: primary gateway URL this instance tails /fleet/view from; set =
+    #: this gateway is a read-replica follower for membership changes.
+    follow: Optional[str] = None
+    #: this instance's name (targeted by the process.gateway_kill
+    #: chaos point; surfaced in /healthz).
+    gateway_name: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if not self.shards:
-            raise ConfigurationError("a fleet needs at least one shard")
+        if not self.shards and self.follow is None and not self.membership_journal:
+            raise ConfigurationError(
+                "a fleet needs at least one shard (or --follow / a "
+                "membership journal to learn members dynamically)"
+            )
         names = [s.name for s in self.shards]
         dupes = sorted({n for n in names if names.count(n) > 1})
         if dupes:
@@ -89,6 +134,10 @@ class GatewayConfig:
             raise ConfigurationError("down_after_probes must be >= 1")
         if self.recover_after_probes < 1:
             raise ConfigurationError("recover_after_probes must be >= 1")
+        if self.probation_probes < 1:
+            raise ConfigurationError("probation_probes must be >= 1")
+        if self.follow is not None:
+            object.__setattr__(self, "follow", normalize_base_url(self.follow))
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -141,6 +190,11 @@ class GatewayConfig:
             "connect_timeout_s": self.connect_timeout_s,
             "read_timeout_s": self.read_timeout_s,
             "shed_retry_after_s": self.shed_retry_after_s,
+            "probation_probes": self.probation_probes,
+            "allow_version_skew": self.allow_version_skew,
+            "membership_journal": self.membership_journal,
+            "follow": self.follow,
+            "gateway_name": self.gateway_name,
         }
 
 

@@ -126,6 +126,63 @@ class HashRing:
                     break
         return order
 
+    # -- membership deltas ----------------------------------------------------
+    def copy(self) -> "HashRing":
+        return HashRing(self._nodes, vnodes=self.vnodes)
+
+    def with_node(self, node: str) -> "HashRing":
+        """A new ring with ``node`` added (this ring is untouched).
+
+        The migrator routes against the *current* ring while copying
+        data toward the ownership this hypothetical ring defines, and
+        only then flips the live ring - so the delta between the two is
+        exactly the data that must move.
+        """
+        ring = self.copy()
+        ring.add(node)
+        return ring
+
+    def without_node(self, node: str) -> "HashRing":
+        """A new ring with ``node`` removed (this ring is untouched)."""
+        ring = self.copy()
+        ring.remove(node)
+        return ring
+
+    def diff_share(self, other: "HashRing") -> float:
+        """Exact fraction of the key space whose primary owner differs.
+
+        Computed from arc boundaries, not sampling: between any two
+        consecutive positions of the *merged* vnode sets each ring's
+        primary is constant, so comparing owners interval-by-interval
+        measures the remap volume precisely.  This is the quantity the
+        minimal-remap property bounds (~1/N on a single join/leave) and
+        what the migration audit reports as ``remap_share``.
+        """
+        if not self._owners or not other._owners:
+            return 0.0 if (not self._owners and not other._owners) else 1.0
+        boundaries = sorted(set(self._positions) | set(other._positions))
+        diff = 0
+        previous = boundaries[-1]
+        for position in boundaries:
+            arc = (position - previous) % RING_SPACE
+            if arc == 0 and len(boundaries) > 1:
+                previous = position
+                continue
+            # every key strictly inside (previous, position] routes to
+            # the owner of the first vnode at-or-after ``position``.
+            mine = self._owners[
+                bisect.bisect_left(self._positions, position)
+                % len(self._positions)
+            ]
+            theirs = other._owners[
+                bisect.bisect_left(other._positions, position)
+                % len(other._positions)
+            ]
+            if mine != theirs:
+                diff += arc if len(boundaries) > 1 else RING_SPACE
+            previous = position
+        return diff / RING_SPACE
+
     # -- balance --------------------------------------------------------------
     def shares(self) -> dict[str, float]:
         """Exact fraction of the key space each node owns (sums to 1.0).

@@ -43,7 +43,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Optional
+from typing import Any, Optional, Sequence, Union
 
 from repro.errors import ReproError
 from repro.serve.wire import error_detail, retry_after_hint
@@ -103,11 +103,22 @@ class _SplitTimeoutHandler(urllib.request.HTTPHandler):
 
 
 class ServiceClient:
-    """Thin JSON client bound to one service base URL."""
+    """Thin JSON client bound to one service base URL - or several.
+
+    ``base_url`` may be a single URL or a sequence of equivalent
+    endpoints (replicated fleet gateways).  With several, the client is
+    sticky to one endpoint and **fails over** to the next on a connect
+    error or an exhausted 429/503 - conditions under which the server
+    provably created no state, so retrying the identical request
+    elsewhere is safe.  The ``backoff_budget_s`` sleep cap is shared
+    across *all* endpoints of one logical request (a two-gateway client
+    does not get to stall twice as long), as is the bounded attempt
+    count.
+    """
 
     def __init__(
         self,
-        base_url: str,
+        base_url: Union[str, Sequence[str]],
         timeout_s: float = 30.0,
         connect_timeout_s: float = 5.0,
         retries: int = 2,
@@ -115,16 +126,27 @@ class ServiceClient:
         retry_seed: int = 0x7E7,
         backoff_budget_s: float = 60.0,
     ) -> None:
-        self.base_url = base_url.rstrip("/")
+        urls = [base_url] if isinstance(base_url, str) else list(base_url)
+        if not urls:
+            raise ReproError("ServiceClient needs at least one base URL")
+        #: equivalent endpoints in failover order; index 0 is preferred.
+        self.endpoints: tuple[str, ...] = tuple(u.rstrip("/") for u in urls)
+        self._active = 0
         self.timeout_s = timeout_s
         self.connect_timeout_s = connect_timeout_s
         self.retries = max(0, int(retries))
         self.retry_backoff_s = retry_backoff_s
         #: cap on *cumulative* retry sleep per logical request; shared
-        #: across re-routed attempts via :meth:`request_with_budget`.
+        #: across re-routed attempts via :meth:`request_with_budget`
+        #: and across every endpoint of a multi-endpoint client.
         self.backoff_budget_s = max(0.0, float(backoff_budget_s))
         self._rng = SimRng(retry_seed).fork("client-retry")
         self._opener = urllib.request.build_opener(_SplitTimeoutHandler(timeout_s))
+
+    @property
+    def base_url(self) -> str:
+        """The endpoint currently in use (sticky until a failover)."""
+        return self.endpoints[self._active]
 
     # -- transport ------------------------------------------------------------
     def _backoff(self, attempt: int) -> float:
@@ -142,6 +164,13 @@ class ServiceClient:
         if retry_after <= 0.0:
             return 0.0
         return retry_after * (1.0 + 0.1 * float(self._rng.uniform()))
+
+    def _fail_over(self) -> bool:
+        """Rotate to the next endpoint; False when there is only one."""
+        if len(self.endpoints) < 2:
+            return False
+        self._active = (self._active + 1) % len(self.endpoints)
+        return True
 
     def _request(
         self, method: str, path: str, payload: Optional[dict[str, Any]] = None
@@ -168,7 +197,11 @@ class ServiceClient:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         last_error: Optional[ServiceClientError] = None
         spent = max(0.0, float(budget_spent_s))
-        for attempt in range(self.retries + 1):
+        # extra endpoints buy extra attempts (one each), not extra
+        # budget: the failover pass over N gateways still shares one
+        # backoff_budget_s and one retry schedule.
+        total_attempts = self.retries + len(self.endpoints)
+        for attempt in range(total_attempts):
             request = urllib.request.Request(
                 self.base_url + path,
                 data=body,
@@ -176,6 +209,7 @@ class ServiceClient:
                 headers={"Content-Type": "application/json"} if body else {},
             )
             retry_after = 0.0
+            failed_over = False
             try:
                 # the urlopen timeout arms the *connect*; the handler
                 # re-arms the socket with the read timeout afterwards.
@@ -189,32 +223,53 @@ class ServiceClient:
                 if overloaded:
                     # admission control answered before creating any
                     # state, so every method is safe to retry; honour the
-                    # server's pacing hint over our own backoff.
+                    # server's pacing hint over our own backoff.  With
+                    # several endpoints a 503 also fails over: a sibling
+                    # gateway may be admitting while this one sheds.
                     retry_after = retry_after_hint(exc.headers, detail)
                     last_error = ServiceOverloadedError(
                         exc.code, message, retry_after_s=retry_after or 1.0
                     )
+                    failed_over = self._fail_over()
                 else:
                     last_error = ServiceClientError(exc.code, message)
                 retryable = overloaded or (
                     method == "GET" and 500 <= exc.code < 600
                 )
-                if not retryable or attempt >= self.retries:
+                if not retryable or attempt >= total_attempts - 1:
                     raise last_error from exc
-            except urllib.error.URLError as exc:
-                # connection refused / reset / timed out: the service
-                # never (provably) processed the request, safe to retry.
+            except (
+                urllib.error.URLError,
+                http.client.HTTPException,
+                OSError,
+            ) as exc:
+                # connection refused / reset / timed out, or the peer
+                # vanished mid-response (a SIGKILLed gateway surfaces as
+                # RemoteDisconnected, which urllib does *not* wrap in
+                # URLError): treat all of these as "endpoint unreachable"
+                # and retry - with several endpoints, immediately
+                # elsewhere.  Re-submission is safe: job creation is
+                # content-addressed, so a duplicate costs at most one
+                # cache-hit job record.
                 last_error = ServiceClientError(
-                    0, f"cannot reach {self.base_url}: {exc.reason}"
+                    0,
+                    f"cannot reach {self.base_url}: "
+                    f"{getattr(exc, 'reason', exc)}",
                 )
-                if attempt >= self.retries:
+                if attempt >= total_attempts - 1:
                     raise last_error from exc
+                if self._fail_over():
+                    continue  # next endpoint now; no sleep for a dead peer
             remaining = self.backoff_budget_s - spent
             if remaining <= 0.0:
                 raise last_error
             delay = min(
                 max(self._backoff(attempt), self._pace(retry_after)), remaining
             )
+            if failed_over:
+                # the pacing hint came from the endpoint we just left;
+                # the new endpoint owes us nothing, back off normally.
+                delay = min(self._backoff(attempt), remaining)
             time.sleep(delay)
             spent += delay
         raise last_error  # pragma: no cover - loop always raises/returns

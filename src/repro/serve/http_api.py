@@ -16,6 +16,11 @@ Endpoints:
   operators can detect mixed-version or misconfigured shards
 * ``GET  /readyz``              - readiness probe: 503 + ``Retry-After``
   while replaying the journal, draining, or shedding load
+* ``GET  /store/keys``          - content keys held by this shard's store
+* ``GET  /store/entries/<key>`` - export one entry (doc + npz payload,
+  checksum included) for fleet store migration
+* ``POST /store/entries/<key>`` - import an exported entry
+  (checksum-verified; 400 on mismatch, idempotent re-imports are no-ops)
 
 Overload and drain map onto status codes clients can act on: a
 submission shed by admission control answers **429** and a submission
@@ -106,11 +111,21 @@ class _Handler(JsonRequestHandler):
                                 "workload": r.spec.workload,
                                 "attempts": r.attempts,
                                 "cache_hit": r.cache_hit,
+                                # the fleet routing key: what lets a
+                                # surviving gateway adopt this job after
+                                # the gateway that submitted it died.
+                                "digest": r.spec.spec_digest(),
                             }
                             for r in records
                         ]
                     },
                 )
+            elif parts == ["store", "keys"]:
+                self.send_json(
+                    200, {"keys": self.server.service.store_keys()}
+                )
+            elif len(parts) == 3 and parts[:2] == ["store", "entries"]:
+                self.send_json(200, self.server.service.export_result(parts[2]))
             elif len(parts) == 2 and parts[0] == "jobs":
                 self.send_json(200, self.server.service.get(parts[1]).to_dict())
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
@@ -138,8 +153,17 @@ class _Handler(JsonRequestHandler):
             if parts == ["jobs"]:
                 record = self.server.service.submit_dict(self.read_json_body())
                 self.send_json(202 if not record.cache_hit else 200, record.to_dict())
+            elif len(parts) == 3 and parts[:2] == ["store", "entries"]:
+                body = self.read_json_body()
+                imported = self.server.service.import_result(
+                    parts[2], body.get("doc") or {}, body.get("trace_b64")
+                )
+                self.send_json(200, {"key": parts[2], "imported": imported})
             else:
                 self.send_json_error(404, f"no route for POST {url.path}")
+        except ValueError as exc:
+            # import checksum verification failed: reject, plant nothing
+            self.send_json_error(400, str(exc))
         except AdmissionError as exc:
             # 429 (shed) / 503 (draining): nothing was enqueued, the
             # client should back off and retry the identical request.

@@ -492,6 +492,32 @@ class SimulationService:
         self.result_cache.put(record.key, doc)
         return doc
 
+    # -- store transfer (fleet migration surface) -----------------------------
+    def store_keys(self) -> list[str]:
+        """Every content key this shard's store holds (sorted)."""
+        return list(self.store.keys())
+
+    def export_result(self, key: str) -> dict[str, Any]:
+        """Export one store entry for migration (checksum included)."""
+        payload = self.store.export_entry(key)
+        self.telemetry.count(tm.STORE_EXPORTS)
+        return payload
+
+    def import_result(
+        self, key: str, doc: dict[str, Any], trace_b64: Optional[str] = None
+    ) -> bool:
+        """Verify + persist an entry exported by another shard.
+
+        Returns ``False`` for an idempotent re-import of a key already
+        held; raises ``ValueError`` (HTTP 400) on checksum mismatch so a
+        corrupted transfer can never be planted into the store.
+        """
+        imported = self.store.import_entry(key, doc, trace_b64)
+        if imported:
+            self.telemetry.count(tm.STORE_IMPORTS)
+            self.telemetry.event("store", "imported", key=key)
+        return imported
+
     def cancel(self, job_id: str) -> bool:
         """Cancel a queued or running job; False if already terminal.
 
@@ -902,3 +928,134 @@ class SimulationService:
         except (TypeError, ValueError) as exc:
             raise ConfigurationError(str(exc)) from exc
         return self.submit(spec)
+
+
+class JoinAnnouncer:
+    """Announces one shard to the fleet's gateways (elastic membership).
+
+    A shard started with ``--announce`` does not need to appear in any
+    gateway's static registry: this background thread POSTs
+    ``/fleet/join`` - ``shard_name``, the shard's advertised base URL,
+    and its ``code_version`` - to each gateway endpoint in turn until a
+    *primary* accepts (followers answer 503 with a hint and are
+    skipped), then keeps re-announcing every ``interval_s`` so a
+    gateway that restarted against an empty membership journal relearns
+    the shard without operator action.  Joins are idempotent on the
+    gateway side, so re-announcing is safe.
+
+    :meth:`leave` is the graceful-drain counterpart: a best-effort
+    ``POST /fleet/leave`` to every gateway so the ring arc is migrated
+    off before the shard's process exits.
+    """
+
+    def __init__(
+        self,
+        gateway_urls: list[str],
+        shard_name: str,
+        advertise_url: str,
+        interval_s: float = 10.0,
+    ) -> None:
+        from repro.experiments.runner import code_version
+        from repro.serve.client import ServiceClient
+
+        if not shard_name:
+            raise ConfigurationError("--announce requires --shard-name")
+        self.shard_name = shard_name
+        self.advertise_url = advertise_url
+        self.interval_s = max(0.05, float(interval_s))
+        self.code_version = code_version()
+        self._clients = [
+            ServiceClient(url, timeout_s=5.0, connect_timeout_s=2.0, retries=0)
+            for url in gateway_urls
+        ]
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        #: gateway URL that last accepted our join (None before any).
+        self.joined_via: Optional[str] = None
+        self.announce_attempts = 0
+
+    def _payload(self) -> dict[str, Any]:
+        return {
+            "shard_name": self.shard_name,
+            "url": self.advertise_url,
+            "code_version": self.code_version,
+        }
+
+    def announce_once(self) -> bool:
+        """One pass over the gateway list; True when a primary accepted."""
+        from repro.serve.client import ServiceClientError
+
+        payload = self._payload()
+        for client in self._clients:
+            with self._lock:
+                self.announce_attempts += 1
+            try:
+                client._request("POST", "/fleet/join", payload)
+            except (ServiceClientError, OSError):
+                continue  # unreachable, follower (503), or rejected (403)
+            with self._lock:
+                self.joined_via = client.base_url
+            return True
+        return False
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.announce_once()
+            except Exception:  # announcing must never kill the shard
+                pass
+            if self._stop.wait(self.interval_s):
+                return
+
+    def start(self) -> "JoinAnnouncer":
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-announcer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def leave(self, drain_timeout_s: float = 30.0) -> None:
+        """Best-effort graceful departure (called before drain).
+
+        A leave is accepted with 202 while the gateway migrates this
+        shard's ring arc *out* - and that migration pulls from this
+        shard's own store over HTTP, so tearing the server down the
+        moment the POST returns would strand the arc (the migrator
+        would skip every key as unreachable).  After a gateway accepts,
+        poll its ``/fleet/view`` until this member reads ``left`` (the
+        migration completed and routing flipped) or ``drain_timeout_s``
+        runs out, then let the caller shut the HTTP server down.
+        """
+        from repro.serve.client import ServiceClientError
+
+        self._stop.set()
+        payload = {"shard_name": self.shard_name}
+        accepted = None
+        for client in self._clients:
+            try:
+                client._request("POST", "/fleet/leave", payload)
+            except (ServiceClientError, OSError):
+                continue
+            accepted = client
+            break
+        if accepted is None:
+            return
+        deadline = time.monotonic() + max(0.0, float(drain_timeout_s))
+        while time.monotonic() < deadline:
+            try:
+                view = accepted._request("GET", "/fleet/view")
+            except (ServiceClientError, OSError):
+                return  # gateway gone; nothing left to wait for
+            states = {
+                m.get("name"): m.get("state")
+                for m in view.get("members", [])
+            }
+            if states.get(self.shard_name, "left") == "left":
+                return
+            time.sleep(0.2)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)

@@ -25,6 +25,7 @@ tempfile between its write and rename).
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import os
@@ -253,3 +254,62 @@ class ResultStore:
                 path.unlink()
             except OSError:
                 pass
+
+    # -- migration transfer ---------------------------------------------------
+    def export_entry(self, key: str) -> dict[str, Any]:
+        """One entry as a self-verifying wire document (fleet migration).
+
+        The document keeps its :data:`CHECKSUM_FIELD` so the receiving
+        owner can verify content end-to-end, and the npz payload rides
+        along base64-encoded (``None`` when the entry has no trace).
+        Raises :class:`KeyError` on a miss; a corrupt entry is
+        quarantined and surfaced as
+        :class:`~repro.errors.CorruptResultError` - never exported.
+        """
+        body = dict(self.get(key))  # verify + quarantine-on-corrupt
+        body[CHECKSUM_FIELD] = doc_checksum(body)
+        trace_b64: Optional[str] = None
+        trace_file = self.trace_path(key)
+        if trace_file.is_file():
+            trace_b64 = base64.b64encode(trace_file.read_bytes()).decode("ascii")
+        return {"key": key, "doc": body, "trace_b64": trace_b64}
+
+    def import_entry(
+        self, key: str, doc: dict[str, Any], trace_b64: Optional[str] = None
+    ) -> bool:
+        """Verify and persist an exported entry under this store.
+
+        The advertised checksum must match the recomputed content hash -
+        a transfer that corrupted the document is rejected (``ValueError``)
+        before anything touches disk, so migration can never plant a
+        quarantine-bound entry.  Returns ``False`` when the key already
+        holds a valid document (idempotent re-imports are no-ops, which
+        is what makes a resumed migration cursor safe).
+        """
+        body = dict(doc)
+        advertised = body.pop(CHECKSUM_FIELD, None)
+        if advertised is None:
+            raise ValueError(f"import of {key[:12]}.. carries no checksum")
+        actual = doc_checksum(body)
+        if actual != advertised:
+            raise ValueError(
+                f"import of {key[:12]}.. failed checksum verification "
+                f"(advertised {advertised[:12]}.., actual {actual[:12]}..)"
+            )
+        if self.contains(key):
+            return False
+        path = self.doc_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if trace_b64 is not None:
+            raw = base64.b64decode(trace_b64.encode("ascii"))
+            final = self.trace_path(key)
+            tmp_npz = final.with_name(f".{key}.{os.getpid()}.tmp.npz")
+            tmp_npz.write_bytes(raw)
+            fd = os.open(tmp_npz, os.O_RDONLY)
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp_npz, final)
+        self.store(key, body)
+        return True

@@ -55,6 +55,10 @@ JOBS_POISONED = "jobs.poisoned"
 JOBS_JOURNAL_REPLAYED = "jobs.journal_replayed"
 #: journal compactions (startup after replay, graceful drain).
 JOURNAL_COMPACTIONS = "journal.compactions"
+#: store entries exported to a migrating peer shard.
+STORE_EXPORTS = "store.exports"
+#: store entries imported (checksum-verified) from a peer shard.
+STORE_IMPORTS = "store.imports"
 
 # fleet-gateway counters (namespaced ``fleet.`` so they can never
 # collide with shard counters in the gateway's /metrics aggregate)
@@ -73,6 +77,30 @@ FLEET_PROBES = "fleet.probes"
 FLEET_FAILOVERS = "fleet.failovers"
 #: /healthz code_version disagreements observed between shards.
 FLEET_VERSION_MISMATCH = "fleet.version_mismatch"
+#: /fleet/join announcements accepted into the membership table.
+FLEET_JOINS = "fleet.joins"
+#: /fleet/join announcements rejected (version skew, name conflict).
+FLEET_JOINS_REJECTED = "fleet.joins_rejected"
+#: /fleet/leave departures accepted (graceful drains).
+FLEET_LEAVES = "fleet.leaves"
+#: probation members promoted to full ring members (post-migration).
+FLEET_MEMBERS_PROMOTED = "fleet.members_promoted"
+#: membership epoch bumps observed by this gateway (own or applied).
+FLEET_EPOCH_BUMPS = "fleet.epoch_bumps"
+#: remote membership views applied by a follower (higher epoch won).
+FLEET_VIEWS_APPLIED = "fleet.views_applied"
+#: arc migrations started (one per join/leave that remaps keys).
+FLEET_MIGRATIONS_STARTED = "fleet.migrations_started"
+#: arc migrations that ran to completion and flipped routing.
+FLEET_MIGRATIONS_COMPLETED = "fleet.migrations_completed"
+#: result entries copied old-owner -> new-owner, checksum verified.
+FLEET_KEYS_MIGRATED = "fleet.keys_migrated"
+#: migration keys skipped (source died mid-copy; recompute covers them).
+FLEET_MIGRATION_KEY_SKIPS = "fleet.migration_key_skips"
+#: result reads answered from the counterpart owner of a migrating arc.
+FLEET_DOUBLE_READS = "fleet.double_reads"
+#: foreign gateway ids reconstructed from shard job tables (failover).
+FLEET_JOBS_ADOPTED = "fleet.jobs_adopted"
 
 
 class Telemetry:

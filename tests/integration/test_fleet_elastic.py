@@ -1,0 +1,459 @@
+"""Integration: elastic membership - join mid-run, migrate, fail over.
+
+Two tiers:
+
+* **always on** - a real shard subprocess announces itself via
+  ``--announce`` into a live in-process gateway, passes probation, has
+  its ring arc migrated over (verified copies), serves traffic, and
+  leaves gracefully with the arc migrated back out.  Every result stays
+  bit-identical to a solo run and no store entry is ever quarantined.
+* **UVMREPRO_SLOW_TESTS=1** - the full chaos acceptance scenario:
+  2 shards + primary/follower gateway subprocesses, 60 mixed jobs, a
+  third shard joining mid-run, ``process.gateway_kill`` SIGKILLing the
+  primary mid-migration (clients fail over to the follower), a primary
+  restart resuming the migration from its journaled cursor, and
+  ``process.shard_kill`` taking out a shard - all jobs still complete
+  bit-identical to solo simulation, and the migration audit is written
+  out as a CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServiceClient
+from repro.serve.jobs import JobSpec
+from repro.units import MiB
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SLOW_TIER = os.environ.get("UVMREPRO_SLOW_TESTS", "") not in ("", "0")
+
+_WORKLOADS = ("stream", "random")
+
+
+def _specs(unique: int, repeats: int) -> list[dict]:
+    base = [
+        {
+            "workload": _WORKLOADS[i % len(_WORKLOADS)],
+            "data_bytes": 1 * MiB,
+            "seed": 2000 + i,
+            "gpu": {"memory_bytes": 4 * MiB},
+        }
+        for i in range(unique)
+    ]
+    return base * repeats
+
+
+def _child_env(chaos: dict | None = None) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), _SRC) if p
+    )
+    env["UVMREPRO_SANITIZE"] = "1"
+    env.pop("UVMREPRO_CHAOS", None)
+    if chaos is not None:
+        env["UVMREPRO_CHAOS"] = json.dumps(chaos)
+    return env
+
+
+def _await_banner(proc, marker: str, what: str) -> str:
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if marker in line:
+            return line.split(marker, 1)[1].split()[0]
+    proc.kill()
+    raise AssertionError(f"{what} never announced its URL")
+
+
+def _start_shard(
+    tmp_path,
+    name: str,
+    announce: list[str] | None = None,
+    chaos: dict | None = None,
+) -> tuple:
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--host", "127.0.0.1", "--port", "0",
+        "--workers", "1",
+        "--store-dir", str(tmp_path / name),
+        "--shard-name", name,
+        "--sweep-cache", "",
+        "--max-retries", "2",
+    ]
+    if announce:
+        argv += ["--announce", *announce]
+    proc = subprocess.Popen(
+        argv, env=_child_env(chaos), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, bufsize=1,
+    )
+    return proc, _await_banner(proc, "uvmrepro service on ", f"shard {name}")
+
+
+def _start_gateway(
+    tmp_path,
+    name: str,
+    shard_urls: list[str] | None = None,
+    journal: str | None = None,
+    follow: str | None = None,
+    chaos: dict | None = None,
+    port: int = 0,
+) -> tuple:
+    argv = [
+        sys.executable, "-m", "repro.cli", "gateway",
+        "--host", "127.0.0.1", "--port", str(port),
+        "--gateway-name", name,
+        "--probe-interval", "0.1",
+        "--down-after", "2",
+        "--recover-after", "1",
+        "--probation-probes", "2",
+    ]
+    if shard_urls:
+        argv += ["--shards", *shard_urls]
+    if journal:
+        argv += ["--membership-journal", journal]
+    if follow:
+        argv += ["--follow", follow]
+    proc = subprocess.Popen(
+        argv, env=_child_env(chaos), stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True, bufsize=1,
+    )
+    return proc, _await_banner(proc, "uvmrepro gateway on ", f"gateway {name}")
+
+
+def _drain_pipe(proc):
+    try:
+        proc.stdout.close()
+    except Exception:
+        pass
+
+
+def _reap(procs):
+    for proc in procs:
+        _drain_pipe(proc)
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def _solo_doc(payload: dict) -> dict:
+    from repro.experiments.runner import simulate
+    from repro.serve.results import result_to_doc
+
+    spec = JobSpec.from_dict(payload)
+    workload, setup = spec.build()
+    return result_to_doc(simulate(workload, setup))
+
+
+def _stable(doc: dict) -> dict:
+    return {k: v for k, v in doc.items() if k != "meta"}
+
+
+def _quarantined(tmp_path) -> list[str]:
+    return [
+        str(p)
+        for p in Path(tmp_path).rglob("quarantine/*")
+        if p.is_file()
+    ]
+
+
+def _wait_member_state(client, name, state, timeout=45.0):
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        view, _ = client.request_with_budget("GET", "/fleet/view")
+        last = {m["name"]: m["state"] for m in view["members"]}
+        if last.get(name) == state:
+            return view
+        time.sleep(0.1)
+    raise AssertionError(f"{name} never reached {state}; last view: {last}")
+
+
+class TestElasticJoinAndLeave:
+    def test_shard_joins_serves_and_leaves_with_arc_intact(self, tmp_path):
+        """Announce -> probation -> migrate -> active -> leave -> migrate out."""
+        from repro.fleet import FleetGateway, GatewayConfig, ShardSpec
+        from repro.fleet import serve_gateway_http
+
+        procs = []
+        try:
+            shard_urls = {}
+            for name in ("shard0", "shard1"):
+                proc, url = _start_shard(tmp_path, name)
+                procs.append(proc)
+                shard_urls[name] = url
+            config = GatewayConfig(
+                shards=tuple(
+                    ShardSpec(n, shard_urls[n]) for n in sorted(shard_urls)
+                ),
+                vnodes=64,
+                probe_interval_s=0.1,
+                down_after_probes=2,
+                recover_after_probes=1,
+                probation_probes=2,
+                read_timeout_s=60.0,
+            )
+            gateway = FleetGateway(config).start()
+            server = serve_gateway_http(gateway, "127.0.0.1", 0)
+            try:
+                client = ServiceClient(
+                    server.url, timeout_s=60.0, retries=3, backoff_budget_s=30.0
+                )
+                jobs = [
+                    (client.submit(p)["job_id"], p) for p in _specs(20, 2)
+                ]
+                finals = {}
+                for job_id, payload in jobs:
+                    final = client.wait(job_id, timeout_s=600.0, poll_s=0.05)
+                    assert final["state"] == "done", final.get("error")
+                    finals[job_id] = (payload, client.result(job_id))
+
+                # a third shard announces itself and is admitted
+                proc, url = _start_shard(
+                    tmp_path, "shard2", announce=[server.url]
+                )
+                procs.append(proc)
+                _wait_member_state(client, "shard2", "active")
+                assert "shard2" in gateway._ring.nodes
+                assert gateway.telemetry.counter("fleet.joins") == 1
+                assert gateway.telemetry.counter("fleet.members_promoted") == 1
+
+                audit = gateway.migration_audit()
+                joins = [
+                    a for a in audit["completed"] if a["kind"] == "join"
+                ]
+                assert len(joins) == 1
+                assert joins[0]["error"] is None
+                assert joins[0]["skips"] == 0
+                # the joiner's arc physically moved: verified copies.
+                # The store holds code-versioned *cache keys* (not the
+                # routing digests), so enumerate the source stores over
+                # the same /store/keys surface the migrator uses and
+                # recompute the remapped arc in store-key space.
+                moved = joins[0]["keys_migrated"]
+                assert moved == gateway.telemetry.counter(
+                    "fleet.keys_migrated"
+                )
+                old_keys = set()
+                for name in ("shard0", "shard1"):
+                    shard_client = ServiceClient(shard_urls[name])
+                    doc, _ = shard_client.request_with_budget(
+                        "GET", "/store/keys"
+                    )
+                    old_keys.update(doc["keys"])  # sources keep copies
+                expected = {
+                    k
+                    for k in old_keys
+                    if gateway._ring.primary(k) == "shard2"
+                }
+                joiner_client = ServiceClient(url)
+                doc, _ = joiner_client.request_with_budget(
+                    "GET", "/store/keys"
+                )
+                assert set(doc["keys"]) == expected
+                assert moved == len(expected) > 0
+
+                # repeats resubmitted after the flip still agree with solo
+                for payload in _specs(20, 1)[:3]:
+                    record = client.submit(payload)
+                    final = client.wait(
+                        record["job_id"], timeout_s=600.0, poll_s=0.05
+                    )
+                    assert final["state"] == "done"
+                    doc = client.result(record["job_id"])
+                    assert _stable(doc) == _stable(_solo_doc(payload))
+
+                # graceful leave migrates the arc back out
+                body, _ = client.request_with_budget(
+                    "POST", "/fleet/leave", {"shard_name": "shard2"}
+                )
+                assert body["state"] == "leaving"
+                _wait_member_state(client, "shard2", "left")
+                assert "shard2" not in gateway._ring.nodes
+                leaves = [
+                    a
+                    for a in gateway.migration_audit()["completed"]
+                    if a["kind"] == "leave"
+                ]
+                assert len(leaves) == 1
+                assert leaves[0]["error"] is None
+                assert leaves[0]["keys_migrated"] >= len(expected)
+
+                # zero quarantined entries anywhere after both migrations
+                assert _quarantined(tmp_path) == []
+
+                # and the fleet still serves everything, bit-identically
+                payload = jobs[0][1]
+                record = client.submit(payload)
+                final = client.wait(
+                    record["job_id"], timeout_s=600.0, poll_s=0.05
+                )
+                assert final["state"] == "done"
+                assert _stable(client.result(record["job_id"])) == _stable(
+                    _solo_doc(payload)
+                )
+            finally:
+                server.shutdown()
+                server.server_close()
+                gateway.stop()
+        finally:
+            _reap(procs)
+
+
+@pytest.mark.skipif(not SLOW_TIER, reason="set UVMREPRO_SLOW_TESTS=1 to run")
+class TestElasticChaosAcceptance:
+    def test_gateway_kill_mid_migration_with_shard_loss(self, tmp_path):
+        """The PR's acceptance scenario, end to end.
+
+        60 mixed jobs through a replicated gateway pair; a third shard
+        joins mid-run; the primary gateway is SIGKILLed by chaos after
+        its membership journal's 7th append - which, with 2 seed
+        members + probation + syncing + migration_start, lands the kill
+        on the migration's per-key cursor records; one shard dies by
+        ``process.shard_kill``; the restarted primary resumes the
+        migration from the journaled cursor.  All jobs complete
+        bit-identical to solo simulation, nothing is quarantined, and
+        the migration audit accounts for every moved key.
+        """
+        chaos = {
+            "seed": 11,
+            "faults": [
+                {
+                    "point": "process.gateway_kill",
+                    "args": {"gateway": "gw0", "after_records": 7},
+                },
+                {
+                    "point": "process.shard_kill",
+                    "args": {"shard": "shard1", "after_records": 12},
+                },
+            ],
+        }
+        procs, shard_urls = [], {}
+        journal = str(tmp_path / "gw0-membership.journal")
+        try:
+            for name in ("shard0", "shard1"):
+                proc, url = _start_shard(tmp_path, name, chaos=chaos)
+                procs.append(proc)
+                shard_urls[name] = url
+            primary_proc, primary_url = _start_gateway(
+                tmp_path,
+                "gw0",
+                shard_urls=[shard_urls["shard0"], shard_urls["shard1"]],
+                journal=journal,
+                chaos=chaos,
+            )
+            procs.append(primary_proc)
+            follower_proc, follower_url = _start_gateway(
+                tmp_path, "gw1", follow=primary_url
+            )
+            procs.append(follower_proc)
+
+            client = ServiceClient(
+                [primary_url, follower_url],
+                timeout_s=60.0,
+                retries=3,
+                backoff_budget_s=30.0,
+            )
+            submitted = [
+                (client.submit(p)["job_id"], p) for p in _specs(20, 3)
+            ]
+            assert len(submitted) == 60
+
+            # let stores fill, then the elastic join arms the kill chain
+            time.sleep(2.0)
+            joiner_proc, _ = _start_shard(
+                tmp_path, "shard2", announce=[primary_url, follower_url]
+            )
+            procs.append(joiner_proc)
+
+            # the chaos fault SIGKILLs the primary (journal append >= 7)
+            deadline = time.time() + 120
+            while primary_proc.poll() is None and time.time() < deadline:
+                time.sleep(0.2)
+            assert primary_proc.poll() == -signal.SIGKILL, (
+                "gateway_kill never fired; journal appends stayed < 7"
+            )
+
+            # clients keep finishing jobs through the follower replica
+            finals = {}
+            for job_id, payload in submitted:
+                final = client.wait(job_id, timeout_s=600.0, poll_s=0.05)
+                assert final["state"] == "done", (
+                    f"{job_id} ended {final['state']}: {final.get('error')}"
+                )
+                finals[job_id] = (payload, client.result(job_id))
+
+            # restart the primary on its old port, without chaos: it
+            # replays the membership journal and resumes the migration
+            port = int(primary_url.rsplit(":", 1)[1])
+            restarted_proc, restarted_url = _start_gateway(
+                tmp_path, "gw0", journal=journal, port=port
+            )
+            procs.append(restarted_proc)
+            assert restarted_url == primary_url
+            primary = ServiceClient(restarted_url, timeout_s=30.0, retries=2)
+            view = _wait_member_state(primary, "shard2", "active")
+            assert view["epoch"] > 0
+
+            audits, _ = primary.request_with_budget("GET", "/fleet/migrations")
+            joins = [a for a in audits["completed"] if a["kind"] == "join"]
+            assert joins, "restarted primary never ran the resumed migration"
+            resumed = joins[-1]
+            # the journaled cursor carried keys copied before the kill
+            assert resumed["keys_resumed"] + resumed["keys_migrated"] > 0
+
+            # the shard_kill fault really took a shard out (SIGKILL)
+            deadline = time.time() + 30
+            while procs[1].poll() is None and time.time() < deadline:
+                time.sleep(0.1)
+            assert procs[1].poll() == -signal.SIGKILL
+
+            # bit-identical: repeats agree with each other and with solo
+            by_key = {}
+            for job_id, (payload, doc) in finals.items():
+                key = JobSpec.from_dict(payload).spec_digest()
+                by_key.setdefault(key, []).append((payload, doc))
+            for key, group in by_key.items():
+                first = _stable(group[0][1])
+                for _, doc in group[1:]:
+                    assert _stable(doc) == first, f"repeat mismatch for {key}"
+            for key in list(by_key)[:3]:
+                payload, doc = by_key[key][0]
+                assert _stable(doc) == _stable(_solo_doc(payload))
+
+            # zero quarantined/corrupt entries after everything
+            assert _quarantined(tmp_path) == []
+
+            # fleet metrics account for the elasticity events
+            metrics, _ = primary.request_with_budget("GET", "/metrics")
+            counters = metrics["counters"]
+            assert counters["fleet.epoch_bumps"] >= 1
+            assert counters["fleet.keys_migrated"] == sum(
+                a["keys_migrated"] for a in audits["completed"]
+            )
+
+            # the audit document is the CI artifact
+            artifact_dir = Path(
+                os.environ.get("UVMREPRO_AUDIT_DIR", tmp_path)
+            )
+            artifact_dir.mkdir(parents=True, exist_ok=True)
+            artifact = artifact_dir / "migration_audit.json"
+            artifact.write_text(json.dumps(audits, indent=2, sort_keys=True))
+            assert artifact.is_file()
+        finally:
+            _reap(procs)

@@ -1,0 +1,98 @@
+"""Ring re-balance invariants under arbitrary membership churn.
+
+The elastic fleet trusts three properties of the consistent-hash ring
+across any join -> leave -> join sequence:
+
+* preference lists never repeat a node (a key's replica set is a set),
+* the exact arc shares always partition the key space (sum to 1),
+* one join or leave remaps a *bounded* fraction of the key space -
+  the minimal-remap property that makes arc migration cheap.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.ring import HashRing
+
+#: enough vnodes to keep single-node share variance well under the
+#: 2/N + eps remap bound asserted below.
+VNODES = 64
+NAMES = [f"n{i}" for i in range(8)]
+
+#: a churn script: (True, name) joins, (False, name) leaves.
+churn_ops = st.lists(
+    st.tuples(st.booleans(), st.sampled_from(NAMES)), min_size=1, max_size=24
+)
+
+sample_keys = st.lists(
+    st.text(alphabet="0123456789abcdef", min_size=8, max_size=16),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+def _apply(ring: HashRing, join: bool, name: str) -> HashRing:
+    """One membership change, or the unchanged ring when it is a no-op
+    (re-joining a member, or removing the last/absent one)."""
+    if join:
+        return ring if name in ring.nodes else ring.with_node(name)
+    if name not in ring.nodes or len(ring) <= 1:
+        return ring
+    return ring.without_node(name)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=churn_ops, keys=sample_keys)
+def test_churn_preserves_preference_and_share_invariants(ops, keys):
+    ring = HashRing(NAMES[:2], vnodes=VNODES)
+    for join, name in ops:
+        ring = _apply(ring, join, name)
+
+        prefs = {key: ring.preference(key) for key in keys}
+        for key, pref in prefs.items():
+            assert len(pref) == len(set(pref)), f"duplicate replica for {key}"
+            assert set(pref) == set(ring.nodes)
+            assert pref[0] == ring.primary(key)
+
+        shares = ring.shares()
+        assert set(shares) == set(ring.nodes)
+        assert all(share >= 0.0 for share in shares.values())
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=churn_ops)
+def test_single_change_remap_volume_is_bounded(ops):
+    ring = HashRing(NAMES[:2], vnodes=VNODES)
+    for join, name in ops:
+        after = _apply(ring, join, name)
+        if after is ring:
+            continue
+        n = max(len(ring), len(after))
+        moved = ring.diff_share(after)
+        assert 0.0 <= moved <= 2.0 / n + 0.05, (
+            f"{'join' if join else 'leave'} of {name} at N={n} "
+            f"remapped {moved:.3f} of the key space"
+        )
+        # and the delta is symmetric: the arc is the arc either way
+        assert abs(ring.diff_share(after) - after.diff_share(ring)) < 1e-9
+        ring = after
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=churn_ops, keys=sample_keys)
+def test_join_then_leave_is_routing_identity(ops, keys):
+    """Adding a member and removing it again restores every route."""
+    ring = HashRing(NAMES[:3], vnodes=VNODES)
+    for join, name in ops:
+        ring = _apply(ring, join, name)
+    newcomer = "transient"
+    roundtrip = ring.with_node(newcomer).without_node(newcomer)
+    assert roundtrip.nodes == ring.nodes
+    for key in keys:
+        assert roundtrip.primary(key) == ring.primary(key)
+        assert roundtrip.preference(key) == ring.preference(key)
+    assert ring.diff_share(roundtrip) == 0.0

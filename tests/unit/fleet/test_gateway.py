@@ -25,6 +25,7 @@ from repro.fleet import (
 from repro.fleet.ring import stable_hash
 from repro.serve.client import ServiceClient, ServiceClientError
 from repro.serve.jobs import JobSpec
+from repro.serve.store import CHECKSUM_FIELD, doc_checksum
 from repro.serve.wire import JsonRequestHandler
 
 
@@ -77,12 +78,24 @@ class _FakeShardHandler(JsonRequestHandler):
                         "job_id": j["job_id"],
                         "state": j["state"],
                         "workload": j["spec"]["workload"],
+                        "digest": j["key"],
                         "attempts": 1,
                         "cache_hit": False,
                     }
                     for j in shard.jobs.values()
                 ]
             self.send_json(200, {"jobs": jobs})
+        elif parts == ["store", "keys"]:
+            with shard.lock:
+                keys = sorted(shard.store)
+            self.send_json(200, {"keys": keys})
+        elif len(parts) == 3 and parts[:2] == ["store", "entries"]:
+            with shard.lock:
+                entry = shard.store.get(parts[2])
+            if entry is None:
+                self.send_json_error(404, f"no stored entry for {parts[2]}")
+            else:
+                self.send_json(200, {"key": parts[2], **entry})
         elif len(parts) == 2 and parts[0] == "jobs":
             with shard.lock:
                 job = shard.jobs.get(parts[1])
@@ -109,6 +122,20 @@ class _FakeShardHandler(JsonRequestHandler):
 
     def do_POST(self):  # noqa: N802
         shard = self.server
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) == 3 and parts[:2] == ["store", "entries"]:
+            body = self.read_json_body()
+            doc = body.get("doc") or {}
+            if doc.get(CHECKSUM_FIELD) != doc_checksum(doc):
+                self.send_json_error(400, "checksum verification failed")
+                return
+            with shard.lock:
+                imported = parts[2] not in shard.store
+                shard.store.setdefault(
+                    parts[2], {"doc": doc, "trace_b64": body.get("trace_b64")}
+                )
+            self.send_json(200, {"key": parts[2], "imported": imported})
+            return
         with shard.lock:
             shard.post_attempts += 1
         if shard.mode == "shed":
@@ -166,6 +193,8 @@ class _FakeShard(ThreadingHTTPServer):
         self.hold = hold
         self.retry_after = 0.05
         self.jobs: dict[str, dict] = {}
+        #: key -> {"doc": ..., "trace_b64": ...} (the migration surface)
+        self.store: dict[str, dict] = {}
         self.counters: dict[str, int] = {}
         self.seq = 0
         self.post_attempts = 0

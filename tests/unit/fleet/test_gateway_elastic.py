@@ -1,0 +1,338 @@
+"""Elastic membership through the gateway: join, leave, replicate, adopt.
+
+Builds on the scripted fake shards from ``test_gateway`` - the fakes
+also speak the ``/store`` migration surface, so a full
+probation -> syncing -> migration -> active join runs in-process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.fleet import (
+    FleetGateway,
+    FleetMembership,
+    GatewayConfig,
+    MemberState,
+    ShardSpec,
+)
+from repro.fleet.migrate import MigrationTask
+from repro.serve.store import CHECKSUM_FIELD, doc_checksum
+
+from tests.unit.fleet.test_gateway import (
+    _FakeShard,
+    _fleet,
+    _key,
+    _seed_with_primary,
+    _spec,
+)
+
+
+def _store_entry(key: str) -> dict:
+    doc = {"key": key, "total_time_ns": 123}
+    doc[CHECKSUM_FIELD] = doc_checksum(doc)
+    return {"doc": doc, "trace_b64": None}
+
+
+def _wait_state(gateway, name, state, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        member = gateway.membership.get(name)
+        if member is not None and member.state is state:
+            return member
+        time.sleep(0.02)
+    raise AssertionError(
+        f"{name} never reached {state}: "
+        f"{[m.to_dict() for m in gateway.membership.members()]}"
+    )
+
+
+@pytest.fixture
+def duo():
+    shards = [_FakeShard(f"s{i}") for i in range(2)]
+    yield shards
+    for shard in shards:
+        try:
+            shard.kill()
+        except Exception:
+            pass
+
+
+@pytest.fixture
+def newcomer():
+    shard = _FakeShard("s9")
+    yield shard
+    try:
+        shard.kill()
+    except Exception:
+        pass
+
+
+class TestJoin:
+    def test_join_full_lifecycle_to_active(self, duo, newcomer):
+        gateway = _fleet(duo, probation_probes=2)
+        # seed data on the existing shards so the migration has an arc
+        for i in range(40):
+            key = f"{i:016x}"
+            owner = gateway._ring.primary(key)
+            shard = next(s for s in duo if s.name == owner)
+            shard.store[key] = _store_entry(key)
+
+        status, body = gateway.join(
+            {"shard_name": "s9", "url": newcomer.url, "code_version": None}
+        )
+        assert status == 202
+        assert body["state"] == "probation"
+        assert body["probation_probes"] == 2
+        assert "s9" not in gateway._ring.nodes  # off-ring until active
+
+        # re-announcing is idempotent: no epoch bump, current state back
+        epoch = gateway.membership.epoch
+        status, body = gateway.join({"shard_name": "s9", "url": newcomer.url})
+        assert (status, body["state"]) == (200, "probation")
+        assert gateway.membership.epoch == epoch
+
+        gateway.probe_once()  # healthy probe 1 of 2
+        assert gateway.membership.get("s9").state is MemberState.PROBATION
+        gateway.probe_once()  # probe 2: promotion to SYNCING + migration
+        _wait_state(gateway, "s9", MemberState.ACTIVE)
+
+        assert "s9" in gateway._ring.nodes
+        assert gateway.telemetry.counter("fleet.joins") == 1
+        assert gateway.telemetry.counter("fleet.members_promoted") == 1
+        # exactly the remapped arc landed on the joiner, verified copies
+        target = gateway._ring
+        expected = {k for s in duo for k in s.store if target.primary(k) == "s9"}
+        assert set(newcomer.store) == expected
+        audit = gateway.migration_audit()
+        assert audit["live"] == []
+        assert audit["completed"][-1]["keys_migrated"] == len(expected)
+        assert audit["completed"][-1]["skips"] == 0
+
+    def test_join_rejects_version_skew(self, duo, newcomer):
+        gateway = _fleet(duo)
+        status, body = gateway.join(
+            {"shard_name": "s9", "url": newcomer.url, "code_version": "alien"}
+        )
+        assert status == 403
+        assert "allow-version-skew" in body["error"]
+        assert gateway.membership.get("s9") is None
+        assert gateway.telemetry.counter("fleet.joins_rejected") == 1
+
+    def test_allow_version_skew_admits_anyway(self, duo, newcomer):
+        gateway = _fleet(duo, allow_version_skew=True)
+        status, _ = gateway.join(
+            {"shard_name": "s9", "url": newcomer.url, "code_version": "alien"}
+        )
+        assert status == 202
+
+    def test_join_rejects_url_conflict(self, duo):
+        gateway = _fleet(duo)
+        status, body = gateway.join({"shard_name": "imposter", "url": duo[0].url})
+        assert status == 409
+        assert duo[0].name in body["error"]
+
+    def test_join_rejects_bad_spec(self, duo):
+        gateway = _fleet(duo)
+        status, _ = gateway.join({"shard_name": "", "url": "ftp://nope"})
+        assert status == 400
+        assert gateway.telemetry.counter("fleet.joins_rejected") == 1
+
+
+class TestLeave:
+    def test_leave_migrates_arc_then_flips(self):
+        shards = [_FakeShard(f"s{i}") for i in range(3)]
+        try:
+            gateway = _fleet(shards)
+            leaver = shards[1]
+            for i in range(30):
+                key = f"{i:016x}"
+                if gateway._ring.primary(key) == leaver.name:
+                    leaver.store[key] = _store_entry(key)
+            assert leaver.store
+
+            status, body = gateway.leave({"shard_name": leaver.name})
+            assert (status, body["state"]) == (202, "leaving")
+            _wait_state(gateway, leaver.name, MemberState.LEFT)
+
+            assert leaver.name not in gateway._ring.nodes
+            target = gateway._ring
+            for key in leaver.store:
+                dest = next(s for s in shards if s.name == target.primary(key))
+                assert key in dest.store
+            assert gateway.telemetry.counter("fleet.leaves") == 1
+        finally:
+            for shard in shards:
+                try:
+                    shard.kill()
+                except Exception:
+                    pass
+
+    def test_leave_unknown_shard_404(self, duo):
+        gateway = _fleet(duo)
+        status, _ = gateway.leave({"shard_name": "ghost"})
+        assert status == 404
+
+    def test_leave_probation_member_is_immediate(self, duo, newcomer):
+        gateway = _fleet(duo)
+        gateway.join({"shard_name": "s9", "url": newcomer.url})
+        status, body = gateway.leave({"shard_name": "s9"})
+        assert (status, body["state"]) == (200, "left")
+        # and leaving again is idempotent
+        status, body = gateway.leave({"shard_name": "s9"})
+        assert (status, body["state"]) == (200, "left")
+
+    def test_last_shard_leave_skips_migration(self, newcomer):
+        gateway = _fleet([newcomer])
+        status, body = gateway.leave({"shard_name": newcomer.name})
+        assert (status, body["state"]) == (200, "left")
+        assert len(gateway._ring) == 0
+
+
+class TestReplication:
+    def test_follower_redirects_join_to_primary(self, duo):
+        config = GatewayConfig(
+            shards=(), follow="http://127.0.0.1:1", probe_interval_s=30.0
+        )
+        follower = FleetGateway(config)
+        status, body = follower.join({"shard_name": "x", "url": duo[0].url})
+        assert status == 503
+        assert body["primary"] == "http://127.0.0.1:1"
+        status, body = follower.leave({"shard_name": "x"})
+        assert status == 503
+
+    def test_follower_adopts_higher_epoch_view(self, duo):
+        primary = _fleet(duo)
+        # replicas must share ring geometry for the invariant to hold
+        config = GatewayConfig(
+            shards=(),
+            follow="http://127.0.0.1:1",
+            vnodes=primary.config.vnodes,
+            probe_interval_s=30.0,
+        )
+        follower = FleetGateway(config)
+        ready, detail = follower.readiness()
+        assert not ready
+        assert "awaiting first membership view from primary" in detail["reasons"]
+
+        assert follower.membership.apply_view(primary.membership.view())
+        with follower._lock:
+            follower._sync_handles_locked()
+        assert set(follower._ring.nodes) == set(primary._ring.nodes)
+        # both route every key identically: the no-disagreement invariant
+        for seed in range(30):
+            key = _key(seed)
+            assert follower._ring.primary(key) == primary._ring.primary(key)
+
+    def test_wait_view_long_polls_until_epoch_bump(self, duo, newcomer):
+        gateway = _fleet(duo)
+        since = gateway.membership.epoch
+        result = {}
+
+        def poll():
+            result["view"] = gateway.wait_view(since=since, wait_s=5.0)
+
+        thread = threading.Thread(target=poll)
+        thread.start()
+        time.sleep(0.1)
+        gateway.join({"shard_name": "s9", "url": newcomer.url})
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result["view"]["epoch"] > since
+        assert any(m["name"] == "s9" for m in result["view"]["members"])
+
+    def test_wait_view_times_out_with_current_view(self, duo):
+        gateway = _fleet(duo)
+        view = gateway.wait_view(since=gateway.membership.epoch, wait_s=0.05)
+        assert view["epoch"] == gateway.membership.epoch
+
+
+class TestReadiness:
+    def test_resuming_journal_is_not_ready(self, duo, tmp_path):
+        path = tmp_path / "membership.journal"
+        seeds = [ShardSpec(s.name, s.url) for s in duo]
+        fm = FleetMembership(path, seeds=seeds)
+        fm.append_entry(
+            {"op": "migration_start", "mid": "join:sX:e9", "kind": "join", "node": "sX"}
+        )
+        fm.close()
+
+        config = GatewayConfig(
+            shards=(), membership_journal=path, probe_interval_s=30.0
+        )
+        gateway = FleetGateway(config)
+        ready, detail = gateway.readiness()
+        assert not ready
+        assert "replaying membership journal" in detail["reasons"]
+        gateway.membership.close()
+
+    def test_unserved_leave_arc_is_not_ready(self, duo):
+        gateway = _fleet(duo)
+        assert gateway.readiness()[0]
+        # a live leave-migration whose leaver has no handle = a hole
+        with gateway._lock:
+            gateway._live_migrations["leave:gone:e9"] = MigrationTask(
+                mid="leave:gone:e9", kind="leave", node="gone"
+            )
+        ready, detail = gateway.readiness()
+        assert not ready
+        assert any("leave:gone:e9" in r for r in detail["reasons"])
+
+    def test_join_migration_does_not_block_readiness(self, duo):
+        gateway = _fleet(duo)
+        with gateway._lock:
+            gateway._live_migrations["join:s9:e9"] = MigrationTask(
+                mid="join:s9:e9", kind="join", node="s9"
+            )
+        assert gateway.readiness()[0]
+
+
+class TestAdoption:
+    def test_sibling_gateway_adopts_by_digest(self, duo):
+        first = _fleet(duo)
+        record = first.submit_dict(_spec(3))
+        assert first.status(record["job_id"])["state"] == "done"
+
+        second = _fleet(duo)
+        status = second.status(record["job_id"])
+        assert status["state"] == "done"
+        assert second.telemetry.counter("fleet.jobs_adopted") == 1
+        # and the result is fetchable through the adopting gateway
+        doc = second.result_doc(record["job_id"])
+        assert doc is not None
+        assert doc == first.result_doc(record["job_id"])
+
+    def test_unparseable_ids_stay_unknown(self, duo):
+        gateway = _fleet(duo)
+        for bogus in ("gw-99999999", "gw-nothex0123456789-000001", "x-y-z"):
+            with pytest.raises(KeyError):
+                gateway.status(bogus)
+        assert gateway.telemetry.counter("fleet.jobs_adopted") == 0
+
+
+class TestDoubleRead:
+    def test_result_falls_back_to_migration_counterpart(self, duo):
+        for shard in duo:
+            shard.hold = False
+        gateway = _fleet(duo)
+        seed = _seed_with_primary(gateway, "s0")
+        record = gateway.submit_dict(_spec(seed))
+        key = _key(seed)
+
+        # simulate a completed handoff of s0's arc to s1: the gateway
+        # remembers the ring pair, and the counterpart holds the job
+        ring_before = gateway._ring
+        ring_after = ring_before.without_node("s0")
+        with gateway._lock:
+            gateway._migration_rings.append((ring_before, ring_after))
+        done = next(iter(duo[0].jobs.values()))
+        duo[1].jobs[done["job_id"]] = dict(done)
+
+        duo[0].kill()  # primary gone before the client fetched the result
+        doc = gateway.result_doc(record["job_id"])
+        assert doc is not None
+        assert doc["key"] == key
+        assert gateway.telemetry.counter("fleet.double_reads") == 1

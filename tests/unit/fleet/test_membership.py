@@ -1,0 +1,180 @@
+"""FleetMembership: the journaled, epoch-versioned member table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import FleetMembership, Member, MemberState, ShardSpec
+
+
+def _seeds(n=2):
+    return [ShardSpec(f"s{i}", f"http://127.0.0.1:{9000 + i}") for i in range(n)]
+
+
+class TestLifecycle:
+    def test_seeds_become_active_members(self):
+        fm = FleetMembership(seeds=_seeds(3))
+        assert fm.active_names() == ["s0", "s1", "s2"]
+        assert all(m.state is MemberState.ACTIVE for m in fm.members())
+        # one epoch bump per seeded member
+        assert fm.epoch == 3
+
+    def test_upsert_starts_on_probation_and_bumps_epoch(self):
+        fm = FleetMembership(seeds=_seeds(2))
+        before = fm.epoch
+        member = fm.upsert("s2", "http://127.0.0.1:9002", code_version="v1")
+        assert member.state is MemberState.PROBATION
+        assert fm.epoch == before + 1
+        assert member.epoch == fm.epoch
+        assert "s2" not in fm.active_names()
+        assert {m.name for m in fm.routable()} == {"s0", "s1", "s2"}
+
+    def test_full_join_lifecycle(self):
+        fm = FleetMembership(seeds=_seeds(1))
+        fm.upsert("s1", "http://127.0.0.1:9001")
+        fm.set_state("s1", MemberState.SYNCING)
+        assert fm.active_names() == ["s0"]
+        fm.set_state("s1", MemberState.ACTIVE)
+        assert fm.active_names() == ["s0", "s1"]
+        fm.set_state("s1", MemberState.LEFT)
+        assert fm.active_names() == ["s0"]
+        assert [m.name for m in fm.routable()] == ["s0"]
+        # the record survives for audit
+        assert fm.get("s1").state is MemberState.LEFT
+
+    def test_set_state_unknown_member_raises(self):
+        fm = FleetMembership(seeds=_seeds(1))
+        with pytest.raises(KeyError):
+            fm.set_state("ghost", MemberState.ACTIVE)
+
+    def test_epoch_strictly_monotone_across_mutations(self):
+        fm = FleetMembership(seeds=_seeds(1))
+        seen = [fm.epoch]
+        fm.upsert("s1", "http://127.0.0.1:9001")
+        seen.append(fm.epoch)
+        fm.set_state("s1", MemberState.SYNCING)
+        seen.append(fm.epoch)
+        fm.set_state("s1", MemberState.LEFT)
+        seen.append(fm.epoch)
+        assert seen == sorted(set(seen))
+
+    def test_upsert_normalizes_urls_via_registry(self):
+        fm = FleetMembership(seeds=())
+        member = fm.upsert("s0", "http://Host.Example:80/")
+        assert member.url == "http://host.example"
+
+    def test_member_from_dict_rejects_bad_state(self):
+        with pytest.raises(ConfigurationError):
+            Member.from_dict(
+                {"name": "s0", "url": "http://h:1", "state": "zombie"}
+            )
+
+
+class TestJournal:
+    def test_restart_replays_the_fleet(self, tmp_path):
+        path = tmp_path / "membership.journal"
+        fm = FleetMembership(path, seeds=_seeds(2))
+        fm.upsert("s2", "http://127.0.0.1:9002", code_version="v1")
+        fm.set_state("s2", MemberState.ACTIVE)
+        epoch = fm.epoch
+        fm.close()
+
+        reborn = FleetMembership(path, seeds=())
+        assert reborn.replayed == 4  # one per mutation, not per member
+        assert reborn.epoch == epoch
+        assert reborn.active_names() == ["s0", "s1", "s2"]
+        assert reborn.get("s2").code_version == "v1"
+        reborn.close()
+
+    def test_replay_ignores_stale_seeds(self, tmp_path):
+        """A journal that already names members wins over config seeds."""
+        path = tmp_path / "membership.journal"
+        fm = FleetMembership(path, seeds=_seeds(1))
+        fm.close()
+        reborn = FleetMembership(path, seeds=_seeds(3))
+        assert reborn.active_names() == ["s0"]
+        reborn.close()
+
+    def test_extra_entries_surface_migration_cursors(self, tmp_path):
+        path = tmp_path / "membership.journal"
+        fm = FleetMembership(path, seeds=_seeds(2))
+        fm.append_entry({"op": "migration_start", "mid": "join:s2:e3", "kind": "join", "node": "s2"})
+        fm.append_entry({"op": "migrated", "mid": "join:s2:e3", "key": "k1"})
+        fm.close()
+
+        reborn = FleetMembership(path, seeds=())
+        ops = [e["op"] for e in reborn.extra_entries]
+        assert ops == ["migration_start", "migrated"]
+        reborn.close()
+
+    def test_replay_compacts_to_current_table(self, tmp_path):
+        path = tmp_path / "membership.journal"
+        fm = FleetMembership(path, seeds=_seeds(1))
+        for _ in range(5):  # churn: many mutations for one member
+            fm.set_state("s0", MemberState.ACTIVE)
+        fm.close()
+        size_before = path.stat().st_size
+        reborn = FleetMembership(path, seeds=())
+        reborn.close()
+        assert path.stat().st_size < size_before
+        # and the compacted journal still replays identically
+        again = FleetMembership(path, seeds=())
+        assert again.active_names() == ["s0"]
+        again.close()
+
+    def test_memory_only_mode_has_no_journal(self):
+        fm = FleetMembership(seeds=_seeds(1))
+        assert fm.journal is None
+        fm.append_entry({"op": "migrated", "mid": "x", "key": "y"})  # no-op
+        fm.close()
+
+
+class TestViewReplication:
+    def test_view_roundtrips_through_apply(self):
+        primary = FleetMembership(seeds=_seeds(2))
+        primary.upsert("s2", "http://127.0.0.1:9002")
+        follower = FleetMembership(seeds=())
+        assert follower.apply_view(primary.view()) is True
+        assert follower.epoch == primary.epoch
+        assert {m.name for m in follower.members()} == {"s0", "s1", "s2"}
+        assert follower.get("s2").state is MemberState.PROBATION
+
+    def test_stale_and_tied_views_are_ignored(self):
+        primary = FleetMembership(seeds=_seeds(2))
+        follower = FleetMembership(seeds=())
+        view = primary.view()
+        assert follower.apply_view(view) is True
+        assert follower.apply_view(view) is False  # tie: ignored
+        stale = dict(view)
+        stale["epoch"] = view["epoch"] - 1
+        assert follower.apply_view(stale) is False
+        assert follower.epoch == view["epoch"]
+
+    def test_higher_epoch_replaces_whole_table(self):
+        follower = FleetMembership(seeds=_seeds(3))
+        primary = FleetMembership(seeds=_seeds(1))
+        primary.upsert("s9", "http://127.0.0.1:9009")
+        primary.upsert("s8", "http://127.0.0.1:9008")
+        primary.upsert("s7", "http://127.0.0.1:9007")
+        primary.set_state("s9", MemberState.ACTIVE)
+        assert primary.epoch > follower.epoch
+        assert follower.apply_view(primary.view()) is True
+        assert {m.name for m in follower.members()} == {"s0", "s9", "s8", "s7"}
+
+    def test_apply_view_rejects_garbage(self):
+        fm = FleetMembership(seeds=())
+        with pytest.raises(ConfigurationError):
+            fm.apply_view("not a mapping")
+        with pytest.raises(ConfigurationError):
+            fm.apply_view({"epoch": "not-an-int"})
+
+    def test_applied_view_is_journaled(self, tmp_path):
+        path = tmp_path / "membership.journal"
+        primary = FleetMembership(seeds=_seeds(2))
+        follower = FleetMembership(path, seeds=())
+        assert follower.apply_view(primary.view()) is True
+        follower.close()
+        reborn = FleetMembership(path, seeds=())
+        assert reborn.active_names() == ["s0", "s1"]
+        reborn.close()

@@ -1,0 +1,258 @@
+"""Migrator: arc selection, verification, resume, and skip accounting.
+
+The migrator sees shards only through ``client_for``, so these tests
+drive it against in-memory stub clients - no sockets, no services -
+and assert on exactly which keys moved where.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import HashRing
+from repro.fleet.migrate import (
+    MAX_CATCHUP_SWEEPS,
+    MigrationTask,
+    Migrator,
+    in_flight_from_entries,
+)
+from repro.serve.client import ServiceClientError
+from repro.serve.store import CHECKSUM_FIELD, doc_checksum
+from repro.serve.telemetry import Telemetry
+
+
+def _doc(key: str) -> dict:
+    body = {"key": key, "total_time_ns": 123}
+    body[CHECKSUM_FIELD] = doc_checksum(body)
+    return body
+
+
+class _StubShard:
+    """An in-memory store speaking the client surface the migrator uses."""
+
+    def __init__(self, keys=()):
+        self.entries = {k: {"doc": _doc(k), "trace_b64": None} for k in keys}
+        self.list_calls = 0
+        #: keys appended to the store after the first enumeration
+        #: (simulates jobs completing while the main pass runs).
+        self.late_keys: list[str] = []
+
+    def request_with_budget(self, method, path, body=None):
+        parts = [p for p in path.split("/") if p]
+        if method == "GET" and parts == ["store", "keys"]:
+            self.list_calls += 1
+            if self.list_calls > 1 and self.late_keys:
+                for key in self.late_keys:
+                    self.entries[key] = {"doc": _doc(key), "trace_b64": None}
+                self.late_keys = []
+            return {"keys": sorted(self.entries)}, {}
+        if method == "GET" and parts[:2] == ["store", "entries"]:
+            entry = self.entries.get(parts[2])
+            if entry is None:
+                raise ServiceClientError(404, "no entry")
+            return {"key": parts[2], **entry}, {}
+        if method == "POST" and parts[:2] == ["store", "entries"]:
+            doc = (body or {}).get("doc") or {}
+            if doc.get(CHECKSUM_FIELD) != doc_checksum(doc):
+                raise ServiceClientError(400, "checksum mismatch")
+            imported = parts[2] not in self.entries
+            self.entries.setdefault(
+                parts[2], {"doc": doc, "trace_b64": (body or {}).get("trace_b64")}
+            )
+            return {"key": parts[2], "imported": imported}, {}
+        raise ServiceClientError(404, f"no route {method} {path}")
+
+
+def _keys_for(ring: HashRing, node: str, count: int, start: int = 0):
+    """``count`` synthetic keys whose primary under ``ring`` is ``node``."""
+    found = []
+    i = start
+    while len(found) < count:
+        key = f"{i:016x}"
+        if ring.primary(key) == node:
+            found.append(key)
+        i += 1
+    return found
+
+
+def _migrator(shards, journal=None, telemetry=None):
+    return Migrator(
+        lambda name: shards.get(name),
+        journal_append=None if journal is None else journal.append,
+        telemetry=telemetry,
+    )
+
+
+class TestJoin:
+    def test_join_moves_exactly_the_remapped_arc(self):
+        current = HashRing(["a", "b"], vnodes=32)
+        target = current.with_node("c")
+        shards = {"a": _StubShard(), "b": _StubShard(), "c": _StubShard()}
+        moving, staying = [], []
+        for i in range(200):
+            key = f"{i:016x}"
+            owner = current.primary(key)
+            shards[owner].entries[key] = {"doc": _doc(key), "trace_b64": None}
+            (moving if target.primary(key) == "c" else staying).append(key)
+        assert moving and staying  # the arc is a strict subset
+
+        task = MigrationTask(mid="join:c:e1", kind="join", node="c")
+        audit = _migrator(shards).run(task, current, target)
+
+        assert set(shards["c"].entries) == set(moving)
+        assert audit["keys_migrated"] == len(moving)
+        assert audit["skips"] == 0
+        assert audit["error"] is None
+        assert 0.0 < audit["remap_share"] < 1.0
+        # sources keep their copies: the flip, not the copy, changes routing
+        assert all(k in shards[current.primary(k)].entries for k in moving)
+
+    def test_join_catchup_sweep_collects_late_entries(self):
+        current = HashRing(["a"], vnodes=32)
+        target = current.with_node("b")
+        shards = {"a": _StubShard(), "b": _StubShard()}
+        first = _keys_for(target, "b", 3)
+        late = _keys_for(target, "b", 2, start=10_000)
+        for key in first:
+            shards["a"].entries[key] = {"doc": _doc(key), "trace_b64": None}
+        shards["a"].late_keys = list(late)
+
+        task = MigrationTask(mid="join:b:e1", kind="join", node="b")
+        audit = _migrator(shards).run(task, current, target)
+
+        assert set(shards["b"].entries) == set(first) | set(late)
+        assert audit["keys_migrated"] == len(first) + len(late)
+        assert 2 <= audit["sweeps"] <= MAX_CATCHUP_SWEEPS + 1
+
+    def test_resume_skips_journaled_cursor_keys(self):
+        current = HashRing(["a"], vnodes=32)
+        target = current.with_node("b")
+        keys = _keys_for(target, "b", 4)
+        shards = {"a": _StubShard(keys), "b": _StubShard(keys[:2])}
+
+        task = MigrationTask(
+            mid="join:b:e1", kind="join", node="b", done_keys=set(keys[:2])
+        )
+        audit = _migrator(shards).run(task, current, target)
+
+        assert audit["keys_migrated"] == 2  # only the tail was copied
+        assert audit["keys_resumed"] == 2
+        assert set(shards["b"].entries) == set(keys)
+
+    def test_unreachable_source_is_skipped_not_fatal(self):
+        current = HashRing(["a", "b"], vnodes=32)
+        target = current.with_node("c")
+        shards = {"b": _StubShard(), "c": _StubShard()}  # "a" has no client
+        b_keys = [
+            k for k in _keys_for(target, "c", 8) if current.primary(k) == "b"
+        ]
+        for key in b_keys:
+            shards["b"].entries[key] = {"doc": _doc(key), "trace_b64": None}
+        telemetry = Telemetry()
+        task = MigrationTask(mid="join:c:e1", kind="join", node="c")
+        audit = _migrator(shards, telemetry=telemetry).run(task, current, target)
+
+        assert audit["error"] is None
+        assert {"key": "*", "source": "a", "reason": "unreachable"} in audit[
+            "skipped"
+        ]
+        # the reachable source's share of the arc still lands
+        assert set(shards["c"].entries) == set(b_keys)
+
+    def test_corrupted_transit_document_never_planted(self):
+        current = HashRing(["a"], vnodes=32)
+        target = current.with_node("b")
+        good, bad = _keys_for(target, "b", 2)
+        shards = {"a": _StubShard([good, bad]), "b": _StubShard()}
+        shards["a"].entries[bad]["doc"]["total_time_ns"] = 999  # checksum now wrong
+
+        telemetry = Telemetry()
+        task = MigrationTask(mid="join:b:e1", kind="join", node="b")
+        audit = _migrator(shards, telemetry=telemetry).run(task, current, target)
+
+        assert good in shards["b"].entries
+        assert bad not in shards["b"].entries
+        assert audit["keys_migrated"] == 1
+        assert {"key": bad, "source": "a", "reason": "copy failed"} in audit[
+            "skipped"
+        ]
+        # each sweep re-attempts (and re-counts) the undeliverable key
+        assert telemetry.counter("fleet.migration_key_skips") == audit["skips"]
+        assert audit["skips"] >= 1
+        assert telemetry.counter("fleet.keys_migrated") == 1
+
+
+class TestLeave:
+    def test_leave_copies_everything_out(self):
+        current = HashRing(["a", "b", "c"], vnodes=32)
+        target = current.without_node("c")
+        keys = [f"{i:016x}" for i in range(60)]
+        shards = {
+            "a": _StubShard(),
+            "b": _StubShard(),
+            "c": _StubShard(keys),  # includes non-primary strays
+        }
+        task = MigrationTask(mid="leave:c:e9", kind="leave", node="c")
+        audit = _migrator(shards).run(task, current, target)
+
+        assert audit["keys_migrated"] == len(keys)
+        for key in keys:
+            assert key in shards[target.primary(key)].entries
+
+    def test_leave_dead_leaver_is_one_skip(self):
+        current = HashRing(["a", "b"], vnodes=32)
+        target = current.without_node("b")
+        shards = {"a": _StubShard()}
+        task = MigrationTask(mid="leave:b:e2", kind="leave", node="b")
+        audit = _migrator(shards).run(task, current, target)
+        assert audit["keys_migrated"] == 0
+        assert audit["skipped"] == [
+            {"key": "*", "source": "b", "reason": "unreachable"}
+        ]
+
+
+class TestJournalCursor:
+    def test_cursor_records_bracket_the_migration(self):
+        current = HashRing(["a"], vnodes=32)
+        target = current.with_node("b")
+        keys = _keys_for(target, "b", 3)
+        shards = {"a": _StubShard(keys), "b": _StubShard()}
+
+        entries = []
+
+        class _J:
+            append = staticmethod(entries.append)
+
+        task = MigrationTask(mid="join:b:e1", kind="join", node="b")
+        _migrator(shards, journal=_J).run(task, current, target)
+
+        ops = [e["op"] for e in entries]
+        assert ops[0] == "migration_start"
+        assert ops[-1] == "migration_done"
+        assert ops.count("migrated") == len(keys)
+        assert {e["key"] for e in entries if e["op"] == "migrated"} == set(keys)
+        assert all(e["mid"] == "join:b:e1" for e in entries)
+        assert entries[-1]["audit"]["keys_migrated"] == len(keys)
+
+    def test_in_flight_pairs_start_with_done(self):
+        entries = [
+            {"op": "migration_start", "mid": "m1", "kind": "join", "node": "b"},
+            {"op": "migrated", "mid": "m1", "key": "k1"},
+            {"op": "migrated", "mid": "m1", "key": "k2"},
+            {"op": "migration_start", "mid": "m0", "kind": "leave", "node": "a"},
+            {"op": "migration_done", "mid": "m0", "audit": {}},
+        ]
+        pending = in_flight_from_entries(entries)
+        assert len(pending) == 1
+        assert pending[0]["mid"] == "m1"
+        assert pending[0]["kind"] == "join"
+        assert pending[0]["node"] == "b"
+        assert pending[0]["done_keys"] == {"k1", "k2"}
+
+    def test_in_flight_ignores_malformed_entries(self):
+        entries = [
+            {"op": "migration_start"},  # no mid
+            {"op": "migration_start", "mid": "m2"},  # no node
+            {"op": "migrated", "mid": "m3", "key": 7},  # non-string key
+        ]
+        assert in_flight_from_entries(entries) == []

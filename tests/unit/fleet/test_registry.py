@@ -7,7 +7,12 @@ import json
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.fleet.registry import GatewayConfig, ShardSpec, load_fleet_config
+from repro.fleet.registry import (
+    GatewayConfig,
+    ShardSpec,
+    load_fleet_config,
+    normalize_base_url,
+)
 
 
 class TestShardSpec:
@@ -27,10 +32,72 @@ class TestShardSpec:
             ShardSpec("a", url)
 
 
+class TestNormalizeBaseUrl:
+    @pytest.mark.parametrize(
+        "raw,canonical",
+        [
+            ("http://h:1", "http://h:1"),
+            ("http://h:1/", "http://h:1"),
+            ("http://HOST:8080", "http://host:8080"),
+            ("http://host:80", "http://host"),  # scheme-default port
+            ("http://host:80/", "http://host"),
+            ("https://host:443", "https://host"),
+            ("https://host:80", "https://host:80"),  # NOT https default
+            ("http://host/api/", "http://host/api"),
+        ],
+    )
+    def test_one_canonical_spelling(self, raw, canonical):
+        assert normalize_base_url(raw) == canonical
+
+    @pytest.mark.parametrize(
+        "bad", ["host:1", "ftp://h:1", "http://", "http://h:notaport"]
+    )
+    def test_bad_urls_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            normalize_base_url(bad)
+
+    def test_equivalent_spellings_collide_in_duplicate_check(self):
+        """``http://Host:80/`` and ``http://host`` are one endpoint -
+        the registry must refuse to ring them under two names."""
+        with pytest.raises(ConfigurationError, match="duplicate shard urls"):
+            GatewayConfig(
+                shards=(
+                    ShardSpec("a", "http://Host:80/"),
+                    ShardSpec("b", "http://host"),
+                )
+            )
+
+
 class TestGatewayConfig:
     def test_needs_a_shard(self):
         with pytest.raises(ConfigurationError):
             GatewayConfig(shards=())
+
+    def test_empty_shards_allowed_with_follow(self):
+        config = GatewayConfig(shards=(), follow="http://primary:8100/")
+        assert config.follow == "http://primary:8100"
+
+    def test_empty_shards_allowed_with_membership_journal(self, tmp_path):
+        config = GatewayConfig(
+            shards=(), membership_journal=str(tmp_path / "m.journal")
+        )
+        assert config.membership_journal.endswith("m.journal")
+
+    def test_probation_probes_validated(self):
+        with pytest.raises(ConfigurationError, match="probation_probes"):
+            GatewayConfig(
+                shards=(ShardSpec("a", "http://h:1"),), probation_probes=0
+            )
+
+    def test_elastic_fields_roundtrip_through_dict(self):
+        config = GatewayConfig.from_shard_urls(
+            ["http://h:1"],
+            probation_probes=3,
+            allow_version_skew=True,
+            membership_journal="/tmp/m.journal",
+            gateway_name="gw-a",
+        )
+        assert GatewayConfig.from_dict(config.to_dict()) == config
 
     def test_duplicate_names_rejected(self):
         with pytest.raises(ConfigurationError, match="duplicate shard names"):

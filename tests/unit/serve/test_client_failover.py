@@ -1,0 +1,204 @@
+"""ServiceClient endpoint failover: rotation, shared budget, pacing."""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.server import ThreadingHTTPServer
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceOverloadedError,
+)
+from repro.serve.wire import JsonRequestHandler
+
+
+class _Handler(JsonRequestHandler):
+    server: "_Server"
+
+    def do_GET(self):  # noqa: N802
+        self.server.requests += 1
+        if self.server.mode == "ok":
+            self.send_json(200, {"ready": True, "name": self.server.name})
+        else:
+            self.send_retry_after(
+                503, {"error": "draining"}, self.server.retry_after_s
+            )
+
+    do_POST = do_GET
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, name: str, mode: str = "ok", retry_after_s: float = 0.05):
+        super().__init__(("127.0.0.1", 0), _Handler)
+        self.name = name
+        self.mode = mode
+        self.retry_after_s = retry_after_s
+        self.requests = 0
+        threading.Thread(target=self.serve_forever, daemon=True).start()
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self.server_address[1]}"
+
+    def close(self):
+        self.shutdown()
+        self.server_close()
+
+
+@pytest.fixture
+def pair():
+    servers = [_Server("a"), _Server("b")]
+    yield servers
+    for server in servers:
+        server.close()
+
+
+def _dead_url():
+    """An endpoint that refuses connections (bound, never accepting)."""
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()  # freed: nothing listens here
+    return f"http://127.0.0.1:{port}"
+
+
+class TestEndpointList:
+    def test_single_string_still_works(self, pair):
+        client = ServiceClient(pair[0].url)
+        assert client.endpoints == (pair[0].url,)
+        assert client.base_url == pair[0].url
+        doc, _ = client.request_with_budget("GET", "/readyz")
+        assert doc["name"] == "a"
+
+    def test_list_of_endpoints_accepted(self, pair):
+        client = ServiceClient([s.url for s in pair])
+        assert client.endpoints == tuple(s.url for s in pair)
+        assert client.base_url == pair[0].url  # first is active
+
+    def test_empty_endpoint_list_rejected(self):
+        with pytest.raises(ReproError):
+            ServiceClient([])
+
+    def test_trailing_slashes_normalized(self, pair):
+        client = ServiceClient([pair[0].url + "/", pair[1].url])
+        assert client.endpoints[0] == pair[0].url
+
+
+class TestConnectFailover:
+    def test_dead_primary_fails_over_without_sleeping(self, pair):
+        client = ServiceClient(
+            [_dead_url(), pair[1].url], retries=0, backoff_budget_s=10.0
+        )
+        started = time.monotonic()
+        doc, _ = client.request_with_budget("GET", "/readyz")
+        assert doc["name"] == "b"
+        assert time.monotonic() - started < 1.0  # rotation, not backoff
+        assert client.base_url == pair[1].url  # sticky after failover
+
+    def test_all_endpoints_dead_raises_connect_error(self):
+        client = ServiceClient(
+            [_dead_url(), _dead_url()], retries=0, backoff_budget_s=0.0
+        )
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.request_with_budget("GET", "/readyz")
+        assert excinfo.value.status == 0
+
+    def test_extra_endpoints_buy_extra_attempts(self):
+        """retries=0 with two endpoints still tries both once."""
+        live = _Server("late")
+        try:
+            live.mode = "shed"
+            client = ServiceClient(
+                [_dead_url(), live.url],
+                retries=0,
+                retry_backoff_s=0.01,
+                backoff_budget_s=0.0,
+            )
+            with pytest.raises(ServiceOverloadedError):
+                client.request_with_budget("GET", "/readyz")
+            assert live.requests == 1  # the failover attempt reached it
+        finally:
+            live.close()
+
+
+class TestMidResponseDisconnect:
+    def test_peer_slamming_connections_fails_over(self, pair):
+        """A SIGKILLed gateway closes accepted sockets without answering
+        (``RemoteDisconnected``, which urllib does not wrap in URLError);
+        the client must rotate to the replica, not crash."""
+        import socket
+        import threading
+
+        slammer = socket.socket()
+        slammer.bind(("127.0.0.1", 0))
+        slammer.listen(4)
+        port = slammer.getsockname()[1]
+
+        def slam():
+            while True:
+                try:
+                    conn, _ = slammer.accept()
+                except OSError:
+                    return
+                conn.close()  # accepted, then gone: no status line
+
+        thread = threading.Thread(target=slam, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                [f"http://127.0.0.1:{port}", pair[1].url],
+                retries=0,
+                backoff_budget_s=10.0,
+            )
+            doc, _ = client.request_with_budget("GET", "/readyz")
+            assert doc["name"] == "b"
+            assert client.base_url == pair[1].url
+        finally:
+            slammer.close()
+
+
+class TestShedFailover:
+    def test_shedding_primary_rotates_to_healthy_replica(self, pair):
+        pair[0].mode = "shed"
+        client = ServiceClient(
+            [s.url for s in pair], retries=1, retry_backoff_s=0.01,
+            backoff_budget_s=10.0,
+        )
+        doc, _ = client.request_with_budget("GET", "/readyz")
+        assert doc["name"] == "b"
+        assert pair[0].requests == 1
+
+    def test_failover_ignores_departed_endpoints_retry_after(self, pair):
+        """The 503 endpoint's long Retry-After must not pace the replica."""
+        pair[0].mode = "shed"
+        pair[0].retry_after_s = 30.0
+        client = ServiceClient(
+            [s.url for s in pair], retries=1, retry_backoff_s=0.01,
+            backoff_budget_s=60.0,
+        )
+        started = time.monotonic()
+        doc, _ = client.request_with_budget("GET", "/readyz")
+        assert doc["name"] == "b"
+        assert time.monotonic() - started < 2.0  # not the 30 s hint
+
+    def test_budget_shared_across_endpoints_not_multiplied(self, pair):
+        """Two shedding endpoints spend ONE budget, not one each."""
+        for server in pair:
+            server.mode = "shed"
+            server.retry_after_s = 30.0
+        client = ServiceClient(
+            [s.url for s in pair], retries=4, backoff_budget_s=0.3
+        )
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloadedError):
+            client.request_with_budget("GET", "/readyz")
+        assert time.monotonic() - started < 2.0  # 0.3 s budget, shared

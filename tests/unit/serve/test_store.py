@@ -196,3 +196,72 @@ class TestTmpSweep:
         worker_store = ResultStore(tmp_path, sweep_tmp=False)
         assert worker_store.tmp_swept == 0
         assert (debris / "tmpabc123.tmp").exists()
+
+
+class TestMigrationTransfer:
+    def test_export_import_round_trip_with_trace(self, tmp_path):
+        src = ResultStore(tmp_path / "src")
+        dst = ResultStore(tmp_path / "dst")
+        src.store(KEY_A, {"total_time_ns": 123}, trace=sample_trace())
+
+        wire = src.export_entry(KEY_A)
+        assert wire["key"] == KEY_A
+        assert wire["doc"][CHECKSUM_FIELD] == doc_checksum(wire["doc"])
+        assert wire["trace_b64"] is not None
+
+        assert dst.import_entry(KEY_A, wire["doc"], wire["trace_b64"]) is True
+        assert dst.get(KEY_A) == src.get(KEY_A)
+        # the npz payload survived the base64 hop bit-for-bit
+        assert dst.trace_path(KEY_A).read_bytes() == src.trace_path(
+            KEY_A
+        ).read_bytes()
+
+    def test_export_import_without_trace(self, tmp_path):
+        src = ResultStore(tmp_path / "src")
+        dst = ResultStore(tmp_path / "dst")
+        src.store(KEY_A, {"total_time_ns": 7})
+        wire = src.export_entry(KEY_A)
+        assert wire["trace_b64"] is None
+        assert dst.import_entry(KEY_A, wire["doc"]) is True
+        assert not dst.trace_path(KEY_A).exists()
+
+    def test_export_missing_key_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            ResultStore(tmp_path).export_entry(KEY_A)
+
+    def test_export_corrupt_entry_quarantines_never_ships(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store(KEY_A, {"total_time_ns": 1})
+        path = store.doc_path(KEY_A)
+        tampered = json.loads(path.read_text())
+        tampered["total_time_ns"] = 999  # checksum now stale
+        path.write_text(json.dumps(tampered))
+        with pytest.raises(CorruptResultError):
+            store.export_entry(KEY_A)
+        assert not store.contains(KEY_A)  # quarantined, not served
+
+    def test_import_rejects_corrupted_transfer_before_disk(self, tmp_path):
+        src = ResultStore(tmp_path / "src")
+        dst = ResultStore(tmp_path / "dst")
+        src.store(KEY_A, {"total_time_ns": 1})
+        wire = src.export_entry(KEY_A)
+        wire["doc"]["total_time_ns"] = 2  # corrupt in transit
+        with pytest.raises(ValueError, match="checksum"):
+            dst.import_entry(KEY_A, wire["doc"])
+        assert not dst.contains(KEY_A)
+        assert list(dst.keys()) == []
+
+    def test_import_without_checksum_rejected(self, tmp_path):
+        dst = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="no checksum"):
+            dst.import_entry(KEY_A, {"total_time_ns": 1})
+
+    def test_reimport_is_idempotent_noop(self, tmp_path):
+        src = ResultStore(tmp_path / "src")
+        dst = ResultStore(tmp_path / "dst")
+        src.store(KEY_A, {"total_time_ns": 1})
+        wire = src.export_entry(KEY_A)
+        assert dst.import_entry(KEY_A, wire["doc"]) is True
+        # a resumed migration cursor replays the copy: no-op, not error
+        assert dst.import_entry(KEY_A, wire["doc"]) is False
+        assert dst.get(KEY_A) == src.get(KEY_A)
