@@ -1,18 +1,23 @@
 """Deterministic fault injection (chaos) for the simulator and service.
 
-Three injector families, one seeded plan (see ``docs/robustness.md``):
+Four injector families, one seeded plan (see ``docs/robustness.md``):
 
 * **model** - faults inside the simulated UVM runtime (fault-buffer
   overflow, DMA transfer failure, PMA allocation failure), armed via
   zero-cost hook sentinels in the driver pipeline,
 * **process** - serve-worker faults (SIGKILL, hang, slow start),
 * **storage** - result-store faults (torn JSON, truncated npz, stale
-  tmp debris).
+  tmp debris),
+* **network** - HTTP-boundary faults between named endpoints (refused
+  connects, directed partitions, delayed / torn / truncated responses),
+  armed per-process via :func:`install_network_chaos`.
 
 Activated by the ``UVMREPRO_CHAOS`` environment variable (plan file
 path or inline JSON).  Every decision is deterministic: attempt-level
 choices hash ``(seed, point, job key, attempt)``; in-run model faults
-draw from a dedicated :class:`~repro.sim.rng.SimRng` fork.
+draw from a dedicated :class:`~repro.sim.rng.SimRng` fork; network
+schedules run off the owning process's monotonic clock and journal
+append count.
 """
 
 from repro.chaos.injector import (
@@ -22,16 +27,34 @@ from repro.chaos.injector import (
     make_injector,
     model_injection,
 )
+from repro.chaos.network import (
+    CALLER_HEADER,
+    ChaosPartitionError,
+    NetworkInjector,
+    PartitionRule,
+    endpoint_of_url,
+    install_network_chaos,
+    local_endpoint,
+    network_injector,
+    reset_network_chaos,
+)
 from repro.chaos.plan import (
     ALL_POINTS,
     ENV_VAR,
     FAMILY_MODEL,
+    FAMILY_NETWORK,
     FAMILY_PROCESS,
     FAMILY_STORAGE,
     MODEL_BUFFER_OVERFLOW,
     MODEL_DMA_FAIL,
     MODEL_PMA_FAIL,
     MODEL_POINTS,
+    NETWORK_CONNECT_REFUSE,
+    NETWORK_DELAY,
+    NETWORK_DISCONNECT,
+    NETWORK_PARTITION,
+    NETWORK_POINTS,
+    NETWORK_TRUNCATE,
     PROCESS_GATEWAY_KILL,
     PROCESS_HANG,
     PROCESS_KILL,
@@ -51,14 +74,22 @@ from repro.chaos.plan import (
 
 __all__ = [
     "ALL_POINTS",
+    "CALLER_HEADER",
     "ENV_VAR",
     "FAMILY_MODEL",
+    "FAMILY_NETWORK",
     "FAMILY_PROCESS",
     "FAMILY_STORAGE",
     "MODEL_BUFFER_OVERFLOW",
     "MODEL_DMA_FAIL",
     "MODEL_PMA_FAIL",
     "MODEL_POINTS",
+    "NETWORK_CONNECT_REFUSE",
+    "NETWORK_DELAY",
+    "NETWORK_DISCONNECT",
+    "NETWORK_PARTITION",
+    "NETWORK_POINTS",
+    "NETWORK_TRUNCATE",
     "PROCESS_GATEWAY_KILL",
     "PROCESS_HANG",
     "PROCESS_KILL",
@@ -70,13 +101,21 @@ __all__ = [
     "STORAGE_TRUNCATED_NPZ",
     "ChaosAllocationFailure",
     "ChaosInjector",
+    "ChaosPartitionError",
     "ChaosTransferError",
     "FaultPlan",
     "FaultSpec",
+    "NetworkInjector",
+    "PartitionRule",
     "active_plan",
+    "endpoint_of_url",
     "family_of",
+    "install_network_chaos",
+    "local_endpoint",
     "make_injector",
     "model_injection",
+    "network_injector",
     "plan_from_env",
+    "reset_network_chaos",
     "set_active_plan",
 ]

@@ -1,0 +1,370 @@
+"""Network-boundary chaos: deterministic partitions and torn responses.
+
+The fourth injector family (see :mod:`repro.chaos.plan`): seeded,
+reproducible faults at the stdlib HTTP client/server boundary between
+*named* fleet endpoints.  Five points:
+
+* ``network.connect_refuse`` - outbound connects refused before the
+  socket opens (the client's failover path),
+* ``network.partition``      - directed link cuts between named
+  endpoints, armed by a wall-free schedule (monotonic seconds since
+  install, or the local membership journal's Nth append) and optionally
+  healed after a delay,
+* ``network.delay``          - the server sleeps before responding,
+* ``network.disconnect``     - headers + a partial body, then the
+  connection drops (``RemoteDisconnected`` / ``IncompleteRead``),
+* ``network.truncate``       - full ``Content-Length`` advertised,
+  fewer bytes written.
+
+The injector follows the zero-cost None-sentinel hook pattern used by
+every other family: :func:`network_injector` returns ``None`` unless
+:func:`install_network_chaos` armed a plan with network faults in this
+process, so the fault-free hot path pays one global read per request.
+
+**Identity model.**  Each process owns at most one endpoint name (its
+``--shard-name`` / ``--gateway-name``), registered via
+:func:`install_network_chaos`.  Partition rules name a source and a
+destination pattern - an endpoint name, a ``host:port``, or ``"*"`` -
+and are enforced *inside the process a side of the rule names*:
+outbound cuts raise :class:`ChaosPartitionError` before connecting,
+inbound cuts drop the request without a response (the caller, which
+self-identifies through the ``X-Uvmrepro-Caller`` header, sees the peer
+vanish).  A total partition of one process therefore needs no
+cross-process coordination at all::
+
+    {"point": "network.partition", "args": {"rules": [
+        {"src": "gw0", "dst": "*", "after_appends": 7, "heal_after_s": 4.0},
+        {"src": "*", "dst": "gw0", "after_appends": 7, "heal_after_s": 4.0}
+    ]}}
+
+Every schedule decision is a pure function of the plan plus this
+process's monotonic clock / journal-append count - no wall clock, no
+shared state - so a partition fires at the same logical point on every
+run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+from urllib.parse import urlsplit
+
+from repro.chaos.plan import (
+    FAMILY_NETWORK,
+    NETWORK_CONNECT_REFUSE,
+    NETWORK_DELAY,
+    NETWORK_DISCONNECT,
+    NETWORK_PARTITION,
+    NETWORK_TRUNCATE,
+    FaultPlan,
+    active_plan,
+)
+from repro.errors import ConfigurationError
+
+#: how callers self-identify so inbound partition rules can match them.
+CALLER_HEADER = "X-Uvmrepro-Caller"
+
+
+class ChaosPartitionError(ConnectionRefusedError):
+    """An outbound connect suppressed by an armed network fault.
+
+    Subclasses :class:`ConnectionRefusedError` (an ``OSError``) so the
+    client's existing unreachable-endpoint handling - failover, retry,
+    quarantine accounting - engages with no special cases.
+    """
+
+
+def endpoint_of_url(url: str) -> str:
+    """The ``host:port`` identity of a base URL (lowercased)."""
+    parts = urlsplit(url if "//" in url else f"//{url}")
+    host = (parts.hostname or "").lower()
+    try:
+        port = parts.port
+    except ValueError:
+        port = None
+    return f"{host}:{port}" if port is not None else host
+
+
+@dataclass(frozen=True)
+class PartitionRule:
+    """One directed link cut in a ``network.partition`` schedule."""
+
+    #: source endpoint pattern: a name, a ``host:port``, or ``"*"``.
+    src: str
+    #: destination endpoint pattern (same forms).
+    dst: str
+    #: arm the cut this many monotonic seconds after install.
+    after_s: float = 0.0
+    #: arm after the local membership journal's Nth append instead
+    #: (mid-migration precision; see :meth:`NetworkInjector.note_append`).
+    after_appends: Optional[int] = None
+    #: un-cut the link this long after it armed (None = never heals).
+    heal_after_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.src or not self.dst:
+            raise ConfigurationError("partition rule needs 'src' and 'dst'")
+        if self.after_s < 0:
+            raise ConfigurationError("partition after_s must be >= 0")
+        if self.after_appends is not None and self.after_appends < 1:
+            raise ConfigurationError("partition after_appends must be >= 1")
+        if self.heal_after_s is not None and self.heal_after_s <= 0:
+            raise ConfigurationError("partition heal_after_s must be > 0")
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PartitionRule":
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError("each partition rule must be a JSON object")
+        known = {"src", "dst", "after_s", "after_appends", "heal_after_s"}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown partition rule fields: {unknown}")
+        try:
+            return cls(
+                src=str(payload.get("src", "")),
+                dst=str(payload.get("dst", "")),
+                after_s=float(payload.get("after_s", 0.0)),
+                after_appends=(
+                    None
+                    if payload.get("after_appends") is None
+                    else int(payload["after_appends"])
+                ),
+                heal_after_s=(
+                    None
+                    if payload.get("heal_after_s") is None
+                    else float(payload["heal_after_s"])
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(f"bad partition rule: {exc}") from exc
+
+
+def _matches(pattern: str, identities: tuple[str, ...]) -> bool:
+    return pattern == "*" or pattern in identities
+
+
+class NetworkInjector:
+    """Evaluates one plan's network faults for one process's endpoint.
+
+    Thread-safe; every HTTP worker thread of the process consults the
+    same instance.  All counters it keeps are merged into the owning
+    process's ``/metrics`` under ``chaos.network.*``.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        local: Optional[str],
+        # the injector times arming/heal schedules against real elapsed
+        # time at the HTTP boundary (operational shell, not sim core);
+        # tests inject a fake clock through this parameter.
+        clock=time.monotonic,  # lint: allow(determinism-wallclock)
+    ) -> None:
+        self.plan = plan
+        self.local = local
+        self._clock = clock
+        self._t0 = clock()
+        self._lock = threading.Lock()
+        #: membership-journal appends observed (arms after_appends rules).
+        self._appends = 0
+        #: clock at which each rule index armed (appends-armed rules).
+        self._armed_at: dict[int, float] = {}
+        #: per-(point, peer) attempt ordinals for should_fire trials.
+        self._trials: dict[tuple[str, str], int] = {}
+        #: per-point fires already spent against the spec's max_fires.
+        self._fired: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
+        self._rules: tuple[PartitionRule, ...] = ()
+        spec = plan.spec_for(NETWORK_PARTITION)
+        if spec is not None:
+            raw = spec.args.get("rules", [])
+            if not isinstance(raw, (list, tuple)):
+                raise ConfigurationError("network.partition args.rules must be an array")
+            self._rules = tuple(PartitionRule.from_dict(r) for r in raw)
+
+    # -- schedule -------------------------------------------------------------
+    def note_append(self, total_records: int) -> None:
+        """Feed the local membership journal's durable append count."""
+        armed_now = []
+        with self._lock:
+            self._appends = max(self._appends, int(total_records))
+            now = self._clock()
+            for index, rule in enumerate(self._rules):
+                if (
+                    rule.after_appends is not None
+                    and index not in self._armed_at
+                    and self._appends >= rule.after_appends
+                ):
+                    self._armed_at[index] = now
+                    armed_now.append(rule)
+        for rule in armed_now:
+            self._count("chaos.network.partitions_armed")
+
+    def _rule_active_locked(self, index: int, rule: PartitionRule) -> bool:
+        now = self._clock()
+        if rule.after_appends is not None:
+            armed_at = self._armed_at.get(index)
+            if armed_at is None:
+                return False
+        else:
+            armed_at = self._t0 + rule.after_s
+            if now < armed_at:
+                return False
+        if rule.heal_after_s is not None and now >= armed_at + rule.heal_after_s:
+            return False
+        return True
+
+    def _cut_locked(
+        self, src_ids: tuple[str, ...], dst_ids: tuple[str, ...]
+    ) -> bool:
+        for index, rule in enumerate(self._rules):
+            if not self._rule_active_locked(index, rule):
+                continue
+            if _matches(rule.src, src_ids) and _matches(rule.dst, dst_ids):
+                return True
+        return False
+
+    # -- accounting -----------------------------------------------------------
+    def _count(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def _next_trial_locked(self, point: str, peer: str) -> int:
+        key = (point, peer)
+        trial = self._trials.get(key, 0)
+        self._trials[key] = trial + 1
+        return trial
+
+    def _fire(self, point: str, peer: str) -> Optional[dict[str, Any]]:
+        """One budgeted deterministic decision for ``point`` vs ``peer``."""
+        spec = self.plan.spec_for(point)
+        if spec is None:
+            return None
+        with self._lock:
+            if self._fired.get(point, 0) >= spec.max_fires:
+                return None
+            trial = self._next_trial_locked(point, peer)
+        scope = f"{self.local or '?'}->{peer}"
+        if self.plan.should_fire(point, scope, trial) is None:
+            return None
+        with self._lock:
+            if self._fired.get(point, 0) >= spec.max_fires:
+                return None
+            self._fired[point] = self._fired.get(point, 0) + 1
+        return dict(spec.args)
+
+    # -- client side ----------------------------------------------------------
+    def check_connect(self, url: str) -> None:
+        """Raise :class:`ChaosPartitionError` when outbound to ``url``
+        is cut or refused; called immediately before the real connect."""
+        peer = endpoint_of_url(url)
+        local_ids = (self.local,) if self.local else ()
+        with self._lock:
+            cut = self._cut_locked(local_ids, (peer, url.rstrip("/")))
+        if cut:
+            self._count("chaos.network.partition_refusals")
+            raise ChaosPartitionError(
+                f"chaos: outbound {self.local or '?'} -> {peer} partitioned"
+            )
+        if self._fire(NETWORK_CONNECT_REFUSE, peer) is not None:
+            self._count("chaos.network.connects_refused")
+            raise ChaosPartitionError(
+                f"chaos: outbound connect {self.local or '?'} -> {peer} refused"
+            )
+
+    # -- server side ----------------------------------------------------------
+    def drop_inbound(self, caller: Optional[str]) -> bool:
+        """True when a request from ``caller`` must be dropped unanswered."""
+        local_ids = (self.local,) if self.local else ()
+        caller_ids = (caller,) if caller else ()
+        with self._lock:
+            cut = self._cut_locked(caller_ids, local_ids)
+        if cut:
+            self._count("chaos.network.inbound_drops")
+        return cut
+
+    def response_fault(self, caller: Optional[str]) -> Optional[dict[str, Any]]:
+        """The fault to apply to this response, or None.
+
+        At most one per response, first match wins: ``delay`` (sleep
+        ``delay_s`` before writing), ``disconnect`` (write
+        ``after_bytes`` then close), ``truncate`` (advertise the full
+        length, write ``drop_bytes`` fewer).
+        """
+        peer = caller or "*"
+        args = self._fire(NETWORK_DELAY, peer)
+        if args is not None:
+            self._count("chaos.network.delays")
+            return {"kind": "delay", "delay_s": float(args.get("delay_s", 0.2))}
+        args = self._fire(NETWORK_DISCONNECT, peer)
+        if args is not None:
+            self._count("chaos.network.disconnects")
+            return {
+                "kind": "disconnect",
+                "after_bytes": (
+                    None
+                    if args.get("after_bytes") is None
+                    else int(args["after_bytes"])
+                ),
+            }
+        args = self._fire(NETWORK_TRUNCATE, peer)
+        if args is not None:
+            self._count("chaos.network.truncates")
+            return {"kind": "truncate", "drop_bytes": int(args.get("drop_bytes", 1))}
+        return None
+
+    def snapshot_counters(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.counters)
+
+
+# -- process-global sentinel --------------------------------------------------
+
+_state_lock = threading.Lock()
+_local_endpoint: Optional[str] = None
+_injector: Optional[NetworkInjector] = None
+_UNSET = object()
+
+
+def local_endpoint() -> Optional[str]:
+    """This process's registered endpoint name (None = anonymous)."""
+    return _local_endpoint
+
+
+def install_network_chaos(
+    local: Optional[str] = None, plan: Any = _UNSET
+) -> Optional[NetworkInjector]:
+    """Register this process's endpoint name and arm network faults.
+
+    Reads the active plan (or the one passed explicitly); installs an
+    injector only when the plan carries network-family faults, so the
+    fault-free path keeps its None sentinel.  Returns the injector (or
+    None).  Registering ``local`` even without network faults is useful:
+    the client stamps :data:`CALLER_HEADER` whenever a name is set, so
+    a *remote* process's inbound rules can still match this caller.
+    """
+    global _local_endpoint, _injector
+    resolved = active_plan() if plan is _UNSET else plan
+    with _state_lock:
+        if local is not None:
+            _local_endpoint = local
+        if resolved is None or not resolved.has_family(FAMILY_NETWORK):
+            _injector = None
+        else:
+            _injector = NetworkInjector(resolved, _local_endpoint)
+        return _injector
+
+
+def network_injector() -> Optional[NetworkInjector]:
+    """The armed injector, or None (the zero-cost common case)."""
+    return _injector
+
+
+def reset_network_chaos() -> None:
+    """Drop the installed injector and endpoint name (tests)."""
+    global _local_endpoint, _injector
+    with _state_lock:
+        _local_endpoint = None
+        _injector = None

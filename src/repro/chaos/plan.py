@@ -11,11 +11,14 @@ draw per-opportunity randomness from :class:`repro.sim.rng.SimRng`
 (a dedicated ``chaos`` fork of the run's generator tree), keeping the
 simulation itself bit-deterministic under injection.
 
-Injection points come in three families (see ``docs/robustness.md``):
+Injection points come in four families (see ``docs/robustness.md``):
 
 * ``model.*``   - faults inside the simulated UVM runtime,
 * ``process.*`` - faults of the serve worker processes,
-* ``storage.*`` - faults of the on-disk result store.
+* ``storage.*`` - faults of the on-disk result store,
+* ``network.*`` - faults at the HTTP client/server boundary between
+  named fleet endpoints (partitions, refused connects, slow or torn
+  responses) - see :mod:`repro.chaos.network`.
 """
 
 from __future__ import annotations
@@ -70,6 +73,24 @@ STORAGE_TORN_JSON = "storage.torn_json"
 STORAGE_TRUNCATED_NPZ = "storage.truncated_npz"
 #: a stale ``*.tmp`` file is left behind (crashed-writer debris).
 STORAGE_STALE_TMP = "storage.stale_tmp"
+#: outbound connects from this endpoint are refused before the socket
+#: opens (args: none beyond the shared attempt/fire budgets) - the
+#: client sees ``ConnectionRefusedError`` and exercises its failover.
+NETWORK_CONNECT_REFUSE = "network.connect_refuse"
+#: directed link cuts between named endpoints (args: ``rules``, a list
+#: of ``{"src": pat, "dst": pat, "after_s"|"after_appends", "heal_after_s"}``
+#: objects; one spec carries the whole partition schedule).  Enforced on
+#: both sides of the link inside whichever process the rule names, so a
+#: single process can be fully isolated with no cross-process state.
+NETWORK_PARTITION = "network.partition"
+#: the server sleeps ``args["delay_s"]`` before writing the response.
+NETWORK_DELAY = "network.delay"
+#: the server sends headers plus a partial body then drops the
+#: connection (the peer sees ``RemoteDisconnected``/``IncompleteRead``).
+NETWORK_DISCONNECT = "network.disconnect"
+#: the server advertises the full Content-Length but writes
+#: ``args["drop_bytes"]`` (default 1) fewer bytes before closing.
+NETWORK_TRUNCATE = "network.truncate"
 
 ALL_POINTS = (
     MODEL_BUFFER_OVERFLOW,
@@ -84,14 +105,30 @@ ALL_POINTS = (
     STORAGE_TORN_JSON,
     STORAGE_TRUNCATED_NPZ,
     STORAGE_STALE_TMP,
+    NETWORK_CONNECT_REFUSE,
+    NETWORK_PARTITION,
+    NETWORK_DELAY,
+    NETWORK_DISCONNECT,
+    NETWORK_TRUNCATE,
 )
 
 FAMILY_MODEL = "model"
 FAMILY_PROCESS = "process"
 FAMILY_STORAGE = "storage"
+FAMILY_NETWORK = "network"
 
 #: the model-family points (the serve worker probes these per attempt).
 MODEL_POINTS = (MODEL_BUFFER_OVERFLOW, MODEL_DMA_FAIL, MODEL_PMA_FAIL)
+
+#: the network-family points (armed by :func:`repro.chaos.network.
+#: install_network_chaos` in each process that owns an endpoint name).
+NETWORK_POINTS = (
+    NETWORK_CONNECT_REFUSE,
+    NETWORK_PARTITION,
+    NETWORK_DELAY,
+    NETWORK_DISCONNECT,
+    NETWORK_TRUNCATE,
+)
 
 
 def family_of(point: str) -> str:

@@ -406,6 +406,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         plan = plan_from_env()
         if plan is not None:
             print(f"chaos armed: {len(plan.faults)} fault(s), seed={plan.seed}")
+    # register this shard's endpoint name (and arm any network-family
+    # faults) so partition rules can name it on either side of a link.
+    from repro.chaos import install_network_chaos
+
+    install_network_chaos(local=args.shard_name or None)
     config = ServiceConfig(
         n_workers=args.workers,
         job_timeout_s=args.job_timeout,
@@ -518,12 +523,17 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             "membership_journal": args.membership_journal,
             "follow": args.follow,
             "gateway_name": args.gateway_name,
+            "lease_ttl_s": args.lease_ttl,
+            "election_probes": args.election_probes,
+            "epoch_reserve": args.epoch_reserve,
+            "peers": tuple(args.peer or ()),
+            "advertise_url": args.advertise_url,
         }
         if args.fleet_config:
             config = load_fleet_config(args.fleet_config)
             merged = config.to_dict()
             for key, value in overrides.items():
-                if value not in (None, False):
+                if value not in (None, False) and value != ():
                     merged[key] = value
             config = GatewayConfig.from_dict(merged)
         else:
@@ -533,20 +543,33 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
                 probe_interval_s=args.probe_interval,
                 down_after_probes=args.down_after,
                 recover_after_probes=args.recover_after,
-                **overrides,
+                # None = flag not given: let the config default stand
+                **{k: v for k, v in overrides.items() if v is not None},
             )
     except ConfigurationError as exc:
         print(f"uvmrepro gateway: error: {exc}", file=sys.stderr)
         return 2
+    from repro.chaos import active_plan, install_network_chaos, set_active_plan
+
+    set_active_plan(None, reset=True)  # pick up --chaos from env
+    plan = active_plan()
     journal_hook = None
-    if config.gateway_name:
-        from repro.chaos import active_plan, set_active_plan
+    if config.gateway_name and plan is not None:
         from repro.chaos.process import gateway_kill_hook
 
-        set_active_plan(None, reset=True)  # pick up --chaos from env
-        plan = active_plan()
-        if plan is not None:
-            journal_hook = gateway_kill_hook(plan, config.gateway_name)
+        journal_hook = gateway_kill_hook(plan, config.gateway_name)
+    # register this gateway's endpoint name (and arm network faults);
+    # the injector's partition schedule can key off the membership
+    # journal's append count, so it rides the same hook chain.
+    injector = install_network_chaos(local=config.gateway_name or None)
+    if injector is not None:
+        kill_hook = journal_hook
+
+        def journal_hook(total_records: int) -> None:
+            injector.note_append(total_records)
+            if kill_hook is not None:
+                kill_hook(total_records)
+
     gateway = FleetGateway(config, journal_hook=journal_hook).start()
     server = serve_gateway_http(gateway, args.host, args.port)
     states = gateway.shard_states()
@@ -562,6 +585,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     print("endpoints: POST /jobs  GET /jobs/<id>[/result]  DELETE /jobs/<id>")
     print("           GET /metrics  GET /events?since=N  GET /healthz  GET /readyz")
     print("           POST /fleet/join  POST /fleet/leave  GET /fleet/view")
+    print("           GET /fleet/elections")
 
     stop = threading.Event()
     previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
@@ -1006,7 +1030,47 @@ def main(argv: list[str] | None = None) -> int:
         "--gateway-name",
         default=None,
         help="this instance's name (surfaced in /healthz and targeted "
-        "by the process.gateway_kill chaos point)",
+        "by the process.gateway_kill and network.* chaos points)",
+    )
+    gw_p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="primary-lease TTL stamped into every published view; a "
+        "follower past it (plus --election-probes failed polls) "
+        "promotes itself (default 5.0)",
+    )
+    gw_p.add_argument(
+        "--election-probes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="consecutive failed view polls, after lease expiry, "
+        "before a follower promotes (default 3)",
+    )
+    gw_p.add_argument(
+        "--epoch-reserve",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="epochs a follower poll reserves above the current one; "
+        "a promotion jumps past this bound (default 1024)",
+    )
+    gw_p.add_argument(
+        "--peer",
+        action="append",
+        default=None,
+        metavar="URL",
+        help="another gateway of this fleet (repeatable); a primary "
+        "polls peers to discover a higher-epoch successor and demote",
+    )
+    gw_p.add_argument(
+        "--advertise-url",
+        default=None,
+        metavar="URL",
+        help="base URL other gateways should reach this one at "
+        "(stamped into the lease; defaults to the bound address)",
     )
     gw_p.add_argument(
         "--chaos",

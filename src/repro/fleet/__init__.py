@@ -13,8 +13,15 @@ arc is copied between stores by the :class:`Migrator` before routing
 flips, and a second gateway can replicate the whole view by tailing
 ``GET /fleet/view`` - see :mod:`repro.fleet.membership` and
 :mod:`repro.fleet.migrate`.
+
+The tier is self-healing: the acting primary stamps a monotonic-TTL
+lease into every published view, a follower whose lease expires
+promotes itself past the primary's reserved epoch bound and resumes
+replicated in-flight migrations, and a returning ex-primary demotes on
+the first higher-epoch view it sees - see :mod:`repro.fleet.election`.
 """
 
+from repro.fleet.election import ElectionState, Role, promotion_offset
 from repro.fleet.gateway import (
     FleetGateway,
     FleetUnavailableError,
@@ -23,7 +30,13 @@ from repro.fleet.gateway import (
     serve_gateway_http,
 )
 from repro.fleet.membership import FleetMembership, Member, MemberState
-from repro.fleet.migrate import MigrationTask, Migrator, in_flight_from_entries
+from repro.fleet.migrate import (
+    MigrationTask,
+    Migrator,
+    in_flight_from_entries,
+    pending_from_snapshot,
+    snapshot_in_flight,
+)
 from repro.fleet.registry import (
     GatewayConfig,
     ShardSpec,
@@ -33,6 +46,7 @@ from repro.fleet.registry import (
 from repro.fleet.ring import RING_SPACE, HashRing, stable_hash
 
 __all__ = [
+    "ElectionState",
     "FleetGateway",
     "FleetMembership",
     "FleetUnavailableError",
@@ -44,11 +58,15 @@ __all__ = [
     "MigrationTask",
     "Migrator",
     "RING_SPACE",
+    "Role",
     "ShardSpec",
     "ShardState",
     "in_flight_from_entries",
     "load_fleet_config",
     "normalize_base_url",
+    "pending_from_snapshot",
+    "promotion_offset",
     "serve_gateway_http",
+    "snapshot_in_flight",
     "stable_hash",
 ]

@@ -1,0 +1,341 @@
+"""Lease-based primary election for replicated fleet gateways.
+
+The membership tier (:mod:`repro.fleet.membership`) already replicates
+the epoch-versioned view from a primary to its followers and resolves
+divergence by *strictly-higher-epoch-wins*.  This module adds the piece
+ROADMAP item 2 left open: a follower that can **become** primary
+without operator action, with no split-brain.
+
+The protocol, all monotonic-clock driven (never wall clock):
+
+* The primary stamps a **lease** into every view it publishes:
+  ``{"holder", "url", "epoch", "ttl_s", "epoch_bound"}``.  A follower's
+  successful view fetch renews its local copy of the lease
+  (``deadline = now + ttl_s``).
+* A follower whose lease has expired **and** which has then seen
+  ``election_probes`` consecutive failed fetches promotes itself: it
+  bumps its own journal's epoch to a value *above* anything the old
+  primary is permitted to mint, resumes replicated in-flight
+  migrations, and starts accepting join/leave.
+* Split-brain safety comes from **epoch reservation**.  A follower poll
+  at epoch ``E`` advances the primary's *promised bound* to
+  ``E + epoch_reserve``; the primary never mints an epoch beyond the
+  bound it has advertised, and *fences itself entirely* (refusing
+  membership mutations) once ``ttl_s`` passes without a follower
+  renewal.  The follower promotes to ``bound + 1 + offset(name)``
+  (a deterministic per-name offset so two followers promoting in the
+  same round pick distinct epochs), which is strictly above every epoch
+  the fenced primary can have minted - so epochs minted by distinct
+  acting primaries never collide, and ``apply_view``'s existing
+  higher-epoch rule is sufficient to demote the old primary when the
+  partition heals.  A primary that has *never* seen a follower has no
+  bound and never fences: solo gateways are unaffected.
+
+The reserve must exceed the number of membership mutations a primary
+can perform inside one lease TTL (each requires a probe or join round
+trip, so the default of 1024 is orders of magnitude above reality);
+the residual assumption, documented in ``docs/fleet.md``, is that a
+partition severing the primary's view *publications* also severs the
+follower *polls* that would extend its bound - true of symmetric link
+failures and of every ``network.partition`` chaos schedule.
+
+:class:`ElectionState` is a pure state machine - every method takes
+``now`` explicitly - so the hypothesis property tier drives thousands
+of partition/heal schedules through it without HTTP or threads.  It
+also keeps the **election audit**: every role transition and every
+minted epoch range, served at ``GET /fleet/elections``, which is what
+lets an acceptance test assert "exactly one acting primary per epoch"
+across a whole fleet's merged audits.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import threading
+from typing import Any, Mapping, Optional
+
+#: seed for the deterministic per-name promotion offset.
+ELECTION_SEED = 0xE1EC
+#: promotion offsets are drawn in [0, OFFSET_SPAN); prime, so distinct
+#: names collide with probability ~1/997 per pair.
+OFFSET_SPAN = 997
+
+
+def promotion_offset(name: str, span: int = OFFSET_SPAN) -> int:
+    """A stable per-name epoch offset, disambiguating same-round promotions."""
+    digest = hashlib.sha256(f"{ELECTION_SEED}:{name}".encode()).digest()
+    return int.from_bytes(digest[:4], "big") % max(1, span)
+
+
+class Role(str, enum.Enum):
+    """What this gateway currently is, lease-wise."""
+
+    #: holds the lease: mints epochs, accepts join/leave.
+    PRIMARY = "primary"
+    #: tails an acting primary's view; promotes on lease expiry.
+    FOLLOWER = "follower"
+
+
+def lease_doc(
+    holder: str,
+    url: Optional[str],
+    epoch: int,
+    ttl_s: float,
+    epoch_bound: int,
+) -> dict[str, Any]:
+    """The serializable lease stamped into every published view."""
+    return {
+        "holder": holder,
+        "url": url,
+        "epoch": int(epoch),
+        "ttl_s": float(ttl_s),
+        "epoch_bound": int(epoch_bound),
+    }
+
+
+class ElectionState:
+    """One gateway's lease/election state machine (clock injected).
+
+    Thread-safe and standalone: it never calls back into the gateway or
+    the membership table, so either may invoke it under their own locks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        role: Role,
+        advertise_url: Optional[str] = None,
+        lease_ttl_s: float = 5.0,
+        election_probes: int = 3,
+        epoch_reserve: int = 1024,
+        now: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.advertise_url = advertise_url
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.election_probes = int(election_probes)
+        self.epoch_reserve = int(epoch_reserve)
+        self._lock = threading.Lock()
+        self._role = role
+        #: follower: when the last-renewed lease runs out (boot grace =
+        #: one full TTL, so a follower never promotes before first contact).
+        self._lease_deadline = now + self.lease_ttl_s
+        self._failed_probes = 0
+        #: follower: highest epoch_bound (and view epoch) ever observed.
+        self._bound_seen = 0
+        #: follower: the acting primary's URL (chases lease holders).
+        self.acting_url: Optional[str] = None
+        #: follower: the last lease document observed (the hint source).
+        self.last_lease: Optional[dict[str, Any]] = None
+        #: primary: the bound advertised to followers; mints stay <= it.
+        self._promised: Optional[int] = None
+        #: primary: monotonic time of the last follower view poll.
+        self._last_renewal: Optional[float] = None
+        #: primary: follower advertise-URLs seen -> last poll time.
+        self.replicas: dict[str, float] = {}
+        #: audit: every role transition, oldest first.
+        self.transitions: list[dict[str, Any]] = [
+            {"event": "seed", "role": role.value, "holder": name, "epoch": 0}
+        ]
+        #: audit: merged [lo, hi] ranges of epochs this gateway minted.
+        self.minted: list[list[int]] = []
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def role(self) -> Role:
+        with self._lock:
+            return self._role
+
+    def is_primary(self) -> bool:
+        with self._lock:
+            return self._role is Role.PRIMARY
+
+    # -- follower side --------------------------------------------------------
+    def note_view(
+        self, view: Mapping[str, Any], source_url: str, now: float
+    ) -> Optional[str]:
+        """Record one successful view fetch from the acting primary.
+
+        Renews the local lease and tracks the advertised epoch bound.
+        Returns a URL to **chase** when the lease names a different
+        acting primary than the one just polled (post-promotion
+        redirect), else None.
+        """
+        lease = view.get("lease")
+        chase: Optional[str] = None
+        with self._lock:
+            self._failed_probes = 0
+            ttl = self.lease_ttl_s
+            if isinstance(lease, Mapping):
+                self.last_lease = dict(lease)
+                try:
+                    ttl = float(lease.get("ttl_s", ttl)) or ttl
+                except (TypeError, ValueError):
+                    pass
+                try:
+                    self._bound_seen = max(
+                        self._bound_seen, int(lease.get("epoch_bound", 0))
+                    )
+                except (TypeError, ValueError):
+                    pass
+                holder = lease.get("holder")
+                url = lease.get("url")
+                if (
+                    isinstance(url, str)
+                    and url
+                    and holder != self.name
+                    and url.rstrip("/") != source_url.rstrip("/")
+                ):
+                    chase = url.rstrip("/")
+            try:
+                self._bound_seen = max(self._bound_seen, int(view.get("epoch", 0)))
+            except (TypeError, ValueError):
+                pass
+            self._lease_deadline = now + ttl
+            if chase is not None and self._role is Role.FOLLOWER:
+                self.acting_url = chase
+        return chase
+
+    def note_probe_failure(self, now: float) -> bool:
+        """Count one failed fetch; True = this follower should promote."""
+        with self._lock:
+            self._failed_probes += 1
+            return (
+                self._role is Role.FOLLOWER
+                and now >= self._lease_deadline
+                and self._failed_probes >= self.election_probes
+            )
+
+    def promotion_epoch(self, current_epoch: int) -> int:
+        """The epoch a promotion must jump to: strictly above every
+        epoch the fenced old primary can have minted."""
+        with self._lock:
+            floor = max(int(current_epoch), self._bound_seen)
+        return floor + 1 + promotion_offset(self.name)
+
+    def promote(self, new_epoch: int, now: float) -> None:
+        """Become the acting primary at ``new_epoch``."""
+        with self._lock:
+            self._role = Role.PRIMARY
+            self._failed_probes = 0
+            self._promised = None  # no follower has polled *this* primary yet
+            self._last_renewal = None
+            self.acting_url = self.advertise_url
+            self.transitions.append(
+                {
+                    "event": "promoted",
+                    "role": Role.PRIMARY.value,
+                    "holder": self.name,
+                    "epoch": int(new_epoch),
+                    "at_s": float(now),
+                }
+            )
+
+    def demote(
+        self,
+        holder: Optional[str],
+        url: Optional[str],
+        epoch: int,
+        now: float,
+    ) -> None:
+        """Step down to follower of the higher-epoch primary observed."""
+        with self._lock:
+            self._role = Role.FOLLOWER
+            self._failed_probes = 0
+            self._lease_deadline = now + self.lease_ttl_s
+            self._bound_seen = max(self._bound_seen, int(epoch))
+            if url:
+                self.acting_url = url.rstrip("/")
+            self.transitions.append(
+                {
+                    "event": "demoted",
+                    "role": Role.FOLLOWER.value,
+                    "holder": holder or "?",
+                    "epoch": int(epoch),
+                    "at_s": float(now),
+                }
+            )
+
+    # -- primary side ---------------------------------------------------------
+    def note_follower_poll(
+        self, epoch: int, replica_url: Optional[str], now: float
+    ) -> None:
+        """A follower fetched the view: renew the lease, extend the bound."""
+        with self._lock:
+            if self._role is not Role.PRIMARY:
+                return
+            self._last_renewal = now
+            bound = int(epoch) + self.epoch_reserve
+            self._promised = bound if self._promised is None else max(
+                self._promised, bound
+            )
+            if replica_url:
+                self.replicas[replica_url.rstrip("/")] = now
+
+    def may_mint(self, next_epoch: int, now: float) -> bool:
+        """May this gateway mint ``next_epoch`` right now?
+
+        False while not primary, while past the advertised bound, or
+        while **fenced** - a primary with followers that has gone a full
+        TTL without any follower renewal must assume one of them is
+        promoting and stops mutating membership (jobs still route).
+        """
+        with self._lock:
+            if self._role is not Role.PRIMARY:
+                return False
+            if self._promised is None:
+                return True  # solo primary: no follower, no bound, no fence
+            if (
+                self._last_renewal is not None
+                and now - self._last_renewal > self.lease_ttl_s
+            ):
+                return False
+            return int(next_epoch) <= self._promised
+
+    def fenced(self, now: float) -> bool:
+        """True when a primary is refusing mints pending re-contact."""
+        with self._lock:
+            if self._role is not Role.PRIMARY or self._promised is None:
+                return False
+            return (
+                self._last_renewal is not None
+                and now - self._last_renewal > self.lease_ttl_s
+            )
+
+    def note_minted(self, epoch: int) -> None:
+        """Record one epoch this gateway minted (the audit trail)."""
+        value = int(epoch)
+        with self._lock:
+            if self.minted and self.minted[-1][1] == value - 1:
+                self.minted[-1][1] = value
+            else:
+                self.minted.append([value, value])
+
+    def lease_for(self, epoch: int) -> dict[str, Any]:
+        """The lease to stamp into a view published at ``epoch``."""
+        with self._lock:
+            bound = (
+                self._promised
+                if self._promised is not None
+                else int(epoch) + self.epoch_reserve
+            )
+            return lease_doc(
+                self.name, self.advertise_url, epoch, self.lease_ttl_s, bound
+            )
+
+    # -- audit ----------------------------------------------------------------
+    def audit(self) -> dict[str, Any]:
+        """The election audit document (``GET /fleet/elections``)."""
+        with self._lock:
+            return {
+                "gateway": self.name,
+                "role": self._role.value,
+                "transitions": [dict(t) for t in self.transitions],
+                "minted": [list(r) for r in self.minted],
+                "promised_bound": self._promised,
+                "bound_seen": self._bound_seen,
+                "acting_url": self.acting_url,
+                "lease": dict(self.last_lease) if self.last_lease else None,
+                "replicas": sorted(self.replicas),
+            }

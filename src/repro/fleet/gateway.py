@@ -49,6 +49,16 @@ gateway started with ``follow=<primary>`` tails ``GET /fleet/view``
 long-polls and applies any higher-epoch view, so two gateways never
 disagree on routing.
 
+The gateway tier is **self-healing** (see :mod:`repro.fleet.election`):
+the acting primary stamps a monotonic-TTL lease into every view it
+publishes, a follower whose lease expires (plus ``election_probes``
+failed fetches) promotes itself - epoch-jumping its own fsync'd journal
+past the old primary's reserved bound and resuming any replicated
+in-flight migration from its cursor - and a returning ex-primary
+demotes the moment it observes the higher epoch.  ``GET
+/fleet/elections`` serves the audit trail proving exactly one acting
+primary minted epochs in any range.
+
 ``/metrics`` aggregates the fleet: summed per-shard counters and
 numeric gauges, per-shard breakdowns, and gateway-level ``fleet.*``
 counters (reroutes, shard_down, failovers, joins, migrations, adopted
@@ -64,13 +74,21 @@ import threading
 import time
 from dataclasses import dataclass, field
 from http.server import ThreadingHTTPServer
-from typing import Any, Callable, Optional
-from urllib.parse import parse_qs, urlparse
+from typing import Any, Callable, Mapping, Optional
+from urllib.parse import parse_qs, quote, urlparse
 
+from repro.chaos.network import network_injector
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.runner import code_version
+from repro.fleet.election import ElectionState, Role
 from repro.fleet.membership import FleetMembership, MemberState
-from repro.fleet.migrate import MigrationTask, Migrator, in_flight_from_entries
+from repro.fleet.migrate import (
+    MigrationTask,
+    Migrator,
+    in_flight_from_entries,
+    pending_from_snapshot,
+    snapshot_in_flight,
+)
 from repro.fleet.registry import GatewayConfig, ShardSpec
 from repro.fleet.ring import HashRing
 from repro.serve import telemetry as tm
@@ -169,12 +187,26 @@ class FleetGateway:
         self._stop = threading.Event()
         #: woken on every membership epoch bump (the /fleet/view long-poll).
         self._view_cond = threading.Condition()
+        #: lease/election state machine; created before the membership
+        #: table so seed mutations land in the minted-epoch audit.
+        self._election = ElectionState(
+            name=config.gateway_name or "gateway",
+            role=Role.FOLLOWER if config.follow else Role.PRIMARY,
+            advertise_url=config.advertise_url,
+            lease_ttl_s=config.lease_ttl_s,
+            election_probes=config.election_probes,
+            epoch_reserve=config.epoch_reserve,
+            now=time.monotonic(),
+        )
+        if config.follow:
+            self._election.acting_url = config.follow
         #: the single source of truth for who is in the fleet; the static
         #: config shards seed the first epoch of a fresh journal.
         self.membership = FleetMembership(
             config.membership_journal,
             seeds=config.shards,
             on_append=journal_hook,
+            on_epoch=self._election.note_minted,
         )
         self._shards: dict[str, ShardHandle] = {}
         self._ring = HashRing((), vnodes=config.vnodes)
@@ -182,7 +214,16 @@ class FleetGateway:
         self._jobs: dict[str, GatewayJob] = {}
         self._seq = itertools.count(1)
         self._prober: Optional[threading.Thread] = None
-        self._follower: Optional[threading.Thread] = None
+        self._replication: Optional[threading.Thread] = None
+        #: url -> client used by the replication thread (follower polls
+        #: and primary peer-watch); cached so hint-chasing is cheap.
+        self._replication_clients: dict[str, ServiceClient] = {}
+        #: latest in-flight migration snapshot replicated from the
+        #: acting primary's view - what a promotion resumes from.
+        self._replicated_inflight: list[dict[str, Any]] = []
+        #: node -> monotonic gate before which the prober must not
+        #: respawn that member's stalled migration again.
+        self._respawn_at: dict[str, float] = {}
         #: version sets already warned about (warn once per combination).
         self._warned_versions: set[frozenset] = set()
         #: serializes arc migrations (overlapping ring deltas compose badly).
@@ -231,18 +272,22 @@ class FleetGateway:
             target=self._probe_loop, name="repro-fleet-prober", daemon=True
         )
         self._prober.start()
-        if self.config.follow:
-            self._follower = threading.Thread(
-                target=self._follow_loop, name="repro-fleet-follower", daemon=True
-            )
-            self._follower.start()
+        # always started: as a follower it tails the acting primary's
+        # view (and promotes on lease expiry); as a primary it watches
+        # peers and known replicas for a higher-epoch rival (demotion).
+        self._replication = threading.Thread(
+            target=self._replication_loop,
+            name="repro-fleet-replication",
+            daemon=True,
+        )
+        self._replication.start()
         return self
 
     def stop(self, timeout: float = 5.0) -> None:
         self._stop.set()
         with self._view_cond:
             self._view_cond.notify_all()
-        for thread in (self._prober, self._follower):
+        for thread in (self._prober, self._replication):
             if thread is not None:
                 thread.join(timeout=timeout)
         self.membership.close()
@@ -295,9 +340,34 @@ class FleetGateway:
             self._view_cond.notify_all()
 
     def _primary_hint(self) -> dict[str, Any]:
+        """The 503 body a non-primary answers membership requests with.
+
+        The ``primary`` URL comes from the *latest adopted view's
+        lease* (falling back to the static ``follow`` config before
+        first contact), so an announcer chasing the hint lands on the
+        post-election acting primary, not on whoever this gateway was
+        originally configured to follow.
+        """
+        lease = self._election.last_lease or {}
         return {
-            "error": "this gateway is a follower; announce to the primary",
-            "primary": self.config.follow,
+            "error": "this gateway is not the acting primary; "
+            "announce to the primary",
+            "primary": self._election.acting_url
+            or lease.get("url")
+            or self.config.follow,
+            "primary_name": lease.get("holder"),
+            "role": self._election.role.value,
+            "epoch": self.membership.epoch,
+        }
+
+    def _fenced_body(self) -> dict[str, Any]:
+        """The 503 body a fenced primary answers membership requests with."""
+        self.telemetry.count(tm.FLEET_FENCED_REJECTS)
+        return {
+            "error": "primary is fenced (no follower lease renewal within "
+            "the TTL); membership is frozen pending re-contact",
+            "fenced": True,
+            "epoch": self.membership.epoch,
         }
 
     def join(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
@@ -307,8 +377,12 @@ class FleetGateway:
         its current state back without an epoch bump, which is what
         lets shards re-announce on a timer to heal gateway restarts.
         """
-        if self.config.follow:
+        if not self._election.is_primary():
             return 503, self._primary_hint()
+        if not self._election.may_mint(
+            self.membership.epoch + 1, time.monotonic()
+        ):
+            return 503, self._fenced_body()
         name = str(payload.get("shard_name", ""))
         url = str(payload.get("url", ""))
         joiner_version = payload.get("code_version")
@@ -387,8 +461,12 @@ class FleetGateway:
 
     def leave(self, payload: dict[str, Any]) -> tuple[int, dict[str, Any]]:
         """Handle one ``POST /fleet/leave`` (graceful drain)."""
-        if self.config.follow:
+        if not self._election.is_primary():
             return 503, self._primary_hint()
+        if not self._election.may_mint(
+            self.membership.epoch + 1, time.monotonic()
+        ):
+            return 503, self._fenced_body()
         name = str(payload.get("shard_name", ""))
         with self._lock:
             member = self.membership.get(name)
@@ -416,6 +494,12 @@ class FleetGateway:
 
     def _note_probation(self, shard: ShardHandle) -> None:
         """Count one healthy probe toward a probation member's admission."""
+        # only an acting, un-fenced primary mutates membership: a
+        # follower's probes must never mint epochs of their own.
+        if not self._election.may_mint(
+            self.membership.epoch + 1, time.monotonic()
+        ):
+            return
         member = self.membership.get(shard.spec.name)
         if member is None or member.state is not MemberState.PROBATION:
             return
@@ -442,6 +526,12 @@ class FleetGateway:
         done_keys: Optional[set] = None,
         mid: Optional[str] = None,
     ) -> threading.Thread:
+        if kind == "join":
+            # gate the prober's stalled-migration respawn: the spawned
+            # thread may not have registered in _live_migrations yet.
+            self._respawn_at[node] = time.monotonic() + max(
+                2 * self.config.probe_interval_s, 1.0
+            )
         thread = threading.Thread(
             target=self._run_migration,
             args=(kind, node, set(done_keys or ()), mid),
@@ -489,18 +579,46 @@ class FleetGateway:
                     self._migration_rings.append((current, target))
                 member = self.membership.get(node)
                 flipped = False
+                may_flip = self._election.may_mint(
+                    self.membership.epoch + 1, time.monotonic()
+                )
+                # a join whose copy skipped *anything* (unreachable
+                # source, failed copies - e.g. a partition landing mid
+                # arc) must NOT flip: the joiner would take over arc
+                # keys it holds no data for.  It stays SYNCING and the
+                # prober respawns the migration once the sources come
+                # back; already-copied keys re-import as no-ops.
+                arc_incomplete = kind == "join" and bool(task.skipped)
                 if kind == "join":
-                    if member is not None and member.state is MemberState.SYNCING:
+                    if (
+                        may_flip
+                        and not arc_incomplete
+                        and member is not None
+                        and member.state is MemberState.SYNCING
+                    ):
                         self.membership.set_state(node, MemberState.ACTIVE)
                         self.telemetry.count(tm.FLEET_MEMBERS_PROMOTED)
                         flipped = True
-                elif member is not None and member.state is not MemberState.LEFT:
+                elif (
+                    may_flip
+                    and member is not None
+                    and member.state is not MemberState.LEFT
+                ):
                     self.membership.set_state(node, MemberState.LEFT)
                     flipped = True
                 if flipped:
                     self._sync_handles_locked()
         if flipped:
             self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
+        elif arc_incomplete or not may_flip:
+            logger.warning(
+                "migration %s finished without flipping (%s); the prober "
+                "will retry",
+                mid,
+                f"{audit['skips']} arc key(s) skipped"
+                if arc_incomplete
+                else "fenced",
+            )
         self.telemetry.event("fleet", "migration_done", **audit)
         logger.info(
             "migration %s done: %d key(s) moved, %d skipped",
@@ -509,7 +627,7 @@ class FleetGateway:
             audit["skips"],
         )
         self._notify_view()
-        if kind == "leave":
+        if kind == "leave" and flipped:
             self._reroute_from(node)
 
     def _reroute_from(self, name: str) -> None:
@@ -544,13 +662,29 @@ class FleetGateway:
             }
 
     # -- view replication -----------------------------------------------------
-    def wait_view(self, since: int = 0, wait_s: float = 0.0) -> dict[str, Any]:
+    def wait_view(
+        self,
+        since: int = 0,
+        wait_s: float = 0.0,
+        replica: Optional[str] = None,
+    ) -> dict[str, Any]:
         """The membership view, long-polling until ``epoch > since``.
 
         A follower tails this: the bounded wait returns the current
         (possibly unchanged) view on timeout so the poll loop never
-        hangs past its budget.
+        hangs past its budget.  A poll carrying the ``replica``
+        parameter (even empty) is a *follower* poll: it renews the
+        primary's lease, extends its promised epoch bound, and registers
+        the follower's advertise URL for the primary's peer watch.  The
+        published view is stamped with the lease, the publisher's role,
+        and the in-flight migration cursors a promoted follower resumes
+        from.
         """
+        if replica is not None and self._election.is_primary():
+            self._election.note_follower_poll(
+                self.membership.epoch, replica or None, time.monotonic()
+            )
+            self.telemetry.count(tm.FLEET_LEASE_RENEWALS)
         deadline = time.monotonic() + min(max(wait_s, 0.0), 30.0)
         with self._view_cond:
             while (
@@ -561,38 +695,260 @@ class FleetGateway:
                 if remaining <= 0:
                     break
                 self._view_cond.wait(remaining)
-        return self.membership.view()
+        view = self.membership.view()
+        view["role"] = self._election.role.value
+        if self._election.is_primary():
+            view["lease"] = self._election.lease_for(view["epoch"])
+            view["acting_primary"] = self._election.advertise_url
+            with self._lock:
+                live = list(self._live_migrations.values())
+            view["migrations"] = {"in_flight": snapshot_in_flight(live)}
+        else:
+            # a follower relays what it knows so a client polling the
+            # wrong gateway still learns who the acting primary is.
+            if self._election.last_lease is not None:
+                view["lease"] = dict(self._election.last_lease)
+            view["acting_primary"] = self._election.acting_url
+            with self._lock:
+                view["migrations"] = {
+                    "in_flight": [dict(i) for i in self._replicated_inflight]
+                }
+        return view
 
-    def _follow_loop(self) -> None:
-        """Tail the primary's /fleet/view and adopt higher-epoch views."""
-        client = ServiceClient(
-            self.config.follow,
-            timeout_s=max(self.config.read_timeout_s, 15.0),
-            connect_timeout_s=self.config.connect_timeout_s,
-            retries=0,
-        )
+    def _replication_client(self, url: str) -> ServiceClient:
+        client = self._replication_clients.get(url)
+        if client is None:
+            client = ServiceClient(
+                url,
+                timeout_s=max(self.config.read_timeout_s, 15.0),
+                connect_timeout_s=self.config.connect_timeout_s,
+                retries=0,
+            )
+            self._replication_clients[url] = client
+        return client
+
+    def _replication_loop(self) -> None:
+        """Follower: tail the acting primary.  Primary: watch for rivals.
+
+        One thread serves both roles, so a gateway switches between them
+        on promotion/demotion without thread churn.
+        """
         while not self._stop.is_set():
-            since = self.membership.epoch
             try:
-                view, _ = client.request_with_budget(
-                    "GET", f"/fleet/view?since={since}&wait_s=10"
+                if self._election.is_primary():
+                    self._watch_peers_once()
+                    self._stop.wait(
+                        max(
+                            0.5,
+                            min(
+                                self.config.probe_interval_s,
+                                self.config.lease_ttl_s / 2.0,
+                            ),
+                        )
+                    )
+                else:
+                    self._follow_once()
+            except Exception:  # one bad round must not kill replication
+                self.telemetry.count("fleet.replication_errors")
+                self._stop.wait(min(1.0, self.config.probe_interval_s))
+
+    def _follow_once(self) -> None:
+        """One follower poll: renew the lease or count toward election."""
+        target = self._election.acting_url or self.config.follow
+        if not target:
+            self._stop.wait(min(1.0, self.config.probe_interval_s))
+            return
+        since = self.membership.epoch
+        wait_s = max(0.5, min(10.0, self.config.lease_ttl_s / 2.0))
+        # the *effective* advertise URL (set_advertise_url backfills it
+        # for ephemeral-port gateways), so the primary's peer watch can
+        # poll us back even when --advertise-url was never configured.
+        replica = quote(self._election.advertise_url or "", safe="")
+        path = f"/fleet/view?since={since}&wait_s={wait_s:g}&replica={replica}"
+        try:
+            view, _ = self._replication_client(target).request_with_budget(
+                "GET", path
+            )
+        except (ReproError, OSError):
+            if self._election.note_probe_failure(time.monotonic()):
+                self._promote()
+            else:
+                self._stop.wait(min(1.0, self.config.probe_interval_s))
+            return
+        chase = self._election.note_view(view, target, time.monotonic())
+        inflight = (view.get("migrations") or {}).get("in_flight")
+        if isinstance(inflight, list):
+            with self._lock:
+                self._replicated_inflight = [
+                    dict(item) for item in inflight if isinstance(item, dict)
+                ]
+        self._apply_remote_view(view)
+        if chase:
+            logger.info("lease names a different acting primary: %s", chase)
+
+    def _watch_peers_once(self) -> None:
+        """Poll peers + known replicas for a higher-epoch view (demotion).
+
+        A restarted ex-primary discovers its successor through this:
+        the successor's peer watch polls *us* with ``replica=<its
+        url>``, we record that URL and poll it back, observe the higher
+        epoch in its lease-stamped view, and demote.
+        """
+        own = (self._election.advertise_url or "").rstrip("/")
+        targets: list[str] = []
+        for url in (*self.config.peers, self.config.follow or ""):
+            url = url.rstrip("/")
+            if url and url != own and url not in targets:
+                targets.append(url)
+        for url in list(self._election.replicas):
+            url = url.rstrip("/")
+            if url and url != own and url not in targets:
+                targets.append(url)
+        replica = quote(own, safe="")
+        for url in targets:
+            if self._stop.is_set() or not self._election.is_primary():
+                return
+            try:
+                view, _ = self._replication_client(url).request_with_budget(
+                    "GET", f"/fleet/view?since=0&wait_s=0&replica={replica}"
                 )
             except (ReproError, OSError):
-                self._stop.wait(min(1.0, self.config.probe_interval_s))
                 continue
             try:
-                applied = self.membership.apply_view(view)
-            except ConfigurationError:
+                epoch = int(view.get("epoch", 0))
+            except (TypeError, ValueError):
                 continue
-            if applied:
-                with self._lock:
-                    self._sync_handles_locked()
-                self.telemetry.count(tm.FLEET_VIEWS_APPLIED)
-                self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
-                self.telemetry.event(
-                    "fleet", "view_applied", epoch=view.get("epoch")
+            lease = view.get("lease")
+            holder = (
+                lease.get("holder") if isinstance(lease, Mapping) else None
+            )
+            if epoch > self.membership.epoch and holder != self._election.name:
+                self._demote(view, source_url=url)
+                return
+
+    def _apply_remote_view(self, view: Mapping[str, Any]) -> bool:
+        """Adopt a higher-epoch remote view into the local table."""
+        try:
+            applied = self.membership.apply_view(view)
+        except ConfigurationError:
+            return False
+        if applied:
+            with self._lock:
+                self._sync_handles_locked()
+            self.telemetry.count(tm.FLEET_VIEWS_APPLIED)
+            self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
+            self.telemetry.event(
+                "fleet", "view_applied", epoch=view.get("epoch")
+            )
+            self._notify_view()
+        return applied
+
+    # -- election -------------------------------------------------------------
+    def _promote(self) -> None:
+        """Lease expired + probes failed: become the acting primary.
+
+        The epoch jump (``bump_epoch`` past the old primary's reserved
+        bound) is fsync'd into this gateway's own membership journal
+        before anything else happens, so even a crash mid-promotion
+        leaves a journal whose replay wins ``apply_view`` against the
+        fenced old primary.  Replicated in-flight migration cursors are
+        re-journaled locally and resumed.
+        """
+        with self._lock:
+            if self._election.is_primary() or self._stop.is_set():
+                return
+            new_epoch = self._election.promotion_epoch(self.membership.epoch)
+            self._election.promote(new_epoch, time.monotonic())
+            self.membership.bump_epoch(new_epoch)
+            pending = pending_from_snapshot(self._replicated_inflight)
+            self._replicated_inflight = []
+            self._sync_handles_locked()
+        self.telemetry.count(tm.FLEET_ELECTIONS_WON)
+        self.telemetry.count(tm.FLEET_EPOCH_BUMPS)
+        self.telemetry.event(
+            "fleet",
+            "promoted",
+            gateway=self._election.name,
+            epoch=new_epoch,
+            resumed_migrations=[p["mid"] for p in pending],
+        )
+        logger.warning(
+            "lease expired: promoting to acting primary at epoch %d "
+            "(%d in-flight migration(s) to resume)",
+            new_epoch,
+            len(pending),
+        )
+        for item in pending:
+            # re-journal the start + cursor so a crash of *this* primary
+            # resumes from the same point the old one had reached.
+            self.membership.append_entry(
+                {
+                    "op": "migration_start",
+                    "mid": item["mid"],
+                    "kind": item["kind"],
+                    "node": item["node"],
+                    "remap_share": 0.0,
+                }
+            )
+            for key in sorted(item["done_keys"]):
+                self.membership.append_entry(
+                    {"op": "migrated", "mid": item["mid"], "key": key}
                 )
-                self._notify_view()
+            self._spawn_migration(
+                item["kind"],
+                item["node"],
+                done_keys=item["done_keys"],
+                mid=item["mid"],
+            )
+        self._notify_view()
+
+    def _demote(self, view: Mapping[str, Any], source_url: str) -> None:
+        """A higher-epoch acting primary exists: step down and follow it."""
+        lease = view.get("lease")
+        lease = dict(lease) if isinstance(lease, Mapping) else {}
+        try:
+            epoch = int(view.get("epoch", 0))
+        except (TypeError, ValueError):
+            epoch = 0
+        holder = lease.get("holder")
+        url = lease.get("url") or source_url
+        self._election.demote(holder, str(url), epoch, time.monotonic())
+        self.telemetry.count(tm.FLEET_DEMOTIONS)
+        self.telemetry.event("fleet", "demoted", to=holder, epoch=epoch)
+        logger.warning(
+            "observed acting primary %r at epoch %d (ours: %d): demoting",
+            holder,
+            epoch,
+            self.membership.epoch,
+        )
+        self._apply_remote_view(view)
+        self._election.note_view(view, source_url, time.monotonic())
+        inflight = (view.get("migrations") or {}).get("in_flight")
+        if isinstance(inflight, list):
+            with self._lock:
+                self._replicated_inflight = [
+                    dict(item) for item in inflight if isinstance(item, dict)
+                ]
+
+    def set_advertise_url(self, url: str) -> None:
+        """Backfill the advertise URL once the HTTP port is known.
+
+        Ephemeral-port gateways (tests, dev) cannot put their URL in
+        config; the HTTP binder calls this so the lease and the
+        follower ``replica=`` registration still carry a reachable
+        address.  A configured ``advertise_url`` always wins.
+        """
+        if not self._election.advertise_url:
+            self._election.advertise_url = url.rstrip("/")
+            if self._election.is_primary():
+                self._election.acting_url = self._election.advertise_url
+
+    def election_audit(self) -> dict[str, Any]:
+        """The election audit document (``GET /fleet/elections``)."""
+        doc = self._election.audit()
+        doc["epoch"] = self.membership.epoch
+        doc["fenced"] = self._election.fenced(time.monotonic())
+        return doc
 
     # -- health probing -------------------------------------------------------
     def _probe_loop(self) -> None:
@@ -611,6 +967,37 @@ class FleetGateway:
         for shard in self._handles():
             self._probe_shard(shard)
         self._reroute_orphans()
+        self._ensure_syncing_migrations()
+
+    def _ensure_syncing_migrations(self) -> None:
+        """Respawn the arc migration of any SYNCING member that has none.
+
+        A join migration can finish without flipping (its sources were
+        all unreachable so nothing was copied, or the primary was fenced
+        at flip time); the member then sits in SYNCING with no live
+        migration and would never activate.  The acting primary retries
+        it with a probe-interval backoff.
+        """
+        now = time.monotonic()
+        if not self._election.may_mint(self.membership.epoch + 1, now):
+            return
+        respawn: list[str] = []
+        with self._lock:
+            live_nodes = {t.node for t in self._live_migrations.values()}
+            pending_nodes = {p["node"] for p in self._pending_resume}
+            for member in self.membership.members():
+                if member.state is not MemberState.SYNCING:
+                    continue
+                if member.name in live_nodes or member.name in pending_nodes:
+                    continue
+                if self._respawn_at.get(member.name, 0.0) > now:
+                    continue
+                respawn.append(member.name)
+        for name in respawn:
+            self.telemetry.count(tm.FLEET_MIGRATIONS_RESPAWNED)
+            self.telemetry.event("fleet", "migration_respawned", shard=name)
+            logger.info("respawning stalled join migration for %s", name)
+            self._spawn_migration("join", name)
 
     def _probe_shard(self, shard: ShardHandle) -> None:
         self.telemetry.count(tm.FLEET_PROBES)
@@ -1215,11 +1602,18 @@ class FleetGateway:
                 name: shard.code_version
                 for name, shard in self._shards.items()
             }
+        lease = self._election.last_lease or {}
         return {
             "ok": True,
             "role": "gateway",
             "gateway_name": self.config.gateway_name,
-            "follower": bool(self.config.follow),
+            "follower": not self._election.is_primary(),
+            "election": {
+                "role": self._election.role.value,
+                "acting_primary": self._election.acting_url,
+                "primary_name": lease.get("holder"),
+                "fenced": self._election.fenced(time.monotonic()),
+            },
             "epoch": self.membership.epoch,
             "code_version": self.code_version,
             "draining": False,
@@ -1261,7 +1655,7 @@ class FleetGateway:
         reasons: list[str] = []
         if self._resuming:
             reasons.append("replaying membership journal")
-        if self.config.follow and not self.membership.members():
+        if not self._election.is_primary() and not self.membership.members():
             reasons.append("awaiting first membership view from primary")
         with self._lock:
             eligible = [
@@ -1348,10 +1742,14 @@ class FleetGateway:
                 "members_syncing": member_states.count("syncing"),
                 "members_left": member_states.count("left"),
                 "migrations_live": live_migrations,
+                "fleet_acting_primary": 1 if self._election.is_primary() else 0,
             }
         )
         snapshot = self.telemetry.snapshot(gauges)
         counters.update(snapshot["counters"])
+        injector = network_injector()
+        if injector is not None:
+            counters.update(injector.snapshot_counters())
         snapshot["counters"] = counters
         snapshot["fleet"] = {
             "shards": shard_meta,
@@ -1361,6 +1759,7 @@ class FleetGateway:
                 m.name: m.state.value for m in self.membership.members()
             },
             "migrations": self.migration_audit(),
+            "election": self.election_audit(),
         }
         return snapshot
 
@@ -1390,6 +1789,8 @@ class _GatewayHandler(JsonRequestHandler):
     server: GatewayHTTPServer
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.network_fault_precheck():
+            return
         gateway = self.server.gateway
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
@@ -1416,12 +1817,15 @@ class _GatewayHandler(JsonRequestHandler):
             elif parts == ["jobs"]:
                 self.send_json(200, {"jobs": gateway.jobs()})
             elif parts == ["fleet", "view"]:
-                query = parse_qs(url.query)
+                query = parse_qs(url.query, keep_blank_values=True)
                 since = int(query.get("since", ["0"])[0])
                 wait_s = float(query.get("wait_s", ["0"])[0])
-                self.send_json(200, gateway.wait_view(since, wait_s))
+                replica = query.get("replica", [None])[0]
+                self.send_json(200, gateway.wait_view(since, wait_s, replica))
             elif parts == ["fleet", "migrations"]:
                 self.send_json(200, gateway.migration_audit())
+            elif parts == ["fleet", "elections"]:
+                self.send_json(200, gateway.election_audit())
             elif len(parts) == 2 and parts[0] == "jobs":
                 self.send_json(200, gateway.status(parts[1]))
             elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
@@ -1444,6 +1848,8 @@ class _GatewayHandler(JsonRequestHandler):
             self.send_json_error(400, str(exc))
 
     def do_POST(self) -> None:  # noqa: N802
+        if self.network_fault_precheck():
+            return
         gateway = self.server.gateway
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
@@ -1482,6 +1888,8 @@ class _GatewayHandler(JsonRequestHandler):
             self.send_json_error(400, str(exc))
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if self.network_fault_precheck():
+            return
         gateway = self.server.gateway
         parts = [p for p in urlparse(self.path).path.split("/") if p]
         try:
@@ -1503,6 +1911,7 @@ def serve_gateway_http(
 ) -> GatewayHTTPServer:
     """Bind a gateway server (``port=0`` = ephemeral) on a daemon thread."""
     server = GatewayHTTPServer((host, port), gateway)
+    gateway.set_advertise_url(server.url)
     thread = threading.Thread(
         target=server.serve_forever, name="repro-fleet-http", daemon=True
     )

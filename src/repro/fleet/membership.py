@@ -112,10 +112,15 @@ class FleetMembership:
         journal_path: Optional[str | Path] = None,
         seeds: Iterable[ShardSpec] = (),
         on_append: Optional[Callable[[int], None]] = None,
+        on_epoch: Optional[Callable[[int], None]] = None,
     ) -> None:
         self._lock = threading.RLock()
         self._members: dict[str, Member] = {}
         self._epoch = 0
+        #: called with every epoch this instance *mints* itself (not
+        #: epochs adopted via apply_view) - the election audit trail.
+        #: Must not call back into membership (invoked under the lock).
+        self._on_epoch = on_epoch
         #: journal entries that are not membership ops (migration
         #: cursors); the owning gateway replays these after __init__.
         self.extra_entries: list[dict[str, Any]] = []
@@ -140,7 +145,16 @@ class FleetMembership:
         assert self.journal is not None
         replay = self.journal.replay()
         for entry in replay.entries:
-            if entry.get("op") != "member":
+            op = entry.get("op")
+            if op == "epoch":
+                # a bare epoch advance (promotion jump, or a view whose
+                # epoch exceeds every member record's own epoch).
+                try:
+                    self._epoch = max(self._epoch, int(entry.get("epoch", 0)))
+                except (TypeError, ValueError):
+                    pass
+                continue
+            if op != "member":
                 self.extra_entries.append(entry)
                 continue
             try:
@@ -160,6 +174,10 @@ class FleetMembership:
             {"op": "member", "member": m.to_dict()}
             for m in self._members.values()
         ]
+        # the table epoch can run ahead of every member's own epoch
+        # (promotion jumps); persist it so a replay lands on the same
+        # epoch, not on max(member epochs).
+        entries.append({"op": "epoch", "epoch": self._epoch})
         self.journal.compact(entries)
 
     # -- mutation -------------------------------------------------------------
@@ -170,7 +188,25 @@ class FleetMembership:
         self._members[member.name] = member
         if self.journal is not None:
             self.journal.append({"op": "member", "member": member.to_dict()})
+        if self._on_epoch is not None:
+            self._on_epoch(self._epoch)
         return member
+
+    def bump_epoch(self, to_epoch: int) -> int:
+        """Jump the epoch forward (a promotion), durably journaled.
+
+        The new epoch is ``max(current + 1, to_epoch)`` - the jump is
+        what puts a promoted follower's view strictly above anything
+        the fenced old primary minted, so ``apply_view`` demotes the
+        old primary the moment it sees this view.
+        """
+        with self._lock:
+            self._epoch = max(self._epoch + 1, int(to_epoch))
+            if self.journal is not None:
+                self.journal.append({"op": "epoch", "epoch": self._epoch})
+            if self._on_epoch is not None:
+                self._on_epoch(self._epoch)
+            return self._epoch
 
     def upsert(
         self,
@@ -277,6 +313,9 @@ class FleetMembership:
                     self.journal.append(
                         {"op": "member", "member": member.to_dict()}
                     )
+                # the view epoch may exceed every member record's epoch
+                # (the publisher promoted); make the replayed epoch match.
+                self.journal.append({"op": "epoch", "epoch": epoch})
         return True
 
     def close(self) -> None:

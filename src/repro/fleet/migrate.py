@@ -42,7 +42,7 @@ from __future__ import annotations
 import logging
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Mapping, Optional
 
 from repro.errors import ReproError
 from repro.fleet.ring import HashRing
@@ -277,6 +277,60 @@ class Migrator:
         if task.error is None:
             self._count(tm.FLEET_MIGRATIONS_COMPLETED)
         return audit
+
+
+def snapshot_in_flight(tasks: Iterable[MigrationTask]) -> list[dict[str, Any]]:
+    """Serializable snapshots of live migrations (for /fleet/view).
+
+    Followers store the latest snapshot alongside each adopted view;
+    a follower that *promotes* replays these through
+    :func:`pending_from_snapshot` to resume the dead primary's
+    migrations from their replicated cursors instead of from scratch.
+    """
+    return [
+        {
+            "mid": task.mid,
+            "kind": task.kind,
+            "node": task.node,
+            "done_keys": sorted(task.done_keys),
+        }
+        for task in tasks
+    ]
+
+
+def pending_from_snapshot(
+    items: Iterable[Mapping[str, Any]],
+) -> list[dict[str, Any]]:
+    """Resumable migration descriptors from a replicated snapshot.
+
+    Same shape as :func:`in_flight_from_entries` returns, so the
+    gateway's resume path treats journal-recovered and
+    replication-recovered migrations identically.  Malformed items are
+    dropped - a promotion must not die on a torn snapshot; re-copying
+    from an empty cursor is always safe (copies are idempotent).
+    """
+    pending: list[dict[str, Any]] = []
+    for item in items:
+        if not isinstance(item, Mapping):
+            continue
+        node = item.get("node")
+        if not isinstance(node, str) or not node:
+            continue
+        raw_keys = item.get("done_keys", [])
+        done = (
+            {str(k) for k in raw_keys}
+            if isinstance(raw_keys, (list, tuple))
+            else set()
+        )
+        pending.append(
+            {
+                "mid": str(item.get("mid") or f"resume:{node}"),
+                "kind": str(item.get("kind", "join")),
+                "node": node,
+                "done_keys": done,
+            }
+        )
+    return pending
 
 
 def in_flight_from_entries(

@@ -111,6 +111,25 @@ class GatewayConfig:
     #: this instance's name (targeted by the process.gateway_kill
     #: chaos point; surfaced in /healthz).
     gateway_name: Optional[str] = None
+    #: lease TTL the primary stamps into published views; a follower
+    #: whose lease expires (plus ``election_probes`` failed fetches)
+    #: promotes itself, and a primary a full TTL past its last follower
+    #: renewal fences itself (see repro.fleet.election).
+    lease_ttl_s: float = 5.0
+    #: consecutive failed view fetches (after lease expiry) before a
+    #: follower promotes.
+    election_probes: int = 3
+    #: epochs reserved ahead of the last follower-observed epoch; the
+    #: primary never mints past the advertised bound, the promoting
+    #: follower jumps beyond it - what keeps minted epochs disjoint.
+    epoch_reserve: int = 1024
+    #: sibling gateway URLs this instance watches for higher-epoch
+    #: primaries (a restarted ex-primary demotes through these even
+    #: before any follower polls it).
+    peers: tuple[str, ...] = field(default_factory=tuple)
+    #: this gateway's own base URL as peers/followers should reach it;
+    #: stamped into the lease so clients can chase the acting primary.
+    advertise_url: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.shards and self.follow is None and not self.membership_journal:
@@ -136,8 +155,26 @@ class GatewayConfig:
             raise ConfigurationError("recover_after_probes must be >= 1")
         if self.probation_probes < 1:
             raise ConfigurationError("probation_probes must be >= 1")
+        if self.lease_ttl_s <= 0:
+            raise ConfigurationError("lease_ttl_s must be > 0")
+        if self.election_probes < 1:
+            raise ConfigurationError("election_probes must be >= 1")
+        if self.epoch_reserve < 1:
+            raise ConfigurationError("epoch_reserve must be >= 1")
         if self.follow is not None:
             object.__setattr__(self, "follow", normalize_base_url(self.follow))
+        peers = self.peers
+        if peers is None:
+            peers = ()
+        if not isinstance(peers, (list, tuple)):
+            raise ConfigurationError("peers must be an array of gateway URLs")
+        object.__setattr__(
+            self, "peers", tuple(normalize_base_url(str(u)) for u in peers)
+        )
+        if self.advertise_url is not None:
+            object.__setattr__(
+                self, "advertise_url", normalize_base_url(self.advertise_url)
+            )
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -195,6 +232,11 @@ class GatewayConfig:
             "membership_journal": self.membership_journal,
             "follow": self.follow,
             "gateway_name": self.gateway_name,
+            "lease_ttl_s": self.lease_ttl_s,
+            "election_probes": self.election_probes,
+            "epoch_reserve": self.epoch_reserve,
+            "peers": list(self.peers),
+            "advertise_url": self.advertise_url,
         }
 
 

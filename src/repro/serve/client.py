@@ -45,17 +45,29 @@ import urllib.error
 import urllib.request
 from typing import Any, Optional, Sequence, Union
 
+from repro.chaos.network import CALLER_HEADER, local_endpoint, network_injector
 from repro.errors import ReproError
 from repro.serve.wire import error_detail, retry_after_hint
 from repro.sim.rng import SimRng
 
 
 class ServiceClientError(ReproError):
-    """The service rejected a request (includes the HTTP status)."""
+    """The service rejected a request (includes the HTTP status).
 
-    def __init__(self, status: int, message: str) -> None:
+    ``detail`` is the parsed error envelope (``{}`` when the body was
+    not JSON) - it carries structured hints like a follower gateway's
+    acting-primary redirect, which the join announcer chases.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        detail: Optional[dict[str, Any]] = None,
+    ) -> None:
         super().__init__(f"[{status}] {message}")
         self.status = status
+        self.detail: dict[str, Any] = dict(detail or {})
 
 
 class ServiceOverloadedError(ServiceClientError):
@@ -66,9 +78,13 @@ class ServiceOverloadedError(ServiceClientError):
     """
 
     def __init__(
-        self, status: int, message: str, retry_after_s: float = 1.0
+        self,
+        status: int,
+        message: str,
+        retry_after_s: float = 1.0,
+        detail: Optional[dict[str, Any]] = None,
     ) -> None:
-        super().__init__(status, message)
+        super().__init__(status, message, detail=detail)
         self.retry_after_s = retry_after_s
 
 
@@ -201,16 +217,25 @@ class ServiceClient:
         # budget: the failover pass over N gateways still shares one
         # backoff_budget_s and one retry schedule.
         total_attempts = self.retries + len(self.endpoints)
+        caller = local_endpoint()
         for attempt in range(total_attempts):
+            headers = {"Content-Type": "application/json"} if body else {}
+            if caller is not None:
+                # self-identify so a peer's inbound network.partition
+                # rules can match this endpoint by name.
+                headers[CALLER_HEADER] = caller
             request = urllib.request.Request(
-                self.base_url + path,
-                data=body,
-                method=method,
-                headers={"Content-Type": "application/json"} if body else {},
+                self.base_url + path, data=body, method=method, headers=headers
             )
             retry_after = 0.0
             failed_over = False
             try:
+                injector = network_injector()
+                if injector is not None:
+                    # raises before the socket opens when this endpoint's
+                    # outbound link is cut; lands in the unreachable
+                    # branch below like a real refused connect.
+                    injector.check_connect(self.base_url)
                 # the urlopen timeout arms the *connect*; the handler
                 # re-arms the socket with the read timeout afterwards.
                 with self._opener.open(
@@ -228,11 +253,14 @@ class ServiceClient:
                     # gateway may be admitting while this one sheds.
                     retry_after = retry_after_hint(exc.headers, detail)
                     last_error = ServiceOverloadedError(
-                        exc.code, message, retry_after_s=retry_after or 1.0
+                        exc.code,
+                        message,
+                        retry_after_s=retry_after or 1.0,
+                        detail=detail,
                     )
                     failed_over = self._fail_over()
                 else:
-                    last_error = ServiceClientError(exc.code, message)
+                    last_error = ServiceClientError(exc.code, message, detail=detail)
                 retryable = overloaded or (
                     method == "GET" and 500 <= exc.code < 600
                 )

@@ -67,6 +67,8 @@ class _Handler(JsonRequestHandler):
 
     # -- routes ---------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.network_fault_precheck():
+            return
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         try:
@@ -147,6 +149,8 @@ class _Handler(JsonRequestHandler):
             self.send_json_error(400, str(exc))
 
     def do_POST(self) -> None:  # noqa: N802
+        if self.network_fault_precheck():
+            return
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         try:
@@ -174,6 +178,8 @@ class _Handler(JsonRequestHandler):
             self.send_json_error(400, str(exc))
 
     def do_DELETE(self) -> None:  # noqa: N802
+        if self.network_fault_precheck():
+            return
         parts = [p for p in urlparse(self.path).path.split("/") if p]
         try:
             if len(parts) == 2 and parts[0] == "jobs":

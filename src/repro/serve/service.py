@@ -936,12 +936,19 @@ class JoinAnnouncer:
     A shard started with ``--announce`` does not need to appear in any
     gateway's static registry: this background thread POSTs
     ``/fleet/join`` - ``shard_name``, the shard's advertised base URL,
-    and its ``code_version`` - to each gateway endpoint in turn until a
-    *primary* accepts (followers answer 503 with a hint and are
-    skipped), then keeps re-announcing every ``interval_s`` so a
-    gateway that restarted against an empty membership journal relearns
-    the shard without operator action.  Joins are idempotent on the
-    gateway side, so re-announcing is safe.
+    and its ``code_version`` - to the gateway endpoints until a
+    *primary* accepts, then keeps re-announcing every ``interval_s`` so
+    a gateway that restarted against an empty membership journal
+    relearns the shard without operator action.  Joins are idempotent
+    on the gateway side, so re-announcing is safe.
+
+    Two behaviours make announcing survive primary elections: the pass
+    **rotates** to start at whichever gateway last accepted (so a
+    re-announce normally costs one request), and a follower's 503 hint
+    body (``{"primary": <url>}``) is **chased** - the hinted URL is
+    tried next, ahead of the static list, even when it names a gateway
+    the operator never configured.  A ``tried`` set bounds the chase so
+    two stale followers hinting at each other cannot loop.
 
     :meth:`leave` is the graceful-drain counterpart: a best-effort
     ``POST /fleet/leave`` to every gateway so the ring arc is migrated
@@ -964,16 +971,34 @@ class JoinAnnouncer:
         self.advertise_url = advertise_url
         self.interval_s = max(0.05, float(interval_s))
         self.code_version = code_version()
-        self._clients = [
-            ServiceClient(url, timeout_s=5.0, connect_timeout_s=2.0, retries=0)
-            for url in gateway_urls
-        ]
+        self._urls = [url.rstrip("/") for url in gateway_urls]
+        self._clients = {
+            url: ServiceClient(
+                url, timeout_s=5.0, connect_timeout_s=2.0, retries=0
+            )
+            for url in self._urls
+        }
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         #: gateway URL that last accepted our join (None before any).
         self.joined_via: Optional[str] = None
         self.announce_attempts = 0
+        #: follower primary-hints followed to a gateway outside the list.
+        self.hints_chased = 0
+
+    def _client_for(self, url: str):
+        from repro.serve.client import ServiceClient
+
+        url = url.rstrip("/")
+        with self._lock:
+            client = self._clients.get(url)
+            if client is None:
+                client = ServiceClient(
+                    url, timeout_s=5.0, connect_timeout_s=2.0, retries=0
+                )
+                self._clients[url] = client
+        return client
 
     def _payload(self) -> dict[str, Any]:
         return {
@@ -987,15 +1012,38 @@ class JoinAnnouncer:
         from repro.serve.client import ServiceClientError
 
         payload = self._payload()
-        for client in self._clients:
+        with self._lock:
+            start = self.joined_via
+        order = list(self._urls)
+        if start in order:
+            # rotate so the gateway that last accepted is retried first
+            pivot = order.index(start)
+            order = order[pivot:] + order[:pivot]
+        queue = list(order)
+        tried: set[str] = set()
+        while queue:
+            url = queue.pop(0)
+            if url in tried:
+                continue
+            tried.add(url)
             with self._lock:
                 self.announce_attempts += 1
             try:
-                client._request("POST", "/fleet/join", payload)
-            except (ServiceClientError, OSError):
+                self._client_for(url)._request("POST", "/fleet/join", payload)
+            except ServiceClientError as exc:
+                # a follower's 503 carries the acting primary's URL in
+                # its body: chase it ahead of the static list.
+                hint = (getattr(exc, "detail", None) or {}).get("primary")
+                if isinstance(hint, str) and hint.rstrip("/") not in tried:
+                    queue.insert(0, hint.rstrip("/"))
+                    if hint.rstrip("/") not in self._urls:
+                        with self._lock:
+                            self.hints_chased += 1
                 continue  # unreachable, follower (503), or rejected (403)
+            except OSError:
+                continue
             with self._lock:
-                self.joined_via = client.base_url
+                self.joined_via = url
             return True
         return False
 
@@ -1032,7 +1080,12 @@ class JoinAnnouncer:
         self._stop.set()
         payload = {"shard_name": self.shard_name}
         accepted = None
-        for client in self._clients:
+        with self._lock:
+            clients = list(self._clients.values())
+            start = self.joined_via
+        # whoever accepted our join is most likely the acting primary
+        clients.sort(key=lambda c: c.base_url != start)
+        for client in clients:
             try:
                 client._request("POST", "/fleet/leave", payload)
             except (ServiceClientError, OSError):

@@ -101,6 +101,17 @@ FLEET_MIGRATION_KEY_SKIPS = "fleet.migration_key_skips"
 FLEET_DOUBLE_READS = "fleet.double_reads"
 #: foreign gateway ids reconstructed from shard job tables (failover).
 FLEET_JOBS_ADOPTED = "fleet.jobs_adopted"
+#: lease-expiry elections this gateway won (follower -> acting primary).
+FLEET_ELECTIONS_WON = "fleet.elections_won"
+#: acting primaries that stepped down after seeing a higher-epoch view.
+FLEET_DEMOTIONS = "fleet.demotions"
+#: membership mutations refused while this primary was fenced (no
+#: follower lease renewal within the TTL).
+FLEET_FENCED_REJECTS = "fleet.fenced_rejects"
+#: lease renewals recorded from follower view polls.
+FLEET_LEASE_RENEWALS = "fleet.lease_renewals"
+#: syncing members whose stalled migration the prober respawned.
+FLEET_MIGRATIONS_RESPAWNED = "fleet.migrations_respawned"
 
 
 class Telemetry:

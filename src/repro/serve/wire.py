@@ -25,11 +25,13 @@ any of them.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 from email.message import Message
 from http.server import BaseHTTPRequestHandler
 from typing import Any, Mapping, Optional, Union
 
+from repro.chaos.network import CALLER_HEADER, network_injector
 from repro.errors import ConfigurationError
 
 
@@ -42,6 +44,23 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
         pass  # quiet by default; telemetry is the observable surface
 
+    def network_fault_precheck(self) -> bool:
+        """True when an armed partition drops this request unanswered.
+
+        Called at the top of every ``do_*``: an inbound cut closes the
+        connection with no response bytes, so the caller observes the
+        peer vanishing (``RemoteDisconnected``) exactly as it would with
+        a real link failure.  None-sentinel: fault-free processes pay
+        one global read.
+        """
+        injector = network_injector()
+        if injector is None:
+            return False
+        if injector.drop_inbound(self.headers.get(CALLER_HEADER)):
+            self.close_connection = True
+            return True
+        return False
+
     def send_json(
         self,
         status: int,
@@ -49,12 +68,32 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         headers: Optional[dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        fault = None
+        injector = network_injector()
+        if injector is not None:
+            fault = injector.response_fault(self.headers.get(CALLER_HEADER))
+            if fault is not None and fault["kind"] == "delay":
+                time.sleep(max(0.0, fault["delay_s"]))
+                fault = None
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
+        if fault is not None and fault["kind"] == "disconnect":
+            # headers + a partial body, then the connection drops: the
+            # peer sees IncompleteRead/RemoteDisconnected and retries.
+            cut = fault["after_bytes"]
+            cut = len(body) // 2 if cut is None else max(0, min(cut, len(body)))
+            self.wfile.write(body[:cut])
+            self.close_connection = True
+            return
+        if fault is not None and fault["kind"] == "truncate":
+            drop = max(1, min(fault["drop_bytes"], len(body)))
+            self.wfile.write(body[: len(body) - drop])
+            self.close_connection = True
+            return
         self.wfile.write(body)
 
     def send_json_error(self, status: int, message: str) -> None:

@@ -1,0 +1,245 @@
+"""Election safety under arbitrary partition/heal schedules.
+
+Drives a small fleet of :class:`ElectionState` machines - pure,
+clock-injected, no HTTP - through hypothesis-generated schedules of
+time advances, follower polls, membership mints, and symmetric link
+cuts/heals, asserting the three properties the self-healing tier
+rests on:
+
+* **disjoint mints**: the epoch ranges minted by distinct gateways
+  never overlap, i.e. at most one acting primary minted any epoch
+  (what ``GET /fleet/elections`` audits assert fleet-wide),
+* **monotone journals**: no gateway's journal epoch ever decreases,
+* **convergence**: once every link heals and polls resume, the fleet
+  settles on exactly one primary and every other gateway follows it.
+
+The schedules stay inside the protocol's documented operating
+envelope (``docs/fleet.md``): partitions are *symmetric* (a cut that
+severs the primary's publications also severs the polls that would
+extend its bound), every follower registers with the initial primary
+before the first cut, and the mutation rate is orders of magnitude
+below ``epoch_reserve`` and the promotion-offset gaps.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import ElectionState, Role
+
+TTL = 5.0
+PROBES = 2
+RESERVE = 1024
+NAMES = ("gw0", "gw1", "gw2")
+PAIRS = ((0, 1), (0, 2), (1, 2))
+
+
+class _Node:
+    """One gateway: an election state machine plus its journal epoch."""
+
+    def __init__(self, index: int, role: Role):
+        self.name = NAMES[index]
+        self.url = f"http://{self.name}:1"
+        self.st = ElectionState(
+            self.name,
+            role,
+            advertise_url=self.url,
+            lease_ttl_s=TTL,
+            election_probes=PROBES,
+            epoch_reserve=RESERVE,
+            now=0.0,
+        )
+        self.epoch = 0
+
+    def mint(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.st.note_minted(epoch)
+
+    def view(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "members": [],
+            "lease": self.st.lease_for(self.epoch),
+        }
+
+
+class _Fleet:
+    def __init__(self):
+        self.now = 0.0
+        self.nodes = [_Node(0, Role.PRIMARY)] + [
+            _Node(i, Role.FOLLOWER) for i in range(1, len(NAMES))
+        ]
+        self.nodes[0].mint(1)  # the seed epoch
+        self.up = {pair: True for pair in PAIRS}
+        # steady state before any chaos: every follower registers with
+        # (and adopts the lease of) the initial primary.
+        for node in self.nodes[1:]:
+            node.st.acting_url = self.nodes[0].url
+            self.poll(self.nodes.index(node))
+
+    def linked(self, i: int, j: int) -> bool:
+        return self.up[tuple(sorted((i, j)))]
+
+    def _target_of(self, node: _Node) -> _Node:
+        for other in self.nodes:
+            if other is not node and other.url == node.st.acting_url:
+                return other
+        return self.nodes[0]
+
+    def tick(self, dt: float) -> None:
+        self.now += dt
+
+    def poll(self, i: int) -> None:
+        """One follower poll round for node ``i`` (no-op for primaries)."""
+        node = self.nodes[i]
+        if node.st.is_primary():
+            return
+        target = self._target_of(node)
+        j = self.nodes.index(target)
+        if self.linked(i, j):
+            if target.st.is_primary():
+                target.st.note_follower_poll(target.epoch, node.url, self.now)
+                view = target.view()
+            else:
+                # a non-primary target relays the lease it last adopted
+                # (the real wait_view follower path), so the poller
+                # chases the acting primary instead of counting a probe.
+                view = {
+                    "epoch": target.epoch,
+                    "members": [],
+                    "lease": target.st.audit()["lease"],
+                }
+            node.st.note_view(view, target.url, self.now)
+            node.epoch = max(node.epoch, target.epoch)  # higher-epoch-wins
+        elif node.st.note_probe_failure(self.now):
+            new_epoch = node.st.promotion_epoch(node.epoch)
+            node.st.promote(new_epoch, self.now)
+            node.mint(new_epoch)
+
+    def mint(self, i: int) -> None:
+        """One membership mutation on node ``i`` (join/leave epoch bump)."""
+        node = self.nodes[i]
+        if node.st.may_mint(node.epoch + 1, self.now):
+            node.mint(node.epoch + 1)
+
+    def set_link(self, pair: tuple[int, int], state: bool) -> None:
+        self.up[pair] = state
+
+    def heal_and_settle(self) -> None:
+        """Heal every link, then run enough watch/poll rounds for the
+        demotion cascade (the model of the primary peer-watch loop)."""
+        for pair in PAIRS:
+            self.up[pair] = True
+        for _ in range(len(self.nodes) + 1):
+            for node in self.nodes:
+                if not node.st.is_primary():
+                    continue
+                for other in self.nodes:
+                    if other is not node and other.epoch > node.epoch:
+                        lease = other.st.lease_for(other.epoch)
+                        node.st.demote(
+                            lease["holder"], lease["url"], other.epoch, self.now
+                        )
+                        node.epoch = other.epoch
+            for i in range(len(self.nodes)):
+                self.poll(i)
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("tick"), st.floats(min_value=0.1, max_value=3.0)),
+        st.tuples(st.just("poll"), st.integers(0, len(NAMES) - 1)),
+        st.tuples(st.just("mint"), st.integers(0, len(NAMES) - 1)),
+        st.tuples(st.just("cut"), st.sampled_from(PAIRS)),
+        st.tuples(st.just("heal"), st.sampled_from(PAIRS)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _merged_minted(fleet: _Fleet) -> dict[str, list[list[int]]]:
+    return {n.name: n.st.audit()["minted"] for n in fleet.nodes}
+
+
+def _assert_disjoint(minted: dict[str, list[list[int]]]) -> None:
+    owners: dict[int, str] = {}
+    for name, ranges in minted.items():
+        for lo, hi in ranges:
+            for epoch in range(lo, hi + 1):
+                assert epoch not in owners, (
+                    f"epoch {epoch} minted by both {owners[epoch]} and {name}"
+                )
+                owners[epoch] = name
+
+
+def _run(fleet: _Fleet, schedule) -> None:
+    previous = {n.name: n.epoch for n in fleet.nodes}
+    for op, arg in schedule:
+        if op == "tick":
+            fleet.tick(arg)
+        elif op == "poll":
+            fleet.poll(arg)
+        elif op == "mint":
+            fleet.mint(arg)
+        elif op == "cut":
+            fleet.set_link(arg, False)
+        elif op == "heal":
+            fleet.set_link(arg, True)
+        for node in fleet.nodes:
+            assert node.epoch >= previous[node.name], (
+                f"{node.name} journal epoch went backwards"
+            )
+            previous[node.name] = node.epoch
+        _assert_disjoint(_merged_minted(fleet))
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=ops)
+def test_minted_epochs_disjoint_and_monotone(schedule):
+    fleet = _Fleet()
+    _run(fleet, schedule)
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=ops)
+def test_healed_fleet_converges_to_one_primary(schedule):
+    fleet = _Fleet()
+    _run(fleet, schedule)
+    fleet.heal_and_settle()
+    primaries = [n for n in fleet.nodes if n.st.is_primary()]
+    assert len(primaries) == 1, (
+        f"fleet did not converge: {[n.name for n in primaries]}"
+    )
+    winner = primaries[0]
+    assert winner.epoch == max(n.epoch for n in fleet.nodes)
+    # every follower's adopted lease names the surviving primary
+    for node in fleet.nodes:
+        if node is winner:
+            continue
+        assert node.epoch == winner.epoch
+        lease = node.st.audit()["lease"]
+        assert lease is not None and lease["holder"] == winner.name
+    _assert_disjoint(_merged_minted(fleet))
+
+
+@settings(max_examples=200, deadline=None)
+@given(schedule=ops)
+def test_fenced_primary_never_outmints_its_bound(schedule):
+    """A primary that has advertised a bound never mints past it, and
+    every promotion epoch clears every bound its holder ever saw."""
+    fleet = _Fleet()
+    _run(fleet, schedule)
+    for node in fleet.nodes:
+        audit = node.st.audit()
+        bound = audit["promised_bound"]
+        if node.st.is_primary() and bound is not None:
+            assert all(hi <= bound for _, hi in audit["minted"]), (
+                f"{node.name} minted past its advertised bound {bound}"
+            )
+        for transition in audit["transitions"]:
+            if transition["event"] == "promoted":
+                assert transition["epoch"] > RESERVE, (
+                    "promotion epoch did not clear the reserve window"
+                )

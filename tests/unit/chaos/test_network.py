@@ -1,0 +1,300 @@
+"""Unit tests for the network-fault family: partitions and torn responses.
+
+Everything runs against a :class:`NetworkInjector` with an injected
+fake clock - no sockets, no threads - which is exactly how the design
+doc says the family must be testable: every decision is a pure function
+of (plan, local endpoint, clock, journal-append count).
+"""
+
+import pytest
+
+from repro.chaos import (
+    CALLER_HEADER,
+    NETWORK_CONNECT_REFUSE,
+    NETWORK_DELAY,
+    NETWORK_DISCONNECT,
+    NETWORK_PARTITION,
+    NETWORK_TRUNCATE,
+    ChaosPartitionError,
+    FaultPlan,
+    FaultSpec,
+    NetworkInjector,
+    PartitionRule,
+    endpoint_of_url,
+    install_network_chaos,
+    local_endpoint,
+    network_injector,
+    reset_network_chaos,
+)
+from repro.errors import ConfigurationError
+
+
+class _FakeClock:
+    """Monotonic stand-in the tests advance explicitly."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def _plan(*faults: FaultSpec, seed: int = 0xC405) -> FaultPlan:
+    return FaultPlan(seed=seed, faults=tuple(faults))
+
+
+def _partition_plan(*rules: dict) -> FaultPlan:
+    return _plan(
+        FaultSpec(point=NETWORK_PARTITION, args={"rules": list(rules)})
+    )
+
+
+class TestEndpointOfUrl:
+    def test_host_port(self):
+        assert endpoint_of_url("http://127.0.0.1:8000") == "127.0.0.1:8000"
+        assert endpoint_of_url("http://127.0.0.1:8000/fleet/view") == "127.0.0.1:8000"
+
+    def test_lowercases_host(self):
+        assert endpoint_of_url("http://LocalHost:9/") == "localhost:9"
+
+    def test_bare_host_no_port(self):
+        assert endpoint_of_url("example.com") == "example.com"
+
+
+class TestPartitionRule:
+    def test_requires_src_and_dst(self):
+        with pytest.raises(ConfigurationError):
+            PartitionRule(src="", dst="*")
+        with pytest.raises(ConfigurationError):
+            PartitionRule(src="*", dst="")
+
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            PartitionRule(src="a", dst="b", after_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            PartitionRule(src="a", dst="b", after_appends=0)
+        with pytest.raises(ConfigurationError):
+            PartitionRule(src="a", dst="b", heal_after_s=0.0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigurationError):
+            PartitionRule.from_dict({"src": "a", "dst": "b", "oops": 1})
+
+    def test_from_dict_round_trip(self):
+        rule = PartitionRule.from_dict(
+            {"src": "gw0", "dst": "*", "after_appends": 3, "heal_after_s": 2.0}
+        )
+        assert rule == PartitionRule(
+            src="gw0", dst="*", after_appends=3, heal_after_s=2.0
+        )
+
+    def test_bad_rules_array_rejected(self):
+        plan = _plan(
+            FaultSpec(point=NETWORK_PARTITION, args={"rules": "not-a-list"})
+        )
+        with pytest.raises(ConfigurationError):
+            NetworkInjector(plan, "gw0", clock=_FakeClock())
+
+
+class TestTimeArmedPartition:
+    def test_arms_after_s_and_heals(self):
+        clock = _FakeClock()
+        plan = _partition_plan(
+            {"src": "gw0", "dst": "*", "after_s": 5.0, "heal_after_s": 3.0}
+        )
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        # not armed yet
+        inj.check_connect("http://127.0.0.1:9")
+        clock.advance(5.0)
+        with pytest.raises(ChaosPartitionError):
+            inj.check_connect("http://127.0.0.1:9")
+        # heals heal_after_s after arming
+        clock.advance(3.0)
+        inj.check_connect("http://127.0.0.1:9")
+        assert inj.snapshot_counters()["chaos.network.partition_refusals"] == 1
+
+    def test_src_must_match_local(self):
+        clock = _FakeClock()
+        plan = _partition_plan({"src": "gw1", "dst": "*", "after_s": 0.0})
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        inj.check_connect("http://127.0.0.1:9")  # we are gw0, rule cuts gw1
+
+    def test_dst_matches_host_port(self):
+        clock = _FakeClock()
+        plan = _partition_plan(
+            {"src": "gw0", "dst": "127.0.0.1:9", "after_s": 0.0}
+        )
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        with pytest.raises(ChaosPartitionError):
+            inj.check_connect("http://127.0.0.1:9")
+        inj.check_connect("http://127.0.0.1:10")  # different port untouched
+
+
+class TestAppendArmedPartition:
+    def test_arms_on_nth_append(self):
+        clock = _FakeClock()
+        plan = _partition_plan(
+            {"src": "gw0", "dst": "*", "after_appends": 3, "heal_after_s": 4.0}
+        )
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        inj.note_append(2)
+        inj.check_connect("http://127.0.0.1:9")  # 2 < 3: not armed
+        inj.note_append(3)
+        assert inj.snapshot_counters()["chaos.network.partitions_armed"] == 1
+        with pytest.raises(ChaosPartitionError):
+            inj.check_connect("http://127.0.0.1:9")
+        # heal is measured from the arming instant, not from install
+        clock.advance(4.0)
+        inj.check_connect("http://127.0.0.1:9")
+
+    def test_append_count_is_monotonic(self):
+        clock = _FakeClock()
+        plan = _partition_plan({"src": "gw0", "dst": "*", "after_appends": 5})
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        inj.note_append(5)
+        inj.note_append(1)  # a stale lower count must not disarm
+        with pytest.raises(ChaosPartitionError):
+            inj.check_connect("http://127.0.0.1:9")
+
+
+class TestInboundDrop:
+    def test_drops_named_caller_only(self):
+        clock = _FakeClock()
+        plan = _partition_plan({"src": "gw1", "dst": "gw0", "after_s": 0.0})
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        assert inj.drop_inbound("gw1") is True
+        assert inj.drop_inbound("gw2") is False
+        assert inj.drop_inbound(None) is False  # anonymous caller unmatched
+        assert inj.snapshot_counters()["chaos.network.inbound_drops"] == 1
+
+    def test_wildcard_src_drops_anonymous_callers(self):
+        clock = _FakeClock()
+        plan = _partition_plan({"src": "*", "dst": "gw0", "after_s": 0.0})
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        assert inj.drop_inbound(None) is True
+        assert inj.drop_inbound("anyone") is True
+
+
+class TestConnectRefuse:
+    def test_budgeted_refusal(self):
+        clock = _FakeClock()
+        plan = _plan(FaultSpec(point=NETWORK_CONNECT_REFUSE, max_fires=1))
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        with pytest.raises(ChaosPartitionError):
+            inj.check_connect("http://127.0.0.1:9")
+        inj.check_connect("http://127.0.0.1:9")  # budget spent
+        assert inj.snapshot_counters()["chaos.network.connects_refused"] == 1
+
+    def test_chaos_partition_error_is_connection_refused(self):
+        # the client's unreachable-endpoint handling must engage unchanged
+        assert issubclass(ChaosPartitionError, ConnectionRefusedError)
+
+
+class TestResponseFaults:
+    def test_first_match_wins_then_budgets_drain(self):
+        clock = _FakeClock()
+        plan = _plan(
+            FaultSpec(point=NETWORK_DELAY, args={"delay_s": 0.05}),
+            FaultSpec(point=NETWORK_DISCONNECT, args={"after_bytes": 4}),
+            FaultSpec(point=NETWORK_TRUNCATE, args={"drop_bytes": 2}),
+        )
+        inj = NetworkInjector(plan, "gw0", clock=clock)
+        assert inj.response_fault("gw1") == {"kind": "delay", "delay_s": 0.05}
+        assert inj.response_fault("gw1") == {"kind": "disconnect", "after_bytes": 4}
+        assert inj.response_fault("gw1") == {"kind": "truncate", "drop_bytes": 2}
+        assert inj.response_fault("gw1") is None
+        counters = inj.snapshot_counters()
+        assert counters["chaos.network.delays"] == 1
+        assert counters["chaos.network.disconnects"] == 1
+        assert counters["chaos.network.truncates"] == 1
+
+    def test_truncate_defaults_drop_bytes(self):
+        inj = NetworkInjector(
+            _plan(FaultSpec(point=NETWORK_TRUNCATE)), "gw0", clock=_FakeClock()
+        )
+        assert inj.response_fault(None) == {"kind": "truncate", "drop_bytes": 1}
+
+    def test_attempts_bound_cleans_later_trials(self):
+        # attempts=1 perturbs only the first request per caller; the
+        # retry is guaranteed clean even with budget left.
+        plan = _plan(
+            FaultSpec(point=NETWORK_DELAY, max_fires=5, attempts=1)
+        )
+        inj = NetworkInjector(plan, "gw0", clock=_FakeClock())
+        assert inj.response_fault("gw1") is not None
+        assert inj.response_fault("gw1") is None
+        # a different caller gets its own trial sequence
+        assert inj.response_fault("gw2") is not None
+
+
+class TestDeterminism:
+    def test_same_plan_same_decisions(self):
+        plan = _plan(
+            FaultSpec(
+                point=NETWORK_CONNECT_REFUSE,
+                probability=0.5,
+                max_fires=64,
+                attempts=1,
+            ),
+            seed=1234,
+        )
+        peers = [f"http://127.0.0.1:{8000 + i}" for i in range(16)]
+
+        def verdicts():
+            inj = NetworkInjector(plan, "gw0", clock=_FakeClock())
+            out = []
+            for url in peers:
+                try:
+                    inj.check_connect(url)
+                    out.append(False)
+                except ChaosPartitionError:
+                    out.append(True)
+            return out
+
+        first = verdicts()
+        assert first == verdicts()
+        # p=0.5 over 16 peers: both outcomes appear
+        assert set(first) == {True, False}
+
+
+class TestInstallSentinel:
+    @pytest.fixture(autouse=True)
+    def _clean(self):
+        reset_network_chaos()
+        yield
+        reset_network_chaos()
+
+    def test_no_network_family_keeps_none_sentinel(self):
+        from repro.chaos import MODEL_DMA_FAIL
+
+        plan = _plan(FaultSpec(point=MODEL_DMA_FAIL))
+        assert install_network_chaos(local="gw0", plan=plan) is None
+        assert network_injector() is None
+        # ...but the endpoint name is still registered so this process
+        # stamps CALLER_HEADER and remote inbound rules can match it.
+        assert local_endpoint() == "gw0"
+        assert CALLER_HEADER == "X-Uvmrepro-Caller"
+
+    def test_network_family_installs_injector(self):
+        plan = _partition_plan({"src": "gw0", "dst": "*", "after_s": 0.0})
+        inj = install_network_chaos(local="gw0", plan=plan)
+        assert inj is not None
+        assert network_injector() is inj
+        assert inj.local == "gw0"
+
+    def test_reset_clears_both(self):
+        plan = _partition_plan({"src": "gw0", "dst": "*", "after_s": 0.0})
+        install_network_chaos(local="gw0", plan=plan)
+        reset_network_chaos()
+        assert network_injector() is None
+        assert local_endpoint() is None
+
+    def test_none_plan_clears_injector_keeps_name(self):
+        plan = _partition_plan({"src": "gw0", "dst": "*", "after_s": 0.0})
+        install_network_chaos(local="gw0", plan=plan)
+        assert install_network_chaos(plan=None) is None
+        assert network_injector() is None
+        assert local_endpoint() == "gw0"

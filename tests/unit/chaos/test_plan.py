@@ -39,7 +39,10 @@ class TestFaultSpec:
         assert FaultSpec(point=MODEL_DMA_FAIL).family == FAMILY_MODEL
         assert FaultSpec(point=PROCESS_KILL).family == FAMILY_PROCESS
         assert FaultSpec(point=STORAGE_TORN_JSON).family == FAMILY_STORAGE
-        assert all(family_of(p) in ("model", "process", "storage") for p in ALL_POINTS)
+        assert all(
+            family_of(p) in ("model", "process", "storage", "network")
+            for p in ALL_POINTS
+        )
 
     def test_model_points_cover_model_family(self):
         assert set(MODEL_POINTS) == {

@@ -1,0 +1,252 @@
+"""Unit tests for the lease/election state machine.
+
+:class:`ElectionState` takes ``now`` explicitly everywhere, so these
+tests drive full promote/fence/demote cycles with plain floats - no
+clocks, threads, or HTTP.
+"""
+
+import pytest
+
+from repro.fleet import ElectionState, Role, promotion_offset
+from repro.fleet.election import OFFSET_SPAN, lease_doc
+
+TTL = 5.0
+PROBES = 3
+
+
+def _follower(name: str = "gw1", **kwargs) -> ElectionState:
+    kwargs.setdefault("lease_ttl_s", TTL)
+    kwargs.setdefault("election_probes", PROBES)
+    kwargs.setdefault("advertise_url", f"http://127.0.0.1:91/{name}")
+    return ElectionState(name, Role.FOLLOWER, now=0.0, **kwargs)
+
+
+def _primary(name: str = "gw0", **kwargs) -> ElectionState:
+    kwargs.setdefault("lease_ttl_s", TTL)
+    kwargs.setdefault("epoch_reserve", 1024)
+    kwargs.setdefault("advertise_url", f"http://127.0.0.1:90/{name}")
+    return ElectionState(name, Role.PRIMARY, now=0.0, **kwargs)
+
+
+def _view(epoch: int, lease=None) -> dict:
+    view = {"epoch": epoch, "members": []}
+    if lease is not None:
+        view["lease"] = lease
+    return view
+
+
+class TestPromotionOffset:
+    def test_stable_and_in_range(self):
+        for name in ("gw0", "gw1", "a" * 64):
+            off = promotion_offset(name)
+            assert off == promotion_offset(name)
+            assert 0 <= off < OFFSET_SPAN
+
+    def test_distinct_names_distinct_offsets(self):
+        # not guaranteed in general (span is finite) but must hold for
+        # the well-known names the fleet tests and docs use.
+        offsets = {promotion_offset(n) for n in ("gw0", "gw1", "gw2")}
+        assert len(offsets) == 3
+
+
+class TestFollowerLease:
+    def test_boot_grace_prevents_instant_promotion(self):
+        st = _follower()
+        # lease not yet expired: failures alone never trigger election
+        for _ in range(PROBES + 2):
+            assert st.note_probe_failure(now=1.0) is False
+
+    def test_promotes_on_expiry_plus_probes(self):
+        st = _follower()
+        assert st.note_probe_failure(now=TTL + 1) is False
+        assert st.note_probe_failure(now=TTL + 2) is False
+        assert st.note_probe_failure(now=TTL + 3) is True
+
+    def test_successful_fetch_renews_and_resets_probes(self):
+        st = _follower()
+        st.note_probe_failure(now=TTL + 1)
+        st.note_probe_failure(now=TTL + 2)
+        st.note_view(_view(3), "http://127.0.0.1:90", now=TTL + 2.5)
+        # probes reset and the deadline moved to now + ttl
+        assert st.note_probe_failure(now=TTL + 3) is False
+        assert st.note_probe_failure(now=2 * TTL + 3) is False
+        assert st.note_probe_failure(now=2 * TTL + 3.5) is True
+
+    def test_lease_ttl_overrides_local_default(self):
+        st = _follower()
+        lease = lease_doc("gw0", "http://127.0.0.1:90", 3, 20.0, 1027)
+        st.note_view(_view(3, lease), "http://127.0.0.1:90", now=0.0)
+        for now in (TTL + 1, TTL + 2, TTL + 3):
+            assert st.note_probe_failure(now=now) is False  # 20s lease holds
+        st2 = _follower()
+        st2.note_view(_view(3, lease), "http://127.0.0.1:90", now=0.0)
+        results = [st2.note_probe_failure(now=now) for now in (21, 22, 23)]
+        assert results == [False, False, True]
+
+    def test_chase_when_lease_names_other_primary(self):
+        st = _follower()
+        lease = lease_doc("gw2", "http://127.0.0.1:92/", 9, TTL, 1033)
+        chase = st.note_view(_view(9, lease), "http://127.0.0.1:90", now=1.0)
+        assert chase == "http://127.0.0.1:92"
+        assert st.acting_url == "http://127.0.0.1:92"
+
+    def test_no_chase_when_lease_is_own_or_source(self):
+        st = _follower(name="gw1")
+        own = lease_doc("gw1", "http://elsewhere:1", 9, TTL, 1033)
+        assert st.note_view(_view(9, own), "http://127.0.0.1:90", now=1.0) is None
+        source = lease_doc("gw0", "http://127.0.0.1:90/", 9, TTL, 1033)
+        assert st.note_view(_view(9, source), "http://127.0.0.1:90", now=1.0) is None
+
+    def test_bound_tracking_feeds_promotion_epoch(self):
+        st = _follower(name="gw1")
+        lease = lease_doc("gw0", "http://127.0.0.1:90", 7, TTL, 2048)
+        st.note_view(_view(7, lease), "http://127.0.0.1:90", now=1.0)
+        expected = 2048 + 1 + promotion_offset("gw1")
+        assert st.promotion_epoch(7) == expected
+        # a later view with a smaller bound never lowers the floor
+        st.note_view(_view(8), "http://127.0.0.1:90", now=2.0)
+        assert st.promotion_epoch(8) == expected
+
+    def test_promotion_epoch_floor_is_current_epoch(self):
+        st = _follower(name="gw1")
+        assert st.promotion_epoch(41) == 41 + 1 + promotion_offset("gw1")
+
+
+class TestPromoteDemote:
+    def test_promote_becomes_solo_primary(self):
+        st = _follower(name="gw1")
+        epoch = st.promotion_epoch(5)
+        st.promote(epoch, now=10.0)
+        assert st.role is Role.PRIMARY
+        assert st.is_primary()
+        assert st.acting_url == st.advertise_url
+        # freshly-promoted primary has no followers: no bound, no fence
+        assert st.may_mint(epoch + 1, now=10.0 + 10 * TTL)
+        assert [t["event"] for t in st.transitions] == ["seed", "promoted"]
+        assert st.transitions[-1]["epoch"] == epoch
+
+    def test_demote_steps_down_and_raises_bound(self):
+        st = _primary(name="gw0")
+        st.demote("gw1", "http://127.0.0.1:91/", 2100, now=30.0)
+        assert st.role is Role.FOLLOWER
+        assert not st.may_mint(2101, now=30.0)
+        assert st.acting_url == "http://127.0.0.1:91"
+        assert st.transitions[-1]["event"] == "demoted"
+        assert st.transitions[-1]["holder"] == "gw1"
+        # a re-promotion must clear the demoting epoch
+        assert st.promotion_epoch(5) > 2100
+
+    def test_demote_restarts_lease_grace(self):
+        st = _primary(name="gw0", election_probes=PROBES)
+        st.demote("gw1", "http://127.0.0.1:91", 2100, now=30.0)
+        assert st.note_probe_failure(now=30.0 + TTL - 0.5) is False
+
+
+class TestPrimaryFencing:
+    def test_solo_primary_never_fences(self):
+        st = _primary()
+        assert st.may_mint(1, now=0.0)
+        assert st.may_mint(10_000, now=1e6)
+        assert not st.fenced(now=1e6)
+
+    def test_follower_poll_sets_bound(self):
+        st = _primary(epoch_reserve=100)
+        st.note_follower_poll(7, "http://127.0.0.1:91/", now=1.0)
+        assert st.may_mint(8, now=2.0)
+        assert st.may_mint(107, now=2.0)
+        assert not st.may_mint(108, now=2.0)  # past the promised bound
+        assert st.replicas == {"http://127.0.0.1:91": 1.0}
+
+    def test_fences_after_ttl_without_renewal(self):
+        st = _primary(epoch_reserve=100)
+        st.note_follower_poll(7, "http://127.0.0.1:91", now=1.0)
+        assert not st.fenced(now=1.0 + TTL)
+        assert st.fenced(now=1.0 + TTL + 0.1)
+        assert not st.may_mint(8, now=1.0 + TTL + 0.1)
+        # a returning follower poll unfences
+        st.note_follower_poll(7, "http://127.0.0.1:91", now=1.0 + TTL + 1)
+        assert not st.fenced(now=1.0 + TTL + 1.5)
+        assert st.may_mint(8, now=1.0 + TTL + 1.5)
+
+    def test_bound_is_monotone(self):
+        st = _primary(epoch_reserve=100)
+        st.note_follower_poll(50, None, now=1.0)
+        st.note_follower_poll(7, None, now=2.0)  # stale poll: lower epoch
+        assert st.may_mint(150, now=2.5)
+        assert not st.may_mint(151, now=2.5)
+
+    def test_follower_ignores_poll_notes(self):
+        st = _follower()
+        st.note_follower_poll(7, "http://127.0.0.1:92", now=1.0)
+        assert st.replicas == {}
+        assert not st.may_mint(8, now=1.0)  # not primary: never mints
+
+
+class TestAudit:
+    def test_minted_ranges_merge_contiguous(self):
+        st = _primary()
+        for epoch in (5, 6, 7, 9):
+            st.note_minted(epoch)
+        assert st.audit()["minted"] == [[5, 7], [9, 9]]
+
+    def test_lease_for_uses_promised_bound_when_present(self):
+        st = _primary(name="gw0", epoch_reserve=100)
+        lease = st.lease_for(3)
+        assert lease == {
+            "holder": "gw0",
+            "url": st.advertise_url,
+            "epoch": 3,
+            "ttl_s": TTL,
+            "epoch_bound": 103,
+        }
+        st.note_follower_poll(50, None, now=1.0)
+        assert st.lease_for(3)["epoch_bound"] == 150
+
+    def test_audit_document_shape(self):
+        st = _follower(name="gw1")
+        lease = lease_doc("gw0", "http://127.0.0.1:90", 7, TTL, 2048)
+        st.note_view(_view(7, lease), "http://127.0.0.1:90", now=1.0)
+        audit = st.audit()
+        assert audit["gateway"] == "gw1"
+        assert audit["role"] == "follower"
+        assert audit["bound_seen"] == 2048
+        assert audit["lease"]["holder"] == "gw0"
+        assert audit["minted"] == []
+        assert audit["transitions"][0]["event"] == "seed"
+
+
+class TestSplitBrainInvariant:
+    def test_fenced_primary_cannot_mint_into_promoted_range(self):
+        """The core safety argument, end to end on two state machines."""
+        primary = _primary(name="gw0", epoch_reserve=100)
+        follower = _follower(name="gw1")
+        epoch = 3
+        # steady state: follower polls, primary publishes leased views
+        primary.note_follower_poll(epoch, follower.advertise_url, now=1.0)
+        follower.note_view(
+            _view(epoch, primary.lease_for(epoch)), "http://127.0.0.1:90", now=1.0
+        )
+        # partition: follower misses probes past its lease...
+        t = 1.0 + TTL
+        promoted = False
+        while not promoted:
+            t += 1.0
+            promoted = follower.note_probe_failure(now=t)
+        new_epoch = follower.promotion_epoch(epoch)
+        follower.promote(new_epoch, now=t)
+        follower.note_minted(new_epoch)
+        # ...by which time the old primary has fenced itself
+        assert primary.fenced(now=t)
+        assert not primary.may_mint(epoch + 1, now=t)
+        # and even unfenced it could never reach the promoted epoch
+        assert new_epoch > primary.lease_for(epoch)["epoch_bound"]
+
+    def test_same_round_promotions_pick_distinct_epochs(self):
+        bound = 2048
+        epochs = set()
+        for name in ("gw1", "gw2"):
+            st = _follower(name=name)
+            lease = lease_doc("gw0", "http://127.0.0.1:90", 7, TTL, bound)
+            st.note_view(_view(7, lease), "http://127.0.0.1:90", now=1.0)
+            epochs.add(st.promotion_epoch(7))
+        assert len(epochs) == 2

@@ -112,6 +112,62 @@ class TestJoin:
         assert audit["completed"][-1]["keys_migrated"] == len(expected)
         assert audit["completed"][-1]["skips"] == 0
 
+    def test_partial_arc_skip_keeps_joiner_syncing(self, duo, newcomer):
+        """A join whose arc copy skipped even one key must not flip:
+        the member stays SYNCING and the prober's respawned migration
+        activates it once every arc key can land (the mid-migration
+        partition case from the network chaos family)."""
+        gateway = _fleet(duo, probation_probes=1)
+        target = gateway._ring.with_node("s9")
+        arc_keys = []
+        for i in range(400):
+            key = f"{i:016x}"
+            if target.primary(key) == "s9":
+                arc_keys.append(key)
+            if len(arc_keys) == 4:
+                break
+        assert len(arc_keys) == 4, "vnodes layout left s9 an empty arc"
+        owners = {}
+        for key in arc_keys:
+            owner = next(
+                s for s in duo if s.name == gateway._ring.primary(key)
+            )
+            owner.store[key] = _store_entry(key)
+            owners[key] = owner
+        # one arc entry is corrupt in transit: its copy gets skipped
+        bad_key = arc_keys[0]
+        owners[bad_key].store[bad_key] = {
+            "doc": {"key": bad_key, CHECKSUM_FIELD: "torn"},
+            "trace_b64": None,
+        }
+
+        status, _ = gateway.join({"shard_name": "s9", "url": newcomer.url})
+        assert status == 202
+        gateway.probe_once()  # probation -> SYNCING + migration
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            audit = gateway.migration_audit()
+            if audit["completed"] and not audit["live"]:
+                break
+            time.sleep(0.02)
+        first = gateway.migration_audit()["completed"][-1]
+        # the catch-up sweep re-tries (and re-skips) the torn entry
+        assert first["skips"] >= 1
+        assert {s["key"] for s in first["skipped"]} == {bad_key}
+        # the incomplete arc did NOT flip routing
+        assert gateway.membership.get("s9").state is MemberState.SYNCING
+        assert "s9" not in gateway._ring.nodes
+        # the good keys landed; the skipped one did not
+        assert set(newcomer.store) == set(arc_keys) - {bad_key}
+
+        # heal the entry, lift the respawn gate, and let the prober retry
+        owners[bad_key].store[bad_key] = _store_entry(bad_key)
+        gateway._respawn_at.clear()
+        gateway.probe_once()
+        _wait_state(gateway, "s9", MemberState.ACTIVE)
+        assert set(newcomer.store) == set(arc_keys)
+        assert gateway.telemetry.counter("fleet.migrations_respawned") >= 1
+
     def test_join_rejects_version_skew(self, duo, newcomer):
         gateway = _fleet(duo)
         status, body = gateway.join(
@@ -311,6 +367,174 @@ class TestAdoption:
             with pytest.raises(KeyError):
                 gateway.status(bogus)
         assert gateway.telemetry.counter("fleet.jobs_adopted") == 0
+
+
+class TestElection:
+    def test_stop_wakes_wait_view_long_pollers(self, duo):
+        """A stopping gateway must release its long-pollers immediately,
+        not strand them for the full wait_s budget."""
+        gateway = _fleet(duo)
+        started = threading.Event()
+        result = {}
+
+        def poll():
+            started.set()
+            result["view"] = gateway.wait_view(
+                since=gateway.membership.epoch, wait_s=30.0
+            )
+
+        thread = threading.Thread(target=poll)
+        thread.start()
+        assert started.wait(timeout=2.0)
+        time.sleep(0.05)  # let the poller reach the condition wait
+        t0 = time.monotonic()
+        gateway.stop()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert time.monotonic() - t0 < 2.0
+        assert result["view"]["epoch"] == gateway.membership.epoch
+
+    def test_primary_view_carries_lease_and_migrations(self, duo):
+        gateway = _fleet(duo)
+        view = gateway.wait_view(replica="http://127.0.0.1:99/")
+        assert view["role"] == "primary"
+        assert view["lease"]["holder"] == "gateway"  # default gateway_name
+        assert view["lease"]["epoch"] == view["epoch"]
+        assert view["lease"]["epoch_bound"] > view["epoch"]
+        assert view["migrations"] == {"in_flight": []}
+        # the replica poll renewed the lease and registered the follower
+        assert gateway.telemetry.counter("fleet.lease_renewals") == 1
+        assert "http://127.0.0.1:99" in gateway._election.replicas
+
+    def test_anonymous_poll_does_not_renew_lease(self, duo):
+        gateway = _fleet(duo)
+        gateway.wait_view()
+        assert gateway.telemetry.counter("fleet.lease_renewals") == 0
+        assert gateway._election.replicas == {}
+
+    def test_follower_hint_chases_adopted_lease(self, duo):
+        config = GatewayConfig(
+            shards=(), follow="http://127.0.0.1:1", probe_interval_s=30.0
+        )
+        follower = FleetGateway(config)
+        # before first contact the hint is the static follow config
+        status, body = follower.join({"shard_name": "x", "url": duo[0].url})
+        assert (status, body["primary"]) == (503, "http://127.0.0.1:1")
+        # after adopting a view whose lease names the *elected* primary,
+        # the hint must point there - not at the dead follow target.
+        lease = {
+            "holder": "gw9",
+            "url": "http://127.0.0.1:92/",
+            "epoch": 9,
+            "ttl_s": 5.0,
+            "epoch_bound": 1033,
+        }
+        follower._election.note_view(
+            {"epoch": 9, "members": [], "lease": lease},
+            "http://127.0.0.1:1",
+            time.monotonic(),
+        )
+        status, body = follower.join({"shard_name": "x", "url": duo[0].url})
+        assert status == 503
+        assert body["primary"] == "http://127.0.0.1:92"
+        assert body["primary_name"] == "gw9"
+        assert body["role"] == "follower"
+        # the follower's own published view relays what it learned
+        view = follower.wait_view()
+        assert view["role"] == "follower"
+        assert view["lease"]["holder"] == "gw9"
+        assert view["acting_primary"] == "http://127.0.0.1:92"
+        follower.membership.close()
+
+    def test_fenced_primary_refuses_membership_mutations(self, duo, newcomer):
+        gateway = _fleet(duo)
+        now = time.monotonic()
+        # a follower polled one full TTL + slack ago and never came back
+        gateway._election.note_follower_poll(
+            gateway.membership.epoch,
+            "http://127.0.0.1:91",
+            now - gateway.config.lease_ttl_s - 1.0,
+        )
+        assert gateway._election.fenced(now)
+        status, body = gateway.join({"shard_name": "s9", "url": newcomer.url})
+        assert (status, body.get("fenced")) == (503, True)
+        status, body = gateway.leave({"shard_name": duo[0].name})
+        assert (status, body.get("fenced")) == (503, True)
+        assert gateway.telemetry.counter("fleet.fenced_rejects") == 2
+        # jobs still route while fenced: only membership is frozen
+        record = gateway.submit_dict(_spec(1))
+        assert record["state"] in ("queued", "running", "done")
+        # the follower re-polling unfences the primary
+        gateway.wait_view(replica="http://127.0.0.1:91")
+        status, body = gateway.join({"shard_name": "s9", "url": newcomer.url})
+        assert status == 202
+
+    def test_election_audit_document(self, duo):
+        gateway = _fleet(duo)
+        audit = gateway.election_audit()
+        assert audit["gateway"] == "gateway"
+        assert audit["role"] == "primary"
+        assert audit["epoch"] == gateway.membership.epoch
+        assert audit["fenced"] is False
+        # the seed epoch(s) this primary minted are in the audit trail
+        assert audit["minted"]
+        assert audit["minted"][0][0] >= 1
+        assert audit["transitions"][0]["event"] == "seed"
+
+    def test_promotion_resumes_replicated_migration(self, duo):
+        """A follower holding a replicated in-flight cursor respawns the
+        migration on promotion and jumps past the advertised bound."""
+        primary = _fleet(duo, gateway_name="gw0")
+        for i in range(20):
+            key = f"{i:016x}"
+            owner = primary._ring.primary(key)
+            shard = next(s for s in duo if s.name == owner)
+            shard.store[key] = _store_entry(key)
+
+        config = GatewayConfig(
+            shards=(),
+            follow="http://127.0.0.1:1",
+            vnodes=primary.config.vnodes,
+            probe_interval_s=30.0,
+            gateway_name="gw1",
+        )
+        follower = FleetGateway(config)
+        view = primary.wait_view()
+        done_key = next(iter(duo[0].store))
+        view["migrations"] = {
+            "in_flight": [
+                {
+                    "mid": "leave:s0:e2",
+                    "kind": "leave",
+                    "node": "s0",
+                    "done_keys": [done_key],
+                }
+            ]
+        }
+        assert follower.membership.apply_view(view)
+        with follower._lock:
+            follower._sync_handles_locked()
+        follower._election.note_view(view, "http://127.0.0.1:1", time.monotonic())
+        follower._replicated_inflight = view["migrations"]["in_flight"]
+
+        bound = view["lease"]["epoch_bound"]
+        follower._promote()
+        assert follower._election.is_primary()
+        assert follower.membership.epoch > bound
+        # the resumed leave migration runs to completion: s0 drains and
+        # its arc lands on s1 without recopying the done cursor key
+        _wait_state(follower, "s0", MemberState.LEFT)
+        assert follower.telemetry.counter("fleet.elections_won") == 1
+        audit = follower.election_audit()
+        assert audit["transitions"][-1]["event"] == "promoted"
+        # every key resumed from the cursor onward got copied; the key
+        # the journaled cursor already covered was *not* re-copied (the
+        # old primary moved it before dying - resume, not restart).
+        for key in duo[0].store:
+            if key != done_key:
+                assert key in duo[1].store
+        assert done_key not in duo[1].store
+        follower.membership.close()
 
 
 class TestDoubleRead:

@@ -1,0 +1,174 @@
+"""Unit tests for the join announcer's rotation and hint chasing.
+
+The announcer must survive primary elections: re-announce passes rotate
+to start at whichever gateway last accepted, and a follower's 503 hint
+body is chased even when it names a gateway outside the configured
+list.  The gateways here are scripted fakes swapped into the
+announcer's client cache - no sockets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.client import ServiceClientError
+from repro.serve.service import JoinAnnouncer
+
+
+class _FakeGateway:
+    """Stands in for a ServiceClient against one scripted gateway."""
+
+    def __init__(self, url: str, script):
+        self.base_url = url.rstrip("/")
+        self.script = script  # callable(method, path, payload) -> dict
+        self.requests: list[tuple[str, str, dict | None]] = []
+
+    def _request(self, method, path, payload=None, **kwargs):
+        self.requests.append((method, path, payload))
+        return self.script(method, path, payload)
+
+
+def _accept(method, path, payload):
+    return {"shard_name": "s9", "state": "probation", "epoch": 2}
+
+
+def _follower_hint(primary: str):
+    def script(method, path, payload):
+        if path == "/fleet/join":
+            raise ServiceClientError(
+                503,
+                "not the acting primary",
+                detail={"primary": primary, "role": "follower"},
+            )
+        return {}
+
+    return script
+
+
+def _unreachable(method, path, payload):
+    raise OSError("connection refused")
+
+
+def _announcer(*fakes: _FakeGateway) -> JoinAnnouncer:
+    announcer = JoinAnnouncer(
+        [f.base_url for f in fakes],
+        shard_name="s9",
+        advertise_url="http://127.0.0.1:7000",
+    )
+    announcer._clients = {f.base_url: f for f in fakes}
+    return announcer
+
+
+class TestAnnounceOnce:
+    def test_requires_shard_name(self):
+        with pytest.raises(ConfigurationError):
+            JoinAnnouncer(["http://gw:1"], shard_name="", advertise_url="u")
+
+    def test_first_acceptor_wins(self):
+        gw0 = _FakeGateway("http://gw0:1", _accept)
+        gw1 = _FakeGateway("http://gw1:1", _accept)
+        announcer = _announcer(gw0, gw1)
+        assert announcer.announce_once() is True
+        assert announcer.joined_via == "http://gw0:1"
+        assert gw0.requests and not gw1.requests
+
+    def test_rotation_starts_at_last_acceptor(self):
+        gw0 = _FakeGateway("http://gw0:1", _accept)
+        gw1 = _FakeGateway("http://gw1:1", _accept)
+        announcer = _announcer(gw0, gw1)
+        announcer.joined_via = "http://gw1:1"  # gw1 accepted last time
+        assert announcer.announce_once() is True
+        assert gw1.requests and not gw0.requests
+
+    def test_follower_hint_is_chased_within_list(self):
+        gw0 = _FakeGateway("http://gw0:1", _follower_hint("http://gw1:1"))
+        gw1 = _FakeGateway("http://gw1:1", _accept)
+        announcer = _announcer(gw0, gw1)
+        assert announcer.announce_once() is True
+        assert announcer.joined_via == "http://gw1:1"
+        # a hint naming a *configured* gateway is not counted as a chase
+        assert announcer.hints_chased == 0
+
+    def test_follower_hint_chased_outside_configured_list(self):
+        """The post-election case: the hint names the promoted primary,
+        which the operator never put in --announce."""
+        elected = _FakeGateway("http://elected:1", _accept)
+        gw0 = _FakeGateway("http://gw0:1", _follower_hint("http://elected:1/"))
+        announcer = _announcer(gw0)
+        announcer._clients[elected.base_url] = elected
+        assert announcer.announce_once() is True
+        assert announcer.joined_via == "http://elected:1"
+        assert announcer.hints_chased == 1
+        # re-announce goes straight back to the elected primary even
+        # though it is absent from the static list
+        elected.requests.clear()
+        gw0.requests.clear()
+        assert announcer.announce_once() is True
+        assert elected.requests
+
+    def test_mutual_hints_cannot_loop(self):
+        """Two stale followers pointing at each other terminate the pass."""
+        gw0 = _FakeGateway("http://gw0:1", _follower_hint("http://gw1:1"))
+        gw1 = _FakeGateway("http://gw1:1", _follower_hint("http://gw0:1"))
+        announcer = _announcer(gw0, gw1)
+        assert announcer.announce_once() is False
+        assert len(gw0.requests) == 1
+        assert len(gw1.requests) == 1
+
+    def test_unreachable_gateway_falls_through(self):
+        gw0 = _FakeGateway("http://gw0:1", _unreachable)
+        gw1 = _FakeGateway("http://gw1:1", _accept)
+        announcer = _announcer(gw0, gw1)
+        assert announcer.announce_once() is True
+        assert announcer.joined_via == "http://gw1:1"
+        assert announcer.announce_attempts == 2
+
+    def test_all_down_returns_false(self):
+        gw0 = _FakeGateway("http://gw0:1", _unreachable)
+        announcer = _announcer(gw0)
+        assert announcer.announce_once() is False
+        assert announcer.joined_via is None
+
+
+class TestLeave:
+    def test_leave_prefers_last_acceptor(self):
+        order = []
+
+        def script_for(name):
+            def script(method, path, payload):
+                if path == "/fleet/leave":
+                    order.append(name)
+                    return {"shard_name": "s9", "state": "left"}
+                if path == "/fleet/view":
+                    return {
+                        "epoch": 3,
+                        "members": [{"name": "s9", "state": "left"}],
+                    }
+                return {}
+
+            return script
+
+        gw0 = _FakeGateway("http://gw0:1", script_for("gw0"))
+        gw1 = _FakeGateway("http://gw1:1", script_for("gw1"))
+        announcer = _announcer(gw0, gw1)
+        announcer.joined_via = "http://gw1:1"
+        announcer.leave(drain_timeout_s=1.0)
+        assert order == ["gw1"]  # the acting primary was tried first
+
+    def test_leave_waits_for_migration_to_flip(self):
+        states = iter(["leaving", "leaving", "left"])
+
+        def script(method, path, payload):
+            if path == "/fleet/leave":
+                return {"shard_name": "s9", "state": "leaving"}
+            return {
+                "epoch": 3,
+                "members": [{"name": "s9", "state": next(states)}],
+            }
+
+        gw0 = _FakeGateway("http://gw0:1", script)
+        announcer = _announcer(gw0)
+        announcer.leave(drain_timeout_s=5.0)
+        views = [r for r in gw0.requests if r[1] == "/fleet/view"]
+        assert len(views) == 3  # polled until the member read "left"
